@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Experiments M1-M3: engineering microbenchmarks of the
+ * environment itself (google-benchmark).
+ *
+ *  - M1: replay-engine throughput (events per second),
+ *  - M2: tracing-tool throughput (records traced per second),
+ *  - M3: overlap-transformation and trace-serialization speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "bench/bench_common.hh"
+#include "core/transform.hh"
+#include "trace/trace_io.hh"
+
+using namespace ovlsim;
+using namespace ovlsim::bench;
+
+namespace {
+
+/** Cached bundle so setup cost is paid once per binary run. */
+const tracer::TraceBundle &
+cachedBundle()
+{
+    static const tracer::TraceBundle bundle =
+        traceApp("sweep3d");
+    return bundle;
+}
+
+void
+simulatorThroughput(benchmark::State &state)
+{
+    const auto &bundle = cachedBundle();
+    auto platform = sim::platforms::defaultCluster();
+    platform.bandwidthMBps =
+        static_cast<double>(state.range(0));
+
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        const auto result =
+            sim::simulate(bundle.traces, platform);
+        events += result.eventsProcessed;
+        benchmark::DoNotOptimize(result.totalTime);
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(events),
+        benchmark::Counter::kIsRate);
+}
+
+void
+tracerThroughput(benchmark::State &state)
+{
+    const auto &app = apps::findApp("nas-bt");
+    auto params = app.defaults();
+    params.iterations = static_cast<int>(state.range(0));
+    const auto program = app.program(params);
+
+    std::size_t records = 0;
+    for (auto _ : state) {
+        tracer::TracerConfig config;
+        const auto bundle = tracer::traceApplication(
+            params.ranks, program, config);
+        records += bundle.traces.totalRecords();
+        benchmark::DoNotOptimize(bundle.overlap.size());
+    }
+    state.counters["records/s"] = benchmark::Counter(
+        static_cast<double>(records),
+        benchmark::Counter::kIsRate);
+}
+
+void
+transformThroughput(benchmark::State &state)
+{
+    const auto &bundle = cachedBundle();
+    core::TransformConfig config;
+    config.pattern = core::PatternModel::idealLinear;
+    config.chunks = static_cast<std::size_t>(state.range(0));
+
+    std::size_t chunks = 0;
+    for (auto _ : state) {
+        const auto result = core::buildOverlappedTrace(
+            bundle.traces, bundle.overlap, config);
+        chunks += result.totalChunks;
+        benchmark::DoNotOptimize(result.traces.totalRecords());
+    }
+    state.counters["chunks/s"] = benchmark::Counter(
+        static_cast<double>(chunks),
+        benchmark::Counter::kIsRate);
+}
+
+void
+traceSerialization(benchmark::State &state)
+{
+    const auto &bundle = cachedBundle();
+    std::string text;
+    {
+        std::ostringstream os;
+        trace::writeTraceText(bundle.traces, os);
+        text = os.str();
+    }
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        std::ostringstream os;
+        trace::writeTraceText(bundle.traces, os);
+        std::istringstream is(os.str());
+        const auto parsed = trace::readTraceText(is);
+        benchmark::DoNotOptimize(parsed.totalRecords());
+        bytes += text.size();
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(bytes));
+}
+
+} // namespace
+
+BENCHMARK(simulatorThroughput)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(tracerThroughput)->Arg(1)->Arg(2);
+BENCHMARK(transformThroughput)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(traceSerialization);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * POP (Parallel Ocean Program) proxy.
+ *
+ * Models one ocean time step: a baroclinic phase (deep 3D compute
+ * with a four-neighbour 2D halo exchange of narrow ghost strips) and
+ * a barotropic phase (an iterative 2D solver whose every inner
+ * iteration performs a tiny halo exchange plus a scalar all-reduce).
+ * The many small latency-bound messages and the all-reduce per inner
+ * iteration make POP a case where even ideal overlap buys little,
+ * matching the paper's ~10% figure.
+ */
+
+#include "apps/app.hh"
+
+#include "util/logging.hh"
+
+namespace ovlsim::apps {
+
+namespace {
+
+class Pop final : public Application
+{
+  public:
+    std::string name() const override { return "pop"; }
+
+    std::string
+    description() const override
+    {
+        return "POP proxy: baroclinic 3D step + barotropic 2D "
+               "solver with tiny halos and all-reduces";
+    }
+
+    AppParams
+    defaults() const override
+    {
+        AppParams params;
+        params.ranks = 16;
+        params.iterations = 3;
+        params.size = 128;
+        return params;
+    }
+
+    void
+    validate(const AppParams &params) const override
+    {
+        Application::validate(params);
+        const Grid2D grid = Grid2D::closestFactors(params.ranks);
+        if (grid.px < 2 || grid.py < 2)
+            fatal(name(), ": rank count must factor into a 2D "
+                          "grid with both sides >= 2");
+    }
+
+    vm::RankProgram
+    program(const AppParams &params) const override
+    {
+        validate(params);
+        return [params](vm::VmContext &ctx) { run(ctx, params); };
+    }
+
+  private:
+    static void
+    run(vm::VmContext &ctx, const AppParams &params)
+    {
+        const Grid2D grid = Grid2D::closestFactors(params.ranks);
+        const int gx = grid.x(ctx.rank());
+        const int gy = grid.y(ctx.rank());
+        const Rank xlo =
+            grid.inside(gx - 1, gy) ? grid.at(gx - 1, gy) : -1;
+        const Rank xhi =
+            grid.inside(gx + 1, gy) ? grid.at(gx + 1, gy) : -1;
+        const Rank ylo =
+            grid.inside(gx, gy - 1) ? grid.at(gx, gy - 1) : -1;
+        const Rank yhi =
+            grid.inside(gx, gy + 1) ? grid.at(gx, gy + 1) : -1;
+
+        const int nx = std::max(params.size / grid.px, 4);
+        const int ny = std::max(params.size / grid.py, 4);
+        const int k_levels = 40;
+        const double cells_2d = static_cast<double>(nx) * ny;
+
+        // Ghost strips: 2 rows/columns of 12 3D tracer fields
+        // across the vertical levels.
+        const Bytes strip_x = scaleBytes(
+            static_cast<Bytes>(ny) * 2 * 12 * 8 * 2,
+            params.messageScale);
+        const Bytes strip_y = scaleBytes(
+            static_cast<Bytes>(nx) * 2 * 12 * 8 * 2,
+            params.messageScale);
+        // Barotropic inner halo: one row of one field.
+        const Bytes inner_x = scaleBytes(
+            static_cast<Bytes>(ny) * 8, params.messageScale);
+        const Bytes inner_y = scaleBytes(
+            static_cast<Bytes>(nx) * 8, params.messageScale);
+
+        const Instr baroclinic = scaleInstr(
+            cells_2d * k_levels * 26.0, params.computeScale);
+        const Instr inner_compute =
+            scaleInstr(cells_2d * 4.0, params.computeScale);
+        const int inner_iters = 8;
+        const double pack_ipb = 0.6;
+
+        const auto sxl = ctx.allocBuffer("send-w", strip_x);
+        const auto sxh = ctx.allocBuffer("send-e", strip_x);
+        const auto rxl = ctx.allocBuffer("recv-w", strip_x);
+        const auto rxh = ctx.allocBuffer("recv-e", strip_x);
+        const auto syl = ctx.allocBuffer("send-s", strip_y);
+        const auto syh = ctx.allocBuffer("send-n", strip_y);
+        const auto ryl = ctx.allocBuffer("recv-s", strip_y);
+        const auto ryh = ctx.allocBuffer("recv-n", strip_y);
+        const auto bxl = ctx.allocBuffer("bt-send-w", inner_x);
+        const auto bxh = ctx.allocBuffer("bt-send-e", inner_x);
+        const auto cxl = ctx.allocBuffer("bt-recv-w", inner_x);
+        const auto cxh = ctx.allocBuffer("bt-recv-e", inner_x);
+        const auto byl = ctx.allocBuffer("bt-send-s", inner_y);
+        const auto byh = ctx.allocBuffer("bt-send-n", inner_y);
+        const auto cyl = ctx.allocBuffer("bt-recv-s", inner_y);
+        const auto cyh = ctx.allocBuffer("bt-recv-n", inner_y);
+
+        for (int it = 0; it < params.iterations; ++it) {
+            // --- baroclinic: deep compute, then ghost update ---
+            ctx.compute(baroclinic);
+            if (xlo >= 0)
+                ctx.computeStore(sxl, 0, strip_x, pack_ipb, 4);
+            if (xhi >= 0)
+                ctx.computeStore(sxh, 0, strip_x, pack_ipb, 4);
+            if (ylo >= 0)
+                ctx.computeStore(syl, 0, strip_y, pack_ipb, 4);
+            if (yhi >= 0)
+                ctx.computeStore(syh, 0, strip_y, pack_ipb, 4);
+            haloExchange(ctx,
+                         {{xlo, sxl, rxl, strip_x, 400, 401},
+                          {xhi, sxh, rxh, strip_x, 401, 400},
+                          {ylo, syl, ryl, strip_y, 402, 403},
+                          {yhi, syh, ryh, strip_y, 403, 402}});
+            if (xlo >= 0)
+                ctx.computeLoad(rxl, 0, strip_x, pack_ipb, 4);
+            if (xhi >= 0)
+                ctx.computeLoad(rxh, 0, strip_x, pack_ipb, 4);
+            if (ylo >= 0)
+                ctx.computeLoad(ryl, 0, strip_y, pack_ipb, 4);
+            if (yhi >= 0)
+                ctx.computeLoad(ryh, 0, strip_y, pack_ipb, 4);
+
+            // --- barotropic: latency-bound inner solver ---
+            for (int j = 0; j < inner_iters; ++j) {
+                ctx.compute(inner_compute);
+                if (xlo >= 0)
+                    ctx.computeStore(bxl, 0, inner_x, pack_ipb, 2);
+                if (xhi >= 0)
+                    ctx.computeStore(bxh, 0, inner_x, pack_ipb, 2);
+                if (ylo >= 0)
+                    ctx.computeStore(byl, 0, inner_y, pack_ipb, 2);
+                if (yhi >= 0)
+                    ctx.computeStore(byh, 0, inner_y, pack_ipb, 2);
+                haloExchange(
+                    ctx,
+                    {{xlo, bxl, cxl, inner_x, 500, 501},
+                     {xhi, bxh, cxh, inner_x, 501, 500},
+                     {ylo, byl, cyl, inner_y, 502, 503},
+                     {yhi, byh, cyh, inner_y, 503, 502}});
+                if (xlo >= 0)
+                    ctx.computeLoad(cxl, 0, inner_x, pack_ipb, 2);
+                if (xhi >= 0)
+                    ctx.computeLoad(cxh, 0, inner_x, pack_ipb, 2);
+                if (ylo >= 0)
+                    ctx.computeLoad(cyl, 0, inner_y, pack_ipb, 2);
+                if (yhi >= 0)
+                    ctx.computeLoad(cyh, 0, inner_y, pack_ipb, 2);
+                // Global residual.
+                ctx.allReduce(8);
+            }
+        }
+    }
+};
+
+} // namespace
+
+const Application &
+popApp()
+{
+    static const Pop instance;
+    return instance;
+}
+
+} // namespace ovlsim::apps

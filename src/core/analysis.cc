@@ -1,0 +1,197 @@
+#include "analysis.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ovlsim::core {
+
+std::vector<VariantSpec>
+standardVariants(std::size_t chunks)
+{
+    std::vector<VariantSpec> variants;
+    TransformConfig real;
+    real.pattern = PatternModel::real;
+    real.mechanism = Mechanism::both;
+    real.chunks = chunks;
+    variants.push_back(VariantSpec{"overlap-real", real});
+
+    TransformConfig ideal = real;
+    ideal.pattern = PatternModel::idealLinear;
+    variants.push_back(VariantSpec{"overlap-ideal", ideal});
+    return variants;
+}
+
+std::vector<double>
+logBandwidthGrid(double lo_mbps, double hi_mbps,
+                 int points_per_decade)
+{
+    ovlAssert(lo_mbps > 0.0 && hi_mbps > lo_mbps,
+              "logBandwidthGrid: bad range");
+    ovlAssert(points_per_decade > 0,
+              "logBandwidthGrid: need at least one point/decade");
+    std::vector<double> grid;
+    const double step =
+        std::pow(10.0, 1.0 / points_per_decade);
+    for (double b = lo_mbps; b < hi_mbps * (1.0 + 1e-9); b *= step)
+        grid.push_back(b);
+    if (grid.empty() || grid.back() < hi_mbps * (1.0 - 1e-9))
+        grid.push_back(hi_mbps);
+    return grid;
+}
+
+double
+SweepPoint::speedup(std::size_t v) const
+{
+    ovlAssert(v < variantTimes.size(),
+              "SweepPoint::speedup: bad variant index");
+    const auto t = variantTimes[v].ns();
+    if (t <= 0)
+        return 0.0;
+    return static_cast<double>(originalTime.ns()) /
+        static_cast<double>(t);
+}
+
+SweepResult
+bandwidthSweep(const tracer::TraceBundle &bundle,
+               const sim::PlatformConfig &base,
+               const std::vector<double> &bandwidths,
+               const std::vector<VariantSpec> &variants)
+{
+    SweepResult result;
+    result.variants = variants;
+
+    // Build every overlapped trace once; replay per bandwidth.
+    std::vector<trace::TraceSet> variant_traces;
+    variant_traces.reserve(variants.size());
+    for (const auto &spec : variants) {
+        variant_traces.push_back(
+            buildOverlappedTrace(bundle.traces, bundle.overlap,
+                                 spec.config)
+                .traces);
+    }
+
+    for (const double mbps : bandwidths) {
+        sim::PlatformConfig platform = base;
+        platform.bandwidthMBps = mbps;
+
+        SweepPoint point;
+        point.bandwidthMBps = mbps;
+        const auto original =
+            sim::simulate(bundle.traces, platform);
+        point.originalTime = original.totalTime;
+        point.originalCommFraction = original.commFraction();
+        point.variantTimes.reserve(variants.size());
+        for (const auto &traces : variant_traces) {
+            point.variantTimes.push_back(
+                sim::simulate(traces, platform).totalTime);
+        }
+        result.points.push_back(std::move(point));
+    }
+    return result;
+}
+
+double
+findIntermediateBandwidth(const trace::TraceSet &original,
+                          const sim::PlatformConfig &base,
+                          double lo_mbps, double hi_mbps,
+                          int iterations)
+{
+    ovlAssert(lo_mbps > 0.0 && hi_mbps > lo_mbps,
+              "findIntermediateBandwidth: bad range");
+
+    // Balance function: > 0 while communication dominates. The
+    // comm-blocked share shrinks as bandwidth grows, so bisection on
+    // the log axis converges onto comm time == compute time.
+    const auto imbalance = [&](double mbps) {
+        sim::PlatformConfig platform = base;
+        platform.bandwidthMBps = mbps;
+        const auto result = sim::simulate(original, platform);
+        return result.commFraction() - result.computeFraction();
+    };
+
+    double lo = std::log(lo_mbps);
+    double hi = std::log(hi_mbps);
+    if (imbalance(lo_mbps) <= 0.0)
+        return lo_mbps;
+    if (imbalance(hi_mbps) >= 0.0)
+        return hi_mbps;
+    for (int i = 0; i < iterations; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (imbalance(std::exp(mid)) > 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return std::exp(0.5 * (lo + hi));
+}
+
+double
+minBandwidthForTime(const trace::TraceSet &traces,
+                    const sim::PlatformConfig &base,
+                    SimTime target, double lo_mbps, double hi_mbps,
+                    int iterations)
+{
+    ovlAssert(lo_mbps > 0.0 && hi_mbps > lo_mbps,
+              "minBandwidthForTime: bad range");
+
+    const auto meets = [&](double mbps) {
+        sim::PlatformConfig platform = base;
+        platform.bandwidthMBps = mbps;
+        return sim::simulate(traces, platform).totalTime <= target;
+    };
+
+    if (meets(lo_mbps))
+        return lo_mbps;
+    if (!meets(hi_mbps))
+        return hi_mbps;
+
+    double lo = std::log(lo_mbps);
+    double hi = std::log(hi_mbps);
+    for (int i = 0; i < iterations; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (meets(std::exp(mid)))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return std::exp(hi);
+}
+
+IsoPerformanceResult
+isoPerformance(const tracer::TraceBundle &bundle,
+               const sim::PlatformConfig &base,
+               const TransformConfig &variant,
+               double reference_mbps, double tolerance,
+               double search_lo_mbps)
+{
+    ovlAssert(reference_mbps > 0.0,
+              "isoPerformance: bad reference bandwidth");
+    ovlAssert(tolerance >= 0.0, "isoPerformance: bad tolerance");
+
+    IsoPerformanceResult result;
+    result.referenceBandwidth = reference_mbps;
+    result.tolerance = tolerance;
+
+    sim::PlatformConfig reference = base;
+    reference.bandwidthMBps = reference_mbps;
+    result.originalTime =
+        sim::simulate(bundle.traces, reference).totalTime;
+
+    const auto target = SimTime::fromNs(static_cast<std::int64_t>(
+        static_cast<double>(result.originalTime.ns()) *
+        (1.0 + tolerance)));
+
+    result.originalRequiredBandwidth = minBandwidthForTime(
+        bundle.traces, base, target, search_lo_mbps,
+        reference_mbps);
+
+    const auto overlapped = buildOverlappedTrace(
+        bundle.traces, bundle.overlap, variant);
+    result.overlappedRequiredBandwidth = minBandwidthForTime(
+        overlapped.traces, base, target, search_lo_mbps,
+        reference_mbps);
+    return result;
+}
+
+} // namespace ovlsim::core

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Quantitative analyses over original vs. overlapped executions.
+ *
+ * These functions implement the paper's three result families:
+ * bandwidth sweeps comparing the non-overlapped execution against the
+ * overlapped variants (R1), speedup at the "intermediate" bandwidth
+ * where communication time is comparable to computation time (R2),
+ * and the iso-performance bandwidth-relaxation analysis showing how
+ * much less bandwidth the overlapped execution needs to match the
+ * original's performance at high bandwidth (R3).
+ */
+
+#ifndef OVLSIM_CORE_ANALYSIS_HH
+#define OVLSIM_CORE_ANALYSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/transform.hh"
+#include "sim/engine.hh"
+#include "tracer/tracer.hh"
+
+namespace ovlsim::core {
+
+/** A named overlapped variant to include in a comparison. */
+struct VariantSpec
+{
+    std::string name;
+    TransformConfig config;
+};
+
+/** The paper's two headline variants: real and ideal patterns, full
+ * mechanism. */
+std::vector<VariantSpec> standardVariants(std::size_t chunks = 16);
+
+/** Log-spaced bandwidth grid in MB/s. */
+std::vector<double> logBandwidthGrid(double lo_mbps, double hi_mbps,
+                                     int points_per_decade = 2);
+
+/** One bandwidth sample of a sweep. */
+struct SweepPoint
+{
+    double bandwidthMBps = 0.0;
+    SimTime originalTime;
+    double originalCommFraction = 0.0;
+    /** Parallel to SweepResult::variants. */
+    std::vector<SimTime> variantTimes;
+
+    /** Speedup of variant v over the original (1.0 = equal). */
+    double speedup(std::size_t v) const;
+};
+
+/** Bandwidth sweep outcome. */
+struct SweepResult
+{
+    std::vector<VariantSpec> variants;
+    std::vector<SweepPoint> points;
+};
+
+/**
+ * Simulate the original and every variant across a bandwidth grid.
+ * All other platform parameters are taken from `base`.
+ */
+SweepResult bandwidthSweep(const tracer::TraceBundle &bundle,
+                           const sim::PlatformConfig &base,
+                           const std::vector<double> &bandwidths,
+                           const std::vector<VariantSpec> &variants);
+
+/**
+ * Find the "intermediate" bandwidth: the point where the original
+ * execution spends about as much time blocked on communication as it
+ * spends computing (paper Sec. III: "where time spent in
+ * communication is comparable to time spent in computation").
+ * Bisection on a log scale over [lo, hi].
+ */
+double findIntermediateBandwidth(const trace::TraceSet &original,
+                                 const sim::PlatformConfig &base,
+                                 double lo_mbps = 0.25,
+                                 double hi_mbps = 1 << 20,
+                                 int iterations = 40);
+
+/**
+ * Smallest bandwidth at which replaying `traces` completes within
+ * `target`. Bisection on a log scale; returns `hi_mbps` when even
+ * the top of the range misses the target.
+ */
+double minBandwidthForTime(const trace::TraceSet &traces,
+                           const sim::PlatformConfig &base,
+                           SimTime target, double lo_mbps,
+                           double hi_mbps, int iterations = 48);
+
+/** Result of the bandwidth-relaxation (iso-performance) analysis. */
+struct IsoPerformanceResult
+{
+    /** High reference bandwidth (MB/s). */
+    double referenceBandwidth = 0.0;
+    /** Original execution time at the reference bandwidth. */
+    SimTime originalTime;
+    /** Tolerated slowdown applied to the target (e.g. 0.05). */
+    double tolerance = 0.0;
+    /** Min bandwidth for the *original* to stay within target. */
+    double originalRequiredBandwidth = 0.0;
+    /** Min bandwidth for the *overlapped* to stay within target. */
+    double overlappedRequiredBandwidth = 0.0;
+
+    /** How much less bandwidth the overlapped execution needs. */
+    double
+    reductionFactor() const
+    {
+        return overlappedRequiredBandwidth > 0.0
+                   ? originalRequiredBandwidth /
+                       overlappedRequiredBandwidth
+                   : 0.0;
+    }
+};
+
+/**
+ * The paper's network-relaxation experiment: measure the original's
+ * performance at a high reference bandwidth, then find the minimal
+ * bandwidth at which (a) the original and (b) the overlapped variant
+ * still deliver that performance within `tolerance`.
+ */
+IsoPerformanceResult
+isoPerformance(const tracer::TraceBundle &bundle,
+               const sim::PlatformConfig &base,
+               const TransformConfig &variant,
+               double reference_mbps, double tolerance = 0.05,
+               double search_lo_mbps = 1e-3);
+
+} // namespace ovlsim::core
+
+#endif // OVLSIM_CORE_ANALYSIS_HH

@@ -1,0 +1,102 @@
+#include "potential.hh"
+
+#include <sstream>
+
+#include "util/strings.hh"
+
+namespace ovlsim::core {
+
+double
+MessagePotential::productionSlackFraction() const
+{
+    if (productionWindow == 0)
+        return 0.0;
+    return productionSlack /
+        static_cast<double>(productionWindow);
+}
+
+double
+MessagePotential::consumptionSlackFraction() const
+{
+    if (consumptionWindow == 0)
+        return 0.0;
+    return consumptionSlack /
+        static_cast<double>(consumptionWindow);
+}
+
+std::string
+PotentialReport::toString() const
+{
+    std::ostringstream os;
+    os << "overlap potential over " << messages.size()
+       << " messages\n";
+    if (messages.empty())
+        return os.str();
+
+    Histogram prod(0.0, 1.0, 10);
+    Histogram cons(0.0, 1.0, 10);
+    for (const auto &m : messages) {
+        prod.add(m.productionSlackFraction());
+        cons.add(m.consumptionSlackFraction());
+    }
+    os << strformat(
+        "production slack:  mean %.2f of the send window "
+        "(min %.2f, max %.2f)\n",
+        productionSlack.mean(), productionSlack.min(),
+        productionSlack.max());
+    os << prod.render(40);
+    os << strformat(
+        "consumption slack: mean %.2f of the recv window "
+        "(min %.2f, max %.2f)\n",
+        consumptionSlack.mean(), consumptionSlack.min(),
+        consumptionSlack.max());
+    os << cons.render(40);
+    return os.str();
+}
+
+PotentialReport
+analyzePotential(const trace::OverlapSet &overlap)
+{
+    PotentialReport report;
+    report.messages.reserve(overlap.size());
+
+    for (const auto &[id, info] : overlap.all()) {
+        MessagePotential m;
+        m.id = id;
+        m.bytes = info.bytes;
+        m.productionWindow =
+            info.sendInstr - info.prodWindowBegin;
+        m.consumptionWindow =
+            info.consWindowEnd - info.recvInstr;
+
+        if (!info.blockLastStore.empty()) {
+            double lead = 0.0;
+            for (const auto p : info.blockLastStore) {
+                const Instr at =
+                    p > info.sendInstr ? info.sendInstr : p;
+                lead += static_cast<double>(info.sendInstr - at);
+            }
+            m.productionSlack = lead /
+                static_cast<double>(info.blockLastStore.size());
+        }
+        if (!info.blockFirstLoad.empty()) {
+            double lag = 0.0;
+            for (const auto c : info.blockFirstLoad) {
+                const Instr at =
+                    c < info.recvInstr ? info.recvInstr : c;
+                lag += static_cast<double>(at - info.recvInstr);
+            }
+            m.consumptionSlack = lag /
+                static_cast<double>(info.blockFirstLoad.size());
+        }
+
+        report.productionSlack.add(
+            m.productionSlackFraction());
+        report.consumptionSlack.add(
+            m.consumptionSlackFraction());
+        report.messages.push_back(m);
+    }
+    return report;
+}
+
+} // namespace ovlsim::core

@@ -1,0 +1,58 @@
+#include "study.hh"
+
+#include "util/logging.hh"
+
+namespace ovlsim::core {
+
+OverlapStudy::OverlapStudy(tracer::TraceBundle bundle)
+    : bundle_(std::move(bundle))
+{}
+
+OverlapStudy
+OverlapStudy::fromProgram(int ranks, const vm::RankProgram &program,
+                          const tracer::TracerConfig &config)
+{
+    return OverlapStudy(
+        tracer::traceApplication(ranks, program, config));
+}
+
+const trace::TraceSet &
+OverlapStudy::overlappedTrace(const TransformConfig &config)
+{
+    const std::string key = config.label();
+    const auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    auto result = buildOverlappedTrace(bundle_.traces,
+                                       bundle_.overlap, config);
+    return cache_.emplace(key, std::move(result.traces))
+        .first->second;
+}
+
+sim::SimResult
+OverlapStudy::simulateOriginal(
+    const sim::PlatformConfig &platform) const
+{
+    return sim::simulate(bundle_.traces, platform);
+}
+
+sim::SimResult
+OverlapStudy::simulateOverlapped(const TransformConfig &config,
+                                 const sim::PlatformConfig &platform)
+{
+    return sim::simulate(overlappedTrace(config), platform);
+}
+
+double
+OverlapStudy::speedup(const TransformConfig &config,
+                      const sim::PlatformConfig &platform)
+{
+    const auto original = simulateOriginal(platform);
+    const auto overlapped = simulateOverlapped(config, platform);
+    ovlAssert(overlapped.totalTime.ns() > 0,
+              "speedup: degenerate overlapped time");
+    return static_cast<double>(original.totalTime.ns()) /
+        static_cast<double>(overlapped.totalTime.ns());
+}
+
+} // namespace ovlsim::core

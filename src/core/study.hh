@@ -1,0 +1,72 @@
+/**
+ * @file
+ * One-stop facade over the whole environment.
+ *
+ * OverlapStudy wires the pipeline of the paper's Figure 1 together:
+ * application -> tracing tool -> original + overlapped traces ->
+ * replay simulator, with variant traces cached so that sweeps don't
+ * rebuild them per bandwidth point.
+ */
+
+#ifndef OVLSIM_CORE_STUDY_HH
+#define OVLSIM_CORE_STUDY_HH
+
+#include <map>
+#include <string>
+
+#include "core/analysis.hh"
+#include "core/transform.hh"
+#include "sim/engine.hh"
+#include "tracer/tracer.hh"
+
+namespace ovlsim::core {
+
+/** Traces an application once and serves simulations of it. */
+class OverlapStudy
+{
+  public:
+    /** Wrap an existing trace bundle. */
+    explicit OverlapStudy(tracer::TraceBundle bundle);
+
+    /** Trace `program` on `ranks` ranks, then wrap the bundle. */
+    static OverlapStudy
+    fromProgram(int ranks, const vm::RankProgram &program,
+                const tracer::TracerConfig &config = {});
+
+    const tracer::TraceBundle &bundle() const { return bundle_; }
+
+    /** The original (non-overlapped) trace. */
+    const trace::TraceSet &
+    originalTrace() const
+    {
+        return bundle_.traces;
+    }
+
+    /** Overlapped trace for a variant (built once, then cached). */
+    const trace::TraceSet &
+    overlappedTrace(const TransformConfig &config);
+
+    /** Replay the original trace. */
+    sim::SimResult
+    simulateOriginal(const sim::PlatformConfig &platform) const;
+
+    /** Replay an overlapped variant. */
+    sim::SimResult
+    simulateOverlapped(const TransformConfig &config,
+                       const sim::PlatformConfig &platform);
+
+    /**
+     * Speedup of a variant over the original on a platform
+     * (1.30 means the overlapped execution is 30% faster).
+     */
+    double speedup(const TransformConfig &config,
+                   const sim::PlatformConfig &platform);
+
+  private:
+    tracer::TraceBundle bundle_;
+    std::map<std::string, trace::TraceSet> cache_;
+};
+
+} // namespace ovlsim::core
+
+#endif // OVLSIM_CORE_STUDY_HH

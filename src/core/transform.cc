@@ -1,0 +1,432 @@
+#include "transform.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+#include "util/strings.hh"
+
+namespace ovlsim::core {
+
+namespace {
+
+using trace::CpuBurst;
+using trace::IRecvRec;
+using trace::ISendRec;
+using trace::MessageId;
+using trace::MessageOverlapInfo;
+using trace::Record;
+using trace::RecvRec;
+using trace::RequestId;
+using trace::SendRec;
+using trace::WaitRec;
+
+/** Chunk requests are allocated from here, per rank. */
+constexpr RequestId chunkReqBase = 1ULL << 32;
+
+/** Split plan of one message. */
+struct ChunkPlan
+{
+    MessageId id = trace::invalidMessageId;
+    Rank src = 0;
+    Rank dst = 0;
+    Bytes bytes = 0;
+    std::size_t chunks = 0;
+    std::vector<Bytes> chunkBytes;
+    std::vector<Tag> tags;
+    std::vector<RequestId> sendReqs;
+    std::vector<RequestId> recvReqs;
+    /** Absolute instr at which each chunk's ISend is injected. */
+    std::vector<Instr> prodAt;
+    /** Absolute instr at which each chunk's Wait is injected. */
+    std::vector<Instr> consAt;
+};
+
+/** A record to splice into a rank's stream at an instr position. */
+struct Injection
+{
+    Instr at = 0;
+    std::uint64_t seq = 0;
+    Record record;
+};
+
+bool
+injectionLess(const Injection &a, const Injection &b)
+{
+    if (a.at != b.at)
+        return a.at < b.at;
+    return a.seq < b.seq;
+}
+
+/** Interpolated instr point for the ideal/linear pattern. */
+Instr
+linearPoint(Instr begin, Instr end, double fraction)
+{
+    ovlAssert(end >= begin, "linearPoint: inverted window");
+    const double span = static_cast<double>(end - begin);
+    const auto off = static_cast<Instr>(
+        static_cast<double>(span) * fraction + 0.5);
+    return begin + std::min<Instr>(off, end - begin);
+}
+
+class Transformer
+{
+  public:
+    Transformer(const trace::TraceSet &original,
+                const trace::OverlapSet &overlap,
+                const TransformConfig &config)
+        : original_(original), overlap_(overlap), config_(config)
+    {}
+
+    TransformResult
+    run()
+    {
+        planMessages();
+        TransformResult result;
+        result.traces = trace::TraceSet(
+            original_.name() + "+overlap(" + config_.label() + ")",
+            original_.ranks(), original_.mips());
+        for (Rank r = 0; r < original_.ranks(); ++r)
+            rebuildRank(r, result.traces.rankTrace(r));
+        result.chunkedMessages = plans_.size();
+        for (const auto &[id, plan] : plans_)
+            result.totalChunks += plan.chunks;
+        return result;
+    }
+
+  private:
+    void planMessages();
+    void rebuildRank(Rank r, trace::RankTrace &out);
+
+    const trace::TraceSet &original_;
+    const trace::OverlapSet &overlap_;
+    const TransformConfig &config_;
+
+    std::map<MessageId, ChunkPlan> plans_;
+    /** Sender-side burst injections (chunk ISends), per rank. */
+    std::vector<std::vector<Injection>> sendInjections_;
+    /** Receiver-side burst injections (chunk Waits), per rank. */
+    std::vector<std::vector<Injection>> recvInjections_;
+};
+
+void
+Transformer::planMessages()
+{
+    const auto nranks =
+        static_cast<std::size_t>(original_.ranks());
+    sendInjections_.assign(nranks, {});
+    recvInjections_.assign(nranks, {});
+
+    std::vector<RequestId> next_req(nranks, chunkReqBase);
+    Tag next_tag = config_.chunkTagBase;
+    std::uint64_t next_seq = 0;
+
+    for (const auto &[id, info] : overlap_.all()) {
+        ovlAssert(info.src >= 0 && info.src < original_.ranks() &&
+                      info.dst >= 0 && info.dst < original_.ranks(),
+                  "overlap info with out-of-range ranks");
+        ovlAssert(info.tag < config_.chunkTagBase,
+                  "application tag ", info.tag,
+                  " collides with the chunk tag space");
+
+        ChunkPlan plan;
+        plan.id = id;
+        plan.src = info.src;
+        plan.dst = info.dst;
+        plan.bytes = info.bytes;
+        plan.chunks = chunkCountFor(info.bytes, config_);
+        const Bytes chunk_bytes =
+            ceilDiv(info.bytes, plan.chunks);
+
+        const bool send_side =
+            config_.mechanism != Mechanism::recvSide;
+        const bool recv_side =
+            config_.mechanism != Mechanism::sendSide;
+
+        for (std::size_t i = 0; i < plan.chunks; ++i) {
+            const Bytes lo = chunk_bytes * i;
+            const Bytes hi =
+                std::min(info.bytes, lo + chunk_bytes);
+            plan.chunkBytes.push_back(hi - lo);
+            plan.tags.push_back(next_tag++);
+            if (next_tag >= (1 << 30))
+                fatal("transform: chunk tag space exhausted");
+            plan.sendReqs.push_back(
+                next_req[static_cast<std::size_t>(info.src)]++);
+            plan.recvReqs.push_back(
+                next_req[static_cast<std::size_t>(info.dst)]++);
+
+            // Production instant of this chunk.
+            Instr prod = info.sendInstr;
+            if (send_side) {
+                if (config_.pattern == PatternModel::real) {
+                    Instr latest = info.prodWindowBegin;
+                    if (!info.blockLastStore.empty()) {
+                        const auto first_block =
+                            static_cast<std::size_t>(
+                                lo / info.blockBytes);
+                        const auto last_block =
+                            static_cast<std::size_t>(
+                                (hi - 1) / info.blockBytes);
+                        latest = 0;
+                        for (std::size_t b = first_block;
+                             b <= last_block &&
+                             b < info.blockLastStore.size();
+                             ++b) {
+                            latest = std::max(
+                                latest, info.blockLastStore[b]);
+                        }
+                    }
+                    prod = std::clamp(latest,
+                                      info.prodWindowBegin,
+                                      info.sendInstr);
+                } else {
+                    prod = linearPoint(
+                        info.prodWindowBegin, info.sendInstr,
+                        static_cast<double>(i + 1) /
+                            static_cast<double>(plan.chunks));
+                }
+            }
+            plan.prodAt.push_back(prod);
+
+            // Consumption instant of this chunk.
+            Instr cons = info.recvInstr;
+            if (recv_side) {
+                const Instr window_end =
+                    std::max(info.consWindowEnd, info.recvInstr);
+                if (config_.pattern == PatternModel::real) {
+                    Instr earliest = window_end;
+                    if (!info.blockFirstLoad.empty()) {
+                        const auto first_block =
+                            static_cast<std::size_t>(
+                                lo / info.blockBytes);
+                        const auto last_block =
+                            static_cast<std::size_t>(
+                                (hi - 1) / info.blockBytes);
+                        for (std::size_t b = first_block;
+                             b <= last_block &&
+                             b < info.blockFirstLoad.size();
+                             ++b) {
+                            earliest = std::min(
+                                earliest,
+                                info.blockFirstLoad[b]);
+                        }
+                    }
+                    cons = std::clamp(earliest, info.recvInstr,
+                                      window_end);
+                } else {
+                    cons = linearPoint(
+                        info.recvInstr, window_end,
+                        static_cast<double>(i) /
+                            static_cast<double>(plan.chunks));
+                }
+            }
+            plan.consAt.push_back(cons);
+
+            // Sender-side ISend injection.
+            sendInjections_[static_cast<std::size_t>(info.src)]
+                .push_back(Injection{
+                    plan.prodAt[i], next_seq++,
+                    ISendRec{info.dst, plan.tags[i],
+                             plan.chunkBytes[i], id,
+                             plan.sendReqs[i]}});
+            // Receiver-side Wait injection.
+            recvInjections_[static_cast<std::size_t>(info.dst)]
+                .push_back(Injection{
+                    plan.consAt[i], next_seq++,
+                    WaitRec{plan.recvReqs[i]}});
+        }
+        plans_.emplace(id, std::move(plan));
+    }
+
+    for (auto &list : sendInjections_)
+        std::stable_sort(list.begin(), list.end(), injectionLess);
+    for (auto &list : recvInjections_)
+        std::stable_sort(list.begin(), list.end(), injectionLess);
+}
+
+void
+Transformer::rebuildRank(Rank r, trace::RankTrace &out)
+{
+    const auto &records = original_.rankTrace(r).records();
+    const auto &sends =
+        sendInjections_[static_cast<std::size_t>(r)];
+    const auto &waits =
+        recvInjections_[static_cast<std::size_t>(r)];
+    std::size_t send_idx = 0;
+    std::size_t wait_idx = 0;
+    Instr pos = 0;
+    // Chunk receive requests whose IRecv post has been emitted; a
+    // chunk Wait may only flush once its request is posted, which
+    // keeps Waits behind their posts even when injection points
+    // coincide with unrelated records at the same instr position.
+    std::unordered_set<RequestId> posted;
+
+    const auto flush = [&](Instr limit, bool inclusive) {
+        while (true) {
+            const bool have_send = send_idx < sends.size() &&
+                (sends[send_idx].at < limit ||
+                 (inclusive && sends[send_idx].at == limit));
+            if (have_send) {
+                out.append(sends[send_idx].record);
+                ++send_idx;
+                continue;
+            }
+            const bool have_wait = wait_idx < waits.size() &&
+                (waits[wait_idx].at < limit ||
+                 (inclusive && waits[wait_idx].at == limit));
+            if (have_wait) {
+                const auto &wait_rec = std::get<WaitRec>(
+                    waits[wait_idx].record);
+                if (!posted.count(wait_rec.request))
+                    break;
+                out.append(waits[wait_idx].record);
+                ++wait_idx;
+                continue;
+            }
+            break;
+        }
+    };
+
+    for (const auto &rec : records) {
+        if (const auto *burst = std::get_if<CpuBurst>(&rec)) {
+            flush(pos, true);
+            const Instr end = pos + burst->instructions;
+            // Split the burst at every interior injection point.
+            Instr cursor = pos;
+            while (true) {
+                Instr next_point = end;
+                if (send_idx < sends.size())
+                    next_point = std::min(next_point,
+                                          sends[send_idx].at);
+                if (wait_idx < waits.size())
+                    next_point = std::min(next_point,
+                                          waits[wait_idx].at);
+                if (next_point >= end)
+                    break;
+                if (next_point > cursor) {
+                    out.append(CpuBurst{next_point - cursor});
+                    cursor = next_point;
+                }
+                const std::size_t before =
+                    send_idx + wait_idx;
+                flush(next_point, true);
+                if (send_idx + wait_idx == before) {
+                    // A deferred wait is parked at this point; stop
+                    // splitting, it will flush at a later record.
+                    break;
+                }
+            }
+            if (end > cursor)
+                out.append(CpuBurst{end - cursor});
+            pos = end;
+            continue;
+        }
+
+        if (const auto *s = std::get_if<SendRec>(&rec)) {
+            const auto it = plans_.find(s->message);
+            if (it == plans_.end()) {
+                flush(pos, true);
+                out.append(rec);
+                continue;
+            }
+            // All chunk ISends have points <= sendInstr == pos.
+            flush(pos, true);
+            // The blocking send's buffer-reuse semantics: wait for
+            // every chunk of this message.
+            for (const auto req : it->second.sendReqs)
+                out.append(WaitRec{req});
+            continue;
+        }
+
+        if (const auto *rv = std::get_if<RecvRec>(&rec)) {
+            const auto it = plans_.find(rv->message);
+            if (it == plans_.end()) {
+                flush(pos, true);
+                out.append(rec);
+                continue;
+            }
+            // Chunk Waits can share this point; post the IRecvs
+            // first, then let equal-point injections flush.
+            flush(pos, false);
+            const ChunkPlan &plan = it->second;
+            for (std::size_t i = 0; i < plan.chunks; ++i) {
+                out.append(IRecvRec{plan.src, plan.tags[i],
+                                    plan.chunkBytes[i], plan.id,
+                                    plan.recvReqs[i]});
+                posted.insert(plan.recvReqs[i]);
+            }
+            flush(pos, true);
+            continue;
+        }
+
+        // Collectives, native non-blocking ops and waits replay
+        // verbatim.
+        flush(pos, true);
+        out.append(rec);
+    }
+
+    // Trailing injections (points clamped to the trace end).
+    flush(std::numeric_limits<Instr>::max(), true);
+    ovlAssert(send_idx == sends.size() && wait_idx == waits.size(),
+              "transform: rank ", r, " left ",
+              sends.size() - send_idx, " sends and ",
+              waits.size() - wait_idx, " waits unplaced");
+}
+
+} // namespace
+
+const char *
+patternModelName(PatternModel pattern)
+{
+    switch (pattern) {
+      case PatternModel::real: return "real";
+      case PatternModel::idealLinear: return "ideal";
+    }
+    panic("patternModelName: bad value");
+}
+
+const char *
+mechanismName(Mechanism mechanism)
+{
+    switch (mechanism) {
+      case Mechanism::sendSide: return "send-side";
+      case Mechanism::recvSide: return "recv-side";
+      case Mechanism::both: return "both";
+    }
+    panic("mechanismName: bad value");
+}
+
+std::string
+TransformConfig::label() const
+{
+    return strformat("%s/%s/%zu", patternModelName(pattern),
+                     mechanismName(mechanism), chunks);
+}
+
+std::size_t
+chunkCountFor(Bytes bytes, const TransformConfig &config)
+{
+    ovlAssert(config.chunks > 0,
+              "transform: chunk count must be positive");
+    const Bytes min_chunk = std::max<Bytes>(config.minChunkBytes, 1);
+    const auto cap =
+        static_cast<std::size_t>(ceilDiv(bytes, min_chunk));
+    return std::max<std::size_t>(
+        1, std::min(config.chunks, std::max<std::size_t>(cap, 1)));
+}
+
+TransformResult
+buildOverlappedTrace(const trace::TraceSet &original,
+                     const trace::OverlapSet &overlap,
+                     const TransformConfig &config)
+{
+    Transformer transformer(original, overlap, config);
+    return transformer.run();
+}
+
+} // namespace ovlsim::core

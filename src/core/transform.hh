@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The automatic-overlap trace transformation (the paper's core).
+ *
+ * Following the paper's mechanism: every original (blocking)
+ * point-to-point message is partitioned into independent chunks;
+ * every chunk is sent as soon as it is produced and awaited in the
+ * moment its data is first needed for consumption. The transformation
+ * rewrites the original trace into the "potential" overlapped trace
+ * using the production/consumption profiles measured by the tracer:
+ *
+ *  - sender side: the chunk's ISend is injected into the computation
+ *    burst at the chunk's production instant; the original Send
+ *    record becomes the buffer-reuse Waits for all chunk requests;
+ *  - receiver side: the original Recv record becomes the early IRecv
+ *    posts for all chunks; each chunk's Wait is injected at its first
+ *    consumption instant.
+ *
+ * Two computation-pattern models are supported, exactly as in the
+ * paper: `real` uses the measured instants; `idealLinear` spreads
+ * them uniformly over the adjacent computation region (the
+ * sequential-production assumption of Sancho et al.). Mechanism masks
+ * allow studying the sender-side and receiver-side halves of the
+ * mechanism separately.
+ */
+
+#ifndef OVLSIM_CORE_TRANSFORM_HH
+#define OVLSIM_CORE_TRANSFORM_HH
+
+#include <cstddef>
+#include <string>
+
+#include "trace/overlap_info.hh"
+#include "trace/trace.hh"
+
+namespace ovlsim::core {
+
+/** Which computation pattern drives the chunk injection points. */
+enum class PatternModel : std::uint8_t {
+    /** Measured production/consumption instants (real pattern). */
+    real,
+    /** Uniform (sequential) production/consumption: the ideal
+     * pattern assumed by prior analytical work. */
+    idealLinear,
+};
+
+/** Which halves of the overlapping mechanism are enabled. */
+enum class Mechanism : std::uint8_t {
+    /** Chunks leave at production time; receiver waits at the
+     * original receive point. */
+    sendSide,
+    /** Chunks leave at the original send point; receiver defers each
+     * chunk's wait to its consumption point. */
+    recvSide,
+    /** Full mechanism: both halves. */
+    both,
+};
+
+const char *patternModelName(PatternModel pattern);
+const char *mechanismName(Mechanism mechanism);
+
+/** Tunables of the transformation. */
+struct TransformConfig
+{
+    PatternModel pattern = PatternModel::real;
+    Mechanism mechanism = Mechanism::both;
+
+    /** Target number of chunks per message. */
+    std::size_t chunks = 16;
+
+    /** Chunks are never smaller than this (small messages get fewer
+     * chunks, down to a single one). */
+    Bytes minChunkBytes = 1024;
+
+    /** Chunk transfers draw tags from this base upward; application
+     * tags must stay below it. */
+    Tag chunkTagBase = 1 << 20;
+
+    /** Human-readable variant label derived from the settings. */
+    std::string label() const;
+};
+
+/** Transformation outcome. */
+struct TransformResult
+{
+    /** The overlapped "potential" trace. */
+    trace::TraceSet traces;
+    /** Messages that were split (had overlap metadata). */
+    std::size_t chunkedMessages = 0;
+    /** Total chunk transfers emitted. */
+    std::size_t totalChunks = 0;
+};
+
+/**
+ * Build the overlapped trace for one original trace set.
+ *
+ * Messages without overlap metadata (e.g. native non-blocking
+ * transfers) are replayed verbatim; collectives are always left
+ * untouched — the mechanism addresses point-to-point transfers.
+ *
+ * @param original the non-overlapped trace (linked message ids)
+ * @param overlap per-message production/consumption profiles
+ * @param config pattern, mechanism and chunking settings
+ */
+TransformResult
+buildOverlappedTrace(const trace::TraceSet &original,
+                     const trace::OverlapSet &overlap,
+                     const TransformConfig &config);
+
+/** Number of chunks a message of `bytes` bytes is split into. */
+std::size_t chunkCountFor(Bytes bytes,
+                          const TransformConfig &config);
+
+} // namespace ovlsim::core
+
+#endif // OVLSIM_CORE_TRANSFORM_HH

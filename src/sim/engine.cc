@@ -1,0 +1,753 @@
+#include "engine.hh"
+
+#include <deque>
+#include <map>
+#include <queue>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace ovlsim::sim {
+
+namespace {
+
+using trace::CollectiveRec;
+using trace::CpuBurst;
+using trace::IRecvRec;
+using trace::ISendRec;
+using trace::MessageId;
+using trace::Record;
+using trace::RecvRec;
+using trace::RequestId;
+using trace::SendRec;
+using trace::WaitAllRec;
+using trace::WaitRec;
+
+/** Internal request ids for blocking operations live above this. */
+constexpr RequestId internalReqBase = 1ULL << 62;
+
+enum class EventKind : std::uint8_t {
+    rankResume,
+    transferInjected,
+    transferArrived,
+};
+
+struct Event
+{
+    SimTime time;
+    std::uint64_t seq;
+    EventKind kind;
+    std::uint32_t target;
+
+    bool
+    operator>(const Event &other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return seq > other.seq;
+    }
+};
+
+struct Transfer
+{
+    MessageId message = trace::invalidMessageId;
+    Rank src = 0;
+    Rank dst = 0;
+    Tag tag = 0;
+    Bytes bytes = 0;
+    bool local = false;
+    bool eager = false;
+    bool senderBlocking = false;
+    RequestId sendReq = 0;
+    RequestId recvReq = 0;
+    bool sendPosted = false;
+    bool recvPosted = false;
+    bool queued = false;
+    bool started = false;
+    bool arrived = false;
+    SimTime sendPostTime;
+    SimTime recvPostTime;
+    SimTime startTime;
+    SimTime arriveTime;
+};
+
+struct ReqState
+{
+    bool done = false;
+    SimTime doneTime;
+};
+
+struct RecvPost
+{
+    RequestId request = 0;
+    SimTime postTime;
+};
+
+struct RankCtx
+{
+    Rank rank = 0;
+    const std::vector<Record> *records = nullptr;
+    std::size_t pc = 0;
+    SimTime now;
+    bool blocked = false;
+    bool done = false;
+    RankState blockState = RankState::idle;
+    SimTime blockStart;
+    std::set<RequestId> awaiting;
+    std::map<RequestId, ReqState> requests;
+    RequestId nextInternalReq = internalReqBase;
+    std::size_t collSeq = 0;
+
+    RankResult result;
+};
+
+struct CollBarrier
+{
+    trace::CollOp op = trace::CollOp::barrier;
+    Bytes sendBytes = 0;
+    Bytes recvBytes = 0;
+    int arrived = 0;
+    SimTime latest;
+    bool released = false;
+};
+
+using Channel = std::tuple<Rank, Rank, Tag>;
+
+class Engine
+{
+  public:
+    Engine(const trace::TraceSet &traces,
+           const PlatformConfig &platform)
+        : traces_(traces), platform_(platform)
+    {
+        platform_.validate();
+    }
+
+    SimResult run();
+
+  private:
+    void schedule(SimTime t, EventKind kind, std::uint32_t target);
+    void runRank(RankCtx &ctx);
+    void wakeRank(Rank r, SimTime t);
+    void blockRank(RankCtx &ctx, RankState state);
+    void completeRequest(Rank r, RequestId req, SimTime t);
+    void completeTransferRecv(Transfer &t, SimTime done);
+    std::size_t postSend(RankCtx &ctx, Rank dst, Tag tag,
+                         Bytes bytes, MessageId msg, bool blocking,
+                         RequestId send_req);
+    void postRecv(RankCtx &ctx, Rank src, Tag tag, Bytes bytes,
+                  MessageId msg, RequestId req);
+    void matchTransfer(std::size_t idx, RequestId recv_req,
+                       SimTime post_time);
+    void makeEligible(std::size_t idx, SimTime t);
+    void tryStartQueued(SimTime t);
+    void startTransfer(std::size_t idx, SimTime t);
+    void handleInjected(std::size_t idx, SimTime t);
+    void handleArrived(std::size_t idx, SimTime t);
+    void handleCollective(RankCtx &ctx, const CollectiveRec &rec);
+    void recordCommEvent(const Transfer &t, SimTime recv_complete);
+    [[noreturn]] void reportDeadlock() const;
+
+    bool
+    busesLimited() const
+    {
+        return platform_.buses > 0;
+    }
+    bool
+    outLimited() const
+    {
+        return platform_.outLinksPerNode > 0;
+    }
+    bool
+    inLimited() const
+    {
+        return platform_.inLinksPerNode > 0;
+    }
+
+    const trace::TraceSet &traces_;
+    PlatformConfig platform_;
+
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>> events_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+
+    std::vector<RankCtx> ranks_;
+    std::vector<Transfer> transfers_;
+    std::deque<std::size_t> waitQueue_;
+
+    std::map<Channel, std::deque<std::size_t>> unmatchedSends_;
+    std::map<Channel, std::deque<RecvPost>> unmatchedRecvs_;
+
+    std::vector<CollBarrier> barriers_;
+
+    int busFree_ = 0;
+    std::vector<int> outFree_;
+    std::vector<int> inFree_;
+
+    int doneRanks_ = 0;
+    Timeline timeline_;
+};
+
+void
+Engine::schedule(SimTime t, EventKind kind, std::uint32_t target)
+{
+    events_.push(Event{t, nextSeq_++, kind, target});
+}
+
+SimResult
+Engine::run()
+{
+    const int nranks = traces_.ranks();
+    ranks_.resize(static_cast<std::size_t>(nranks));
+    const int nodes =
+        (nranks + platform_.cpusPerNode - 1) / platform_.cpusPerNode;
+    busFree_ = platform_.buses;
+    outFree_.assign(static_cast<std::size_t>(nodes),
+                    platform_.outLinksPerNode);
+    inFree_.assign(static_cast<std::size_t>(nodes),
+                   platform_.inLinksPerNode);
+    if (platform_.captureTimeline)
+        timeline_ = Timeline(nranks);
+
+    for (Rank r = 0; r < nranks; ++r) {
+        auto &ctx = ranks_[static_cast<std::size_t>(r)];
+        ctx.rank = r;
+        ctx.records = &traces_.rankTrace(r).records();
+        ctx.result.rank = r;
+        schedule(SimTime::zero(), EventKind::rankResume,
+                 static_cast<std::uint32_t>(r));
+    }
+
+    constexpr std::uint64_t eventLimit = 2'000'000'000ULL;
+    while (!events_.empty()) {
+        const Event ev = events_.top();
+        events_.pop();
+        ++processed_;
+        if (processed_ > eventLimit)
+            panic("event limit exceeded; runaway simulation");
+
+        switch (ev.kind) {
+          case EventKind::rankResume:
+            wakeRank(static_cast<Rank>(ev.target), ev.time);
+            break;
+          case EventKind::transferInjected:
+            handleInjected(ev.target, ev.time);
+            break;
+          case EventKind::transferArrived:
+            handleArrived(ev.target, ev.time);
+            break;
+        }
+    }
+
+    if (doneRanks_ < nranks)
+        reportDeadlock();
+
+    SimResult result;
+    result.perRank.reserve(ranks_.size());
+    for (auto &ctx : ranks_) {
+        ctx.result.endTime = ctx.now;
+        if (ctx.result.endTime > result.totalTime)
+            result.totalTime = ctx.result.endTime;
+        result.perRank.push_back(ctx.result);
+    }
+    result.eventsProcessed = processed_;
+    result.transfers = transfers_.size();
+    result.timeline = std::move(timeline_);
+    return result;
+}
+
+void
+Engine::wakeRank(Rank r, SimTime t)
+{
+    auto &ctx = ranks_[static_cast<std::size_t>(r)];
+    if (ctx.done)
+        return;
+    if (ctx.blocked) {
+        const SimTime blocked_for = t - ctx.blockStart;
+        switch (ctx.blockState) {
+          case RankState::sendBlocked:
+            ctx.result.sendBlockedTime += blocked_for;
+            break;
+          case RankState::recvBlocked:
+            ctx.result.recvBlockedTime += blocked_for;
+            break;
+          case RankState::waitBlocked:
+            ctx.result.waitBlockedTime += blocked_for;
+            break;
+          case RankState::collective:
+            ctx.result.collectiveTime += blocked_for;
+            break;
+          default:
+            break;
+        }
+        if (platform_.captureTimeline) {
+            timeline_.addInterval(r, ctx.blockStart, t,
+                                  ctx.blockState);
+        }
+        ctx.blocked = false;
+    }
+    if (t > ctx.now)
+        ctx.now = t;
+    runRank(ctx);
+}
+
+void
+Engine::blockRank(RankCtx &ctx, RankState state)
+{
+    ctx.blocked = true;
+    ctx.blockState = state;
+    ctx.blockStart = ctx.now;
+}
+
+void
+Engine::runRank(RankCtx &ctx)
+{
+    const auto &records = *ctx.records;
+    while (ctx.pc < records.size()) {
+        const Record &rec = records[ctx.pc];
+
+        if (const auto *burst = std::get_if<CpuBurst>(&rec)) {
+            const SimTime dur = platform_.burstDuration(
+                burst->instructions, traces_.mips());
+            ++ctx.pc;
+            if (dur.ns() == 0)
+                continue;
+            ctx.result.computeTime += dur;
+            if (platform_.captureTimeline) {
+                timeline_.addInterval(ctx.rank, ctx.now,
+                                      ctx.now + dur,
+                                      RankState::compute);
+            }
+            ctx.now += dur;
+            schedule(ctx.now, EventKind::rankResume,
+                     static_cast<std::uint32_t>(ctx.rank));
+            return;
+        }
+
+        if (const auto *s = std::get_if<SendRec>(&rec)) {
+            ++ctx.pc;
+            const std::size_t idx = postSend(
+                ctx, s->dst, s->tag, s->bytes, s->message, true, 0);
+            Transfer &t = transfers_[idx];
+            if (!t.eager) {
+                // Rendezvous blocking send: stay blocked until the
+                // payload has fully left this node.
+                t.senderBlocking = true;
+                blockRank(ctx, RankState::sendBlocked);
+                return;
+            }
+            continue;
+        }
+
+        if (const auto *is_ = std::get_if<ISendRec>(&rec)) {
+            ++ctx.pc;
+            ovlAssert(is_->request != 0 &&
+                          is_->request < internalReqBase,
+                      "isend request id out of range");
+            ctx.requests[is_->request] = ReqState{};
+            const std::size_t idx =
+                postSend(ctx, is_->dst, is_->tag, is_->bytes,
+                         is_->message, false, is_->request);
+            Transfer &t = transfers_[idx];
+            if (t.eager) {
+                // Buffered: the request completes at the call.
+                completeRequest(ctx.rank, is_->request, ctx.now);
+            } else {
+                t.sendReq = is_->request;
+            }
+            continue;
+        }
+
+        if (const auto *r = std::get_if<RecvRec>(&rec)) {
+            ++ctx.pc;
+            const RequestId req = ctx.nextInternalReq++;
+            ctx.requests[req] = ReqState{};
+            postRecv(ctx, r->src, r->tag, r->bytes, r->message, req);
+            const auto &state = ctx.requests[req];
+            if (state.done) {
+                ctx.requests.erase(req);
+                continue;
+            }
+            ctx.awaiting.insert(req);
+            blockRank(ctx, RankState::recvBlocked);
+            return;
+        }
+
+        if (const auto *ir = std::get_if<IRecvRec>(&rec)) {
+            ++ctx.pc;
+            ovlAssert(ir->request != 0 &&
+                          ir->request < internalReqBase,
+                      "irecv request id out of range");
+            ctx.requests[ir->request] = ReqState{};
+            postRecv(ctx, ir->src, ir->tag, ir->bytes, ir->message,
+                     ir->request);
+            continue;
+        }
+
+        if (const auto *w = std::get_if<WaitRec>(&rec)) {
+            const auto it = ctx.requests.find(w->request);
+            if (it == ctx.requests.end()) {
+                panic("rank ", ctx.rank,
+                      ": wait on unknown request ", w->request);
+            }
+            ++ctx.pc;
+            if (it->second.done) {
+                ctx.requests.erase(it);
+                continue;
+            }
+            ctx.awaiting.insert(w->request);
+            blockRank(ctx, RankState::waitBlocked);
+            return;
+        }
+
+        if (std::holds_alternative<WaitAllRec>(rec)) {
+            ++ctx.pc;
+            for (auto it = ctx.requests.begin();
+                 it != ctx.requests.end();) {
+                if (it->second.done) {
+                    it = ctx.requests.erase(it);
+                } else {
+                    ctx.awaiting.insert(it->first);
+                    ++it;
+                }
+            }
+            if (ctx.awaiting.empty())
+                continue;
+            blockRank(ctx, RankState::waitBlocked);
+            return;
+        }
+
+        if (const auto *g = std::get_if<CollectiveRec>(&rec)) {
+            ++ctx.pc;
+            handleCollective(ctx, *g);
+            return;
+        }
+
+        panic("rank ", ctx.rank, ": unhandled record kind");
+    }
+
+    if (!ctx.done) {
+        ctx.done = true;
+        ++doneRanks_;
+    }
+}
+
+void
+Engine::completeRequest(Rank r, RequestId req, SimTime t)
+{
+    auto &ctx = ranks_[static_cast<std::size_t>(r)];
+    const auto it = ctx.requests.find(req);
+    if (it == ctx.requests.end())
+        panic("rank ", r, ": completing unknown request ", req);
+    it->second.done = true;
+    it->second.doneTime = t;
+
+    if (ctx.blocked && ctx.awaiting.erase(req) > 0) {
+        // The Wait/Recv record that awaited this request has already
+        // been consumed, so the entry can be retired here.
+        ctx.requests.erase(req);
+        if (ctx.awaiting.empty())
+            wakeRank(r, t);
+    }
+}
+
+void
+Engine::completeTransferRecv(Transfer &t, SimTime done)
+{
+    recordCommEvent(t, done);
+    ++ranks_[static_cast<std::size_t>(t.dst)]
+          .result.messagesReceived;
+    const RequestId req = t.recvReq;
+    t.recvReq = 0;
+    completeRequest(t.dst, req, done);
+}
+
+std::size_t
+Engine::postSend(RankCtx &ctx, Rank dst, Tag tag, Bytes bytes,
+                 MessageId msg, bool blocking, RequestId send_req)
+{
+    ovlAssert(dst >= 0 && dst < traces_.ranks(),
+              "send to invalid rank ", dst);
+    Transfer t;
+    t.message = msg;
+    t.src = ctx.rank;
+    t.dst = dst;
+    t.tag = tag;
+    t.bytes = bytes;
+    t.local = platform_.nodeOf(ctx.rank) == platform_.nodeOf(dst);
+    const bool small = bytes <= platform_.eagerThreshold;
+    const bool forced = !blocking && platform_.forceEagerIsend;
+    t.eager = small || forced;
+    t.sendPosted = true;
+    t.sendPostTime = ctx.now;
+    t.sendReq = send_req;
+
+    transfers_.push_back(t);
+    const std::size_t idx = transfers_.size() - 1;
+
+    ++ctx.result.messagesSent;
+    ctx.result.bytesSent += bytes;
+
+    // Match against an already-posted receive, FIFO per channel.
+    const Channel channel{ctx.rank, dst, tag};
+    auto rit = unmatchedRecvs_.find(channel);
+    if (rit != unmatchedRecvs_.end() && !rit->second.empty()) {
+        const RecvPost post = rit->second.front();
+        rit->second.pop_front();
+        matchTransfer(idx, post.request, post.postTime);
+    } else {
+        unmatchedSends_[channel].push_back(idx);
+    }
+
+    Transfer &stored = transfers_[idx];
+    if (stored.eager ||
+        (stored.sendPosted && stored.recvPosted)) {
+        makeEligible(idx, ctx.now);
+    }
+    return idx;
+}
+
+void
+Engine::postRecv(RankCtx &ctx, Rank src, Tag tag, Bytes bytes,
+                 MessageId msg, RequestId req)
+{
+    (void)msg;
+    ovlAssert(src >= 0 && src < traces_.ranks(),
+              "recv from invalid rank ", src);
+    const Channel channel{src, ctx.rank, tag};
+    auto sit = unmatchedSends_.find(channel);
+    if (sit != unmatchedSends_.end() && !sit->second.empty()) {
+        const std::size_t idx = sit->second.front();
+        sit->second.pop_front();
+        const Transfer &t = transfers_[idx];
+        if (t.bytes != bytes) {
+            fatal("rank ", ctx.rank, ": recv of ", bytes,
+                  " bytes matches send of ", t.bytes,
+                  " bytes on channel ", src, "->", ctx.rank,
+                  " tag ", tag);
+        }
+        matchTransfer(idx, req, ctx.now);
+    } else {
+        unmatchedRecvs_[channel].push_back(RecvPost{req, ctx.now});
+    }
+}
+
+void
+Engine::matchTransfer(std::size_t idx, RequestId recv_req,
+                      SimTime post_time)
+{
+    Transfer &t = transfers_[idx];
+    ovlAssert(!t.recvPosted, "transfer matched twice");
+    t.recvPosted = true;
+    t.recvPostTime = post_time;
+    t.recvReq = recv_req;
+
+    if (t.arrived) {
+        const SimTime done =
+            t.arriveTime > post_time ? t.arriveTime : post_time;
+        completeTransferRecv(t, done);
+        return;
+    }
+    if (!t.eager && !t.queued && !t.started) {
+        // Rendezvous transfer becomes eligible at the match.
+        makeEligible(idx, post_time);
+    }
+}
+
+void
+Engine::makeEligible(std::size_t idx, SimTime t)
+{
+    Transfer &transfer = transfers_[idx];
+    if (transfer.queued || transfer.started)
+        return;
+    transfer.queued = true;
+    if (transfer.local) {
+        // Intra-node transfers bypass the interconnect resources.
+        startTransfer(idx, t);
+        return;
+    }
+    waitQueue_.push_back(idx);
+    tryStartQueued(t);
+}
+
+void
+Engine::tryStartQueued(SimTime t)
+{
+    for (auto it = waitQueue_.begin(); it != waitQueue_.end();) {
+        const std::size_t idx = *it;
+        Transfer &transfer = transfers_[idx];
+        const auto src_node = static_cast<std::size_t>(
+            platform_.nodeOf(transfer.src));
+        const auto dst_node = static_cast<std::size_t>(
+            platform_.nodeOf(transfer.dst));
+
+        const bool bus_ok = !busesLimited() || busFree_ > 0;
+        const bool out_ok = !outLimited() || outFree_[src_node] > 0;
+        const bool in_ok = !inLimited() || inFree_[dst_node] > 0;
+
+        if (bus_ok && out_ok && in_ok) {
+            if (busesLimited())
+                --busFree_;
+            if (outLimited())
+                --outFree_[src_node];
+            if (inLimited())
+                --inFree_[dst_node];
+            it = waitQueue_.erase(it);
+            startTransfer(idx, t);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Engine::startTransfer(std::size_t idx, SimTime t)
+{
+    Transfer &transfer = transfers_[idx];
+    transfer.started = true;
+    SimTime begin = t;
+    if (!transfer.eager) {
+        begin += SimTime::fromUs(platform_.rendezvousOverheadUs);
+    }
+    transfer.startTime = begin;
+    const SimTime ser =
+        platform_.serializationDelay(transfer.bytes, transfer.local);
+    const SimTime lat = platform_.flightLatency(transfer.local);
+    transfer.arriveTime = begin + ser + lat;
+    schedule(begin + ser, EventKind::transferInjected,
+             static_cast<std::uint32_t>(idx));
+    schedule(transfer.arriveTime, EventKind::transferArrived,
+             static_cast<std::uint32_t>(idx));
+}
+
+void
+Engine::handleInjected(std::size_t idx, SimTime t)
+{
+    Transfer &transfer = transfers_[idx];
+    if (!transfer.local) {
+        const auto src_node = static_cast<std::size_t>(
+            platform_.nodeOf(transfer.src));
+        const auto dst_node = static_cast<std::size_t>(
+            platform_.nodeOf(transfer.dst));
+        if (busesLimited())
+            ++busFree_;
+        if (outLimited())
+            ++outFree_[src_node];
+        if (inLimited())
+            ++inFree_[dst_node];
+    }
+
+    if (transfer.senderBlocking) {
+        transfer.senderBlocking = false;
+        wakeRank(transfer.src, t);
+    } else if (!transfer.eager && transfer.sendReq != 0) {
+        completeRequest(transfer.src, transfer.sendReq, t);
+        transfer.sendReq = 0;
+    }
+
+    if (!transfer.local)
+        tryStartQueued(t);
+}
+
+void
+Engine::handleArrived(std::size_t idx, SimTime t)
+{
+    Transfer &transfer = transfers_[idx];
+    transfer.arrived = true;
+    transfer.arriveTime = t;
+    if (transfer.recvPosted && transfer.recvReq != 0) {
+        const SimTime done = t > transfer.recvPostTime
+                                 ? t
+                                 : transfer.recvPostTime;
+        completeTransferRecv(transfer, done);
+    }
+}
+
+void
+Engine::handleCollective(RankCtx &ctx, const CollectiveRec &rec)
+{
+    const std::size_t index = ctx.collSeq++;
+    if (index >= barriers_.size()) {
+        CollBarrier barrier;
+        barrier.op = rec.op;
+        barrier.sendBytes = rec.sendBytes;
+        barrier.recvBytes = rec.recvBytes;
+        barriers_.push_back(barrier);
+    }
+    CollBarrier &barrier = barriers_[index];
+    if (barrier.op != rec.op) {
+        fatal("rank ", ctx.rank, ": collective #", index, " is ",
+              trace::collOpName(rec.op), " but other ranks ran ",
+              trace::collOpName(barrier.op));
+    }
+    barrier.sendBytes = std::max(barrier.sendBytes, rec.sendBytes);
+    barrier.recvBytes = std::max(barrier.recvBytes, rec.recvBytes);
+    ++barrier.arrived;
+    if (ctx.now > barrier.latest)
+        barrier.latest = ctx.now;
+
+    blockRank(ctx, RankState::collective);
+
+    if (barrier.arrived == traces_.ranks()) {
+        barrier.released = true;
+        const SimTime release = barrier.latest +
+            collectiveCost(platform_, barrier.op, traces_.ranks(),
+                           barrier.sendBytes, barrier.recvBytes);
+        for (Rank r = 0; r < traces_.ranks(); ++r) {
+            schedule(release, EventKind::rankResume,
+                     static_cast<std::uint32_t>(r));
+        }
+    }
+}
+
+void
+Engine::recordCommEvent(const Transfer &t, SimTime recv_complete)
+{
+    if (!platform_.captureTimeline)
+        return;
+    CommEvent event;
+    event.message = t.message;
+    event.src = t.src;
+    event.dst = t.dst;
+    event.tag = t.tag;
+    event.bytes = t.bytes;
+    event.sendPost = t.sendPostTime;
+    event.transferStart = t.startTime;
+    event.arrival = t.arriveTime;
+    event.recvComplete = recv_complete;
+    timeline_.addComm(event);
+}
+
+void
+Engine::reportDeadlock() const
+{
+    std::string detail;
+    for (const auto &ctx : ranks_) {
+        if (ctx.done)
+            continue;
+        detail += strformat(
+            "\n  rank %d: blocked=%s state=%s pc=%zu/%zu "
+            "awaiting=%zu",
+            ctx.rank, ctx.blocked ? "yes" : "no",
+            rankStateName(ctx.blockState), ctx.pc,
+            ctx.records->size(), ctx.awaiting.size());
+    }
+    fatal("replay deadlocked with ", traces_.ranks() - doneRanks_,
+          " rank(s) unfinished:", detail);
+}
+
+} // namespace
+
+SimResult
+simulate(const trace::TraceSet &traces,
+         const PlatformConfig &platform)
+{
+    Engine engine(traces, platform);
+    return engine.run();
+}
+
+} // namespace ovlsim::sim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Trace-driven discrete-event replay engine (the Dimemas substitute).
+ *
+ * The engine walks every rank's record stream, converting instruction
+ * bursts into time via the platform's MIPS rate and resolving MPI
+ * semantics (blocking/non-blocking point-to-point with eager and
+ * rendezvous protocols, FIFO per-channel matching, collectives) while
+ * transfers contend for the platform's finite buses and per-node
+ * links. The result is the application's reconstructed time-behaviour
+ * on the configured platform.
+ */
+
+#ifndef OVLSIM_SIM_ENGINE_HH
+#define OVLSIM_SIM_ENGINE_HH
+
+#include "sim/platform.hh"
+#include "sim/result.hh"
+#include "trace/trace.hh"
+
+namespace ovlsim::sim {
+
+/**
+ * Replay a trace set on a platform.
+ *
+ * The trace set must be structurally valid (see
+ * trace::validateTraceSet); replay of an invalid trace raises
+ * FatalError, including a deadlock diagnosis when ranks block
+ * forever.
+ *
+ * @param traces the application traces to replay
+ * @param platform the machine to reconstruct the behaviour on
+ * @return simulated completion time, per-rank breakdowns and, if
+ *     enabled, the full timeline
+ */
+SimResult simulate(const trace::TraceSet &traces,
+                   const PlatformConfig &platform);
+
+} // namespace ovlsim::sim
+
+#endif // OVLSIM_SIM_ENGINE_HH

@@ -1,0 +1,159 @@
+#include "platform.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace ovlsim::sim {
+
+SimTime
+PlatformConfig::burstDuration(Instr instructions,
+                              double trace_mips) const
+{
+    const double mips = effectiveMips(trace_mips);
+    ovlAssert(mips > 0.0, "platform MIPS rate must be positive");
+    // MIPS = 1e6 instructions per second, i.e. instructions per us.
+    const double ns =
+        static_cast<double>(instructions) * 1e3 / mips;
+    return SimTime::fromNs(static_cast<std::int64_t>(
+        std::llround(ns)));
+}
+
+SimTime
+PlatformConfig::serializationDelay(Bytes bytes, bool local) const
+{
+    const double mbps = local ? localBandwidthMBps : bandwidthMBps;
+    ovlAssert(mbps > 0.0, "bandwidth must be positive");
+    // MB/s = 1e6 bytes per second = 1e-3 bytes per ns.
+    const double ns = static_cast<double>(bytes) * 1e3 / mbps;
+    return SimTime::fromNs(static_cast<std::int64_t>(
+        std::llround(ns)));
+}
+
+SimTime
+PlatformConfig::flightLatency(bool local) const
+{
+    return SimTime::fromUs(local ? localLatencyUs : latencyUs);
+}
+
+void
+PlatformConfig::validate() const
+{
+    if (cpuRatio <= 0.0)
+        fatal("platform: cpuRatio must be positive");
+    if (cpusPerNode <= 0)
+        fatal("platform: cpusPerNode must be positive");
+    if (bandwidthMBps <= 0.0 || localBandwidthMBps <= 0.0)
+        fatal("platform: bandwidths must be positive");
+    if (latencyUs < 0.0 || localLatencyUs < 0.0)
+        fatal("platform: latencies must be non-negative");
+    if (buses < 0 || outLinksPerNode < 0 || inLinksPerNode < 0)
+        fatal("platform: resource counts must be non-negative");
+    if (rendezvousOverheadUs < 0.0)
+        fatal("platform: rendezvousOverheadUs must be >= 0");
+    if (collectives.latencyFactor < 0.0 ||
+        collectives.bandwidthFactor < 0.0) {
+        fatal("platform: collective factors must be >= 0");
+    }
+}
+
+SimTime
+collectiveCost(const PlatformConfig &platform, trace::CollOp op,
+               int ranks, Bytes send_bytes, Bytes recv_bytes)
+{
+    using trace::CollOp;
+
+    ovlAssert(ranks > 0, "collective over zero ranks");
+    const auto p = static_cast<std::uint64_t>(ranks);
+    const double steps = static_cast<double>(log2Ceil(p));
+    const double lat_ns =
+        platform.flightLatency(false).ns() == 0
+            ? 0.0
+            : static_cast<double>(
+                  platform.flightLatency(false).ns());
+    const Bytes bytes = std::max(send_bytes, recv_bytes);
+    const double ser_ns = static_cast<double>(
+        platform.serializationDelay(bytes, false).ns());
+
+    const double lf = platform.collectives.latencyFactor;
+    const double bf = platform.collectives.bandwidthFactor;
+    const double pm1 = static_cast<double>(ranks - 1);
+
+    double cost_ns = 0.0;
+    switch (op) {
+      case CollOp::barrier:
+        cost_ns = steps * lat_ns * lf;
+        break;
+      case CollOp::broadcast:
+      case CollOp::reduce:
+        cost_ns = steps * (lat_ns * lf + ser_ns * bf);
+        break;
+      case CollOp::allReduce:
+        cost_ns = 2.0 * steps * (lat_ns * lf + ser_ns * bf);
+        break;
+      case CollOp::gather:
+      case CollOp::scatter:
+      case CollOp::allGather:
+        cost_ns = steps * lat_ns * lf + pm1 * ser_ns * bf;
+        break;
+      case CollOp::allToAll:
+        cost_ns = pm1 * (lat_ns * lf + ser_ns * bf);
+        break;
+    }
+    return SimTime::fromNs(static_cast<std::int64_t>(
+        std::llround(cost_ns)));
+}
+
+namespace platforms {
+
+PlatformConfig
+defaultCluster(int cpus_per_node)
+{
+    PlatformConfig cfg;
+    cfg.name = "default-cluster";
+    cfg.cpusPerNode = cpus_per_node;
+    cfg.bandwidthMBps = 256.0;
+    cfg.latencyUs = 8.0;
+    cfg.buses = 0;
+    cfg.outLinksPerNode = 1;
+    cfg.inLinksPerNode = 1;
+    return cfg;
+}
+
+PlatformConfig
+contendedCluster(int buses, int cpus_per_node)
+{
+    PlatformConfig cfg = defaultCluster(cpus_per_node);
+    cfg.name = "contended-cluster";
+    cfg.buses = buses;
+    return cfg;
+}
+
+PlatformConfig
+rendezvousCluster(Bytes eager_threshold)
+{
+    PlatformConfig cfg = defaultCluster();
+    cfg.name = "rendezvous-cluster";
+    cfg.eagerThreshold = eager_threshold;
+    return cfg;
+}
+
+PlatformConfig
+idealNetwork()
+{
+    PlatformConfig cfg;
+    cfg.name = "ideal-network";
+    cfg.bandwidthMBps = 1e9;
+    cfg.latencyUs = 0.0;
+    cfg.localBandwidthMBps = 1e9;
+    cfg.localLatencyUs = 0.0;
+    cfg.buses = 0;
+    cfg.outLinksPerNode = 0;
+    cfg.inLinksPerNode = 0;
+    return cfg;
+}
+
+} // namespace platforms
+
+} // namespace ovlsim::sim

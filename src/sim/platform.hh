@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Configurable target platform, mirroring Dimemas' machine model.
+ *
+ * A platform converts the abstract quantities stored in traces
+ * (instructions, bytes) into simulated time: computation bursts are
+ * scaled by a MIPS rate and a relative CPU ratio; transfers cost a
+ * latency plus size over bandwidth and contend for a finite number of
+ * buses and per-node injection/reception links; collectives follow
+ * log2(P) cost models.
+ */
+
+#ifndef OVLSIM_SIM_PLATFORM_HH
+#define OVLSIM_SIM_PLATFORM_HH
+
+#include <string>
+
+#include "trace/record.hh"
+#include "util/types.hh"
+
+namespace ovlsim::sim {
+
+/** Scale factors of the collective cost models. */
+struct CollectiveModelConfig
+{
+    /** Multiplier on the latency term of every collective. */
+    double latencyFactor = 1.0;
+    /** Multiplier on the bandwidth term of every collective. */
+    double bandwidthFactor = 1.0;
+};
+
+/** Complete description of the simulated machine. */
+struct PlatformConfig
+{
+    std::string name = "default";
+
+    /**
+     * MIPS rate used to convert instructions into time. Zero means
+     * "use the rate recorded in the trace" (the paper's average MIPS
+     * observed in the real run).
+     */
+    double mipsOverride = 0.0;
+
+    /** Relative CPU speed multiplier (2.0 = CPUs twice as fast). */
+    double cpuRatio = 1.0;
+
+    /** Ranks per node; rank r runs on node r / cpusPerNode. */
+    int cpusPerNode = 1;
+
+    /** Remote (inter-node) link bandwidth in MB/s (1 MB = 1e6 B). */
+    double bandwidthMBps = 256.0;
+
+    /** Remote one-way latency in microseconds. */
+    double latencyUs = 8.0;
+
+    /** Intra-node (shared-memory) bandwidth in MB/s. */
+    double localBandwidthMBps = 8192.0;
+
+    /** Intra-node latency in microseconds. */
+    double localLatencyUs = 0.5;
+
+    /**
+     * Number of simultaneous inter-node transfers the interconnect
+     * sustains (Dimemas' buses). Zero means unlimited.
+     */
+    int buses = 0;
+
+    /** Per-node concurrent injections; zero means unlimited. */
+    int outLinksPerNode = 1;
+
+    /** Per-node concurrent receptions; zero means unlimited. */
+    int inLinksPerNode = 1;
+
+    /**
+     * Messages up to this size use the eager protocol (the sender
+     * never blocks); larger messages use rendezvous (the transfer
+     * starts only once the receive is posted and a blocking sender
+     * stays blocked until injection completes). The default is
+     * effectively infinite, matching the simple buffered-send
+     * communication model of Dimemas that the paper's environment
+     * replays traces with; lower it to study protocol effects.
+     */
+    Bytes eagerThreshold = Bytes(1) << 40;
+
+    /**
+     * Treat every non-blocking send as eager regardless of size.
+     * Automatic-overlap chunk transfers are posted through
+     * asynchronous sends; this models their buffered, non-blocking
+     * injection independently of the baseline protocol.
+     */
+    bool forceEagerIsend = true;
+
+    /** Extra handshake delay charged to rendezvous transfers. */
+    double rendezvousOverheadUs = 0.0;
+
+    /** Record per-rank state intervals and per-message events. */
+    bool captureTimeline = false;
+
+    CollectiveModelConfig collectives;
+
+    /** Effective MIPS rate given a trace's recorded rate. */
+    double
+    effectiveMips(double trace_mips) const
+    {
+        return (mipsOverride > 0.0 ? mipsOverride : trace_mips) *
+            cpuRatio;
+    }
+
+    /** Node hosting a rank. */
+    int
+    nodeOf(Rank r) const
+    {
+        return cpusPerNode <= 0 ? r : r / cpusPerNode;
+    }
+
+    /** Duration of a computation burst at the given trace MIPS. */
+    SimTime burstDuration(Instr instructions,
+                          double trace_mips) const;
+
+    /** Pure serialization time of a payload on a link. */
+    SimTime serializationDelay(Bytes bytes, bool local) const;
+
+    /** One-way latency. */
+    SimTime flightLatency(bool local) const;
+
+    /** Validate ranges; throws FatalError on nonsense values. */
+    void validate() const;
+};
+
+/** Collective completion cost (excludes waiting for all ranks). */
+SimTime collectiveCost(const PlatformConfig &platform,
+                       trace::CollOp op, int ranks, Bytes send_bytes,
+                       Bytes recv_bytes);
+
+/** A few ready-made platforms used by examples and tests. */
+namespace platforms {
+
+/** Generous cluster: 256 MB/s, 8 us latency, unlimited buses. */
+PlatformConfig defaultCluster(int cpus_per_node = 1);
+
+/** Contended cluster: finite buses and links. */
+PlatformConfig contendedCluster(int buses, int cpus_per_node = 1);
+
+/** Cluster with a realistic rendezvous threshold (protocol study). */
+PlatformConfig rendezvousCluster(Bytes eager_threshold = 32 * 1024);
+
+/** Ideal network: effectively infinite bandwidth, zero latency. */
+PlatformConfig idealNetwork();
+
+} // namespace platforms
+
+} // namespace ovlsim::sim
+
+#endif // OVLSIM_SIM_PLATFORM_HH

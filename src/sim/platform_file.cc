@@ -1,0 +1,137 @@
+#include "platform_file.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace ovlsim::sim {
+
+PlatformConfig
+readPlatformConfig(std::istream &is)
+{
+    PlatformConfig config;
+    std::string line;
+    std::size_t line_no = 0;
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::string text = trim(line);
+        if (text.empty() || text[0] == '#')
+            continue;
+        const auto eq = text.find('=');
+        if (eq == std::string::npos) {
+            fatal("platform config line ", line_no,
+                  ": expected 'key = value', got '", text, "'");
+        }
+        const std::string key = trim(text.substr(0, eq));
+        const std::string value = trim(text.substr(eq + 1));
+
+        if (key == "name") {
+            config.name = value;
+        } else if (key == "mips") {
+            config.mipsOverride = parseDouble(value);
+        } else if (key == "cpu_ratio") {
+            config.cpuRatio = parseDouble(value);
+        } else if (key == "cpus_per_node") {
+            config.cpusPerNode =
+                static_cast<int>(parseInt(value));
+        } else if (key == "bandwidth_mbps") {
+            config.bandwidthMBps = parseDouble(value);
+        } else if (key == "latency_us") {
+            config.latencyUs = parseDouble(value);
+        } else if (key == "local_bandwidth_mbps") {
+            config.localBandwidthMBps = parseDouble(value);
+        } else if (key == "local_latency_us") {
+            config.localLatencyUs = parseDouble(value);
+        } else if (key == "buses") {
+            config.buses = static_cast<int>(parseInt(value));
+        } else if (key == "out_links_per_node") {
+            config.outLinksPerNode =
+                static_cast<int>(parseInt(value));
+        } else if (key == "in_links_per_node") {
+            config.inLinksPerNode =
+                static_cast<int>(parseInt(value));
+        } else if (key == "eager_threshold") {
+            config.eagerThreshold =
+                static_cast<Bytes>(parseInt(value));
+        } else if (key == "force_eager_isend") {
+            config.forceEagerIsend = parseBool(value);
+        } else if (key == "rendezvous_overhead_us") {
+            config.rendezvousOverheadUs = parseDouble(value);
+        } else if (key == "collective_latency_factor") {
+            config.collectives.latencyFactor =
+                parseDouble(value);
+        } else if (key == "collective_bandwidth_factor") {
+            config.collectives.bandwidthFactor =
+                parseDouble(value);
+        } else {
+            fatal("platform config line ", line_no,
+                  ": unknown key '", key, "'");
+        }
+    }
+    config.validate();
+    return config;
+}
+
+PlatformConfig
+readPlatformConfigFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open platform config '", path, "'");
+    return readPlatformConfig(is);
+}
+
+void
+writePlatformConfig(const PlatformConfig &config,
+                    std::ostream &os)
+{
+    os << "name = " << config.name << "\n";
+    os << "mips = " << strformat("%.17g", config.mipsOverride)
+       << "\n";
+    os << "cpu_ratio = " << strformat("%.17g", config.cpuRatio)
+       << "\n";
+    os << "cpus_per_node = " << config.cpusPerNode << "\n";
+    os << "bandwidth_mbps = "
+       << strformat("%.17g", config.bandwidthMBps) << "\n";
+    os << "latency_us = "
+       << strformat("%.17g", config.latencyUs) << "\n";
+    os << "local_bandwidth_mbps = "
+       << strformat("%.17g", config.localBandwidthMBps) << "\n";
+    os << "local_latency_us = "
+       << strformat("%.17g", config.localLatencyUs) << "\n";
+    os << "buses = " << config.buses << "\n";
+    os << "out_links_per_node = " << config.outLinksPerNode
+       << "\n";
+    os << "in_links_per_node = " << config.inLinksPerNode
+       << "\n";
+    os << "eager_threshold = " << config.eagerThreshold << "\n";
+    os << "force_eager_isend = "
+       << (config.forceEagerIsend ? "true" : "false") << "\n";
+    os << "rendezvous_overhead_us = "
+       << strformat("%.17g", config.rendezvousOverheadUs)
+       << "\n";
+    os << "collective_latency_factor = "
+       << strformat("%.17g", config.collectives.latencyFactor)
+       << "\n";
+    os << "collective_bandwidth_factor = "
+       << strformat("%.17g",
+                    config.collectives.bandwidthFactor)
+       << "\n";
+}
+
+void
+writePlatformConfigFile(const PlatformConfig &config,
+                        const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writePlatformConfig(config, os);
+    if (!os)
+        fatal("error writing platform config to '", path, "'");
+}
+
+} // namespace ovlsim::sim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Platform configuration files.
+ *
+ * Dimemas drives its reconstruction from a machine configuration
+ * file; this module provides the same workflow: a line-oriented
+ * `key = value` format covering every PlatformConfig field, so
+ * experiments can be versioned and swapped without recompiling.
+ *
+ *   # my-cluster.cfg
+ *   name = my-cluster
+ *   bandwidth_mbps = 512
+ *   latency_us = 4
+ *   buses = 8
+ *   cpus_per_node = 4
+ *   eager_threshold = 32768
+ */
+
+#ifndef OVLSIM_SIM_PLATFORM_FILE_HH
+#define OVLSIM_SIM_PLATFORM_FILE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/platform.hh"
+
+namespace ovlsim::sim {
+
+/** Parse a platform config from a stream; unknown keys are fatal. */
+PlatformConfig readPlatformConfig(std::istream &is);
+
+/** Parse a platform config file. */
+PlatformConfig readPlatformConfigFile(const std::string &path);
+
+/** Serialize a platform config in the same format. */
+void writePlatformConfig(const PlatformConfig &config,
+                         std::ostream &os);
+
+/** Serialize a platform config to a file. */
+void writePlatformConfigFile(const PlatformConfig &config,
+                             const std::string &path);
+
+} // namespace ovlsim::sim
+
+#endif // OVLSIM_SIM_PLATFORM_FILE_HH

@@ -1,0 +1,80 @@
+#include "timeline.hh"
+
+#include "util/logging.hh"
+
+namespace ovlsim::sim {
+
+const char *
+rankStateName(RankState state)
+{
+    switch (state) {
+      case RankState::compute: return "compute";
+      case RankState::sendBlocked: return "send-blocked";
+      case RankState::recvBlocked: return "recv-blocked";
+      case RankState::waitBlocked: return "wait-blocked";
+      case RankState::collective: return "collective";
+      case RankState::idle: return "idle";
+    }
+    panic("rankStateName: bad state");
+}
+
+char
+rankStateCode(RankState state)
+{
+    switch (state) {
+      case RankState::compute: return '#';
+      case RankState::sendBlocked: return 'S';
+      case RankState::recvBlocked: return 'R';
+      case RankState::waitBlocked: return 'W';
+      case RankState::collective: return 'C';
+      case RankState::idle: return '.';
+    }
+    panic("rankStateCode: bad state");
+}
+
+void
+Timeline::addInterval(Rank r, SimTime begin, SimTime end,
+                      RankState state)
+{
+    ovlAssert(r >= 0 && r < ranks(), "timeline rank out of range");
+    if (end <= begin)
+        return;
+    auto &list = perRank_[static_cast<std::size_t>(r)];
+    if (!list.empty() && list.back().end == begin &&
+        list.back().state == state) {
+        list.back().end = end;
+        return;
+    }
+    list.push_back(StateInterval{begin, end, state});
+}
+
+const std::vector<StateInterval> &
+Timeline::intervals(Rank r) const
+{
+    ovlAssert(r >= 0 && r < ranks(), "timeline rank out of range");
+    return perRank_[static_cast<std::size_t>(r)];
+}
+
+SimTime
+Timeline::span() const
+{
+    SimTime latest = SimTime::zero();
+    for (const auto &list : perRank_) {
+        if (!list.empty() && list.back().end > latest)
+            latest = list.back().end;
+    }
+    return latest;
+}
+
+SimTime
+Timeline::timeInState(Rank r, RankState state) const
+{
+    SimTime total = SimTime::zero();
+    for (const auto &iv : intervals(r)) {
+        if (iv.state == state)
+            total += iv.end - iv.begin;
+    }
+    return total;
+}
+
+} // namespace ovlsim::sim

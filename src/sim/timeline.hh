@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reconstructed time-behaviour of a replayed run.
+ *
+ * The timeline is the simulator's equivalent of the Paraver trace in
+ * the paper's environment: per-rank state intervals plus one record
+ * per message transfer, sufficient to draw Gantt charts and
+ * communication lines and to compare the non-overlapped and
+ * overlapped executions qualitatively.
+ */
+
+#ifndef OVLSIM_SIM_TIMELINE_HH
+#define OVLSIM_SIM_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+#include "util/types.hh"
+
+namespace ovlsim::sim {
+
+/** What a rank is doing during an interval. */
+enum class RankState : std::uint8_t {
+    compute,
+    sendBlocked,
+    recvBlocked,
+    waitBlocked,
+    collective,
+    idle,
+};
+
+/** Short display name for a state ("comp", "sendb", ...). */
+const char *rankStateName(RankState state);
+
+/** Single-character code used by the ASCII Gantt renderer. */
+char rankStateCode(RankState state);
+
+/** One state interval on one rank. */
+struct StateInterval
+{
+    SimTime begin;
+    SimTime end;
+    RankState state = RankState::idle;
+};
+
+/** Lifetime of one simulated message transfer. */
+struct CommEvent
+{
+    trace::MessageId message = trace::invalidMessageId;
+    Rank src = 0;
+    Rank dst = 0;
+    Tag tag = 0;
+    Bytes bytes = 0;
+    /** When the sender posted the operation. */
+    SimTime sendPost;
+    /** When the payload started moving (resources acquired). */
+    SimTime transferStart;
+    /** When the payload fully arrived at the receiver. */
+    SimTime arrival;
+    /** When the receiving operation completed. */
+    SimTime recvComplete;
+};
+
+/** Full reconstructed behaviour of one replay. */
+class Timeline
+{
+  public:
+    Timeline() = default;
+    explicit Timeline(int ranks)
+        : perRank_(static_cast<std::size_t>(ranks))
+    {}
+
+    int ranks() const { return static_cast<int>(perRank_.size()); }
+
+    /** Append an interval; merges with the previous if contiguous
+     * and of equal state. */
+    void addInterval(Rank r, SimTime begin, SimTime end,
+                     RankState state);
+
+    void addComm(CommEvent event) { comms_.push_back(event); }
+
+    const std::vector<StateInterval> &intervals(Rank r) const;
+    const std::vector<CommEvent> &comms() const { return comms_; }
+
+    /** Latest interval end across all ranks. */
+    SimTime span() const;
+
+    /** Total time rank r spent in a state. */
+    SimTime timeInState(Rank r, RankState state) const;
+
+  private:
+    std::vector<std::vector<StateInterval>> perRank_;
+    std::vector<CommEvent> comms_;
+};
+
+} // namespace ovlsim::sim
+
+#endif // OVLSIM_SIM_TIMELINE_HH

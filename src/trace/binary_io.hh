@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Binary serialization of trace sets and overlap metadata.
+ *
+ * The text format (trace_io.hh) is the interchange format; this
+ * binary format is the fast path for large traces (fixed-width
+ * little-endian fields, one fwrite-friendly stream, ~10x smaller and
+ * faster to parse). Both formats are lossless and interchangeable.
+ *
+ * Layout (all integers little-endian):
+ *   magic "OVLB" | u32 version | u32 name length | name bytes
+ *   | f64 mips | u32 ranks
+ *   per rank: u32 rank | u64 record count | records
+ *   record: u8 kind | kind-specific fixed-width fields
+ */
+
+#ifndef OVLSIM_TRACE_BINARY_IO_HH
+#define OVLSIM_TRACE_BINARY_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/overlap_info.hh"
+#include "trace/trace.hh"
+
+namespace ovlsim::trace {
+
+/** Serialize a trace set to a binary stream. */
+void writeTraceBinary(const TraceSet &traces, std::ostream &os);
+
+/** Serialize a trace set to a binary file. */
+void writeTraceBinaryFile(const TraceSet &traces,
+                          const std::string &path);
+
+/** Parse a binary trace stream; throws FatalError on bad input. */
+TraceSet readTraceBinary(std::istream &is);
+
+/** Parse a binary trace file. */
+TraceSet readTraceBinaryFile(const std::string &path);
+
+/** Serialize overlap metadata to a binary stream. */
+void writeOverlapBinary(const OverlapSet &overlap,
+                        std::ostream &os);
+
+/** Serialize overlap metadata to a binary file. */
+void writeOverlapBinaryFile(const OverlapSet &overlap,
+                            const std::string &path);
+
+/** Parse binary overlap metadata. */
+OverlapSet readOverlapBinary(std::istream &is);
+
+/** Parse a binary overlap file. */
+OverlapSet readOverlapBinaryFile(const std::string &path);
+
+} // namespace ovlsim::trace
+
+#endif // OVLSIM_TRACE_BINARY_IO_HH

@@ -1,0 +1,129 @@
+#include "link.hh"
+
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace ovlsim::trace {
+
+namespace {
+
+/** Pointer to one endpoint record awaiting its partner. */
+struct Endpoint
+{
+    Bytes bytes = 0;
+    MessageId provisional = invalidMessageId;
+    MessageId *slot = nullptr;
+};
+
+using Channel = std::tuple<Rank, Rank, Tag>;
+
+} // namespace
+
+LinkResult
+linkTraceSet(TraceSet &traces, const OverlapSet *sender_infos,
+             const OverlapSet *receiver_infos, OverlapSet *merged)
+{
+    std::map<Channel, std::deque<Endpoint>> pending_sends;
+    std::map<Channel, std::deque<Endpoint>> pending_recvs;
+
+    // Collect endpoints in per-rank program order, which is exactly
+    // the FIFO order MPI guarantees per channel.
+    for (auto &rt : traces.all()) {
+        const Rank rank = rt.rank();
+        for (auto &rec : rt.records()) {
+            if (auto *s = std::get_if<SendRec>(&rec)) {
+                pending_sends[{rank, s->dst, s->tag}].push_back(
+                    Endpoint{s->bytes, s->message, &s->message});
+            } else if (auto *is_ = std::get_if<ISendRec>(&rec)) {
+                pending_sends[{rank, is_->dst, is_->tag}].push_back(
+                    Endpoint{is_->bytes, is_->message,
+                             &is_->message});
+            } else if (auto *r = std::get_if<RecvRec>(&rec)) {
+                pending_recvs[{r->src, rank, r->tag}].push_back(
+                    Endpoint{r->bytes, r->message, &r->message});
+            } else if (auto *ir = std::get_if<IRecvRec>(&rec)) {
+                pending_recvs[{ir->src, rank, ir->tag}].push_back(
+                    Endpoint{ir->bytes, ir->message, &ir->message});
+            }
+        }
+    }
+
+    LinkResult result;
+    MessageId next_id = 1;
+
+    for (auto &[channel, sends] : pending_sends) {
+        const auto &[src, dst, tag] = channel;
+        auto rit = pending_recvs.find(channel);
+        if (rit == pending_recvs.end()) {
+            fatal("link: channel ", src, "->", dst, " tag ", tag,
+                  " has sends but no receives");
+        }
+        auto &recvs = rit->second;
+        if (sends.size() != recvs.size()) {
+            fatal("link: channel ", src, "->", dst, " tag ", tag,
+                  " has ", sends.size(), " sends but ",
+                  recvs.size(), " receives");
+        }
+        for (std::size_t k = 0; k < sends.size(); ++k) {
+            Endpoint &se = sends[k];
+            Endpoint &re = recvs[k];
+            if (se.bytes != re.bytes) {
+                fatal("link: channel ", src, "->", dst, " tag ",
+                      tag, " message ", k, ": send of ", se.bytes,
+                      " bytes matched with recv of ", re.bytes,
+                      " bytes");
+            }
+            const MessageId id = next_id++;
+            *se.slot = id;
+            *re.slot = id;
+            ++result.linkedMessages;
+
+            if (merged != nullptr) {
+                MessageOverlapInfo info;
+                info.id = id;
+                info.src = src;
+                info.dst = dst;
+                info.tag = tag;
+                info.bytes = se.bytes;
+
+                if (sender_infos != nullptr &&
+                    sender_infos->contains(se.provisional)) {
+                    const auto &sp =
+                        sender_infos->get(se.provisional);
+                    info.sendInstr = sp.sendInstr;
+                    info.prodWindowBegin = sp.prodWindowBegin;
+                    info.blockBytes = sp.blockBytes;
+                    info.blockLastStore = sp.blockLastStore;
+                }
+                if (receiver_infos != nullptr &&
+                    receiver_infos->contains(re.provisional)) {
+                    const auto &rp =
+                        receiver_infos->get(re.provisional);
+                    info.recvInstr = rp.recvInstr;
+                    info.consWindowEnd = rp.consWindowEnd;
+                    info.blockFirstLoad = rp.blockFirstLoad;
+                    if (info.blockBytes == 0)
+                        info.blockBytes = rp.blockBytes;
+                }
+                merged->add(std::move(info));
+            }
+        }
+        recvs.clear();
+    }
+
+    for (const auto &[channel, recvs] : pending_recvs) {
+        if (!recvs.empty()) {
+            const auto &[src, dst, tag] = channel;
+            fatal("link: channel ", src, "->", dst, " tag ", tag,
+                  " has ", recvs.size(), " receives but no sends");
+        }
+    }
+
+    return result;
+}
+
+} // namespace ovlsim::trace

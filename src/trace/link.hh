@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Trace linker: pairs the two endpoints of every message.
+ *
+ * The tracer runs each rank's virtual machine independently, so the
+ * sender and receiver of one application message initially carry
+ * private provisional ids. The linker matches sends to receives in
+ * FIFO order per (src, dst, tag) channel — MPI's non-overtaking rule
+ * — assigns a shared MessageId to both records, and fuses the
+ * sender-side production profile with the receiver-side consumption
+ * profile into a single MessageOverlapInfo.
+ */
+
+#ifndef OVLSIM_TRACE_LINK_HH
+#define OVLSIM_TRACE_LINK_HH
+
+#include <cstddef>
+
+#include "trace/overlap_info.hh"
+#include "trace/trace.hh"
+
+namespace ovlsim::trace {
+
+/** Outcome of linking a trace set. */
+struct LinkResult
+{
+    /** Number of messages successfully paired. */
+    std::size_t linkedMessages = 0;
+};
+
+/**
+ * Link all point-to-point records in `traces` in place, rewriting
+ * their `message` fields with fresh shared ids (1-based, dense).
+ *
+ * @param traces trace set to link; message ids are overwritten
+ * @param sender_infos per-provisional-id sender-side profiles keyed
+ *     by the provisional id found in the send records, or nullptr
+ * @param receiver_infos like sender_infos, for receive records
+ * @param merged output overlap set receiving fused profiles; may be
+ *     nullptr when only id assignment is wanted
+ *
+ * @return link statistics
+ *
+ * Throws FatalError if any channel has unmatched sends or receives
+ * or mismatched message sizes.
+ */
+LinkResult linkTraceSet(TraceSet &traces,
+                        const OverlapSet *sender_infos,
+                        const OverlapSet *receiver_infos,
+                        OverlapSet *merged);
+
+} // namespace ovlsim::trace
+
+#endif // OVLSIM_TRACE_LINK_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Trace record model.
+ *
+ * A trace is, per rank, a sequence of records of two families, exactly
+ * as in the paper's Dimemas traces:
+ *  - computation records giving the length of a computation burst in
+ *    *instructions* (converted to time by the platform's MIPS rate
+ *    only at replay), and
+ *  - communication records giving the parameters of MPI operations.
+ *
+ * Point-to-point records carry a `messageId` that links both sides of
+ * a transfer and keys the overlap metadata (production/consumption
+ * profiles) recorded by the tracing tool.
+ */
+
+#ifndef OVLSIM_TRACE_RECORD_HH
+#define OVLSIM_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/types.hh"
+
+namespace ovlsim::trace {
+
+/** Identifier linking the two endpoints of one application message. */
+using MessageId = std::uint64_t;
+
+/** Sentinel for "not yet linked" message ids. */
+inline constexpr MessageId invalidMessageId = 0;
+
+/** Request handle for non-blocking operations, unique per rank. */
+using RequestId = std::uint64_t;
+
+/** Collective operations supported by the replay engine. */
+enum class CollOp : std::uint8_t {
+    barrier,
+    broadcast,
+    reduce,
+    allReduce,
+    gather,
+    allGather,
+    scatter,
+    allToAll,
+};
+
+/** Name of a collective op, for serialization and reports. */
+const char *collOpName(CollOp op);
+
+/** Parse a collective op name; throws FatalError on garbage. */
+CollOp collOpFromName(const std::string &name);
+
+/** A computation burst of `instructions` virtual instructions. */
+struct CpuBurst
+{
+    Instr instructions = 0;
+};
+
+/** Blocking send of one message. */
+struct SendRec
+{
+    Rank dst = 0;
+    Tag tag = 0;
+    Bytes bytes = 0;
+    MessageId message = invalidMessageId;
+};
+
+/** Non-blocking send; completes at Wait/WaitAll on `request`. */
+struct ISendRec
+{
+    Rank dst = 0;
+    Tag tag = 0;
+    Bytes bytes = 0;
+    MessageId message = invalidMessageId;
+    RequestId request = 0;
+};
+
+/** Blocking receive of one message. */
+struct RecvRec
+{
+    Rank src = 0;
+    Tag tag = 0;
+    Bytes bytes = 0;
+    MessageId message = invalidMessageId;
+};
+
+/** Non-blocking receive post; completes at Wait/WaitAll. */
+struct IRecvRec
+{
+    Rank src = 0;
+    Tag tag = 0;
+    Bytes bytes = 0;
+    MessageId message = invalidMessageId;
+    RequestId request = 0;
+};
+
+/** Wait for a single outstanding request. */
+struct WaitRec
+{
+    RequestId request = 0;
+};
+
+/** Wait for all outstanding requests of this rank. */
+struct WaitAllRec
+{
+};
+
+/** Collective over COMM_WORLD. */
+struct CollectiveRec
+{
+    CollOp op = CollOp::barrier;
+    Bytes sendBytes = 0;
+    Bytes recvBytes = 0;
+    Rank root = 0;
+};
+
+/** One trace record. */
+using Record = std::variant<CpuBurst, SendRec, ISendRec, RecvRec,
+                            IRecvRec, WaitRec, WaitAllRec,
+                            CollectiveRec>;
+
+/** True if the record is an MPI (non-computation) record. */
+bool isCommRecord(const Record &rec);
+
+/**
+ * True if the record can block the issuing rank (used to delimit the
+ * production/consumption windows of the overlap transformation).
+ */
+bool isBlockingRecord(const Record &rec);
+
+/** One-line human-readable rendering, used by dumps and tests. */
+std::string recordToString(const Record &rec);
+
+} // namespace ovlsim::trace
+
+#endif // OVLSIM_TRACE_RECORD_HH

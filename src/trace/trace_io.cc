@@ -1,0 +1,373 @@
+#include "trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace ovlsim::trace {
+
+namespace {
+
+constexpr const char *traceMagic = "#OVLSIM-TRACE 1";
+constexpr const char *overlapMagic = "#OVLSIM-OVERLAP 1";
+
+struct RecordWriter
+{
+    std::ostream &os;
+
+    void
+    operator()(const CpuBurst &r) const
+    {
+        os << "c " << r.instructions << "\n";
+    }
+    void
+    operator()(const SendRec &r) const
+    {
+        os << "s " << r.dst << " " << r.tag << " " << r.bytes << " "
+           << r.message << "\n";
+    }
+    void
+    operator()(const ISendRec &r) const
+    {
+        os << "is " << r.dst << " " << r.tag << " " << r.bytes << " "
+           << r.message << " " << r.request << "\n";
+    }
+    void
+    operator()(const RecvRec &r) const
+    {
+        os << "r " << r.src << " " << r.tag << " " << r.bytes << " "
+           << r.message << "\n";
+    }
+    void
+    operator()(const IRecvRec &r) const
+    {
+        os << "ir " << r.src << " " << r.tag << " " << r.bytes << " "
+           << r.message << " " << r.request << "\n";
+    }
+    void
+    operator()(const WaitRec &r) const
+    {
+        os << "w " << r.request << "\n";
+    }
+    void operator()(const WaitAllRec &) const { os << "wa\n"; }
+    void
+    operator()(const CollectiveRec &r) const
+    {
+        os << "g " << collOpName(r.op) << " " << r.sendBytes << " "
+           << r.recvBytes << " " << r.root << "\n";
+    }
+};
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        tokens.push_back(tok);
+    return tokens;
+}
+
+[[noreturn]] void
+parseError(std::size_t line_no, const std::string &why)
+{
+    fatal("trace parse error at line ", line_no, ": ", why);
+}
+
+void
+requireTokens(const std::vector<std::string> &tokens,
+              std::size_t expected, std::size_t line_no)
+{
+    if (tokens.size() != expected) {
+        parseError(line_no,
+                   strformat("expected %zu fields, got %zu", expected,
+                             tokens.size()));
+    }
+}
+
+} // namespace
+
+void
+writeTraceText(const TraceSet &traces, std::ostream &os)
+{
+    os << traceMagic << "\n";
+    os << "name " << traces.name() << "\n";
+    os << "mips " << strformat("%.17g", traces.mips()) << "\n";
+    os << "ranks " << traces.ranks() << "\n";
+    for (const auto &rt : traces.all()) {
+        os << "rank " << rt.rank() << "\n";
+        RecordWriter writer{os};
+        for (const auto &rec : rt.records())
+            std::visit(writer, rec);
+    }
+}
+
+void
+writeTraceFile(const TraceSet &traces, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeTraceText(traces, os);
+    if (!os)
+        fatal("error while writing trace to '", path, "'");
+}
+
+TraceSet
+readTraceText(std::istream &is)
+{
+    std::string line;
+    std::size_t line_no = 0;
+
+    if (!std::getline(is, line) || trim(line) != traceMagic)
+        fatal("trace stream does not start with '", traceMagic, "'");
+    ++line_no;
+
+    TraceSet traces;
+    std::string name = "unnamed";
+    double mips = 1000.0;
+    int ranks = -1;
+    RankTrace *current = nullptr;
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::string text = trim(line);
+        if (text.empty() || text[0] == '#')
+            continue;
+        const auto tokens = tokenize(text);
+        const std::string &kind = tokens[0];
+
+        if (kind == "name") {
+            // The name may contain spaces: take the raw remainder.
+            name = trim(text.substr(4));
+            continue;
+        }
+        if (kind == "mips") {
+            requireTokens(tokens, 2, line_no);
+            mips = parseDouble(tokens[1]);
+            continue;
+        }
+        if (kind == "ranks") {
+            requireTokens(tokens, 2, line_no);
+            ranks = static_cast<int>(parseInt(tokens[1]));
+            if (ranks <= 0)
+                parseError(line_no, "rank count must be positive");
+            traces = TraceSet(name, ranks, mips);
+            continue;
+        }
+        if (kind == "rank") {
+            requireTokens(tokens, 2, line_no);
+            if (ranks < 0)
+                parseError(line_no, "'rank' before 'ranks'");
+            const auto r = static_cast<Rank>(parseInt(tokens[1]));
+            if (r < 0 || r >= ranks)
+                parseError(line_no, "rank out of range");
+            current = &traces.rankTrace(r);
+            continue;
+        }
+
+        if (current == nullptr)
+            parseError(line_no, "record before any 'rank' header");
+
+        if (kind == "c") {
+            requireTokens(tokens, 2, line_no);
+            current->append(CpuBurst{
+                static_cast<Instr>(parseInt(tokens[1]))});
+        } else if (kind == "s") {
+            requireTokens(tokens, 5, line_no);
+            current->append(SendRec{
+                static_cast<Rank>(parseInt(tokens[1])),
+                static_cast<Tag>(parseInt(tokens[2])),
+                static_cast<Bytes>(parseInt(tokens[3])),
+                static_cast<MessageId>(parseInt(tokens[4]))});
+        } else if (kind == "is") {
+            requireTokens(tokens, 6, line_no);
+            current->append(ISendRec{
+                static_cast<Rank>(parseInt(tokens[1])),
+                static_cast<Tag>(parseInt(tokens[2])),
+                static_cast<Bytes>(parseInt(tokens[3])),
+                static_cast<MessageId>(parseInt(tokens[4])),
+                static_cast<RequestId>(parseInt(tokens[5]))});
+        } else if (kind == "r") {
+            requireTokens(tokens, 5, line_no);
+            current->append(RecvRec{
+                static_cast<Rank>(parseInt(tokens[1])),
+                static_cast<Tag>(parseInt(tokens[2])),
+                static_cast<Bytes>(parseInt(tokens[3])),
+                static_cast<MessageId>(parseInt(tokens[4]))});
+        } else if (kind == "ir") {
+            requireTokens(tokens, 6, line_no);
+            current->append(IRecvRec{
+                static_cast<Rank>(parseInt(tokens[1])),
+                static_cast<Tag>(parseInt(tokens[2])),
+                static_cast<Bytes>(parseInt(tokens[3])),
+                static_cast<MessageId>(parseInt(tokens[4])),
+                static_cast<RequestId>(parseInt(tokens[5]))});
+        } else if (kind == "w") {
+            requireTokens(tokens, 2, line_no);
+            current->append(WaitRec{
+                static_cast<RequestId>(parseInt(tokens[1]))});
+        } else if (kind == "wa") {
+            requireTokens(tokens, 1, line_no);
+            current->append(WaitAllRec{});
+        } else if (kind == "g") {
+            requireTokens(tokens, 5, line_no);
+            current->append(CollectiveRec{
+                collOpFromName(tokens[1]),
+                static_cast<Bytes>(parseInt(tokens[2])),
+                static_cast<Bytes>(parseInt(tokens[3])),
+                static_cast<Rank>(parseInt(tokens[4]))});
+        } else {
+            parseError(line_no, "unknown record kind '" + kind + "'");
+        }
+    }
+
+    if (ranks < 0)
+        fatal("trace stream contains no 'ranks' header");
+    return traces;
+}
+
+TraceSet
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open trace file '", path, "'");
+    return readTraceText(is);
+}
+
+void
+writeOverlapText(const OverlapSet &overlap, std::ostream &os)
+{
+    os << overlapMagic << "\n";
+    for (const auto &[id, info] : overlap.all()) {
+        os << "msg " << id << " " << info.src << " " << info.dst
+           << " " << info.tag << " " << info.bytes << " "
+           << info.sendInstr << " " << info.recvInstr << " "
+           << info.prodWindowBegin << " " << info.consWindowEnd
+           << " " << info.blockBytes << "\n";
+        os << "prod " << id << " " << info.blockLastStore.size();
+        for (const auto p : info.blockLastStore)
+            os << " " << p;
+        os << "\n";
+        os << "cons " << id << " " << info.blockFirstLoad.size();
+        for (const auto c : info.blockFirstLoad)
+            os << " " << c;
+        os << "\n";
+    }
+}
+
+void
+writeOverlapFile(const OverlapSet &overlap, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeOverlapText(overlap, os);
+    if (!os)
+        fatal("error while writing overlap metadata to '", path, "'");
+}
+
+OverlapSet
+readOverlapText(std::istream &is)
+{
+    std::string line;
+    std::size_t line_no = 0;
+
+    if (!std::getline(is, line) || trim(line) != overlapMagic)
+        fatal("overlap stream does not start with '", overlapMagic,
+              "'");
+    ++line_no;
+
+    OverlapSet overlap;
+    MessageOverlapInfo pending;
+    bool have_pending = false;
+    bool have_prod = false;
+    bool have_cons = false;
+
+    auto flush = [&]() {
+        if (!have_pending)
+            return;
+        if (!have_prod || !have_cons) {
+            fatal("overlap metadata for message ", pending.id,
+                  " is missing prod/cons profiles");
+        }
+        overlap.add(std::move(pending));
+        pending = MessageOverlapInfo{};
+        have_pending = have_prod = have_cons = false;
+    };
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::string text = trim(line);
+        if (text.empty() || text[0] == '#')
+            continue;
+        const auto tokens = tokenize(text);
+        const std::string &kind = tokens[0];
+
+        if (kind == "msg") {
+            flush();
+            requireTokens(tokens, 11, line_no);
+            pending.id =
+                static_cast<MessageId>(parseInt(tokens[1]));
+            pending.src = static_cast<Rank>(parseInt(tokens[2]));
+            pending.dst = static_cast<Rank>(parseInt(tokens[3]));
+            pending.tag = static_cast<Tag>(parseInt(tokens[4]));
+            pending.bytes = static_cast<Bytes>(parseInt(tokens[5]));
+            pending.sendInstr =
+                static_cast<Instr>(parseInt(tokens[6]));
+            pending.recvInstr =
+                static_cast<Instr>(parseInt(tokens[7]));
+            pending.prodWindowBegin =
+                static_cast<Instr>(parseInt(tokens[8]));
+            pending.consWindowEnd =
+                static_cast<Instr>(parseInt(tokens[9]));
+            pending.blockBytes =
+                static_cast<Bytes>(parseInt(tokens[10]));
+            have_pending = true;
+        } else if (kind == "prod" || kind == "cons") {
+            if (!have_pending)
+                parseError(line_no, "profile before 'msg' header");
+            if (tokens.size() < 3)
+                parseError(line_no, "truncated profile line");
+            const auto id =
+                static_cast<MessageId>(parseInt(tokens[1]));
+            if (id != pending.id)
+                parseError(line_no, "profile id mismatch");
+            const auto n =
+                static_cast<std::size_t>(parseInt(tokens[2]));
+            requireTokens(tokens, 3 + n, line_no);
+            std::vector<Instr> points;
+            points.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                points.push_back(
+                    static_cast<Instr>(parseInt(tokens[3 + i])));
+            }
+            if (kind == "prod") {
+                pending.blockLastStore = std::move(points);
+                have_prod = true;
+            } else {
+                pending.blockFirstLoad = std::move(points);
+                have_cons = true;
+            }
+        } else {
+            parseError(line_no, "unknown line kind '" + kind + "'");
+        }
+    }
+    flush();
+    return overlap;
+}
+
+OverlapSet
+readOverlapFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open overlap file '", path, "'");
+    return readOverlapText(is);
+}
+
+} // namespace ovlsim::trace

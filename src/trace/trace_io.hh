@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Text serialization of trace sets and overlap metadata.
+ *
+ * The format plays the role of Dimemas' trace files in the paper's
+ * environment: the tracer writes them, the replay simulator (and any
+ * external tool) reads them back. The format is line-oriented and
+ * stable:
+ *
+ *   #OVLSIM-TRACE 1
+ *   name <application name>
+ *   mips <double>
+ *   ranks <n>
+ *   rank <r>
+ *   c <instr>
+ *   s  <dst> <tag> <bytes> <msgid>
+ *   is <dst> <tag> <bytes> <msgid> <req>
+ *   r  <src> <tag> <bytes> <msgid>
+ *   ir <src> <tag> <bytes> <msgid> <req>
+ *   w  <req>
+ *   wa
+ *   g <op> <sendbytes> <recvbytes> <root>
+ *
+ * and for overlap metadata:
+ *
+ *   #OVLSIM-OVERLAP 1
+ *   msg  <id> <src> <dst> <tag> <bytes> <sendI> <recvI> <pBegin>
+ *        <cEnd> <blockBytes>
+ *   prod <id> <n> <p0> ... <pn-1>
+ *   cons <id> <n> <c0> ... <cn-1>
+ */
+
+#ifndef OVLSIM_TRACE_TRACE_IO_HH
+#define OVLSIM_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/overlap_info.hh"
+#include "trace/trace.hh"
+
+namespace ovlsim::trace {
+
+/** Serialize a trace set to a stream. */
+void writeTraceText(const TraceSet &traces, std::ostream &os);
+
+/** Serialize a trace set to a file; throws FatalError on IO error. */
+void writeTraceFile(const TraceSet &traces, const std::string &path);
+
+/** Parse a trace set from a stream; throws FatalError on bad input. */
+TraceSet readTraceText(std::istream &is);
+
+/** Parse a trace set from a file; throws FatalError on IO error. */
+TraceSet readTraceFile(const std::string &path);
+
+/** Serialize overlap metadata to a stream. */
+void writeOverlapText(const OverlapSet &overlap, std::ostream &os);
+
+/** Serialize overlap metadata to a file. */
+void writeOverlapFile(const OverlapSet &overlap,
+                      const std::string &path);
+
+/** Parse overlap metadata from a stream. */
+OverlapSet readOverlapText(std::istream &is);
+
+/** Parse overlap metadata from a file. */
+OverlapSet readOverlapFile(const std::string &path);
+
+} // namespace ovlsim::trace
+
+#endif // OVLSIM_TRACE_TRACE_IO_HH

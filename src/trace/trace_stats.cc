@@ -1,0 +1,84 @@
+#include "trace_stats.hh"
+
+#include <sstream>
+
+#include "util/strings.hh"
+
+namespace ovlsim::trace {
+
+double
+TraceSetStats::avgMessageBytes() const
+{
+    if (totalMessages == 0)
+        return 0.0;
+    return static_cast<double>(totalBytes) /
+        static_cast<double>(totalMessages);
+}
+
+std::string
+TraceSetStats::toString() const
+{
+    std::ostringstream os;
+    os << "ranks: " << perRank.size() << "\n";
+    os << "total instructions: " << totalInstructions << "\n";
+    os << "total p2p messages: " << totalMessages << "\n";
+    os << "total p2p bytes: " << humanBytes(totalBytes) << "\n";
+    os << "avg message size: "
+       << humanBytes(static_cast<Bytes>(avgMessageBytes())) << "\n";
+    os << "total collectives (rank-ops): " << totalCollectives
+       << "\n";
+    for (const auto &rs : perRank) {
+        os << strformat(
+            "  rank %3d: %12llu instr, %6zu sends (%s), %6zu recvs "
+            "(%s), %4zu colls\n",
+            rs.rank,
+            static_cast<unsigned long long>(rs.instructions),
+            rs.sends, humanBytes(rs.sentBytes).c_str(), rs.recvs,
+            humanBytes(rs.receivedBytes).c_str(), rs.collectives);
+    }
+    return os.str();
+}
+
+TraceSetStats
+computeTraceStats(const TraceSet &traces)
+{
+    TraceSetStats stats;
+    stats.perRank.reserve(static_cast<std::size_t>(traces.ranks()));
+
+    for (const auto &rt : traces.all()) {
+        RankTraceStats rs;
+        rs.rank = rt.rank();
+        for (const auto &rec : rt.records()) {
+            if (const auto *burst = std::get_if<CpuBurst>(&rec)) {
+                rs.instructions += burst->instructions;
+            } else if (const auto *s = std::get_if<SendRec>(&rec)) {
+                ++rs.sends;
+                rs.sentBytes += s->bytes;
+                stats.commMatrix[{rt.rank(), s->dst}] += s->bytes;
+            } else if (const auto *is_ =
+                           std::get_if<ISendRec>(&rec)) {
+                ++rs.sends;
+                rs.sentBytes += is_->bytes;
+                stats.commMatrix[{rt.rank(), is_->dst}] +=
+                    is_->bytes;
+            } else if (const auto *r = std::get_if<RecvRec>(&rec)) {
+                ++rs.recvs;
+                rs.receivedBytes += r->bytes;
+            } else if (const auto *ir =
+                           std::get_if<IRecvRec>(&rec)) {
+                ++rs.recvs;
+                rs.receivedBytes += ir->bytes;
+            } else if (std::holds_alternative<CollectiveRec>(rec)) {
+                ++rs.collectives;
+            }
+        }
+        stats.totalInstructions += rs.instructions;
+        stats.totalMessages += rs.sends;
+        stats.totalBytes += rs.sentBytes;
+        stats.totalCollectives += rs.collectives;
+        stats.perRank.push_back(rs);
+    }
+    return stats;
+}
+
+} // namespace ovlsim::trace

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Aggregate statistics over a trace set, used in reports and tests.
+ */
+
+#ifndef OVLSIM_TRACE_TRACE_STATS_HH
+#define OVLSIM_TRACE_TRACE_STATS_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "util/types.hh"
+
+namespace ovlsim::trace {
+
+/** Per-rank trace summary. */
+struct RankTraceStats
+{
+    Rank rank = 0;
+    Instr instructions = 0;
+    std::size_t sends = 0;
+    std::size_t recvs = 0;
+    std::size_t collectives = 0;
+    Bytes sentBytes = 0;
+    Bytes receivedBytes = 0;
+};
+
+/** Whole trace-set summary. */
+struct TraceSetStats
+{
+    std::vector<RankTraceStats> perRank;
+    /** (src, dst) -> total bytes, over all tags. */
+    std::map<std::pair<Rank, Rank>, Bytes> commMatrix;
+    Instr totalInstructions = 0;
+    std::size_t totalMessages = 0;
+    Bytes totalBytes = 0;
+    std::size_t totalCollectives = 0;
+
+    /** Mean point-to-point message size (0 when no messages). */
+    double avgMessageBytes() const;
+
+    /** Multi-line human-readable rendering. */
+    std::string toString() const;
+};
+
+/** Compute statistics for a trace set. */
+TraceSetStats computeTraceStats(const TraceSet &traces);
+
+} // namespace ovlsim::trace
+
+#endif // OVLSIM_TRACE_TRACE_STATS_HH

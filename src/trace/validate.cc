@@ -1,0 +1,201 @@
+#include "validate.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "util/strings.hh"
+
+namespace ovlsim::trace {
+
+namespace {
+
+using Channel = std::tuple<Rank, Rank, Tag>;
+
+struct ChannelFlow
+{
+    std::vector<Bytes> sendBytes;
+    std::vector<Bytes> recvBytes;
+};
+
+} // namespace
+
+std::string
+ValidationReport::toString() const
+{
+    std::ostringstream os;
+    for (const auto &issue : issues)
+        os << issue << "\n";
+    return os.str();
+}
+
+ValidationReport
+validateTraceSet(const TraceSet &traces)
+{
+    ValidationReport report;
+    auto issue = [&report](const std::string &msg) {
+        report.issues.push_back(msg);
+    };
+
+    std::map<Channel, ChannelFlow> channels;
+    std::vector<std::vector<std::string>> collectives(
+        static_cast<std::size_t>(traces.ranks()));
+
+    for (const auto &rt : traces.all()) {
+        const Rank rank = rt.rank();
+        std::set<RequestId> live;
+        std::set<RequestId> used;
+
+        for (std::size_t i = 0; i < rt.records().size(); ++i) {
+            const auto &rec = rt.records()[i];
+
+            if (const auto *s = std::get_if<SendRec>(&rec)) {
+                if (s->dst < 0 || s->dst >= traces.ranks()) {
+                    issue(strformat(
+                        "rank %d record %zu: send to invalid rank %d",
+                        rank, i, s->dst));
+                    continue;
+                }
+                channels[{rank, s->dst, s->tag}].sendBytes.push_back(
+                    s->bytes);
+            } else if (const auto *is_ = std::get_if<ISendRec>(&rec)) {
+                if (is_->dst < 0 || is_->dst >= traces.ranks()) {
+                    issue(strformat(
+                        "rank %d record %zu: isend to invalid rank "
+                        "%d", rank, i, is_->dst));
+                    continue;
+                }
+                channels[{rank, is_->dst, is_->tag}]
+                    .sendBytes.push_back(is_->bytes);
+                if (is_->request == 0) {
+                    issue(strformat(
+                        "rank %d record %zu: isend with request 0",
+                        rank, i));
+                } else if (!used.insert(is_->request).second) {
+                    issue(strformat(
+                        "rank %d record %zu: request %llu reused",
+                        rank, i,
+                        static_cast<unsigned long long>(
+                            is_->request)));
+                } else {
+                    live.insert(is_->request);
+                }
+            } else if (const auto *r = std::get_if<RecvRec>(&rec)) {
+                if (r->src < 0 || r->src >= traces.ranks()) {
+                    issue(strformat(
+                        "rank %d record %zu: recv from invalid rank "
+                        "%d", rank, i, r->src));
+                    continue;
+                }
+                channels[{r->src, rank, r->tag}].recvBytes.push_back(
+                    r->bytes);
+            } else if (const auto *ir = std::get_if<IRecvRec>(&rec)) {
+                if (ir->src < 0 || ir->src >= traces.ranks()) {
+                    issue(strformat(
+                        "rank %d record %zu: irecv from invalid rank "
+                        "%d", rank, i, ir->src));
+                    continue;
+                }
+                channels[{ir->src, rank, ir->tag}]
+                    .recvBytes.push_back(ir->bytes);
+                if (ir->request == 0) {
+                    issue(strformat(
+                        "rank %d record %zu: irecv with request 0",
+                        rank, i));
+                } else if (!used.insert(ir->request).second) {
+                    issue(strformat(
+                        "rank %d record %zu: request %llu reused",
+                        rank, i,
+                        static_cast<unsigned long long>(
+                            ir->request)));
+                } else {
+                    live.insert(ir->request);
+                }
+            } else if (const auto *w = std::get_if<WaitRec>(&rec)) {
+                if (!live.erase(w->request)) {
+                    issue(strformat(
+                        "rank %d record %zu: wait on unknown request "
+                        "%llu", rank, i,
+                        static_cast<unsigned long long>(
+                            w->request)));
+                }
+            } else if (std::holds_alternative<WaitAllRec>(rec)) {
+                live.clear();
+            } else if (const auto *g =
+                           std::get_if<CollectiveRec>(&rec)) {
+                collectives[static_cast<std::size_t>(rank)]
+                    .push_back(strformat("%s/%llu/%llu/%d",
+                                         collOpName(g->op),
+                                         static_cast<unsigned long
+                                                     long>(
+                                             g->sendBytes),
+                                         static_cast<unsigned long
+                                                     long>(
+                                             g->recvBytes),
+                                         g->root));
+            }
+        }
+
+        if (!live.empty()) {
+            issue(strformat(
+                "rank %d: %zu non-blocking requests never completed",
+                rank, live.size()));
+        }
+    }
+
+    for (const auto &[channel, flow] : channels) {
+        const auto &[src, dst, tag] = channel;
+        if (flow.sendBytes.size() != flow.recvBytes.size()) {
+            issue(strformat(
+                "channel %d->%d tag %d: %zu sends but %zu receives",
+                src, dst, tag, flow.sendBytes.size(),
+                flow.recvBytes.size()));
+            continue;
+        }
+        for (std::size_t k = 0; k < flow.sendBytes.size(); ++k) {
+            if (flow.sendBytes[k] != flow.recvBytes[k]) {
+                issue(strformat(
+                    "channel %d->%d tag %d message %zu: send %llu "
+                    "bytes vs recv %llu bytes",
+                    src, dst, tag, k,
+                    static_cast<unsigned long long>(
+                        flow.sendBytes[k]),
+                    static_cast<unsigned long long>(
+                        flow.recvBytes[k])));
+            }
+        }
+    }
+
+    for (Rank r = 1; r < traces.ranks(); ++r) {
+        const auto &a = collectives[0];
+        const auto &b = collectives[static_cast<std::size_t>(r)];
+        if (a.size() != b.size()) {
+            issue(strformat(
+                "rank %d executes %zu collectives but rank 0 "
+                "executes %zu", r, b.size(), a.size()));
+            continue;
+        }
+        for (std::size_t k = 0; k < a.size(); ++k) {
+            // Root-dependent byte counts legitimately differ between
+            // ranks for rooted collectives; compare op and root only.
+            const auto op_of = [](const std::string &sig) {
+                return sig.substr(0, sig.find('/'));
+            };
+            const auto root_of = [](const std::string &sig) {
+                return sig.substr(sig.rfind('/'));
+            };
+            if (op_of(a[k]) != op_of(b[k]) ||
+                root_of(a[k]) != root_of(b[k])) {
+                issue(strformat(
+                    "collective %zu differs between rank 0 (%s) and "
+                    "rank %d (%s)", k, a[k].c_str(), r,
+                    b[k].c_str()));
+            }
+        }
+    }
+
+    return report;
+}
+
+} // namespace ovlsim::trace

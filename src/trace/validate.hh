@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Structural validation of trace sets.
+ *
+ * Replaying a malformed trace (unmatched sends, reused requests,
+ * mismatched collectives) would deadlock the simulator, so every
+ * trace passes through this validator before replay; the tracer also
+ * uses it as a self-check on freshly generated traces.
+ */
+
+#ifndef OVLSIM_TRACE_VALIDATE_HH
+#define OVLSIM_TRACE_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace ovlsim::trace {
+
+/** Result of validating a trace set. */
+struct ValidationReport
+{
+    /** Human-readable problems; empty means the trace is valid. */
+    std::vector<std::string> issues;
+
+    bool valid() const { return issues.empty(); }
+
+    /** All issues joined into one newline-separated string. */
+    std::string toString() const;
+};
+
+/**
+ * Validate a trace set.
+ *
+ * Checks, per rank: request ids are unique and non-zero, every Wait
+ * references a live request, and every non-blocking operation is
+ * eventually completed by a Wait or WaitAll.
+ *
+ * Checks, across ranks: on every (src, dst, tag) channel the
+ * send-side and receive-side byte sequences agree element-wise (FIFO
+ * matching), and all ranks execute an identical sequence of
+ * collectives.
+ */
+ValidationReport validateTraceSet(const TraceSet &traces);
+
+} // namespace ovlsim::trace
+
+#endif // OVLSIM_TRACE_VALIDATE_HH

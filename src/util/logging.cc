@@ -1,0 +1,40 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ovlsim {
+
+namespace {
+
+std::atomic<LogLevel> globalLevel{LogLevel::warn};
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, const char *prefix, const std::string &msg)
+{
+    if (static_cast<int>(level) >
+        static_cast<int>(globalLevel.load(std::memory_order_relaxed))) {
+        return;
+    }
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace ovlsim

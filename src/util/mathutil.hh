@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small integer-math helpers shared across modules.
+ */
+
+#ifndef OVLSIM_UTIL_MATHUTIL_HH
+#define OVLSIM_UTIL_MATHUTIL_HH
+
+#include <cstdint>
+
+namespace ovlsim {
+
+/** Ceiling division for non-negative integers. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0 : (num + den - 1) / den;
+}
+
+/** ceil(log2(x)) for x >= 1; log2ceil(1) == 0. */
+constexpr std::uint32_t
+log2Ceil(std::uint64_t x)
+{
+    std::uint32_t bits = 0;
+    std::uint64_t value = 1;
+    while (value < x) {
+        value <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** True if x is a power of two (x > 0). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Round up to the next multiple of `align` (align > 0). */
+constexpr std::uint64_t
+roundUp(std::uint64_t x, std::uint64_t align)
+{
+    return ceilDiv(x, align) * align;
+}
+
+} // namespace ovlsim
+
+#endif // OVLSIM_UTIL_MATHUTIL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal command-line option parser for the examples and benches.
+ *
+ * Supports "--key=value", "--key value" and boolean "--flag" forms.
+ * Unknown options raise FatalError so typos surface immediately.
+ */
+
+#ifndef OVLSIM_UTIL_OPTIONS_HH
+#define OVLSIM_UTIL_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ovlsim {
+
+/** Parsed command line with typed accessors and defaults. */
+class Options
+{
+  public:
+    /**
+     * Declare an option before parsing.
+     *
+     * @param name option name without leading dashes
+     * @param default_value textual default
+     * @param help one-line description for usage output
+     */
+    void declare(const std::string &name,
+                 const std::string &default_value,
+                 const std::string &help);
+
+    /** Parse argv; throws FatalError on undeclared options. */
+    void parse(int argc, const char *const *argv);
+
+    /** True if the user supplied the option explicitly. */
+    bool supplied(const std::string &name) const;
+
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Positional (non-option) arguments in order of appearance. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Render a usage block listing all declared options. */
+    std::string usage(const std::string &program) const;
+
+  private:
+    struct Decl
+    {
+        std::string defaultValue;
+        std::string help;
+    };
+
+    const std::string &lookup(const std::string &name) const;
+
+    std::map<std::string, Decl> decls_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace ovlsim
+
+#endif // OVLSIM_UTIL_OPTIONS_HH

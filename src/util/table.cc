@@ -1,0 +1,103 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace ovlsim {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    ovlAssert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    ovlAssert(cells.size() == headers_.size(),
+              "row has ", cells.size(), " cells, expected ",
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c]
+               << std::string(widths[c] - row[c].size(), ' ');
+            os << (c + 1 < row.size() ? "  " : "");
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (const auto w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &headers)
+    : path_(path), out_(path), columns_(headers.size())
+{
+    if (!out_)
+        fatal("CsvWriter: cannot open '", path, "' for writing");
+    ovlAssert(columns_ > 0, "CSV needs at least one column");
+    writeLine(headers);
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &cells)
+{
+    ovlAssert(cells.size() == columns_,
+              "CSV row has ", cells.size(), " cells, expected ",
+              columns_);
+    writeLine(cells);
+}
+
+void
+CsvWriter::writeLine(const std::vector<std::string> &cells)
+{
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::string field = cells[c];
+        const bool needs_quoting =
+            field.find_first_of(",\"\n") != std::string::npos;
+        if (needs_quoting) {
+            std::string quoted = "\"";
+            for (const char ch : field) {
+                if (ch == '"')
+                    quoted += '"';
+                quoted += ch;
+            }
+            quoted += '"';
+            field = quoted;
+        }
+        out_ << field << (c + 1 < cells.size() ? "," : "");
+    }
+    out_ << "\n";
+    out_.flush();
+}
+
+} // namespace ovlsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Aligned console tables and CSV output for the experiment harness.
+ *
+ * Every bench binary prints the paper's rows/series through
+ * TablePrinter and mirrors them to CSV through CsvWriter so that
+ * results can be replotted.
+ */
+
+#ifndef OVLSIM_UTIL_TABLE_HH
+#define OVLSIM_UTIL_TABLE_HH
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ovlsim {
+
+/**
+ * Collects rows of string cells and renders them with aligned columns
+ * and an underlined header.
+ */
+class TablePrinter
+{
+  public:
+    /** Define the header row. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render the full table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the full table to a string. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Line-per-record CSV writer with minimal quoting.
+ */
+class CsvWriter
+{
+  public:
+    /** Open (truncate) the file and emit the header row. */
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &headers);
+
+    /** Append one record. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Path the file was opened at. */
+    const std::string &path() const { return path_; }
+
+  private:
+    void writeLine(const std::vector<std::string> &cells);
+
+    std::string path_;
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+} // namespace ovlsim
+
+#endif // OVLSIM_UTIL_TABLE_HH

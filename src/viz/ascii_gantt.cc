@@ -1,0 +1,82 @@
+#include "ascii_gantt.hh"
+
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hh"
+
+namespace ovlsim::viz {
+
+std::string
+renderGantt(const sim::Timeline &timeline,
+            const GanttOptions &options)
+{
+    std::ostringstream os;
+    if (!options.title.empty())
+        os << options.title << "\n";
+
+    const SimTime span = timeline.span();
+    if (span.ns() == 0 || timeline.ranks() == 0 ||
+        options.width == 0) {
+        os << "(empty timeline)\n";
+        return os.str();
+    }
+
+    const double bin_ns = static_cast<double>(span.ns()) /
+        static_cast<double>(options.width);
+
+    for (Rank r = 0; r < timeline.ranks(); ++r) {
+        // Accumulate, per column, the time spent in each state.
+        constexpr std::size_t nstates = 6;
+        std::vector<std::array<double, nstates>> weight(
+            options.width, std::array<double, nstates>{});
+        for (const auto &iv : timeline.intervals(r)) {
+            const auto s = static_cast<std::size_t>(iv.state);
+            const double begin = static_cast<double>(iv.begin.ns());
+            const double end = static_cast<double>(iv.end.ns());
+            auto first = static_cast<std::size_t>(begin / bin_ns);
+            auto last = static_cast<std::size_t>(end / bin_ns);
+            first = std::min(first, options.width - 1);
+            last = std::min(last, options.width - 1);
+            for (std::size_t col = first; col <= last; ++col) {
+                const double col_begin =
+                    bin_ns * static_cast<double>(col);
+                const double col_end =
+                    bin_ns * static_cast<double>(col + 1);
+                const double piece = std::min(end, col_end) -
+                    std::max(begin, col_begin);
+                if (piece > 0.0)
+                    weight[col][s] += piece;
+            }
+        }
+
+        os << strformat("%4d |", r);
+        for (std::size_t col = 0; col < options.width; ++col) {
+            std::size_t best = nstates; // idle default
+            double best_w = 0.0;
+            for (std::size_t s = 0; s < nstates; ++s) {
+                if (weight[col][s] > best_w) {
+                    best_w = weight[col][s];
+                    best = s;
+                }
+            }
+            const char code = best == nstates
+                                  ? '.'
+                                  : sim::rankStateCode(
+                                        static_cast<sim::RankState>(
+                                            best));
+            os << code;
+        }
+        os << "|\n";
+    }
+
+    os << "time: 0 .. " << humanTime(span) << "\n";
+    if (options.legend) {
+        os << "legend: #=compute S=send-blocked R=recv-blocked "
+              "W=wait-blocked C=collective .=idle\n";
+    }
+    return os.str();
+}
+
+} // namespace ovlsim::viz

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * ASCII Gantt rendering of simulated timelines.
+ *
+ * The textual equivalent of a Paraver window: one row per rank,
+ * time binned into columns, each column showing the state the rank
+ * spent the most time in during that bin. Used by the examples and
+ * the Figure-1 pipeline bench to compare the non-overlapped and
+ * overlapped executions qualitatively.
+ */
+
+#ifndef OVLSIM_VIZ_ASCII_GANTT_HH
+#define OVLSIM_VIZ_ASCII_GANTT_HH
+
+#include <string>
+
+#include "sim/timeline.hh"
+
+namespace ovlsim::viz {
+
+/** Rendering options. */
+struct GanttOptions
+{
+    /** Number of time columns. */
+    std::size_t width = 100;
+    /** Include the state legend below the chart. */
+    bool legend = true;
+    /** Optional chart caption. */
+    std::string title;
+};
+
+/**
+ * Render a timeline as an ASCII Gantt chart.
+ *
+ * Column characters: '#' compute, 'S' send-blocked, 'R'
+ * recv-blocked, 'W' wait-blocked, 'C' collective, '.' idle.
+ */
+std::string renderGantt(const sim::Timeline &timeline,
+                        const GanttOptions &options = {});
+
+} // namespace ovlsim::viz
+
+#endif // OVLSIM_VIZ_ASCII_GANTT_HH

@@ -1,0 +1,110 @@
+#include "paraver.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace ovlsim::viz {
+
+namespace {
+
+/** Paraver state value for one of our rank states. */
+int
+paraverState(sim::RankState state)
+{
+    // Values follow the conventional Paraver semantics: 1 running,
+    // 3 waiting for a message, 5 synchronization, 6 blocked.
+    switch (state) {
+      case sim::RankState::compute: return 1;
+      case sim::RankState::recvBlocked: return 3;
+      case sim::RankState::waitBlocked: return 3;
+      case sim::RankState::sendBlocked: return 6;
+      case sim::RankState::collective: return 5;
+      case sim::RankState::idle: return 0;
+    }
+    panic("paraverState: bad state");
+}
+
+} // namespace
+
+void
+writeParaverTrace(const sim::Timeline &timeline, std::ostream &os)
+{
+    const auto span = timeline.span().ns();
+    const int ranks = timeline.ranks();
+
+    // Header: #Paraver (dd/mm/yy at hh:mm):duration:nodes:apps:...
+    // A fixed date keeps output deterministic.
+    os << "#Paraver (01/01/10 at 00:00):" << span << "_ns:1("
+       << ranks << "):1:" << ranks << "(";
+    for (Rank r = 0; r < ranks; ++r)
+        os << "1:1" << (r + 1 < ranks ? "," : "");
+    os << ")\n";
+
+    // State records: 1:cpu:appl:task:thread:begin:end:state
+    for (Rank r = 0; r < ranks; ++r) {
+        for (const auto &iv : timeline.intervals(r)) {
+            os << "1:" << (r + 1) << ":1:" << (r + 1) << ":1:"
+               << iv.begin.ns() << ":" << iv.end.ns() << ":"
+               << paraverState(iv.state) << "\n";
+        }
+    }
+
+    // Communication records:
+    // 3:cpu:appl:task:thread:lsend:psend:cpu:appl:task:thread:
+    //   lrecv:precv:size:tag
+    for (const auto &comm : timeline.comms()) {
+        os << "3:" << (comm.src + 1) << ":1:" << (comm.src + 1)
+           << ":1:" << comm.sendPost.ns() << ":"
+           << comm.transferStart.ns() << ":" << (comm.dst + 1)
+           << ":1:" << (comm.dst + 1) << ":1:"
+           << comm.recvComplete.ns() << ":" << comm.arrival.ns()
+           << ":" << comm.bytes << ":" << comm.tag << "\n";
+    }
+}
+
+std::string
+paraverConfig()
+{
+    std::ostringstream os;
+    os << "STATES\n"
+       << "0    Idle\n"
+       << "1    Running\n"
+       << "3    Waiting a message\n"
+       << "5    Synchronization\n"
+       << "6    Blocked on send\n"
+       << "\n"
+       << "STATES_COLOR\n"
+       << "0    {117,195,255}\n"
+       << "1    {0,0,255}\n"
+       << "3    {255,0,0}\n"
+       << "5    {255,255,0}\n"
+       << "6    {255,128,0}\n";
+    return os.str();
+}
+
+void
+writeParaverFiles(const sim::Timeline &timeline,
+                  const std::string &basename)
+{
+    {
+        std::ofstream prv(basename + ".prv");
+        if (!prv)
+            fatal("cannot open '", basename, ".prv' for writing");
+        writeParaverTrace(timeline, prv);
+        if (!prv)
+            fatal("error writing '", basename, ".prv'");
+    }
+    {
+        std::ofstream pcf(basename + ".pcf");
+        if (!pcf)
+            fatal("cannot open '", basename, ".pcf' for writing");
+        pcf << paraverConfig();
+        if (!pcf)
+            fatal("error writing '", basename, ".pcf'");
+    }
+}
+
+} // namespace ovlsim::viz

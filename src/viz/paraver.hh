@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Paraver trace export.
+ *
+ * Writes the simulated timeline in the Paraver .prv format (plus the
+ * companion .pcf configuration naming the states) so the
+ * reconstructed behaviours can be inspected in the actual BSC
+ * Paraver tool, mirroring the last stage of the paper's environment.
+ */
+
+#ifndef OVLSIM_VIZ_PARAVER_HH
+#define OVLSIM_VIZ_PARAVER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/timeline.hh"
+
+namespace ovlsim::viz {
+
+/** Write the .prv body (states + communications) to a stream. */
+void writeParaverTrace(const sim::Timeline &timeline,
+                       std::ostream &os);
+
+/**
+ * Write `<basename>.prv` and `<basename>.pcf`.
+ * Throws FatalError on IO errors.
+ */
+void writeParaverFiles(const sim::Timeline &timeline,
+                       const std::string &basename);
+
+/** The .pcf state-colour configuration matching our state codes. */
+std::string paraverConfig();
+
+} // namespace ovlsim::viz
+
+#endif // OVLSIM_VIZ_PARAVER_HH

@@ -1,0 +1,91 @@
+#include "profile.hh"
+
+#include <sstream>
+
+#include "util/strings.hh"
+#include "util/table.hh"
+
+namespace ovlsim::viz {
+
+namespace {
+
+double
+pct(SimTime part, SimTime whole)
+{
+    if (whole.ns() == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(part.ns()) /
+        static_cast<double>(whole.ns());
+}
+
+} // namespace
+
+std::string
+renderStateProfile(const sim::SimResult &result)
+{
+    TablePrinter table({"rank", "end", "compute%", "send-blk%",
+                        "recv-blk%", "wait-blk%", "collective%"});
+    sim::RankResult total;
+    for (const auto &rr : result.perRank) {
+        table.addRow({strformat("%d", rr.rank),
+                      humanTime(rr.endTime),
+                      strformat("%.1f", pct(rr.computeTime,
+                                            rr.endTime)),
+                      strformat("%.1f", pct(rr.sendBlockedTime,
+                                            rr.endTime)),
+                      strformat("%.1f", pct(rr.recvBlockedTime,
+                                            rr.endTime)),
+                      strformat("%.1f", pct(rr.waitBlockedTime,
+                                            rr.endTime)),
+                      strformat("%.1f", pct(rr.collectiveTime,
+                                            rr.endTime))});
+        total.computeTime += rr.computeTime;
+        total.sendBlockedTime += rr.sendBlockedTime;
+        total.recvBlockedTime += rr.recvBlockedTime;
+        total.waitBlockedTime += rr.waitBlockedTime;
+        total.collectiveTime += rr.collectiveTime;
+        total.endTime += rr.endTime;
+    }
+    table.addRow({"all", humanTime(result.totalTime),
+                  strformat("%.1f", pct(total.computeTime,
+                                        total.endTime)),
+                  strformat("%.1f", pct(total.sendBlockedTime,
+                                        total.endTime)),
+                  strformat("%.1f", pct(total.recvBlockedTime,
+                                        total.endTime)),
+                  strformat("%.1f", pct(total.waitBlockedTime,
+                                        total.endTime)),
+                  strformat("%.1f", pct(total.collectiveTime,
+                                        total.endTime))});
+    return table.toString();
+}
+
+std::string
+renderComparison(const std::string &name_a, const sim::SimResult &a,
+                 const std::string &name_b, const sim::SimResult &b)
+{
+    std::ostringstream os;
+    TablePrinter table({"execution", "time", "compute%", "comm%"});
+    table.addRow({name_a, humanTime(a.totalTime),
+                  strformat("%.1f", a.computeFraction() * 100.0),
+                  strformat("%.1f", a.commFraction() * 100.0)});
+    table.addRow({name_b, humanTime(b.totalTime),
+                  strformat("%.1f", b.computeFraction() * 100.0),
+                  strformat("%.1f", b.commFraction() * 100.0)});
+    os << table.toString();
+    if (b.totalTime.ns() > 0) {
+        const double speedup =
+            static_cast<double>(a.totalTime.ns()) /
+            static_cast<double>(b.totalTime.ns());
+        os << strformat("%s is %.1f%% %s than %s\n",
+                        name_b.c_str(),
+                        (speedup >= 1.0 ? speedup - 1.0
+                                        : 1.0 - speedup) *
+                            100.0,
+                        speedup >= 1.0 ? "faster" : "slower",
+                        name_a.c_str());
+    }
+    return os.str();
+}
+
+} // namespace ovlsim::viz

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * State profiles: the quantitative counterpart of the Gantt chart.
+ */
+
+#ifndef OVLSIM_VIZ_PROFILE_HH
+#define OVLSIM_VIZ_PROFILE_HH
+
+#include <string>
+
+#include "sim/result.hh"
+
+namespace ovlsim::viz {
+
+/**
+ * Render a per-rank table of time-in-state percentages plus an
+ * aggregate row, from a replay result.
+ */
+std::string renderStateProfile(const sim::SimResult &result);
+
+/**
+ * Render a side-by-side comparison of two replay results (typically
+ * original vs. overlapped), showing total time, compute and blocked
+ * shares, and the speedup.
+ */
+std::string renderComparison(const std::string &name_a,
+                             const sim::SimResult &a,
+                             const std::string &name_b,
+                             const sim::SimResult &b);
+
+} // namespace ovlsim::viz
+
+#endif // OVLSIM_VIZ_PROFILE_HH

@@ -1,0 +1,301 @@
+#include "vm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace ovlsim::vm {
+
+VmContext::VmContext(Rank rank, int ranks, VmObserver &observer)
+    : rank_(rank), ranks_(ranks), observer_(observer)
+{
+    ovlAssert(rank >= 0 && rank < ranks,
+              "VmContext rank out of range");
+}
+
+void
+VmContext::compute(Instr n)
+{
+    if (n == 0)
+        return;
+    instr_ += n;
+    observer_.onCompute(rank_, instr_, n);
+}
+
+Buffer
+VmContext::allocBuffer(const std::string &name, Bytes bytes)
+{
+    if (bytes == 0)
+        fatal("allocBuffer('", name, "'): zero-sized buffer");
+    Buffer buf{nextBuffer_++, bytes};
+    bufferSizes_.push_back(bytes);
+    observer_.onAllocBuffer(rank_, instr_, buf, name);
+    return buf;
+}
+
+void
+VmContext::checkRange(Buffer buf, Bytes offset, Bytes len,
+                      const char *what) const
+{
+    if (buf.id == 0 || buf.id > bufferSizes_.size())
+        fatal(what, ": unknown buffer id ", buf.id);
+    const Bytes size = bufferSizes_[buf.id - 1];
+    if (len == 0)
+        fatal(what, ": zero-length range");
+    if (offset > size || len > size - offset) {
+        fatal(what, ": range [", offset, ", ", offset + len,
+              ") exceeds buffer of ", size, " bytes");
+    }
+}
+
+void
+VmContext::checkPeer(Rank peer, const char *what) const
+{
+    if (peer < 0 || peer >= ranks_)
+        fatal(what, ": peer rank ", peer, " out of range");
+    if (peer == rank_)
+        fatal(what, ": self-messaging is not supported");
+}
+
+void
+VmContext::checkRoot(Rank root) const
+{
+    if (root < 0 || root >= ranks_)
+        fatal("collective: root rank ", root, " out of range");
+}
+
+ProvisionalId
+VmContext::nextProvisional()
+{
+    // Rank-tagged so ids from different ranks never collide.
+    return (static_cast<std::uint64_t>(rank_) + 1) << 40 |
+        nextMessageSeq_++;
+}
+
+void
+VmContext::touchStore(Buffer buf, Bytes offset, Bytes len)
+{
+    checkRange(buf, offset, len, "touchStore");
+    observer_.onStore(rank_, instr_, buf, offset, len);
+}
+
+void
+VmContext::touchLoad(Buffer buf, Bytes offset, Bytes len)
+{
+    checkRange(buf, offset, len, "touchLoad");
+    observer_.onLoad(rank_, instr_, buf, offset, len);
+}
+
+namespace {
+
+/** Split [offset, offset+len) into `pieces` nearly equal parts. */
+struct PieceIter
+{
+    Bytes offset;
+    Bytes len;
+    int pieces;
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        const auto n = static_cast<Bytes>(std::max(pieces, 1));
+        const Bytes base = len / n;
+        const Bytes extra = len % n;
+        Bytes at = offset;
+        for (Bytes p = 0; p < n && at < offset + len; ++p) {
+            const Bytes piece = base + (p < extra ? 1 : 0);
+            if (piece == 0)
+                continue;
+            fn(at, piece);
+            at += piece;
+        }
+    }
+};
+
+Instr
+instrFor(Bytes bytes, double instr_per_byte)
+{
+    const double raw =
+        static_cast<double>(bytes) * instr_per_byte;
+    return static_cast<Instr>(std::llround(std::max(raw, 0.0)));
+}
+
+} // namespace
+
+void
+VmContext::computeStore(Buffer buf, Bytes offset, Bytes len,
+                        double instr_per_byte, int pieces)
+{
+    checkRange(buf, offset, len, "computeStore");
+    PieceIter{offset, len, pieces}.forEach(
+        [&](Bytes at, Bytes piece) {
+            compute(instrFor(piece, instr_per_byte));
+            touchStore(buf, at, piece);
+        });
+}
+
+void
+VmContext::computeLoad(Buffer buf, Bytes offset, Bytes len,
+                       double instr_per_byte, int pieces)
+{
+    checkRange(buf, offset, len, "computeLoad");
+    PieceIter{offset, len, pieces}.forEach(
+        [&](Bytes at, Bytes piece) {
+            touchLoad(buf, at, piece);
+            compute(instrFor(piece, instr_per_byte));
+        });
+}
+
+void
+VmContext::send(Buffer buf, Bytes offset, Bytes len, Rank dst,
+                Tag tag)
+{
+    checkRange(buf, offset, len, "send");
+    checkPeer(dst, "send");
+    observer_.onSend(rank_, instr_, buf, offset, len, dst, tag,
+                     nextProvisional());
+}
+
+void
+VmContext::recv(Buffer buf, Bytes offset, Bytes len, Rank src,
+                Tag tag)
+{
+    checkRange(buf, offset, len, "recv");
+    checkPeer(src, "recv");
+    observer_.onRecv(rank_, instr_, buf, offset, len, src, tag,
+                     nextProvisional());
+}
+
+VmRequest
+VmContext::isend(Buffer buf, Bytes offset, Bytes len, Rank dst,
+                 Tag tag)
+{
+    checkRange(buf, offset, len, "isend");
+    checkPeer(dst, "isend");
+    const trace::RequestId req = nextRequest_++;
+    liveRequests_.push_back(req);
+    observer_.onISend(rank_, instr_, buf, offset, len, dst, tag,
+                      nextProvisional(), req);
+    return VmRequest{req};
+}
+
+VmRequest
+VmContext::irecv(Buffer buf, Bytes offset, Bytes len, Rank src,
+                 Tag tag)
+{
+    checkRange(buf, offset, len, "irecv");
+    checkPeer(src, "irecv");
+    const trace::RequestId req = nextRequest_++;
+    liveRequests_.push_back(req);
+    observer_.onIRecv(rank_, instr_, buf, offset, len, src, tag,
+                      nextProvisional(), req);
+    return VmRequest{req};
+}
+
+void
+VmContext::wait(VmRequest request)
+{
+    const auto it = std::find(liveRequests_.begin(),
+                              liveRequests_.end(), request.id);
+    if (it == liveRequests_.end())
+        fatal("wait: request ", request.id,
+              " is not outstanding on rank ", rank_);
+    liveRequests_.erase(it);
+    observer_.onWait(rank_, instr_, request.id);
+}
+
+void
+VmContext::waitAll()
+{
+    liveRequests_.clear();
+    observer_.onWaitAll(rank_, instr_);
+}
+
+void
+VmContext::barrier()
+{
+    observer_.onCollective(rank_, instr_, trace::CollOp::barrier, 0,
+                           0, 0);
+}
+
+void
+VmContext::broadcast(Bytes bytes, Rank root)
+{
+    checkRoot(root);
+    observer_.onCollective(rank_, instr_, trace::CollOp::broadcast,
+                           bytes, bytes, root);
+}
+
+void
+VmContext::reduce(Bytes bytes, Rank root)
+{
+    checkRoot(root);
+    observer_.onCollective(rank_, instr_, trace::CollOp::reduce,
+                           bytes, bytes, root);
+}
+
+void
+VmContext::allReduce(Bytes bytes)
+{
+    observer_.onCollective(rank_, instr_, trace::CollOp::allReduce,
+                           bytes, bytes, 0);
+}
+
+void
+VmContext::gather(Bytes bytes, Rank root)
+{
+    checkRoot(root);
+    observer_.onCollective(rank_, instr_, trace::CollOp::gather,
+                           bytes, bytes, root);
+}
+
+void
+VmContext::allGather(Bytes bytes)
+{
+    observer_.onCollective(rank_, instr_, trace::CollOp::allGather,
+                           bytes, bytes, 0);
+}
+
+void
+VmContext::scatter(Bytes bytes, Rank root)
+{
+    checkRoot(root);
+    observer_.onCollective(rank_, instr_, trace::CollOp::scatter,
+                           bytes, bytes, root);
+}
+
+void
+VmContext::allToAll(Bytes bytes)
+{
+    observer_.onCollective(rank_, instr_, trace::CollOp::allToAll,
+                           bytes, bytes, 0);
+}
+
+void
+VmContext::finish()
+{
+    if (!liveRequests_.empty()) {
+        fatal("rank ", rank_, " finished with ",
+              liveRequests_.size(),
+              " outstanding non-blocking requests");
+    }
+    observer_.onFinish(rank_, instr_);
+}
+
+void
+VmHost::run(int ranks, const RankProgram &program,
+            VmObserver &observer)
+{
+    ovlAssert(ranks > 0, "VmHost needs at least one rank");
+    ovlAssert(program != nullptr, "VmHost needs a program");
+    for (Rank r = 0; r < ranks; ++r) {
+        VmContext ctx(r, ranks, observer);
+        program(ctx);
+        ctx.finish();
+    }
+}
+
+} // namespace ovlsim::vm

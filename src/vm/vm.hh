@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Instruction-counting virtual machine with a mini-MPI API.
+ *
+ * This module replaces the paper's per-process Valgrind virtual
+ * machines. Each simulated rank runs a C++ "program" against a
+ * VmContext that exposes exactly the observables the paper's tracing
+ * tool extracts by binary instrumentation:
+ *
+ *  - an instruction counter advanced by compute() (time-stamps "in
+ *    terms of the number of instructions executed in computation
+ *    bursts"),
+ *  - registered communication buffers whose loads and stores are
+ *    reported at byte-range granularity (touchLoad / touchStore), and
+ *  - wrapped MPI-like calls (send/recv/isend/irecv/wait/collectives).
+ *
+ * The VM performs no timing and moves no data: ranks execute
+ * sequentially and independently, and an attached VmObserver — the
+ * tracing tool — turns the callback stream into traces.
+ */
+
+#ifndef OVLSIM_VM_VM_HH
+#define OVLSIM_VM_VM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+#include "util/types.hh"
+
+namespace ovlsim::vm {
+
+/** Handle to a registered communication buffer (rank-local). */
+struct Buffer
+{
+    std::uint32_t id = 0;
+    Bytes size = 0;
+};
+
+/** Handle to an outstanding non-blocking operation. */
+struct VmRequest
+{
+    trace::RequestId id = 0;
+};
+
+/**
+ * Provisional message id: identifies one endpoint of a message before
+ * the trace linker pairs senders with receivers.
+ */
+using ProvisionalId = std::uint64_t;
+
+/**
+ * Receiver of the VM's instrumentation stream; the tracing tool
+ * implements this. All callbacks carry the issuing rank and its
+ * current instruction counter.
+ */
+class VmObserver
+{
+  public:
+    virtual ~VmObserver() = default;
+
+    virtual void
+    onAllocBuffer(Rank, Instr, Buffer, const std::string &)
+    {}
+    virtual void onCompute(Rank, Instr, Instr) {}
+    virtual void onStore(Rank, Instr, Buffer, Bytes, Bytes) {}
+    virtual void onLoad(Rank, Instr, Buffer, Bytes, Bytes) {}
+    virtual void
+    onSend(Rank, Instr, Buffer, Bytes, Bytes, Rank, Tag,
+           ProvisionalId)
+    {}
+    virtual void
+    onRecv(Rank, Instr, Buffer, Bytes, Bytes, Rank, Tag,
+           ProvisionalId)
+    {}
+    virtual void
+    onISend(Rank, Instr, Buffer, Bytes, Bytes, Rank, Tag,
+            ProvisionalId, trace::RequestId)
+    {}
+    virtual void
+    onIRecv(Rank, Instr, Buffer, Bytes, Bytes, Rank, Tag,
+            ProvisionalId, trace::RequestId)
+    {}
+    virtual void onWait(Rank, Instr, trace::RequestId) {}
+    virtual void onWaitAll(Rank, Instr) {}
+    virtual void
+    onCollective(Rank, Instr, trace::CollOp, Bytes, Bytes, Rank)
+    {}
+    virtual void onFinish(Rank, Instr) {}
+};
+
+/**
+ * The per-rank execution context handed to application programs.
+ *
+ * All offsets are validated against buffer bounds; misuse raises
+ * FatalError (it is an application bug, caught at trace time just as
+ * Valgrind would catch it at run time).
+ */
+class VmContext
+{
+  public:
+    VmContext(Rank rank, int ranks, VmObserver &observer);
+
+    Rank rank() const { return rank_; }
+    int ranks() const { return ranks_; }
+
+    /** Current instruction counter. */
+    Instr now() const { return instr_; }
+
+    /** Execute `n` virtual instructions of opaque computation. */
+    void compute(Instr n);
+
+    /** Register a communication buffer of `bytes` bytes. */
+    Buffer allocBuffer(const std::string &name, Bytes bytes);
+
+    /** Report stores covering [offset, offset+len) of a buffer. */
+    void touchStore(Buffer buf, Bytes offset, Bytes len);
+
+    /** Report loads covering [offset, offset+len) of a buffer. */
+    void touchLoad(Buffer buf, Bytes offset, Bytes len);
+
+    /**
+     * Model a loop that computes and progressively stores a region:
+     * the region is written in `pieces` equal parts, each preceded by
+     * its share of `instr_per_byte * len` instructions.
+     */
+    void computeStore(Buffer buf, Bytes offset, Bytes len,
+                      double instr_per_byte, int pieces = 8);
+
+    /** Like computeStore, for a region that is progressively read. */
+    void computeLoad(Buffer buf, Bytes offset, Bytes len,
+                     double instr_per_byte, int pieces = 8);
+
+    /** Blocking standard send. */
+    void send(Buffer buf, Bytes offset, Bytes len, Rank dst,
+              Tag tag);
+
+    /** Blocking receive. */
+    void recv(Buffer buf, Bytes offset, Bytes len, Rank src,
+              Tag tag);
+
+    /** Non-blocking send; complete with wait()/waitAll(). */
+    VmRequest isend(Buffer buf, Bytes offset, Bytes len, Rank dst,
+                    Tag tag);
+
+    /** Non-blocking receive; complete with wait()/waitAll(). */
+    VmRequest irecv(Buffer buf, Bytes offset, Bytes len, Rank src,
+                    Tag tag);
+
+    /** Complete one outstanding request. */
+    void wait(VmRequest request);
+
+    /** Complete all outstanding requests. */
+    void waitAll();
+
+    /** Collectives over all ranks. */
+    void barrier();
+    void broadcast(Bytes bytes, Rank root);
+    void reduce(Bytes bytes, Rank root);
+    void allReduce(Bytes bytes);
+    void gather(Bytes bytes, Rank root);
+    void allGather(Bytes bytes);
+    void scatter(Bytes bytes, Rank root);
+    void allToAll(Bytes bytes);
+
+    /** Called by the host after the program returns. */
+    void finish();
+
+  private:
+    void checkRange(Buffer buf, Bytes offset, Bytes len,
+                    const char *what) const;
+    void checkPeer(Rank peer, const char *what) const;
+    void checkRoot(Rank root) const;
+    ProvisionalId nextProvisional();
+
+    Rank rank_;
+    int ranks_;
+    VmObserver &observer_;
+    Instr instr_ = 0;
+    std::uint32_t nextBuffer_ = 1;
+    std::vector<Bytes> bufferSizes_;
+    trace::RequestId nextRequest_ = 1;
+    std::uint64_t nextMessageSeq_ = 1;
+    std::vector<trace::RequestId> liveRequests_;
+};
+
+/** A rank's program: plain C++ run against the context. */
+using RankProgram = std::function<void(VmContext &)>;
+
+/**
+ * Runs one virtual machine per rank, sequentially and
+ * deterministically, feeding a shared observer.
+ */
+class VmHost
+{
+  public:
+    /**
+     * Execute `program` for every rank in [0, ranks).
+     *
+     * @param ranks number of simulated processes
+     * @param program per-rank entry point (receives the context)
+     * @param observer instrumentation sink (the tracing tool)
+     */
+    static void run(int ranks, const RankProgram &program,
+                    VmObserver &observer);
+};
+
+} // namespace ovlsim::vm
+
+#endif // OVLSIM_VM_VM_HH

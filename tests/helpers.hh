@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared fixtures and mini-applications for the test suite.
+ */
+
+#ifndef OVLSIM_TESTS_HELPERS_HH
+#define OVLSIM_TESTS_HELPERS_HH
+
+#include <string>
+
+#include "sim/platform.hh"
+#include "trace/trace.hh"
+#include "tracer/tracer.hh"
+#include "vm/vm.hh"
+
+namespace ovlsim::testing {
+
+/**
+ * Two-rank producer/consumer: rank 0 computes `instr` instructions
+ * while storing a `bytes`-sized buffer uniformly, then sends it;
+ * rank 1 receives and consumes it uniformly across `instr`
+ * instructions. The analytically simplest overlap scenario.
+ */
+inline vm::RankProgram
+producerConsumer(Bytes bytes, Instr instr, int pieces = 8)
+{
+    return [bytes, instr, pieces](vm::VmContext &ctx) {
+        if (ctx.rank() == 0) {
+            const auto buf = ctx.allocBuffer("payload", bytes);
+            ctx.computeStore(buf, 0, bytes,
+                             static_cast<double>(instr) /
+                                 static_cast<double>(bytes),
+                             pieces);
+            ctx.send(buf, 0, bytes, 1, 7);
+        } else if (ctx.rank() == 1) {
+            const auto buf = ctx.allocBuffer("payload", bytes);
+            ctx.recv(buf, 0, bytes, 0, 7);
+            ctx.computeLoad(buf, 0, bytes,
+                            static_cast<double>(instr) /
+                                static_cast<double>(bytes),
+                            pieces);
+        } else {
+            ctx.compute(1);
+        }
+    };
+}
+
+/**
+ * Two-rank pack-at-end variant: production happens in a tiny copy
+ * loop right before the send and consumption in a tiny unpack right
+ * after the receive (the pessimal "real" pattern).
+ */
+inline vm::RankProgram
+packedExchange(Bytes bytes, Instr instr)
+{
+    return [bytes, instr](vm::VmContext &ctx) {
+        if (ctx.rank() == 0) {
+            const auto buf = ctx.allocBuffer("payload", bytes);
+            ctx.compute(instr);
+            ctx.computeStore(buf, 0, bytes, 0.1, 4);
+            ctx.send(buf, 0, bytes, 1, 9);
+        } else if (ctx.rank() == 1) {
+            const auto buf = ctx.allocBuffer("payload", bytes);
+            ctx.recv(buf, 0, bytes, 0, 9);
+            ctx.computeLoad(buf, 0, bytes, 0.1, 4);
+            ctx.compute(instr);
+        } else {
+            ctx.compute(1);
+        }
+    };
+}
+
+/** Symmetric ring exchange over `ranks` ranks, `iters` iterations. */
+inline vm::RankProgram
+ringExchange(Bytes bytes, Instr instr, int iters)
+{
+    return [bytes, instr, iters](vm::VmContext &ctx) {
+        const Rank right = (ctx.rank() + 1) % ctx.ranks();
+        const Rank left =
+            (ctx.rank() + ctx.ranks() - 1) % ctx.ranks();
+        const auto sbuf = ctx.allocBuffer("ring-send", bytes);
+        const auto rbuf = ctx.allocBuffer("ring-recv", bytes);
+        for (int it = 0; it < iters; ++it) {
+            ctx.compute(instr);
+            ctx.computeStore(sbuf, 0, bytes, 0.2, 4);
+            ctx.send(sbuf, 0, bytes, right, 5);
+            ctx.recv(rbuf, 0, bytes, left, 5);
+            ctx.touchLoad(rbuf, 0, bytes);
+        }
+    };
+}
+
+/** Trace the program with compact defaults. */
+inline tracer::TraceBundle
+traceOf(int ranks, const vm::RankProgram &program,
+        const std::string &name = "test-app")
+{
+    tracer::TracerConfig config;
+    config.appName = name;
+    return tracer::traceApplication(ranks, program, config);
+}
+
+/** Platform with a specific bandwidth, everything else default. */
+inline sim::PlatformConfig
+platformAt(double bandwidth_mbps)
+{
+    auto platform = sim::platforms::defaultCluster();
+    platform.bandwidthMBps = bandwidth_mbps;
+    return platform;
+}
+
+} // namespace ovlsim::testing
+
+#endif // OVLSIM_TESTS_HELPERS_HH

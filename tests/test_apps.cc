@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the proxy-application suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/app.hh"
+#include "sim/engine.hh"
+#include "tests/helpers.hh"
+#include "trace/trace_stats.hh"
+#include "trace/validate.hh"
+#include "tracer/tracer.hh"
+#include "util/logging.hh"
+
+namespace ovlsim::apps {
+namespace {
+
+TEST(RegistryTest, ContainsTheSixPaperApplications)
+{
+    const auto names = appNames();
+    const std::set<std::string> expected{
+        "nas-bt", "nas-cg", "pop", "alya", "specfem", "sweep3d"};
+    EXPECT_EQ(std::set<std::string>(names.begin(), names.end()),
+              expected);
+}
+
+TEST(RegistryTest, FindAppWorksAndFailsLoudly)
+{
+    EXPECT_EQ(findApp("sweep3d").name(), "sweep3d");
+    EXPECT_THROW(findApp("does-not-exist"), FatalError);
+}
+
+TEST(RegistryTest, DescriptionsAndDefaultsAreSane)
+{
+    for (const auto *app : appRegistry()) {
+        EXPECT_FALSE(app->description().empty());
+        const auto params = app->defaults();
+        EXPECT_GE(params.ranks, 2);
+        EXPECT_GE(params.iterations, 1);
+        EXPECT_NO_THROW(app->validate(params));
+    }
+}
+
+TEST(ParamValidationTest, RejectsBadCommonParams)
+{
+    const auto &app = findApp("nas-bt");
+    auto params = app.defaults();
+    params.ranks = 1;
+    EXPECT_THROW(app.validate(params), FatalError);
+    params = app.defaults();
+    params.iterations = 0;
+    EXPECT_THROW(app.validate(params), FatalError);
+    params = app.defaults();
+    params.computeScale = 0.0;
+    EXPECT_THROW(app.validate(params), FatalError);
+}
+
+TEST(ParamValidationTest, CgRequiresSquareRankCount)
+{
+    const auto &cg = findApp("nas-cg");
+    auto params = cg.defaults();
+    params.ranks = 12;
+    EXPECT_THROW(cg.validate(params), FatalError);
+    params.ranks = 25;
+    EXPECT_NO_THROW(cg.validate(params));
+}
+
+TEST(Grid2DTest, ClosestFactorsAreBalancedAndExact)
+{
+    for (const int ranks : {2, 4, 6, 9, 12, 16, 24, 36, 64}) {
+        const auto grid = Grid2D::closestFactors(ranks);
+        EXPECT_EQ(grid.px * grid.py, ranks);
+        EXPECT_LE(grid.py, grid.px);
+        EXPECT_GE(grid.py, 1);
+    }
+    const auto grid = Grid2D::closestFactors(16);
+    EXPECT_EQ(grid.px, 4);
+    EXPECT_EQ(grid.py, 4);
+}
+
+TEST(Grid2DTest, CoordinateRoundTrip)
+{
+    const auto grid = Grid2D::closestFactors(12);
+    for (Rank r = 0; r < 12; ++r) {
+        EXPECT_EQ(grid.at(grid.x(r), grid.y(r)), r);
+        EXPECT_TRUE(grid.inside(grid.x(r), grid.y(r)));
+    }
+    EXPECT_FALSE(grid.inside(-1, 0));
+    EXPECT_FALSE(grid.inside(grid.px, 0));
+}
+
+TEST(HelpersTest, ScaleGuards)
+{
+    EXPECT_EQ(scaleBytes(100, 2.0), 200u);
+    EXPECT_EQ(scaleBytes(1, 0.0001), 1u);
+    EXPECT_EQ(scaleInstr(100.0, 3.0), 300u);
+    EXPECT_EQ(scaleInstr(0.0, 1.0), 1u);
+}
+
+/** Per-application tracing sweep. */
+class AppTraceTest
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    tracer::TraceBundle
+    traceDefaults()
+    {
+        const auto &app = findApp(GetParam());
+        auto params = app.defaults();
+        params.iterations = std::min(params.iterations, 2);
+        tracer::TracerConfig config;
+        config.appName = app.name();
+        return tracer::traceApplication(
+            params.ranks, app.program(params), config);
+    }
+};
+
+TEST_P(AppTraceTest, ProducesValidTraces)
+{
+    const auto bundle = traceDefaults();
+    const auto report = trace::validateTraceSet(bundle.traces);
+    EXPECT_TRUE(report.valid()) << report.toString();
+}
+
+TEST_P(AppTraceTest, EveryRankComputesAndCommunicates)
+{
+    const auto bundle = traceDefaults();
+    const auto stats = trace::computeTraceStats(bundle.traces);
+    for (const auto &rs : stats.perRank) {
+        EXPECT_GT(rs.instructions, 0u) << "rank " << rs.rank;
+        EXPECT_GT(rs.sends + rs.recvs + rs.collectives, 0u)
+            << "rank " << rs.rank;
+    }
+    EXPECT_GT(stats.totalMessages, 0u);
+}
+
+TEST_P(AppTraceTest, OverlapMetadataCoversAllMessages)
+{
+    const auto bundle = traceDefaults();
+    EXPECT_EQ(bundle.overlap.size(),
+              bundle.traces.totalMessages());
+    for (const auto &[id, info] : bundle.overlap.all()) {
+        EXPECT_GT(info.bytes, 0u);
+        EXPECT_LE(info.prodWindowBegin, info.sendInstr);
+        EXPECT_LE(info.recvInstr, info.consWindowEnd);
+    }
+}
+
+TEST_P(AppTraceTest, TracingIsDeterministic)
+{
+    const auto a = traceDefaults();
+    const auto b = traceDefaults();
+    ASSERT_EQ(a.traces.ranks(), b.traces.ranks());
+    for (Rank r = 0; r < a.traces.ranks(); ++r) {
+        const auto &ra = a.traces.rankTrace(r).records();
+        const auto &rb = b.traces.rankTrace(r).records();
+        ASSERT_EQ(ra.size(), rb.size());
+        for (std::size_t i = 0; i < ra.size(); ++i) {
+            EXPECT_EQ(trace::recordToString(ra[i]),
+                      trace::recordToString(rb[i]));
+        }
+    }
+}
+
+TEST_P(AppTraceTest, ReplaysWithoutDeadlock)
+{
+    const auto bundle = traceDefaults();
+    const auto result = sim::simulate(
+        bundle.traces, sim::platforms::defaultCluster());
+    EXPECT_GT(result.totalTime.ns(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApplications, AppTraceTest,
+    ::testing::Values("nas-bt", "nas-cg", "pop", "alya",
+                      "specfem", "sweep3d"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(AlyaTest, TopologyIsSeedDeterministic)
+{
+    const auto &alya = findApp("alya");
+    auto params = alya.defaults();
+    params.iterations = 1;
+
+    tracer::TracerConfig config;
+    const auto a = tracer::traceApplication(
+        params.ranks, alya.program(params), config);
+    const auto b = tracer::traceApplication(
+        params.ranks, alya.program(params), config);
+    EXPECT_EQ(a.traces.totalSentBytes(),
+              b.traces.totalSentBytes());
+
+    params.seed = 777;
+    const auto c = tracer::traceApplication(
+        params.ranks, alya.program(params), config);
+    EXPECT_NE(a.traces.totalSentBytes(),
+              c.traces.totalSentBytes());
+}
+
+TEST(MessageScaleTest, ScalesTrafficNotWork)
+{
+    const auto &app = findApp("specfem");
+    auto params = app.defaults();
+    params.iterations = 1;
+    const auto base = tracer::traceApplication(
+        params.ranks, app.program(params), {});
+    params.messageScale = 2.0;
+    const auto doubled = tracer::traceApplication(
+        params.ranks, app.program(params), {});
+    EXPECT_NEAR(static_cast<double>(
+                    doubled.traces.totalSentBytes()),
+                2.0 * static_cast<double>(
+                          base.traces.totalSentBytes()),
+                static_cast<double>(
+                    base.traces.totalSentBytes()) *
+                    0.01);
+}
+
+TEST(ComputeScaleTest, ScalesWork)
+{
+    const auto &app = findApp("nas-bt");
+    auto params = app.defaults();
+    params.iterations = 1;
+    const auto base = tracer::traceApplication(
+        params.ranks, app.program(params), {});
+    params.computeScale = 2.0;
+    const auto doubled = tracer::traceApplication(
+        params.ranks, app.program(params), {});
+
+    const auto base_instr =
+        trace::computeTraceStats(base.traces)
+            .totalInstructions;
+    const auto doubled_instr =
+        trace::computeTraceStats(doubled.traces)
+            .totalInstructions;
+    EXPECT_GT(doubled_instr,
+              base_instr + base_instr / 2);
+}
+
+} // namespace
+} // namespace ovlsim::apps

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Property tests for the replay engine: invariants that must hold
+ * for every workload shape on every platform configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "sim/engine.hh"
+#include "tests/helpers.hh"
+#include "trace/trace_stats.hh"
+#include "tracer/tracer.hh"
+
+namespace ovlsim::sim {
+namespace {
+
+/** Workload shapes exercised by the sweep. */
+vm::RankProgram
+workloadByName(const std::string &name)
+{
+    if (name == "producer_consumer")
+        return ovlsim::testing::producerConsumer(128 * 1024,
+                                                 500'000, 8);
+    if (name == "packed")
+        return ovlsim::testing::packedExchange(128 * 1024,
+                                               500'000);
+    if (name == "ring")
+        return ovlsim::testing::ringExchange(64 * 1024, 300'000,
+                                             3);
+    return [](vm::VmContext &ctx) {
+        // all-to-all style: everyone exchanges with everyone via
+        // collectives plus a barrier-paced loop.
+        for (int it = 0; it < 3; ++it) {
+            ctx.compute(100'000);
+            ctx.allToAll(4096);
+            ctx.compute(50'000);
+            ctx.barrier();
+        }
+    };
+}
+
+int
+ranksFor(const std::string &workload)
+{
+    return workload == "producer_consumer" ||
+                   workload == "packed"
+               ? 2
+               : 4;
+}
+
+using PropertyParam =
+    std::tuple<std::string, double, double, int>;
+
+std::string
+propertyParamName(
+    const ::testing::TestParamInfo<PropertyParam> &info)
+{
+    const auto &[workload, mbps, latency, buses] = info.param;
+    std::string name = workload + "_bw" +
+        std::to_string(static_cast<int>(mbps)) + "_lat" +
+        std::to_string(static_cast<int>(latency * 10)) +
+        "_bus" + std::to_string(buses);
+    return name;
+}
+
+class EnginePropertyTest
+    : public ::testing::TestWithParam<PropertyParam>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto &[workload, mbps, latency, buses] = GetParam();
+        bundle_ = ovlsim::testing::traceOf(
+            ranksFor(workload), workloadByName(workload),
+            workload);
+        platform_ = platforms::defaultCluster();
+        platform_.bandwidthMBps = mbps;
+        platform_.latencyUs = latency;
+        platform_.buses = buses;
+    }
+
+    tracer::TraceBundle bundle_;
+    PlatformConfig platform_;
+};
+
+TEST_P(EnginePropertyTest, TimeAccountingIsExact)
+{
+    const auto result = simulate(bundle_.traces, platform_);
+    for (const auto &rr : result.perRank) {
+        // Every nanosecond of a rank's lifetime is either compute
+        // or one of the blocked states.
+        EXPECT_EQ(rr.endTime.ns(),
+                  (rr.computeTime + rr.blockedTime()).ns())
+            << "rank " << rr.rank;
+    }
+}
+
+TEST_P(EnginePropertyTest, TotalTimeBoundsHold)
+{
+    const auto result = simulate(bundle_.traces, platform_);
+    // The app can never finish before its longest compute-only
+    // rank would.
+    SimTime longest_compute = SimTime::zero();
+    for (Rank r = 0; r < bundle_.traces.ranks(); ++r) {
+        const auto compute = platform_.burstDuration(
+            bundle_.traces.rankTrace(r).totalInstructions(),
+            bundle_.traces.mips());
+        if (compute > longest_compute)
+            longest_compute = compute;
+    }
+    EXPECT_GE(result.totalTime.ns(), longest_compute.ns());
+    // And totalTime is exactly the latest rank end.
+    SimTime latest = SimTime::zero();
+    for (const auto &rr : result.perRank)
+        latest = std::max(latest, rr.endTime);
+    EXPECT_EQ(result.totalTime.ns(), latest.ns());
+}
+
+TEST_P(EnginePropertyTest, MessageConservation)
+{
+    const auto result = simulate(bundle_.traces, platform_);
+    const auto stats =
+        trace::computeTraceStats(bundle_.traces);
+
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    Bytes bytes = 0;
+    for (const auto &rr : result.perRank) {
+        sent += rr.messagesSent;
+        received += rr.messagesReceived;
+        bytes += rr.bytesSent;
+    }
+    EXPECT_EQ(sent, stats.totalMessages);
+    EXPECT_EQ(received, stats.totalMessages);
+    EXPECT_EQ(bytes, stats.totalBytes);
+    EXPECT_EQ(result.transfers, stats.totalMessages);
+}
+
+TEST_P(EnginePropertyTest, DeterministicReplay)
+{
+    const auto a = simulate(bundle_.traces, platform_);
+    const auto b = simulate(bundle_.traces, platform_);
+    EXPECT_EQ(a.totalTime.ns(), b.totalTime.ns());
+    EXPECT_EQ(a.eventsProcessed, b.eventsProcessed);
+    for (std::size_t r = 0; r < a.perRank.size(); ++r) {
+        EXPECT_EQ(a.perRank[r].endTime.ns(),
+                  b.perRank[r].endTime.ns());
+    }
+}
+
+TEST_P(EnginePropertyTest, TimelineMatchesAccounting)
+{
+    auto platform = platform_;
+    platform.captureTimeline = true;
+    const auto result = simulate(bundle_.traces, platform);
+    for (const auto &rr : result.perRank) {
+        EXPECT_EQ(result.timeline
+                      .timeInState(rr.rank,
+                                   RankState::compute)
+                      .ns(),
+                  rr.computeTime.ns());
+        const auto blocked =
+            result.timeline.timeInState(
+                rr.rank, RankState::sendBlocked) +
+            result.timeline.timeInState(
+                rr.rank, RankState::recvBlocked) +
+            result.timeline.timeInState(
+                rr.rank, RankState::waitBlocked) +
+            result.timeline.timeInState(
+                rr.rank, RankState::collective);
+        EXPECT_EQ(blocked.ns(), rr.blockedTime().ns());
+    }
+}
+
+TEST_P(EnginePropertyTest, MoreBandwidthNeverHurts)
+{
+    const auto base = simulate(bundle_.traces, platform_);
+    auto faster = platform_;
+    faster.bandwidthMBps = platform_.bandwidthMBps * 4.0;
+    const auto result = simulate(bundle_.traces, faster);
+    EXPECT_LE(result.totalTime.ns(), base.totalTime.ns());
+}
+
+TEST_P(EnginePropertyTest, LessLatencyNeverHurts)
+{
+    const auto base = simulate(bundle_.traces, platform_);
+    auto faster = platform_;
+    faster.latencyUs = platform_.latencyUs / 4.0;
+    const auto result = simulate(bundle_.traces, faster);
+    EXPECT_LE(result.totalTime.ns(), base.totalTime.ns());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsAcrossPlatforms, EnginePropertyTest,
+    ::testing::Combine(
+        ::testing::Values("producer_consumer", "packed", "ring",
+                          "collectives"),
+        ::testing::Values(8.0, 256.0, 8192.0),
+        ::testing::Values(0.5, 8.0, 50.0),
+        ::testing::Values(0, 1, 4)),
+    propertyParamName);
+
+} // namespace
+} // namespace ovlsim::sim

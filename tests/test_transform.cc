@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Unit and property tests for the overlap transformation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "core/transform.hh"
+#include "sim/engine.hh"
+#include "tests/helpers.hh"
+#include "trace/trace_stats.hh"
+#include "trace/validate.hh"
+#include "util/logging.hh"
+
+namespace ovlsim::core {
+namespace {
+
+TransformConfig
+makeConfig(PatternModel pattern, Mechanism mechanism,
+           std::size_t chunks)
+{
+    TransformConfig config;
+    config.pattern = pattern;
+    config.mechanism = mechanism;
+    config.chunks = chunks;
+    return config;
+}
+
+TEST(ChunkCountTest, RespectsMinChunkBytes)
+{
+    TransformConfig config;
+    config.chunks = 16;
+    config.minChunkBytes = 1024;
+    EXPECT_EQ(chunkCountFor(100, config), 1u);
+    EXPECT_EQ(chunkCountFor(1024, config), 1u);
+    EXPECT_EQ(chunkCountFor(4096, config), 4u);
+    EXPECT_EQ(chunkCountFor(1 << 20, config), 16u);
+}
+
+TEST(ChunkCountTest, AlwaysAtLeastOne)
+{
+    TransformConfig config;
+    config.chunks = 1;
+    EXPECT_EQ(chunkCountFor(1, config), 1u);
+}
+
+TEST(TransformLabelTest, EncodesSettings)
+{
+    const auto config = makeConfig(PatternModel::idealLinear,
+                                   Mechanism::sendSide, 8);
+    EXPECT_EQ(config.label(), "ideal/send-side/8");
+    EXPECT_STREQ(patternModelName(PatternModel::real), "real");
+    EXPECT_STREQ(mechanismName(Mechanism::both), "both");
+}
+
+TEST(TransformTest, NoMetadataLeavesTraceIdentical)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::packedExchange(64 * 1024, 100'000));
+    const trace::OverlapSet empty;
+    const auto result = buildOverlappedTrace(
+        bundle.traces, empty, TransformConfig{});
+    EXPECT_EQ(result.chunkedMessages, 0u);
+    ASSERT_EQ(result.traces.ranks(), bundle.traces.ranks());
+    for (Rank r = 0; r < bundle.traces.ranks(); ++r) {
+        const auto &a = bundle.traces.rankTrace(r).records();
+        const auto &b = result.traces.rankTrace(r).records();
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(trace::recordToString(a[i]),
+                      trace::recordToString(b[i]));
+        }
+    }
+}
+
+TEST(TransformTest, ChunkBytesSumToOriginal)
+{
+    const Bytes bytes = 100'000; // not divisible by 16
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(bytes, 500'000));
+    const auto result = buildOverlappedTrace(
+        bundle.traces, bundle.overlap,
+        makeConfig(PatternModel::real, Mechanism::both, 16));
+
+    Bytes chunked = 0;
+    std::size_t isends = 0;
+    for (const auto &rec :
+         result.traces.rankTrace(0).records()) {
+        if (const auto *is_ =
+                std::get_if<trace::ISendRec>(&rec)) {
+            chunked += is_->bytes;
+            ++isends;
+        }
+    }
+    EXPECT_EQ(chunked, bytes);
+    EXPECT_EQ(isends, result.totalChunks);
+}
+
+TEST(TransformTest, InstructionTotalsPreserved)
+{
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 400'000, 2));
+    const auto result = buildOverlappedTrace(
+        bundle.traces, bundle.overlap,
+        makeConfig(PatternModel::idealLinear, Mechanism::both,
+                   8));
+    for (Rank r = 0; r < 4; ++r) {
+        EXPECT_EQ(
+            result.traces.rankTrace(r).totalInstructions(),
+            bundle.traces.rankTrace(r).totalInstructions())
+            << "rank " << r;
+    }
+}
+
+TEST(TransformTest, TransformedTraceValidates)
+{
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 400'000, 2));
+    const auto result = buildOverlappedTrace(
+        bundle.traces, bundle.overlap,
+        makeConfig(PatternModel::real, Mechanism::both, 16));
+    const auto report = trace::validateTraceSet(result.traces);
+    EXPECT_TRUE(report.valid()) << report.toString();
+}
+
+TEST(TransformTest, RecvBecomesIrecvPostsPlusWaits)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(64 * 1024, 500'000, 8));
+    const auto result = buildOverlappedTrace(
+        bundle.traces, bundle.overlap,
+        makeConfig(PatternModel::real, Mechanism::both, 8));
+
+    std::size_t irecvs = 0;
+    std::size_t waits = 0;
+    bool saw_blocking_recv = false;
+    for (const auto &rec :
+         result.traces.rankTrace(1).records()) {
+        if (std::holds_alternative<trace::IRecvRec>(rec))
+            ++irecvs;
+        else if (std::holds_alternative<trace::WaitRec>(rec))
+            ++waits;
+        else if (std::holds_alternative<trace::RecvRec>(rec))
+            saw_blocking_recv = true;
+    }
+    EXPECT_EQ(irecvs, 8u);
+    EXPECT_EQ(waits, 8u);
+    EXPECT_FALSE(saw_blocking_recv);
+}
+
+TEST(TransformTest, IdealWaitsSpreadAcrossConsumingBurst)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::packedExchange(64 * 1024, 1'000'000));
+    const auto result = buildOverlappedTrace(
+        bundle.traces, bundle.overlap,
+        makeConfig(PatternModel::idealLinear, Mechanism::both,
+                   8));
+
+    // In the ideal trace the receiver's waits are separated by
+    // computation bursts; in the real (pack) trace they cluster at
+    // the receive point.
+    bool burst_between_waits = false;
+    bool prev_was_wait = false;
+    for (const auto &rec :
+         result.traces.rankTrace(1).records()) {
+        if (std::holds_alternative<trace::WaitRec>(rec)) {
+            prev_was_wait = true;
+        } else if (std::holds_alternative<trace::CpuBurst>(rec)) {
+            if (prev_was_wait)
+                burst_between_waits = true;
+            prev_was_wait = false;
+        } else {
+            prev_was_wait = false;
+        }
+    }
+    EXPECT_TRUE(burst_between_waits);
+}
+
+TEST(TransformTest, AppTagsCollidingWithChunkSpaceAreRejected)
+{
+    const auto program = [](vm::VmContext &ctx) {
+        const auto buf = ctx.allocBuffer("b", 1024);
+        if (ctx.rank() == 0) {
+            ctx.touchStore(buf, 0, 1024);
+            ctx.send(buf, 0, 1024, 1, (1 << 20) + 5);
+        } else {
+            ctx.recv(buf, 0, 1024, 0, (1 << 20) + 5);
+        }
+    };
+    const auto bundle = tracer::traceApplication(2, program, {});
+    EXPECT_THROW(buildOverlappedTrace(bundle.traces,
+                                      bundle.overlap,
+                                      TransformConfig{}),
+                 PanicError);
+}
+
+TEST(TransformBehaviorTest, UniformPatternOverlapsAtBalance)
+{
+    // Producer/consumer with transfer time comparable to compute:
+    // chunked overlap must pipeline production, transfer and
+    // consumption, giving a clear speedup.
+    const Bytes bytes = 256 * 1024;
+    const Instr work = 1'000'000;
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(bytes, work, 16));
+    const auto platform = testing::platformAt(256.0);
+
+    const auto original = sim::simulate(bundle.traces, platform);
+    const auto real = buildOverlappedTrace(
+        bundle.traces, bundle.overlap,
+        makeConfig(PatternModel::real, Mechanism::both, 16));
+    const auto overlapped =
+        sim::simulate(real.traces, platform);
+
+    const double speedup =
+        static_cast<double>(original.totalTime.ns()) /
+        static_cast<double>(overlapped.totalTime.ns());
+    EXPECT_GT(speedup, 1.3);
+}
+
+TEST(TransformBehaviorTest, PackedPatternGainsLittle)
+{
+    const Bytes bytes = 256 * 1024;
+    const Instr work = 1'000'000;
+    const auto bundle = testing::traceOf(
+        2, testing::packedExchange(bytes, work));
+    const auto platform = testing::platformAt(256.0);
+
+    const auto original = sim::simulate(bundle.traces, platform);
+    const auto real = buildOverlappedTrace(
+        bundle.traces, bundle.overlap,
+        makeConfig(PatternModel::real, Mechanism::both, 16));
+    const auto overlapped =
+        sim::simulate(real.traces, platform);
+
+    const double speedup =
+        static_cast<double>(original.totalTime.ns()) /
+        static_cast<double>(overlapped.totalTime.ns());
+    EXPECT_LT(speedup, 1.10);
+    EXPECT_GT(speedup, 0.90);
+}
+
+TEST(TransformBehaviorTest, IdealRescuesPackedPattern)
+{
+    const Bytes bytes = 256 * 1024;
+    const Instr work = 1'000'000;
+    const auto bundle = testing::traceOf(
+        2, testing::packedExchange(bytes, work));
+    const auto platform = testing::platformAt(256.0);
+
+    const auto original = sim::simulate(bundle.traces, platform);
+    const auto ideal = buildOverlappedTrace(
+        bundle.traces, bundle.overlap,
+        makeConfig(PatternModel::idealLinear, Mechanism::both,
+                   16));
+    const auto overlapped =
+        sim::simulate(ideal.traces, platform);
+
+    const double speedup =
+        static_cast<double>(original.totalTime.ns()) /
+        static_cast<double>(overlapped.totalTime.ns());
+    EXPECT_GT(speedup, 1.3);
+}
+
+TEST(TransformBehaviorTest, MechanismsComposeAtLeastAsWell)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(256 * 1024, 1'000'000, 16));
+    const auto platform = testing::platformAt(256.0);
+
+    std::map<Mechanism, double> time;
+    for (const auto mechanism :
+         {Mechanism::sendSide, Mechanism::recvSide,
+          Mechanism::both}) {
+        const auto result = buildOverlappedTrace(
+            bundle.traces, bundle.overlap,
+            makeConfig(PatternModel::idealLinear, mechanism,
+                       16));
+        time[mechanism] = static_cast<double>(
+            sim::simulate(result.traces, platform)
+                .totalTime.ns());
+    }
+    // The full mechanism is no slower than either half (small
+    // tolerance for protocol rounding).
+    EXPECT_LE(time[Mechanism::both],
+              time[Mechanism::sendSide] * 1.02);
+    EXPECT_LE(time[Mechanism::both],
+              time[Mechanism::recvSide] * 1.02);
+}
+
+// ----------------------------------------------------------------
+// Property sweep: every pattern x mechanism x chunk count must
+// yield a structurally valid trace that preserves work and bytes
+// and replays without deadlock in reasonable time.
+// ----------------------------------------------------------------
+
+using SweepParam =
+    std::tuple<PatternModel, Mechanism, std::size_t>;
+
+std::string
+sweepParamName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    std::string name =
+        patternModelName(std::get<0>(info.param));
+    name += "_";
+    name += mechanismName(std::get<1>(info.param));
+    name += "_" + std::to_string(std::get<2>(info.param));
+    for (auto &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
+}
+
+class TransformSweepTest
+    : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(TransformSweepTest, PreservesInvariants)
+{
+    const auto [pattern, mechanism, chunks] = GetParam();
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(96 * 1024, 600'000, 2));
+
+    const auto result = buildOverlappedTrace(
+        bundle.traces, bundle.overlap,
+        makeConfig(pattern, mechanism, chunks));
+
+    // Structural validity.
+    const auto report = trace::validateTraceSet(result.traces);
+    ASSERT_TRUE(report.valid()) << report.toString();
+
+    // Work and byte conservation.
+    const auto before = trace::computeTraceStats(bundle.traces);
+    const auto after = trace::computeTraceStats(result.traces);
+    EXPECT_EQ(after.totalInstructions, before.totalInstructions);
+    EXPECT_EQ(after.totalBytes, before.totalBytes);
+
+    // Replays to completion, and not pathologically slower than
+    // the original.
+    const auto platform = testing::platformAt(256.0);
+    const auto original = sim::simulate(bundle.traces, platform);
+    const auto overlapped =
+        sim::simulate(result.traces, platform);
+    EXPECT_GT(overlapped.totalTime.ns(), 0);
+    EXPECT_LE(static_cast<double>(overlapped.totalTime.ns()),
+              static_cast<double>(original.totalTime.ns()) *
+                  1.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternMechanismChunks, TransformSweepTest,
+    ::testing::Combine(
+        ::testing::Values(PatternModel::real,
+                          PatternModel::idealLinear),
+        ::testing::Values(Mechanism::sendSide,
+                          Mechanism::recvSide, Mechanism::both),
+        ::testing::Values(std::size_t{1}, std::size_t{4},
+                          std::size_t{16}, std::size_t{64})),
+    sweepParamName);
+
+} // namespace
+} // namespace ovlsim::core

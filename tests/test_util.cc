@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Unit tests for the util substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+#include "util/options.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "util/types.hh"
+
+namespace ovlsim {
+namespace {
+
+TEST(SimTimeTest, ConstructionAndAccessors)
+{
+    EXPECT_EQ(SimTime::zero().ns(), 0);
+    EXPECT_EQ(SimTime::fromNs(1234).ns(), 1234);
+    EXPECT_EQ(SimTime::fromUs(2.5).ns(), 2500);
+    EXPECT_EQ(SimTime::fromSeconds(1e-6).ns(), 1000);
+    EXPECT_DOUBLE_EQ(SimTime::fromNs(1500).toUs(), 1.5);
+    EXPECT_DOUBLE_EQ(SimTime::fromNs(2'000'000'000).toSeconds(),
+                     2.0);
+}
+
+TEST(SimTimeTest, Arithmetic)
+{
+    const auto a = SimTime::fromNs(100);
+    const auto b = SimTime::fromNs(40);
+    EXPECT_EQ((a + b).ns(), 140);
+    EXPECT_EQ((a - b).ns(), 60);
+    EXPECT_EQ((b * 3).ns(), 120);
+    auto c = a;
+    c += b;
+    EXPECT_EQ(c.ns(), 140);
+    c -= b;
+    EXPECT_EQ(c.ns(), 100);
+}
+
+TEST(SimTimeTest, Comparison)
+{
+    EXPECT_LT(SimTime::fromNs(1), SimTime::fromNs(2));
+    EXPECT_EQ(SimTime::fromNs(5), SimTime::fromNs(5));
+    EXPECT_GT(SimTime::max(), SimTime::fromSeconds(1e6));
+}
+
+TEST(LoggingTest, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+}
+
+TEST(LoggingTest, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad input ", "x"), FatalError);
+}
+
+TEST(LoggingTest, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(ovlAssert(true, "fine"));
+    EXPECT_THROW(ovlAssert(false, "nope"), PanicError);
+}
+
+TEST(LoggingTest, LevelsRoundTrip)
+{
+    const auto old = logLevel();
+    setLogLevel(LogLevel::debug);
+    EXPECT_EQ(logLevel(), LogLevel::debug);
+    setLogLevel(old);
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+    EXPECT_THROW(rng.nextBelow(0), PanicError);
+}
+
+TEST(RngTest, NextInRangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, DoublesInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect)
+{
+    Rng rng(13);
+    OnlineStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.nextExponential(5.0));
+    EXPECT_NEAR(stats.mean(), 5.0, 0.25);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect)
+{
+    Rng rng(17);
+    OnlineStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.nextGaussian(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ShuffleIsPermutation)
+{
+    Rng rng(19);
+    std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+    auto shuffled = values;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SplitDecorrelates)
+{
+    Rng a(21);
+    Rng b = a.split();
+    EXPECT_NE(a(), b());
+}
+
+TEST(OnlineStatsTest, MatchesDirectComputation)
+{
+    const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+    OnlineStats stats;
+    for (const double x : xs)
+        stats.add(x);
+    EXPECT_EQ(stats.count(), xs.size());
+    EXPECT_DOUBLE_EQ(stats.sum(), 31.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 6.2);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 16.0);
+    double var = 0.0;
+    for (const double x : xs)
+        var += (x - 6.2) * (x - 6.2);
+    var /= static_cast<double>(xs.size());
+    EXPECT_NEAR(stats.variance(), var, 1e-12);
+}
+
+TEST(OnlineStatsTest, MergeEqualsSequential)
+{
+    OnlineStats all;
+    OnlineStats left;
+    OnlineStats right;
+    Rng rng(23);
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.nextDouble(0.0, 100.0);
+        all.add(x);
+        (i % 2 == 0 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStatsTest, EmptyGuards)
+{
+    OnlineStats stats;
+    EXPECT_EQ(stats.mean(), 0.0);
+    EXPECT_THROW(stats.min(), PanicError);
+    EXPECT_THROW(stats.max(), PanicError);
+}
+
+TEST(HistogramTest, BinningAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(3.9);
+    h.add(9.999);
+    h.add(10.0);
+    h.add(25.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(1), 4.0);
+    EXPECT_FALSE(h.render().empty());
+}
+
+TEST(HistogramTest, RejectsBadRanges)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), PanicError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), PanicError);
+}
+
+TEST(PercentileTest, InterpolatesLinearly)
+{
+    const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+    EXPECT_THROW(percentile({}, 50.0), PanicError);
+    EXPECT_THROW(percentile(xs, 101.0), PanicError);
+}
+
+TEST(GeometricMeanTest, Basics)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_THROW(geometricMean({}), PanicError);
+    EXPECT_THROW(geometricMean({1.0, -1.0}), PanicError);
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields)
+{
+    const auto fields = split("a,,b,", ',');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[2], "b");
+    EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringsTest, TrimAndCase)
+{
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(toLower("MiXeD"), "mixed");
+    EXPECT_TRUE(startsWith("ovlsim", "ovl"));
+    EXPECT_FALSE(startsWith("ovl", "ovlsim"));
+    EXPECT_TRUE(endsWith("trace.prv", ".prv"));
+    EXPECT_FALSE(endsWith("prv", "trace.prv"));
+}
+
+TEST(StringsTest, Strformat)
+{
+    EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strformat("%05.1f", 2.25), "002.2");
+}
+
+TEST(StringsTest, HumanReadable)
+{
+    EXPECT_EQ(humanBytes(512), "512 B");
+    EXPECT_EQ(humanBytes(2048), "2.00 KiB");
+    EXPECT_EQ(humanBytes(3 * 1024 * 1024ull), "3.00 MiB");
+    EXPECT_EQ(humanTime(SimTime::fromNs(500)), "500 ns");
+    EXPECT_EQ(humanTime(SimTime::fromUs(1.5)), "1.50 us");
+    EXPECT_EQ(humanTime(SimTime::fromUs(2500)), "2.50 ms");
+    EXPECT_EQ(humanTime(SimTime::fromSeconds(3.25)), "3.250 s");
+    EXPECT_EQ(humanRate(1.5e6), "1.5 MB/s");
+}
+
+TEST(StringsTest, ParseHelpers)
+{
+    EXPECT_EQ(parseInt(" -17 "), -17);
+    EXPECT_DOUBLE_EQ(parseDouble("2.5e3"), 2500.0);
+    EXPECT_TRUE(parseBool("Yes"));
+    EXPECT_FALSE(parseBool("off"));
+    EXPECT_THROW(parseInt("12x"), FatalError);
+    EXPECT_THROW(parseDouble(""), FatalError);
+    EXPECT_THROW(parseBool("maybe"), FatalError);
+}
+
+TEST(TableTest, AlignsColumns)
+{
+    TablePrinter table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"long-name", "234"});
+    const std::string out = table.toString();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Header row and underline plus two data rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TableTest, RejectsMismatchedRows)
+{
+    TablePrinter table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), PanicError);
+}
+
+TEST(CsvTest, QuotesSpecialCharacters)
+{
+    const std::string path = ::testing::TempDir() + "ovl_csv.csv";
+    {
+        CsvWriter csv(path, {"k", "v"});
+        csv.addRow({"plain", "has,comma"});
+        csv.addRow({"quote\"inside", "multi\nline"});
+    }
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(text.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(OptionsTest, DefaultsAndOverrides)
+{
+    Options options;
+    options.declare("bandwidth", "256", "network bandwidth");
+    options.declare("verbose", "false", "chatty output");
+    options.declare("name", "app", "application");
+    const char *argv[] = {"prog", "--bandwidth=512", "--verbose",
+                          "positional", "--name", "bt"};
+    options.parse(6, argv);
+    EXPECT_EQ(options.getInt("bandwidth"), 512);
+    EXPECT_TRUE(options.getBool("verbose"));
+    EXPECT_EQ(options.getString("name"), "bt");
+    ASSERT_EQ(options.positional().size(), 1u);
+    EXPECT_EQ(options.positional()[0], "positional");
+    EXPECT_TRUE(options.supplied("bandwidth"));
+}
+
+TEST(OptionsTest, UnknownOptionFails)
+{
+    Options options;
+    options.declare("known", "1", "known option");
+    const char *argv[] = {"prog", "--unknown=2"};
+    EXPECT_THROW(options.parse(2, argv), FatalError);
+}
+
+TEST(OptionsTest, MissingValueFails)
+{
+    Options options;
+    options.declare("count", "1", "a count");
+    const char *argv[] = {"prog", "--count"};
+    EXPECT_THROW(options.parse(2, argv), FatalError);
+}
+
+TEST(OptionsTest, UsageMentionsAllOptions)
+{
+    Options options;
+    options.declare("alpha", "1", "first");
+    options.declare("beta", "x", "second");
+    const std::string usage = options.usage("prog");
+    EXPECT_NE(usage.find("--alpha"), std::string::npos);
+    EXPECT_NE(usage.find("--beta"), std::string::npos);
+}
+
+TEST(MathUtilTest, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(5, 0), 0u);
+}
+
+TEST(MathUtilTest, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(16), 4u);
+    EXPECT_EQ(log2Ceil(17), 5u);
+}
+
+TEST(MathUtilTest, PowerOfTwoAndRoundUp)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(48));
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+}
+
+} // namespace
+} // namespace ovlsim

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the visualization layer (ASCII Gantt, Paraver export,
+ * state profiles).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/engine.hh"
+#include "tests/helpers.hh"
+#include "viz/ascii_gantt.hh"
+#include "viz/paraver.hh"
+#include "viz/profile.hh"
+
+namespace ovlsim::viz {
+namespace {
+
+sim::SimResult
+timelineResult()
+{
+    const auto bundle = testing::traceOf(
+        2, testing::packedExchange(128 * 1024, 1'000'000));
+    auto platform = sim::platforms::defaultCluster();
+    platform.captureTimeline = true;
+    return sim::simulate(bundle.traces, platform);
+}
+
+TEST(GanttTest, RendersOneRowPerRank)
+{
+    const auto result = timelineResult();
+    GanttOptions options;
+    options.width = 60;
+    const std::string out = renderGantt(result.timeline, options);
+
+    std::size_t rows = 0;
+    std::istringstream lines(out);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find('|') != std::string::npos &&
+            line.back() == '|') {
+            ++rows;
+            const auto open = line.find('|');
+            const auto close = line.rfind('|');
+            EXPECT_EQ(close - open - 1, options.width);
+        }
+    }
+    EXPECT_EQ(rows, 2u);
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+}
+
+TEST(GanttTest, ComputeDominatedRowsShowComputeCode)
+{
+    const auto result = timelineResult();
+    GanttOptions options;
+    options.width = 40;
+    options.legend = false;
+    const std::string out = renderGantt(result.timeline, options);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_EQ(out.find("legend:"), std::string::npos);
+}
+
+TEST(GanttTest, TitleAndEmptyTimeline)
+{
+    sim::Timeline empty(2);
+    GanttOptions options;
+    options.title = "my-title";
+    const std::string out = renderGantt(empty, options);
+    EXPECT_NE(out.find("my-title"), std::string::npos);
+    EXPECT_NE(out.find("(empty timeline)"), std::string::npos);
+}
+
+TEST(ParaverTest, HeaderAndRecordCounts)
+{
+    const auto result = timelineResult();
+    std::ostringstream os;
+    writeParaverTrace(result.timeline, os);
+    const std::string text = os.str();
+
+    ASSERT_TRUE(text.rfind("#Paraver", 0) == 0);
+
+    std::size_t state_records = 0;
+    std::size_t comm_records = 0;
+    std::istringstream lines(text);
+    std::string line;
+    std::getline(lines, line); // header
+    while (std::getline(lines, line)) {
+        if (line.rfind("1:", 0) == 0)
+            ++state_records;
+        else if (line.rfind("3:", 0) == 0)
+            ++comm_records;
+    }
+    std::size_t intervals = 0;
+    for (Rank r = 0; r < result.timeline.ranks(); ++r)
+        intervals += result.timeline.intervals(r).size();
+    EXPECT_EQ(state_records, intervals);
+    EXPECT_EQ(comm_records, result.timeline.comms().size());
+    EXPECT_GT(comm_records, 0u);
+}
+
+TEST(ParaverTest, WritesPrvAndPcfFiles)
+{
+    const auto result = timelineResult();
+    const std::string base =
+        ::testing::TempDir() + "ovl_paraver_test";
+    writeParaverFiles(result.timeline, base);
+
+    std::ifstream prv(base + ".prv");
+    ASSERT_TRUE(prv.good());
+    std::string first;
+    std::getline(prv, first);
+    EXPECT_TRUE(first.rfind("#Paraver", 0) == 0);
+
+    std::ifstream pcf(base + ".pcf");
+    ASSERT_TRUE(pcf.good());
+    std::stringstream pcf_text;
+    pcf_text << pcf.rdbuf();
+    EXPECT_NE(pcf_text.str().find("STATES"), std::string::npos);
+    EXPECT_NE(pcf_text.str().find("Running"), std::string::npos);
+}
+
+TEST(ParaverTest, DeterministicOutput)
+{
+    const auto result = timelineResult();
+    std::ostringstream a;
+    std::ostringstream b;
+    writeParaverTrace(result.timeline, a);
+    writeParaverTrace(result.timeline, b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ProfileTest, HasRowPerRankPlusTotal)
+{
+    const auto result = timelineResult();
+    const std::string out = renderStateProfile(result);
+    std::size_t lines = 0;
+    std::istringstream stream(out);
+    std::string line;
+    while (std::getline(stream, line))
+        ++lines;
+    // header + underline + one row per rank + "all" row
+    EXPECT_EQ(lines,
+              2u + static_cast<std::size_t>(
+                       result.perRank.size()) +
+                  1u);
+    EXPECT_NE(out.find("all"), std::string::npos);
+}
+
+TEST(ProfileTest, ComparisonReportsSpeedupDirection)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(256 * 1024, 1'000'000, 8));
+    const auto slow = sim::simulate(
+        bundle.traces, testing::platformAt(32.0));
+    const auto fast = sim::simulate(
+        bundle.traces, testing::platformAt(2048.0));
+
+    const std::string out =
+        renderComparison("slow", slow, "fast", fast);
+    EXPECT_NE(out.find("faster"), std::string::npos);
+
+    const std::string reverse =
+        renderComparison("fast", fast, "slow", slow);
+    EXPECT_NE(reverse.find("slower"), std::string::npos);
+}
+
+} // namespace
+} // namespace ovlsim::viz

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit tests for the virtual machine and the tracing tool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/helpers.hh"
+#include "trace/validate.hh"
+#include "tracer/tracer.hh"
+#include "util/logging.hh"
+#include "vm/vm.hh"
+
+namespace ovlsim {
+namespace {
+
+using tracer::profileBlockSize;
+using tracer::TracerConfig;
+using tracer::traceApplication;
+
+/** Observer that records every callback kind for inspection. */
+class RecordingObserver : public vm::VmObserver
+{
+  public:
+    struct Access
+    {
+        Rank rank;
+        Instr at;
+        bool store;
+        Bytes offset;
+        Bytes len;
+    };
+
+    std::vector<Access> accesses;
+    Instr computed = 0;
+
+    void
+    onCompute(Rank, Instr, Instr n) override
+    {
+        computed += n;
+    }
+    void
+    onStore(Rank r, Instr at, vm::Buffer, Bytes offset,
+            Bytes len) override
+    {
+        accesses.push_back(Access{r, at, true, offset, len});
+    }
+    void
+    onLoad(Rank r, Instr at, vm::Buffer, Bytes offset,
+           Bytes len) override
+    {
+        accesses.push_back(Access{r, at, false, offset, len});
+    }
+};
+
+TEST(VmTest, InstructionCounterAdvances)
+{
+    RecordingObserver observer;
+    vm::VmContext ctx(0, 1, observer);
+    EXPECT_EQ(ctx.now(), 0u);
+    ctx.compute(100);
+    ctx.compute(0); // no-op
+    ctx.compute(23);
+    EXPECT_EQ(ctx.now(), 123u);
+    EXPECT_EQ(observer.computed, 123u);
+}
+
+TEST(VmTest, BufferRangeChecks)
+{
+    RecordingObserver observer;
+    vm::VmContext ctx(0, 2, observer);
+    const auto buf = ctx.allocBuffer("b", 100);
+    EXPECT_NO_THROW(ctx.touchStore(buf, 0, 100));
+    EXPECT_NO_THROW(ctx.touchStore(buf, 99, 1));
+    EXPECT_THROW(ctx.touchStore(buf, 0, 101), FatalError);
+    EXPECT_THROW(ctx.touchStore(buf, 100, 1), FatalError);
+    EXPECT_THROW(ctx.touchStore(buf, 0, 0), FatalError);
+    EXPECT_THROW(ctx.touchLoad(vm::Buffer{99, 10}, 0, 1),
+                 FatalError);
+    EXPECT_THROW(ctx.allocBuffer("empty", 0), FatalError);
+}
+
+TEST(VmTest, PeerValidation)
+{
+    RecordingObserver observer;
+    vm::VmContext ctx(0, 2, observer);
+    const auto buf = ctx.allocBuffer("b", 64);
+    EXPECT_THROW(ctx.send(buf, 0, 64, 2, 1), FatalError);
+    EXPECT_THROW(ctx.send(buf, 0, 64, -1, 1), FatalError);
+    EXPECT_THROW(ctx.send(buf, 0, 64, 0, 1), FatalError);
+    EXPECT_THROW(ctx.broadcast(8, 5), FatalError);
+}
+
+TEST(VmTest, RequestDiscipline)
+{
+    RecordingObserver observer;
+    vm::VmContext ctx(0, 2, observer);
+    const auto buf = ctx.allocBuffer("b", 64);
+    const auto req = ctx.isend(buf, 0, 64, 1, 1);
+    EXPECT_NO_THROW(ctx.wait(req));
+    EXPECT_THROW(ctx.wait(req), FatalError); // already completed
+    ctx.irecv(buf, 0, 64, 1, 2);
+    EXPECT_THROW(ctx.finish(), FatalError); // outstanding request
+    ctx.waitAll();
+    EXPECT_NO_THROW(ctx.finish());
+}
+
+TEST(VmTest, ComputeStoreCoversRangeAndChargesInstr)
+{
+    RecordingObserver observer;
+    vm::VmContext ctx(0, 1, observer);
+    const auto buf = ctx.allocBuffer("b", 1000);
+    ctx.computeStore(buf, 0, 1000, 2.0, 7);
+
+    Bytes covered = 0;
+    Bytes expected_next = 0;
+    for (const auto &access : observer.accesses) {
+        EXPECT_TRUE(access.store);
+        EXPECT_EQ(access.offset, expected_next);
+        covered += access.len;
+        expected_next = access.offset + access.len;
+    }
+    EXPECT_EQ(covered, 1000u);
+    EXPECT_NEAR(static_cast<double>(observer.computed), 2000.0,
+                8.0);
+    // Stores happen at strictly increasing instruction counts.
+    for (std::size_t i = 1; i < observer.accesses.size(); ++i) {
+        EXPECT_GT(observer.accesses[i].at,
+                  observer.accesses[i - 1].at);
+    }
+}
+
+TEST(VmHostTest, RunsEveryRankSequentially)
+{
+    RecordingObserver observer;
+    std::vector<Rank> ran;
+    vm::VmHost::run(
+        4,
+        [&ran](vm::VmContext &ctx) {
+            ran.push_back(ctx.rank());
+            ctx.compute(10);
+        },
+        observer);
+    EXPECT_EQ(ran, (std::vector<Rank>{0, 1, 2, 3}));
+}
+
+TEST(ProfileBlockSizeTest, Properties)
+{
+    TracerConfig config;
+    config.shadowBlockBytes = 256;
+    config.maxProfileBlocks = 64;
+    // Tiny messages collapse to one shadow-aligned block.
+    EXPECT_EQ(profileBlockSize(1, config), 256u);
+    EXPECT_EQ(profileBlockSize(256, config), 256u);
+    // Large messages are capped at maxProfileBlocks blocks.
+    const Bytes big = 10 * 1024 * 1024;
+    const Bytes block = profileBlockSize(big, config);
+    EXPECT_EQ(block % config.shadowBlockBytes, 0u);
+    EXPECT_LE((big + block - 1) / block, config.maxProfileBlocks);
+}
+
+TEST(TracerTest, EmitsExpectedRecordSequence)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::packedExchange(64 * 1024, 1'000'000));
+    const auto &r0 = bundle.traces.rankTrace(0).records();
+
+    // Rank 0: burst (compute + pack pieces merge into bursts
+    // between stores), then the send.
+    ASSERT_FALSE(r0.empty());
+    EXPECT_TRUE(std::holds_alternative<trace::CpuBurst>(r0[0]));
+    EXPECT_TRUE(
+        std::holds_alternative<trace::SendRec>(r0.back()));
+
+    const auto &r1 = bundle.traces.rankTrace(1).records();
+    EXPECT_TRUE(std::holds_alternative<trace::RecvRec>(r1[0]));
+    EXPECT_TRUE(std::holds_alternative<trace::CpuBurst>(r1[1]));
+}
+
+TEST(TracerTest, BurstInstructionsArePreserved)
+{
+    const Instr work = 777'777;
+    const auto bundle =
+        testing::traceOf(2, testing::packedExchange(4096, work));
+    // All computation of rank 0: main burst plus the pack loop.
+    const auto traced =
+        bundle.traces.rankTrace(0).totalInstructions();
+    EXPECT_GE(traced, work);
+    EXPECT_LT(traced, work + 4096);
+}
+
+TEST(TracerTest, ProducesValidLinkedTraces)
+{
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(32 * 1024, 500'000, 3));
+    EXPECT_TRUE(
+        trace::validateTraceSet(bundle.traces).valid());
+    // One overlap profile per message: 4 ranks x 3 iterations.
+    EXPECT_EQ(bundle.overlap.size(), 12u);
+    for (const auto &[id, info] : bundle.overlap.all()) {
+        EXPECT_EQ(info.bytes, 32u * 1024u);
+        EXPECT_GT(info.blocks(), 0u);
+        EXPECT_EQ(info.blockFirstLoad.size(),
+                  info.blockLastStore.size());
+    }
+}
+
+TEST(TracerTest, PackAtEndYieldsLateProduction)
+{
+    const Instr work = 1'000'000;
+    const auto bundle =
+        testing::traceOf(2, testing::packedExchange(64 * 1024,
+                                                    work));
+    ASSERT_EQ(bundle.overlap.size(), 1u);
+    const auto &info = bundle.overlap.all().begin()->second;
+    // Production is confined to the pack loop at the end of the
+    // producing region: every block's last store lies within the
+    // final tenth of the window.
+    const Instr window =
+        info.sendInstr - info.prodWindowBegin;
+    for (const auto p : info.blockLastStore) {
+        EXPECT_GE(p, info.sendInstr - window / 10);
+        EXPECT_LE(p, info.sendInstr);
+    }
+}
+
+TEST(TracerTest, UniformProductionIsSpread)
+{
+    const Instr work = 1'000'000;
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(64 * 1024, work, 16));
+    ASSERT_EQ(bundle.overlap.size(), 1u);
+    const auto &info = bundle.overlap.all().begin()->second;
+    // First and last block complete roughly a window apart.
+    const Instr first = info.blockLastStore.front();
+    const Instr last = info.blockLastStore.back();
+    EXPECT_GT(last - first,
+              (info.sendInstr - info.prodWindowBegin) / 2);
+}
+
+TEST(TracerTest, ConsumptionInstantsAreOrderedAndClamped)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(64 * 1024, 1'000'000, 16));
+    const auto &info = bundle.overlap.all().begin()->second;
+    for (std::size_t b = 0; b < info.blockFirstLoad.size(); ++b) {
+        EXPECT_GE(info.blockFirstLoad[b], info.recvInstr);
+        EXPECT_LE(info.blockFirstLoad[b], info.consWindowEnd);
+        if (b > 0) {
+            EXPECT_GE(info.blockFirstLoad[b],
+                      info.blockFirstLoad[b - 1]);
+        }
+    }
+}
+
+TEST(TracerTest, NeverLoadedBlocksDefaultToWindowEnd)
+{
+    const auto program = [](vm::VmContext &ctx) {
+        const auto buf = ctx.allocBuffer("b", 4096);
+        if (ctx.rank() == 0) {
+            ctx.touchStore(buf, 0, 4096);
+            ctx.send(buf, 0, 4096, 1, 1);
+        } else {
+            ctx.recv(buf, 0, 4096, 0, 1);
+            // Consume only the first half; never read the rest.
+            ctx.touchLoad(buf, 0, 2048);
+            ctx.compute(10'000);
+        }
+    };
+    tracer::TracerConfig config;
+    config.shadowBlockBytes = 1024;
+    config.maxProfileBlocks = 4;
+    const auto bundle = traceApplication(2, program, config);
+    const auto &info = bundle.overlap.all().begin()->second;
+    ASSERT_EQ(info.blocks(), 4u);
+    EXPECT_EQ(info.blockFirstLoad[0], info.recvInstr);
+    EXPECT_EQ(info.blockFirstLoad[3], info.consWindowEnd);
+    EXPECT_GT(info.consWindowEnd, info.recvInstr);
+}
+
+TEST(TracerTest, WindowAnchorSharedByBackToBackSends)
+{
+    // compute; send A; send B: both sends share the producing
+    // region that precedes the group.
+    const auto program = [](vm::VmContext &ctx) {
+        const auto buf = ctx.allocBuffer("b", 1024);
+        if (ctx.rank() == 0) {
+            ctx.compute(100'000);
+            ctx.touchStore(buf, 0, 1024);
+            ctx.send(buf, 0, 1024, 1, 1);
+            ctx.send(buf, 0, 1024, 1, 2);
+        } else {
+            ctx.recv(buf, 0, 1024, 0, 1);
+            ctx.recv(buf, 0, 1024, 0, 2);
+            ctx.touchLoad(buf, 0, 1024);
+            ctx.compute(1000);
+        }
+    };
+    const auto bundle = traceApplication(2, program, {});
+    ASSERT_EQ(bundle.overlap.size(), 2u);
+    for (const auto &[id, info] : bundle.overlap.all())
+        EXPECT_EQ(info.prodWindowBegin, 0u);
+}
+
+TEST(TracerTest, MipsRateIsRecorded)
+{
+    tracer::TracerConfig config;
+    config.mips = 2500.0;
+    config.appName = "named";
+    const auto bundle = traceApplication(
+        2, testing::packedExchange(1024, 1000), config);
+    EXPECT_DOUBLE_EQ(bundle.traces.mips(), 2500.0);
+    EXPECT_EQ(bundle.traces.name(), "named");
+}
+
+TEST(TracerTest, RejectsBadConfig)
+{
+    tracer::TracerConfig config;
+    config.mips = 0.0;
+    EXPECT_THROW(traceApplication(
+                     2, testing::packedExchange(1024, 1000),
+                     config),
+                 FatalError);
+}
+
+} // namespace
+} // namespace ovlsim
