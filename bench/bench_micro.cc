@@ -6,11 +6,29 @@
  *  - M1: replay-engine throughput (events per second),
  *  - M2: tracing-tool throughput (records traced per second),
  *  - M3: overlap-transformation and trace-serialization speed.
+ *
+ * Besides the google-benchmark suite, `--json[=PATH]` runs the M1
+ * replay-engine configurations standalone and appends the largest
+ * one's figures (events/sec, ns/event, peak RSS) to the perf
+ * trajectory file (default BENCH_engine.json), giving every PR a
+ * comparable data point. See ROADMAP.md "Performance methodology".
  */
 
+// google-benchmark drives the M1-M3 suite; the --json trajectory
+// mode needs none of it, so hosts without the library still get the
+// perf gate (CMake defines OVLSIM_HAVE_GBENCH when it is found).
+#ifdef OVLSIM_HAVE_GBENCH
 #include <benchmark/benchmark.h>
+#endif
+#include <sys/resource.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "bench/bench_common.hh"
 #include "core/transform.hh"
@@ -20,6 +38,8 @@ using namespace ovlsim;
 using namespace ovlsim::bench;
 
 namespace {
+
+#ifdef OVLSIM_HAVE_GBENCH
 
 /** Cached bundle so setup cost is paid once per binary run. */
 const tracer::TraceBundle &
@@ -114,11 +134,223 @@ traceSerialization(benchmark::State &state)
         static_cast<std::int64_t>(bytes));
 }
 
+#endif // OVLSIM_HAVE_GBENCH
+
+/** One M1 configuration of the standalone --json runner. */
+struct JsonConfig
+{
+    const char *name;
+    int iterations; // 0 = application default
+    double bandwidthMBps;
+};
+
+/**
+ * The --json configurations, smallest to largest. The last entry is
+ * "the largest configuration" whose figures feed the trajectory; the
+ * 3x acceptance target and the bench_check.sh regression gate both
+ * refer to it.
+ */
+constexpr JsonConfig jsonConfigs[] = {
+    {"sweep3d-x1/bw4096", 0, 4096.0},
+    {"sweep3d-x8/bw4096", 8, 4096.0},
+    {"sweep3d-x64/bw4096", 64, 4096.0},
+};
+
+struct JsonPoint
+{
+    std::string config;
+    std::size_t records = 0;
+    std::uint64_t eventsPerRun = 0;
+    std::uint64_t runs = 0;
+    double eventsPerSec = 0.0;
+    double nsPerEvent = 0.0;
+    /**
+     * Process-wide ru_maxrss high-water mark at the end of this
+     * config's runs — cumulative over earlier (smaller) configs,
+     * not per-config. The configs run smallest to largest, so the
+     * largest config's figure is in practice its own footprint.
+     */
+    long peakRssKb = 0;
+};
+
+JsonPoint
+measureConfig(const JsonConfig &config, double min_seconds)
+{
+    const auto bundle = traceApp("sweep3d", config.iterations);
+    auto platform = sim::platforms::defaultCluster();
+    platform.bandwidthMBps = config.bandwidthMBps;
+
+    // Warm-up run (pays trace/page-cache setup outside the timing).
+    std::uint64_t events_per_run =
+        sim::simulate(bundle.traces, platform).eventsProcessed;
+
+    std::uint64_t events = 0;
+    std::uint64_t runs = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        const auto result = sim::simulate(bundle.traces, platform);
+        events += result.eventsProcessed;
+        ++runs;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+
+    JsonPoint point;
+    point.config = config.name;
+    point.records = bundle.traces.totalRecords();
+    point.eventsPerRun = events_per_run;
+    point.runs = runs;
+    point.eventsPerSec =
+        static_cast<double>(events) / elapsed;
+    point.nsPerEvent =
+        elapsed * 1e9 / static_cast<double>(events);
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    point.peakRssKb = usage.ru_maxrss;
+    return point;
+}
+
+std::string
+pointToJson(const JsonPoint &point)
+{
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm_utc{}; gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    return strformat(
+        "{\n"
+        "    \"bench\": \"bench_micro.simulatorThroughput\",\n"
+        "    \"config\": \"%s\",\n"
+        "    \"records\": %zu,\n"
+        "    \"events_per_run\": %llu,\n"
+        "    \"runs\": %llu,\n"
+        "    \"events_per_sec\": %.0f,\n"
+        "    \"ns_per_event\": %.2f,\n"
+        "    \"peak_rss_kb\": %ld,\n"
+        "    \"timestamp\": \"%s\"\n"
+        "  }",
+        point.config.c_str(), point.records,
+        static_cast<unsigned long long>(point.eventsPerRun),
+        static_cast<unsigned long long>(point.runs),
+        point.eventsPerSec, point.nsPerEvent, point.peakRssKb,
+        stamp);
+}
+
+/** Append a point to the JSON-array trajectory file in place. */
+void
+appendToTrajectory(const std::string &path,
+                   const std::string &point_json)
+{
+    std::string existing;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::ostringstream os;
+            os << in.rdbuf();
+            existing = os.str();
+        }
+    }
+    const std::size_t close = existing.rfind(']');
+    const bool fresh =
+        existing.find_first_not_of(" \t\r\n") == std::string::npos;
+    if (!fresh && close == std::string::npos) {
+        // Refuse to clobber a non-empty file that is not a JSON
+        // array (typo'd path, or a trajectory truncated by a crash).
+        std::fprintf(stderr,
+                     "bench_micro: %s exists but is not a JSON "
+                     "array; refusing to overwrite it\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    // Write to a sibling temp file and rename so a crash mid-write
+    // cannot truncate the committed trajectory history.
+    const std::string tmp_path = path + ".tmp";
+    {
+        std::ofstream out(tmp_path, std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "bench_micro: cannot write %s\n",
+                         tmp_path.c_str());
+            std::exit(1);
+        }
+        if (fresh) {
+            // Missing or empty trajectory: start a fresh array.
+            out << "[\n  " << point_json << "\n]\n";
+        } else {
+            std::string head = existing.substr(0, close);
+            // Trim trailing whitespace before the closing bracket.
+            while (!head.empty() &&
+                   (head.back() == ' ' || head.back() == '\n' ||
+                    head.back() == '\t' || head.back() == '\r')) {
+                head.pop_back();
+            }
+            const bool empty_array = head.ends_with("[");
+            out << head << (empty_array ? "\n  " : ",\n  ")
+                << point_json << "\n]\n";
+        }
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr,
+                     "bench_micro: cannot rename %s to %s\n",
+                     tmp_path.c_str(), path.c_str());
+        std::exit(1);
+    }
+}
+
+int
+runJsonMode(const std::string &path)
+{
+    JsonPoint largest;
+    for (const auto &config : jsonConfigs) {
+        const JsonPoint point = measureConfig(config, 1.5);
+        std::printf(
+            "%-22s %9.2f M events/s  %6.2f ns/event  "
+            "(%llu runs x %llu events, rss %ld KB)\n",
+            point.config.c_str(), point.eventsPerSec / 1e6,
+            point.nsPerEvent,
+            static_cast<unsigned long long>(point.runs),
+            static_cast<unsigned long long>(point.eventsPerRun),
+            point.peakRssKb);
+        largest = point;
+    }
+    appendToTrajectory(path, pointToJson(largest));
+    std::printf("trajectory point (%s) appended to %s\n",
+                largest.config.c_str(), path.c_str());
+    return 0;
+}
+
 } // namespace
 
+#ifdef OVLSIM_HAVE_GBENCH
 BENCHMARK(simulatorThroughput)->Arg(16)->Arg(256)->Arg(4096);
 BENCHMARK(tracerThroughput)->Arg(1)->Arg(2);
 BENCHMARK(transformThroughput)->Arg(4)->Arg(16)->Arg(64);
 BENCHMARK(traceSerialization);
+#endif
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json")
+            return runJsonMode("BENCH_engine.json");
+        if (arg.rfind("--json=", 0) == 0)
+            return runJsonMode(arg.substr(7));
+    }
+#ifdef OVLSIM_HAVE_GBENCH
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+#else
+    std::fprintf(stderr,
+                 "bench_micro: built without google-benchmark; "
+                 "only --json[=PATH] is available\n");
+    return 1;
+#endif
+}

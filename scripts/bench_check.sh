@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Perf regression gate for the replay engine.
+#
+# Builds Release, runs `bench_micro --json` (the M1 replay-engine
+# throughput measurement on its largest configuration) and fails if
+# events/sec regressed more than the threshold against the checked-in
+# baseline (bench/BENCH_baseline.json).
+#
+# Usage:
+#   scripts/bench_check.sh           # check against the baseline
+#   scripts/bench_check.sh --update  # refresh the baseline instead
+#
+# Environment:
+#   OVLSIM_BENCH_THRESHOLD  allowed fractional regression (default 0.10)
+#   OVLSIM_BENCH_BUILD_DIR  build directory (default build-bench)
+#
+# The baseline is machine-dependent; refresh it with --update when the
+# benchmark host changes, and say so in the commit message.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${OVLSIM_BENCH_THRESHOLD:-0.10}"
+BUILD_DIR="${OVLSIM_BENCH_BUILD_DIR:-build-bench}"
+BASELINE="bench/BENCH_baseline.json"
+UPDATE=0
+if [[ "${1:-}" == "--update" ]]; then
+    UPDATE=1
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+      -DOVLSIM_BUILD_TESTS=OFF -DOVLSIM_BUILD_EXAMPLES=OFF \
+      >/dev/null
+cmake --build "$BUILD_DIR" --target bench_micro -j "$(nproc)" \
+      >/dev/null
+
+RESULT_JSON="$(mktemp)"
+trap 'rm -f "$RESULT_JSON"' EXIT
+"$BUILD_DIR/bench_micro" --json="$RESULT_JSON"
+
+extract_rate() {
+    grep -o '"events_per_sec": *[0-9.eE+]*' "$1" |
+        tail -n 1 | grep -o '[0-9.eE+]*$'
+}
+
+CURRENT="$(extract_rate "$RESULT_JSON")"
+if [[ -z "$CURRENT" ]]; then
+    echo "bench_check: no events_per_sec in bench output" >&2
+    exit 1
+fi
+
+if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
+    cp "$RESULT_JSON" "$BASELINE"
+    echo "bench_check: baseline updated ($CURRENT events/sec)"
+    exit 0
+fi
+
+BASE="$(extract_rate "$BASELINE")"
+if [[ -z "$BASE" ]]; then
+    echo "bench_check: malformed baseline $BASELINE" >&2
+    exit 1
+fi
+
+awk -v cur="$CURRENT" -v base="$BASE" -v thr="$THRESHOLD" 'BEGIN {
+    floor = base * (1.0 - thr);
+    printf "bench_check: current %.0f events/sec, baseline %.0f, floor %.0f (-%d%%)\n",
+           cur, base, floor, thr * 100;
+    if (cur < floor) {
+        printf "bench_check: FAIL - engine throughput regressed %.1f%%\n",
+               (1.0 - cur / base) * 100;
+        exit 1;
+    }
+    printf "bench_check: OK (%+.1f%% vs baseline)\n",
+           (cur / base - 1.0) * 100;
+}'

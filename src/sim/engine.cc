@@ -1,12 +1,12 @@
 #include "engine.hh"
 
-#include <deque>
-#include <map>
-#include <queue>
-#include <set>
-#include <tuple>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "trace/record.hh"
+#include "util/dary_heap.hh"
+#include "util/flat_map.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -14,6 +14,7 @@ namespace ovlsim::sim {
 
 namespace {
 
+using trace::ChannelKey;
 using trace::CollectiveRec;
 using trace::CpuBurst;
 using trace::IRecvRec;
@@ -26,21 +27,69 @@ using trace::SendRec;
 using trace::WaitAllRec;
 using trace::WaitRec;
 
-/** Internal request ids for blocking operations live above this. */
-constexpr RequestId internalReqBase = 1ULL << 62;
+/** Null index for the intrusive lists threaded through the arenas. */
+constexpr std::uint32_t npos32 = 0xFFFFFFFFu;
 
-enum class EventKind : std::uint8_t {
-    rankResume,
-    transferInjected,
-    transferArrived,
+/** Trace request ids must stay below this (0 is the null request). */
+constexpr RequestId externalReqLimit = 1ULL << 62;
+
+// runRank dispatches on the variant index; keep the case labels in
+// sync with the Record alternative order.
+static_assert(std::variant_size_v<Record> == 8);
+static_assert(std::is_same_v<std::variant_alternative_t<0, Record>,
+                             CpuBurst>);
+static_assert(std::is_same_v<std::variant_alternative_t<1, Record>,
+                             SendRec>);
+static_assert(std::is_same_v<std::variant_alternative_t<2, Record>,
+                             ISendRec>);
+static_assert(std::is_same_v<std::variant_alternative_t<3, Record>,
+                             RecvRec>);
+static_assert(std::is_same_v<std::variant_alternative_t<4, Record>,
+                             IRecvRec>);
+static_assert(std::is_same_v<std::variant_alternative_t<5, Record>,
+                             WaitRec>);
+static_assert(std::is_same_v<std::variant_alternative_t<6, Record>,
+                             WaitAllRec>);
+static_assert(std::is_same_v<std::variant_alternative_t<7, Record>,
+                             CollectiveRec>);
+
+enum class EventKind : std::uint32_t {
+    rankResume = 0,
+    transferInjected = 1,
+    transferArrived = 2,
 };
 
+/**
+ * One pending event, packed to 16 bytes so heap sifts move as little
+ * memory as possible. The kind lives in the top two bits of
+ * `kindTarget`; targets (rank or transfer index) get the remaining
+ * 30 bits, and schedule() asserts they fit.
+ *
+ * `seq` is a 32-bit tie-breaker: schedules are bounded by the 2e9
+ * event limit plus the residual heap, so it cannot wrap before the
+ * engine panics on a runaway simulation.
+ */
 struct Event
 {
     SimTime time;
-    std::uint64_t seq;
-    EventKind kind;
-    std::uint32_t target;
+    std::uint32_t seq;
+    std::uint32_t kindTarget;
+
+    static constexpr std::uint32_t kindShift = 30;
+    static constexpr std::uint32_t targetMask =
+        (1u << kindShift) - 1;
+
+    EventKind
+    kind() const
+    {
+        return static_cast<EventKind>(kindTarget >> kindShift);
+    }
+
+    std::uint32_t
+    target() const
+    {
+        return kindTarget & targetMask;
+    }
 
     bool
     operator>(const Event &other) const
@@ -51,39 +100,119 @@ struct Event
     }
 };
 
+static_assert(sizeof(Event) == 16);
+
+/**
+ * Slot index of the sentinel handle standing for "the issuing
+ * rank's in-flight blocking receive". A rank has at most one (it
+ * blocks before posting another), so blocking receives bypass the
+ * request table entirely.
+ */
+constexpr std::uint32_t blockingRecvSlot = npos32 - 1;
+
+/**
+ * Reference to one slot of a rank's request table (or the blocking
+ * receive sentinel). The generation counter detects stale
+ * references: a slot is recycled through the free list as soon as
+ * its request retires, and the generation increments on every
+ * retirement.
+ */
+struct ReqHandle
+{
+    std::uint32_t slot = npos32;
+    std::uint32_t gen = 0;
+
+    bool valid() const { return slot != npos32; }
+    bool blockingRecv() const { return slot == blockingRecvSlot; }
+};
+
+/** Transfer state bits (Transfer::flags). */
+enum : std::uint8_t {
+    tfLocal = 1u << 0,
+    tfEager = 1u << 1,
+    tfSenderBlocking = 1u << 2,
+    tfRecvPosted = 1u << 3,
+    tfQueued = 1u << 4,
+    tfStarted = 1u << 5,
+    tfArrived = 1u << 6,
+};
+
+/**
+ * One point-to-point transfer, kept to a single cache line; the
+ * arena of these is the engine's hottest memory. Fields needed only
+ * for timeline capture (message id, tag, post/start instants) live
+ * in the parallel TransferMeta arena, which is populated only when
+ * the platform requests a timeline.
+ */
 struct Transfer
 {
-    MessageId message = trace::invalidMessageId;
+    Bytes bytes = 0;
+    /** When the matching receive was posted (valid if tfRecvPosted). */
+    SimTime recvPostTime;
+    /** Scheduled/actual arrival instant (valid once started). */
+    SimTime arriveTime;
+    ReqHandle sendReq;
+    ReqHandle recvReq;
     Rank src = 0;
     Rank dst = 0;
-    Tag tag = 0;
-    Bytes bytes = 0;
-    bool local = false;
-    bool eager = false;
-    bool senderBlocking = false;
-    RequestId sendReq = 0;
-    RequestId recvReq = 0;
-    bool sendPosted = false;
-    bool recvPosted = false;
-    bool queued = false;
-    bool started = false;
-    bool arrived = false;
-    SimTime sendPostTime;
-    SimTime recvPostTime;
-    SimTime startTime;
-    SimTime arriveTime;
+    /** Next unmatched send on the same channel (FIFO order). */
+    std::uint32_t chanNext = npos32;
+    /** Next transfer queued for interconnect resources. */
+    std::uint32_t waitNext = npos32;
+    std::uint8_t flags = 0;
+
+    bool has(std::uint8_t f) const { return (flags & f) != 0; }
+    void set(std::uint8_t f) { flags |= f; }
+    void clear(std::uint8_t f) { flags &= static_cast<std::uint8_t>(~f); }
 };
 
-struct ReqState
+static_assert(sizeof(Transfer) <= 64);
+
+/** Timeline-only transfer details (parallel to the transfer arena). */
+struct TransferMeta
 {
-    bool done = false;
-    SimTime doneTime;
+    MessageId message = trace::invalidMessageId;
+    SimTime sendPost;
+    SimTime start;
+    Tag tag = 0;
 };
 
+/**
+ * One slot of a rank's request table. Slots are recycled through a
+ * per-rank free list, so posting and retiring requests never touches
+ * the allocator in steady state.
+ */
+struct ReqSlot
+{
+    /** Trace-visible request id; 0 for internal (blocking) requests. */
+    RequestId externalId = 0;
+    std::uint32_t gen = 1;
+    std::uint32_t nextFree = npos32;
+    bool live = false;
+    bool done = false;
+    /** The owning rank is blocked on this request completing. */
+    bool awaited = false;
+};
+
+/** An unmatched posted receive, pooled in Engine::recvPool_. */
 struct RecvPost
 {
-    RequestId request = 0;
+    ReqHandle req;
     SimTime postTime;
+    std::uint32_t next = npos32;
+};
+
+/**
+ * Both FIFO queues of one (src, dst, tag) channel as list heads into
+ * the transfer arena (unmatched sends) and the receive-post pool
+ * (unmatched receives). At most one side is non-empty at a time.
+ */
+struct ChannelQueue
+{
+    std::uint32_t sendHead = npos32;
+    std::uint32_t sendTail = npos32;
+    std::uint32_t recvHead = npos32;
+    std::uint32_t recvTail = npos32;
 };
 
 struct RankCtx
@@ -96,9 +225,20 @@ struct RankCtx
     bool done = false;
     RankState blockState = RankState::idle;
     SimTime blockStart;
-    std::set<RequestId> awaiting;
-    std::map<RequestId, ReqState> requests;
-    RequestId nextInternalReq = internalReqBase;
+
+    /** Request table: slot storage, free list and live accounting. */
+    std::vector<ReqSlot> reqSlots;
+    std::uint32_t reqFreeHead = npos32;
+    std::uint32_t liveReqs = 0;
+    /** Requests the rank is currently blocked on (0 = runnable). */
+    std::uint32_t awaitingCount = 0;
+    /** The current blocking receive completed before the block. */
+    bool blockingRecvDone = false;
+    /** The rank is blocked on its current blocking receive. */
+    bool awaitingBlockingRecv = false;
+    /** Trace request id -> live slot index. */
+    FlatMap<RequestId, std::uint32_t> reqIndex;
+
     std::size_t collSeq = 0;
 
     RankResult result;
@@ -114,8 +254,6 @@ struct CollBarrier
     bool released = false;
 };
 
-using Channel = std::tuple<Rank, Rank, Tag>;
-
 class Engine
 {
   public:
@@ -130,25 +268,32 @@ class Engine
 
   private:
     void schedule(SimTime t, EventKind kind, std::uint32_t target);
+    void countEvent();
     void runRank(RankCtx &ctx);
     void wakeRank(Rank r, SimTime t);
     void blockRank(RankCtx &ctx, RankState state);
-    void completeRequest(Rank r, RequestId req, SimTime t);
-    void completeTransferRecv(Transfer &t, SimTime done);
-    std::size_t postSend(RankCtx &ctx, Rank dst, Tag tag,
-                         Bytes bytes, MessageId msg, bool blocking,
-                         RequestId send_req);
+
+    std::uint32_t allocRequest(RankCtx &ctx, RequestId external);
+    void retireRequest(RankCtx &ctx, std::uint32_t slot);
+    ReqHandle handleOf(const RankCtx &ctx, std::uint32_t slot) const;
+    void completeRequest(Rank r, ReqHandle req, SimTime t);
+
+    void completeTransferRecv(std::uint32_t idx, SimTime done);
+    std::uint32_t postSend(RankCtx &ctx, Rank dst, Tag tag,
+                           Bytes bytes, MessageId msg, bool blocking,
+                           ReqHandle send_req);
     void postRecv(RankCtx &ctx, Rank src, Tag tag, Bytes bytes,
-                  MessageId msg, RequestId req);
-    void matchTransfer(std::size_t idx, RequestId recv_req,
+                  MessageId msg, ReqHandle req);
+    void matchTransfer(std::uint32_t idx, ReqHandle recv_req,
                        SimTime post_time);
-    void makeEligible(std::size_t idx, SimTime t);
+    bool tryAcquireResources(const Transfer &transfer);
+    void makeEligible(std::uint32_t idx, SimTime t);
     void tryStartQueued(SimTime t);
-    void startTransfer(std::size_t idx, SimTime t);
-    void handleInjected(std::size_t idx, SimTime t);
-    void handleArrived(std::size_t idx, SimTime t);
+    void startTransfer(std::uint32_t idx, SimTime t);
+    void handleInjected(std::uint32_t idx, SimTime t);
+    void handleArrived(std::uint32_t idx, SimTime t);
     void handleCollective(RankCtx &ctx, const CollectiveRec &rec);
-    void recordCommEvent(const Transfer &t, SimTime recv_complete);
+    void recordCommEvent(std::uint32_t idx, SimTime recv_complete);
     [[noreturn]] void reportDeadlock() const;
 
     bool
@@ -167,20 +312,102 @@ class Engine
         return platform_.inLinksPerNode > 0;
     }
 
+    std::uint32_t
+    nodeOf(Rank r) const
+    {
+        return nodeOf_[static_cast<std::size_t>(r)];
+    }
+
+    /**
+     * Burst instructions -> time, identical arithmetic to
+     * PlatformConfig::burstDuration but with the effective MIPS rate
+     * resolved once per replay instead of per record, and the last
+     * conversion memoized (traces repeat a handful of burst sizes).
+     */
+    SimTime
+    burstTime(Instr instructions)
+    {
+        if (instructions == lastBurstInstr_)
+            return lastBurstDur_;
+        const double ns =
+            static_cast<double>(instructions) * 1e3 / mips_;
+        lastBurstInstr_ = instructions;
+        lastBurstDur_ = SimTime::fromNs(
+            static_cast<std::int64_t>(std::llround(ns)));
+        return lastBurstDur_;
+    }
+
+    /**
+     * Same formula as PlatformConfig::serializationDelay, inlined
+     * and memoized per link class (message sizes repeat heavily).
+     */
+    SimTime
+    serializationTime(Bytes bytes, bool local)
+    {
+        const int cls = local ? 1 : 0;
+        if (bytes == lastSerBytes_[cls])
+            return lastSerDelay_[cls];
+        const double mbps = local ? platform_.localBandwidthMBps
+                                  : platform_.bandwidthMBps;
+        const double ns = static_cast<double>(bytes) * 1e3 / mbps;
+        lastSerBytes_[cls] = bytes;
+        lastSerDelay_[cls] = SimTime::fromNs(
+            static_cast<std::int64_t>(std::llround(ns)));
+        return lastSerDelay_[cls];
+    }
+
     const trace::TraceSet &traces_;
     PlatformConfig platform_;
+    bool capture_ = false;
 
-    std::priority_queue<Event, std::vector<Event>,
-                        std::greater<Event>> events_;
-    std::uint64_t nextSeq_ = 0;
+    /** Per-replay constants hoisted out of the hot loop. */
+    double mips_ = 1.0;
+    SimTime latencyLocal_;
+    SimTime latencyRemote_;
+    SimTime rendezvousOverhead_;
+
+    /**
+     * Memoized last conversions (pure functions of their inputs).
+     * The zero "unset" keys are exact: zero instructions/bytes
+     * genuinely convert to the default-constructed zero SimTime.
+     */
+    Instr lastBurstInstr_ = 0;
+    SimTime lastBurstDur_;
+    Bytes lastSerBytes_[2] = {0, 0};
+    SimTime lastSerDelay_[2];
+
+    DaryHeap<Event, 4, std::greater<Event>> events_;
+    std::uint32_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
 
     std::vector<RankCtx> ranks_;
-    std::vector<Transfer> transfers_;
-    std::deque<std::size_t> waitQueue_;
+    /** Pre-computed node of each rank (avoids a division per use). */
+    std::vector<std::uint32_t> nodeOf_;
 
-    std::map<Channel, std::deque<std::size_t>> unmatchedSends_;
-    std::map<Channel, std::deque<RecvPost>> unmatchedRecvs_;
+    /** Transfer arena; indices are stable, growth is amortized. */
+    std::vector<Transfer> transfers_;
+    /** Timeline-only fields, parallel to transfers_ (capture only). */
+    std::vector<TransferMeta> txMeta_;
+
+    /** Pool backing the per-channel unmatched-receive lists. */
+    std::vector<RecvPost> recvPool_;
+    std::uint32_t recvPoolFree_ = npos32;
+
+    /** Transfers queued for interconnect resources, FIFO. */
+    std::uint32_t waitHead_ = npos32;
+    std::uint32_t waitTail_ = npos32;
+    /**
+     * True while resources have been released since the last full
+     * wait-queue scan — i.e. inside handleInjected's window between
+     * freeing capacity and its rescan, where queued entries may have
+     * become startable. Outside that window every queued entry is
+     * provably stuck, so makeEligible may test only its own
+     * transfer without breaking FIFO arbitration.
+     */
+    bool resourcesFreed_ = false;
+
+    /** (src, dst, tag) -> unmatched send/receive FIFOs. */
+    FlatMap<ChannelKey, ChannelQueue> channels_;
 
     std::vector<CollBarrier> barriers_;
 
@@ -195,7 +422,26 @@ class Engine
 void
 Engine::schedule(SimTime t, EventKind kind, std::uint32_t target)
 {
-    events_.push(Event{t, nextSeq_++, kind, target});
+    ovlAssert(target <= Event::targetMask,
+              "event target overflows the packed representation");
+    events_.push(Event{
+        t, nextSeq_++,
+        (static_cast<std::uint32_t>(kind) << Event::kindShift) |
+            target});
+}
+
+void
+Engine::countEvent()
+{
+    constexpr std::uint64_t eventLimit = 2'000'000'000ULL;
+    ++processed_;
+    // Check the runaway guard only every 2^20 events; the limit is
+    // a safety net, not an exact budget, and this keeps the hot
+    // loop's per-event work to a single increment.
+    if ((processed_ & ((1u << 20) - 1)) == 0 &&
+        processed_ > eventLimit) {
+        panic("event limit exceeded; runaway simulation");
+    }
 }
 
 SimResult
@@ -203,15 +449,41 @@ Engine::run()
 {
     const int nranks = traces_.ranks();
     ranks_.resize(static_cast<std::size_t>(nranks));
+    // cpusPerNode > 0 is guaranteed by PlatformConfig::validate(),
+    // which the constructor runs before anything divides by it.
     const int nodes =
         (nranks + platform_.cpusPerNode - 1) / platform_.cpusPerNode;
+    nodeOf_.resize(static_cast<std::size_t>(nranks));
+    for (Rank r = 0; r < nranks; ++r) {
+        nodeOf_[static_cast<std::size_t>(r)] =
+            static_cast<std::uint32_t>(r / platform_.cpusPerNode);
+    }
     busFree_ = platform_.buses;
     outFree_.assign(static_cast<std::size_t>(nodes),
                     platform_.outLinksPerNode);
     inFree_.assign(static_cast<std::size_t>(nodes),
                    platform_.inLinksPerNode);
-    if (platform_.captureTimeline)
+    capture_ = platform_.captureTimeline;
+    if (capture_)
         timeline_ = Timeline(nranks);
+
+    mips_ = platform_.effectiveMips(traces_.mips());
+    ovlAssert(mips_ > 0.0, "platform MIPS rate must be positive");
+    latencyLocal_ = platform_.flightLatency(true);
+    latencyRemote_ = platform_.flightLatency(false);
+    rendezvousOverhead_ =
+        SimTime::fromUs(platform_.rendezvousOverheadUs);
+
+    transfers_.reserve(256);
+    events_.reserve(static_cast<std::size_t>(nranks) * 4 + 256);
+    // Scale the channel table with the trace so big replays do not
+    // pay rehash churn; totalRecords() is O(ranks).
+    std::size_t chan_guess = traces_.totalRecords() / 8;
+    if (chan_guess < 256)
+        chan_guess = 256;
+    if (chan_guess > (1u << 16))
+        chan_guess = 1u << 16;
+    channels_.reserve(chan_guess);
 
     for (Rank r = 0; r < nranks; ++r) {
         auto &ctx = ranks_[static_cast<std::size_t>(r)];
@@ -222,23 +494,20 @@ Engine::run()
                  static_cast<std::uint32_t>(r));
     }
 
-    constexpr std::uint64_t eventLimit = 2'000'000'000ULL;
     while (!events_.empty()) {
         const Event ev = events_.top();
         events_.pop();
-        ++processed_;
-        if (processed_ > eventLimit)
-            panic("event limit exceeded; runaway simulation");
+        countEvent();
 
-        switch (ev.kind) {
+        switch (ev.kind()) {
           case EventKind::rankResume:
-            wakeRank(static_cast<Rank>(ev.target), ev.time);
+            wakeRank(static_cast<Rank>(ev.target()), ev.time);
             break;
           case EventKind::transferInjected:
-            handleInjected(ev.target, ev.time);
+            handleInjected(ev.target(), ev.time);
             break;
           case EventKind::transferArrived:
-            handleArrived(ev.target, ev.time);
+            handleArrived(ev.target(), ev.time);
             break;
         }
     }
@@ -284,7 +553,7 @@ Engine::wakeRank(Rank r, SimTime t)
           default:
             break;
         }
-        if (platform_.captureTimeline) {
+        if (capture_) {
             timeline_.addInterval(r, ctx.blockStart, t,
                                   ctx.blockState);
         }
@@ -303,6 +572,48 @@ Engine::blockRank(RankCtx &ctx, RankState state)
     ctx.blockStart = ctx.now;
 }
 
+std::uint32_t
+Engine::allocRequest(RankCtx &ctx, RequestId external)
+{
+    std::uint32_t slot;
+    if (ctx.reqFreeHead != npos32) {
+        slot = ctx.reqFreeHead;
+        ctx.reqFreeHead = ctx.reqSlots[slot].nextFree;
+    } else {
+        slot = static_cast<std::uint32_t>(ctx.reqSlots.size());
+        ctx.reqSlots.emplace_back();
+    }
+    ReqSlot &s = ctx.reqSlots[slot];
+    s.externalId = external;
+    s.nextFree = npos32;
+    s.live = true;
+    s.done = false;
+    s.awaited = false;
+    ++ctx.liveReqs;
+    return slot;
+}
+
+void
+Engine::retireRequest(RankCtx &ctx, std::uint32_t slot)
+{
+    ReqSlot &s = ctx.reqSlots[slot];
+    ovlAssert(s.live, "retiring dead request slot");
+    s.live = false;
+    s.awaited = false;
+    ++s.gen;
+    if (s.externalId != 0)
+        ctx.reqIndex.erase(s.externalId);
+    s.nextFree = ctx.reqFreeHead;
+    ctx.reqFreeHead = slot;
+    --ctx.liveReqs;
+}
+
+ReqHandle
+Engine::handleOf(const RankCtx &ctx, std::uint32_t slot) const
+{
+    return ReqHandle{slot, ctx.reqSlots[slot].gen};
+}
+
 void
 Engine::runRank(RankCtx &ctx)
 {
@@ -310,124 +621,159 @@ Engine::runRank(RankCtx &ctx)
     while (ctx.pc < records.size()) {
         const Record &rec = records[ctx.pc];
 
-        if (const auto *burst = std::get_if<CpuBurst>(&rec)) {
-            const SimTime dur = platform_.burstDuration(
-                burst->instructions, traces_.mips());
+        // Dispatch on the variant index directly; the alternatives
+        // are listed in Record declaration order.
+        switch (rec.index()) {
+          case 0: { // CpuBurst
+            const auto *burst = std::get_if<CpuBurst>(&rec);
+            const SimTime dur = burstTime(burst->instructions);
             ++ctx.pc;
             if (dur.ns() == 0)
                 continue;
             ctx.result.computeTime += dur;
-            if (platform_.captureTimeline) {
+            if (capture_) {
                 timeline_.addInterval(ctx.rank, ctx.now,
                                       ctx.now + dur,
                                       RankState::compute);
             }
             ctx.now += dur;
+            // Coalesced self-wakeup: when no other event precedes
+            // the burst's end, the rank would be resumed next anyway,
+            // so keep running it inline instead of round-tripping a
+            // rankResume through the heap. The event still counts as
+            // processed so throughput metrics stay comparable.
+            if (events_.empty() || events_.top().time > ctx.now) {
+                countEvent();
+                continue;
+            }
             schedule(ctx.now, EventKind::rankResume,
                      static_cast<std::uint32_t>(ctx.rank));
             return;
-        }
+          }
 
-        if (const auto *s = std::get_if<SendRec>(&rec)) {
+          case 1: { // SendRec
+            const auto *s = std::get_if<SendRec>(&rec);
             ++ctx.pc;
-            const std::size_t idx = postSend(
-                ctx, s->dst, s->tag, s->bytes, s->message, true, 0);
+            const std::uint32_t idx =
+                postSend(ctx, s->dst, s->tag, s->bytes, s->message,
+                         true, ReqHandle{});
             Transfer &t = transfers_[idx];
-            if (!t.eager) {
+            if (!t.has(tfEager)) {
                 // Rendezvous blocking send: stay blocked until the
                 // payload has fully left this node.
-                t.senderBlocking = true;
+                t.set(tfSenderBlocking);
                 blockRank(ctx, RankState::sendBlocked);
                 return;
             }
             continue;
-        }
+          }
 
-        if (const auto *is_ = std::get_if<ISendRec>(&rec)) {
+          case 2: { // ISendRec
+            const auto *is_ = std::get_if<ISendRec>(&rec);
             ++ctx.pc;
             ovlAssert(is_->request != 0 &&
-                          is_->request < internalReqBase,
+                          is_->request < externalReqLimit,
                       "isend request id out of range");
-            ctx.requests[is_->request] = ReqState{};
-            const std::size_t idx =
+            const std::uint32_t slot =
+                allocRequest(ctx, is_->request);
+            ctx.reqIndex.insertOrAssign(is_->request, slot);
+            const ReqHandle handle = handleOf(ctx, slot);
+            const std::uint32_t idx =
                 postSend(ctx, is_->dst, is_->tag, is_->bytes,
-                         is_->message, false, is_->request);
+                         is_->message, false, handle);
             Transfer &t = transfers_[idx];
-            if (t.eager) {
+            if (t.has(tfEager)) {
                 // Buffered: the request completes at the call.
-                completeRequest(ctx.rank, is_->request, ctx.now);
-            } else {
-                t.sendReq = is_->request;
+                t.sendReq = ReqHandle{};
+                completeRequest(ctx.rank, handle, ctx.now);
             }
             continue;
-        }
+          }
 
-        if (const auto *r = std::get_if<RecvRec>(&rec)) {
+          case 3: { // RecvRec
+            const auto *r = std::get_if<RecvRec>(&rec);
             ++ctx.pc;
-            const RequestId req = ctx.nextInternalReq++;
-            ctx.requests[req] = ReqState{};
-            postRecv(ctx, r->src, r->tag, r->bytes, r->message, req);
-            const auto &state = ctx.requests[req];
-            if (state.done) {
-                ctx.requests.erase(req);
+            ctx.blockingRecvDone = false;
+            postRecv(ctx, r->src, r->tag, r->bytes, r->message,
+                     ReqHandle{blockingRecvSlot, 0});
+            if (ctx.blockingRecvDone)
                 continue;
-            }
-            ctx.awaiting.insert(req);
+            ctx.awaitingBlockingRecv = true;
             blockRank(ctx, RankState::recvBlocked);
             return;
-        }
+          }
 
-        if (const auto *ir = std::get_if<IRecvRec>(&rec)) {
+          case 4: { // IRecvRec
+            const auto *ir = std::get_if<IRecvRec>(&rec);
             ++ctx.pc;
             ovlAssert(ir->request != 0 &&
-                          ir->request < internalReqBase,
+                          ir->request < externalReqLimit,
                       "irecv request id out of range");
-            ctx.requests[ir->request] = ReqState{};
+            const std::uint32_t slot =
+                allocRequest(ctx, ir->request);
+            ctx.reqIndex.insertOrAssign(ir->request, slot);
             postRecv(ctx, ir->src, ir->tag, ir->bytes, ir->message,
-                     ir->request);
+                     handleOf(ctx, slot));
             continue;
-        }
+          }
 
-        if (const auto *w = std::get_if<WaitRec>(&rec)) {
-            const auto it = ctx.requests.find(w->request);
-            if (it == ctx.requests.end()) {
+          case 5: { // WaitRec
+            const auto *w = std::get_if<WaitRec>(&rec);
+            const std::uint32_t *slotp =
+                ctx.reqIndex.find(w->request);
+            if (slotp == nullptr) {
                 panic("rank ", ctx.rank,
                       ": wait on unknown request ", w->request);
             }
+            const std::uint32_t slot = *slotp;
             ++ctx.pc;
-            if (it->second.done) {
-                ctx.requests.erase(it);
+            ReqSlot &state = ctx.reqSlots[slot];
+            if (state.done) {
+                retireRequest(ctx, slot);
                 continue;
             }
-            ctx.awaiting.insert(w->request);
+            state.awaited = true;
+            ctx.awaitingCount = 1;
             blockRank(ctx, RankState::waitBlocked);
             return;
-        }
+          }
 
-        if (std::holds_alternative<WaitAllRec>(rec)) {
+          case 6: { // WaitAllRec
             ++ctx.pc;
-            for (auto it = ctx.requests.begin();
-                 it != ctx.requests.end();) {
-                if (it->second.done) {
-                    it = ctx.requests.erase(it);
-                } else {
-                    ctx.awaiting.insert(it->first);
-                    ++it;
+            std::uint32_t awaiting = 0;
+            if (ctx.liveReqs > 0) {
+                const std::uint32_t nslots = static_cast<
+                    std::uint32_t>(ctx.reqSlots.size());
+                for (std::uint32_t slot = 0; slot < nslots;
+                     ++slot) {
+                    ReqSlot &state = ctx.reqSlots[slot];
+                    if (!state.live)
+                        continue;
+                    if (state.done) {
+                        retireRequest(ctx, slot);
+                    } else {
+                        state.awaited = true;
+                        ++awaiting;
+                    }
                 }
             }
-            if (ctx.awaiting.empty())
+            if (awaiting == 0)
                 continue;
+            ctx.awaitingCount = awaiting;
             blockRank(ctx, RankState::waitBlocked);
             return;
-        }
+          }
 
-        if (const auto *g = std::get_if<CollectiveRec>(&rec)) {
+          case 7: { // CollectiveRec
+            const auto *g = std::get_if<CollectiveRec>(&rec);
             ++ctx.pc;
             handleCollective(ctx, *g);
             return;
-        }
+          }
 
-        panic("rank ", ctx.rank, ": unhandled record kind");
+          default:
+            panic("rank ", ctx.rank, ": unhandled record kind");
+        }
     }
 
     if (!ctx.done) {
@@ -437,93 +783,124 @@ Engine::runRank(RankCtx &ctx)
 }
 
 void
-Engine::completeRequest(Rank r, RequestId req, SimTime t)
+Engine::completeRequest(Rank r, ReqHandle req, SimTime t)
 {
     auto &ctx = ranks_[static_cast<std::size_t>(r)];
-    const auto it = ctx.requests.find(req);
-    if (it == ctx.requests.end())
-        panic("rank ", r, ": completing unknown request ", req);
-    it->second.done = true;
-    it->second.doneTime = t;
+    if (req.blockingRecv()) {
+        // Blocking receives bypass the request table: either the
+        // rank is blocked on this receive (wake it) or the receive
+        // completed during the posting call itself.
+        if (ctx.blocked && ctx.awaitingBlockingRecv) {
+            ctx.awaitingBlockingRecv = false;
+            wakeRank(r, t);
+        } else {
+            ctx.blockingRecvDone = true;
+        }
+        return;
+    }
+    ovlAssert(req.valid() && req.slot < ctx.reqSlots.size(),
+              "rank ", r, ": completing invalid request handle");
+    ReqSlot &s = ctx.reqSlots[req.slot];
+    ovlAssert(s.live && s.gen == req.gen,
+              "rank ", r, ": completing stale request handle");
+    s.done = true;
 
-    if (ctx.blocked && ctx.awaiting.erase(req) > 0) {
+    if (ctx.blocked && s.awaited) {
         // The Wait/Recv record that awaited this request has already
-        // been consumed, so the entry can be retired here.
-        ctx.requests.erase(req);
-        if (ctx.awaiting.empty())
+        // been consumed, so the slot can be retired here.
+        retireRequest(ctx, req.slot);
+        if (--ctx.awaitingCount == 0)
             wakeRank(r, t);
     }
 }
 
 void
-Engine::completeTransferRecv(Transfer &t, SimTime done)
+Engine::completeTransferRecv(std::uint32_t idx, SimTime done)
 {
-    recordCommEvent(t, done);
+    Transfer &t = transfers_[idx];
+    if (capture_)
+        recordCommEvent(idx, done);
     ++ranks_[static_cast<std::size_t>(t.dst)]
           .result.messagesReceived;
-    const RequestId req = t.recvReq;
-    t.recvReq = 0;
-    completeRequest(t.dst, req, done);
+    const Rank dst = t.dst;
+    const ReqHandle req = t.recvReq;
+    t.recvReq = ReqHandle{};
+    // completeRequest can re-enter the engine and grow the transfer
+    // arena; everything needed from `t` was read above.
+    completeRequest(dst, req, done);
 }
 
-std::size_t
+std::uint32_t
 Engine::postSend(RankCtx &ctx, Rank dst, Tag tag, Bytes bytes,
-                 MessageId msg, bool blocking, RequestId send_req)
+                 MessageId msg, bool blocking, ReqHandle send_req)
 {
     ovlAssert(dst >= 0 && dst < traces_.ranks(),
               "send to invalid rank ", dst);
-    Transfer t;
-    t.message = msg;
+    const auto idx =
+        static_cast<std::uint32_t>(transfers_.size());
+    Transfer &t = transfers_.emplace_back();
+    t.bytes = bytes;
     t.src = ctx.rank;
     t.dst = dst;
-    t.tag = tag;
-    t.bytes = bytes;
-    t.local = platform_.nodeOf(ctx.rank) == platform_.nodeOf(dst);
+    if (nodeOf(ctx.rank) == nodeOf(dst))
+        t.set(tfLocal);
     const bool small = bytes <= platform_.eagerThreshold;
     const bool forced = !blocking && platform_.forceEagerIsend;
-    t.eager = small || forced;
-    t.sendPosted = true;
-    t.sendPostTime = ctx.now;
+    if (small || forced)
+        t.set(tfEager);
     t.sendReq = send_req;
-
-    transfers_.push_back(t);
-    const std::size_t idx = transfers_.size() - 1;
+    if (capture_) {
+        TransferMeta &meta = txMeta_.emplace_back();
+        meta.message = msg;
+        meta.sendPost = ctx.now;
+        meta.tag = tag;
+    }
 
     ++ctx.result.messagesSent;
     ctx.result.bytesSent += bytes;
 
     // Match against an already-posted receive, FIFO per channel.
-    const Channel channel{ctx.rank, dst, tag};
-    auto rit = unmatchedRecvs_.find(channel);
-    if (rit != unmatchedRecvs_.end() && !rit->second.empty()) {
-        const RecvPost post = rit->second.front();
-        rit->second.pop_front();
-        matchTransfer(idx, post.request, post.postTime);
+    ChannelQueue &q = channels_[trace::channelKey(ctx.rank, dst,
+                                                  tag)];
+    if (q.recvHead != npos32) {
+        const std::uint32_t post_idx = q.recvHead;
+        q.recvHead = recvPool_[post_idx].next;
+        if (q.recvHead == npos32)
+            q.recvTail = npos32;
+        const RecvPost post = recvPool_[post_idx];
+        recvPool_[post_idx].next = recvPoolFree_;
+        recvPoolFree_ = post_idx;
+        matchTransfer(idx, post.req, post.postTime);
     } else {
-        unmatchedSends_[channel].push_back(idx);
+        if (q.sendTail == npos32)
+            q.sendHead = idx;
+        else
+            transfers_[q.sendTail].chanNext = idx;
+        q.sendTail = idx;
     }
 
     Transfer &stored = transfers_[idx];
-    if (stored.eager ||
-        (stored.sendPosted && stored.recvPosted)) {
+    if (stored.has(tfEager) || stored.has(tfRecvPosted))
         makeEligible(idx, ctx.now);
-    }
     return idx;
 }
 
 void
 Engine::postRecv(RankCtx &ctx, Rank src, Tag tag, Bytes bytes,
-                 MessageId msg, RequestId req)
+                 MessageId msg, ReqHandle req)
 {
     (void)msg;
     ovlAssert(src >= 0 && src < traces_.ranks(),
               "recv from invalid rank ", src);
-    const Channel channel{src, ctx.rank, tag};
-    auto sit = unmatchedSends_.find(channel);
-    if (sit != unmatchedSends_.end() && !sit->second.empty()) {
-        const std::size_t idx = sit->second.front();
-        sit->second.pop_front();
-        const Transfer &t = transfers_[idx];
+    ChannelQueue &q = channels_[trace::channelKey(src, ctx.rank,
+                                                  tag)];
+    if (q.sendHead != npos32) {
+        const std::uint32_t idx = q.sendHead;
+        q.sendHead = transfers_[idx].chanNext;
+        if (q.sendHead == npos32)
+            q.sendTail = npos32;
+        Transfer &t = transfers_[idx];
+        t.chanNext = npos32;
         if (t.bytes != bytes) {
             fatal("rank ", ctx.rank, ": recv of ", bytes,
                   " bytes matches send of ", t.bytes,
@@ -532,138 +909,196 @@ Engine::postRecv(RankCtx &ctx, Rank src, Tag tag, Bytes bytes,
         }
         matchTransfer(idx, req, ctx.now);
     } else {
-        unmatchedRecvs_[channel].push_back(RecvPost{req, ctx.now});
+        std::uint32_t post_idx;
+        if (recvPoolFree_ != npos32) {
+            post_idx = recvPoolFree_;
+            recvPoolFree_ = recvPool_[post_idx].next;
+        } else {
+            post_idx =
+                static_cast<std::uint32_t>(recvPool_.size());
+            recvPool_.emplace_back();
+        }
+        recvPool_[post_idx] = RecvPost{req, ctx.now, npos32};
+        if (q.recvTail == npos32)
+            q.recvHead = post_idx;
+        else
+            recvPool_[q.recvTail].next = post_idx;
+        q.recvTail = post_idx;
     }
 }
 
 void
-Engine::matchTransfer(std::size_t idx, RequestId recv_req,
+Engine::matchTransfer(std::uint32_t idx, ReqHandle recv_req,
                       SimTime post_time)
 {
     Transfer &t = transfers_[idx];
-    ovlAssert(!t.recvPosted, "transfer matched twice");
-    t.recvPosted = true;
+    ovlAssert(!t.has(tfRecvPosted), "transfer matched twice");
+    t.set(tfRecvPosted);
     t.recvPostTime = post_time;
     t.recvReq = recv_req;
 
-    if (t.arrived) {
+    if (t.has(tfArrived)) {
         const SimTime done =
             t.arriveTime > post_time ? t.arriveTime : post_time;
-        completeTransferRecv(t, done);
+        completeTransferRecv(idx, done);
         return;
     }
-    if (!t.eager && !t.queued && !t.started) {
+    if (!t.has(tfEager) && !t.has(tfQueued) && !t.has(tfStarted)) {
         // Rendezvous transfer becomes eligible at the match.
         makeEligible(idx, post_time);
     }
 }
 
+/** Claim bus/out/in capacity for a remote transfer if all are free. */
+inline bool
+Engine::tryAcquireResources(const Transfer &transfer)
+{
+    const std::size_t src_node = nodeOf(transfer.src);
+    const std::size_t dst_node = nodeOf(transfer.dst);
+    const bool bus_ok = !busesLimited() || busFree_ > 0;
+    const bool out_ok = !outLimited() || outFree_[src_node] > 0;
+    const bool in_ok = !inLimited() || inFree_[dst_node] > 0;
+    if (!(bus_ok && out_ok && in_ok))
+        return false;
+    if (busesLimited())
+        --busFree_;
+    if (outLimited())
+        --outFree_[src_node];
+    if (inLimited())
+        --inFree_[dst_node];
+    return true;
+}
+
 void
-Engine::makeEligible(std::size_t idx, SimTime t)
+Engine::makeEligible(std::uint32_t idx, SimTime t)
 {
     Transfer &transfer = transfers_[idx];
-    if (transfer.queued || transfer.started)
+    if (transfer.has(tfQueued) || transfer.has(tfStarted))
         return;
-    transfer.queued = true;
-    if (transfer.local) {
+    transfer.set(tfQueued);
+    if (transfer.has(tfLocal)) {
         // Intra-node transfers bypass the interconnect resources.
         startTransfer(idx, t);
         return;
     }
-    waitQueue_.push_back(idx);
-    tryStartQueued(t);
+    // Fast path: when no resources were freed since the last full
+    // scan, every queued transfer is still stuck, so enqueue-then-
+    // scan reduces to checking this transfer's resources directly
+    // (an acquire only shrinks capacity and cannot unstick others).
+    // Inside the release window (resourcesFreed_) older queued
+    // entries may be startable and FIFO demands they go first, so
+    // the full scan must run.
+    if (!resourcesFreed_ && tryAcquireResources(transfer)) {
+        startTransfer(idx, t);
+        return;
+    }
+    if (waitTail_ == npos32)
+        waitHead_ = idx;
+    else
+        transfers_[waitTail_].waitNext = idx;
+    waitTail_ = idx;
+    if (resourcesFreed_)
+        tryStartQueued(t);
 }
 
 void
 Engine::tryStartQueued(SimTime t)
 {
-    for (auto it = waitQueue_.begin(); it != waitQueue_.end();) {
-        const std::size_t idx = *it;
+    std::uint32_t prev = npos32;
+    std::uint32_t idx = waitHead_;
+    while (idx != npos32) {
         Transfer &transfer = transfers_[idx];
-        const auto src_node = static_cast<std::size_t>(
-            platform_.nodeOf(transfer.src));
-        const auto dst_node = static_cast<std::size_t>(
-            platform_.nodeOf(transfer.dst));
-
-        const bool bus_ok = !busesLimited() || busFree_ > 0;
-        const bool out_ok = !outLimited() || outFree_[src_node] > 0;
-        const bool in_ok = !inLimited() || inFree_[dst_node] > 0;
-
-        if (bus_ok && out_ok && in_ok) {
-            if (busesLimited())
-                --busFree_;
-            if (outLimited())
-                --outFree_[src_node];
-            if (inLimited())
-                --inFree_[dst_node];
-            it = waitQueue_.erase(it);
+        const std::uint32_t nxt = transfer.waitNext;
+        if (tryAcquireResources(transfer)) {
+            // Unlink from the wait queue.
+            if (prev == npos32)
+                waitHead_ = nxt;
+            else
+                transfers_[prev].waitNext = nxt;
+            if (waitTail_ == idx)
+                waitTail_ = prev;
+            transfer.waitNext = npos32;
             startTransfer(idx, t);
         } else {
-            ++it;
+            prev = idx;
         }
+        idx = nxt;
     }
+    // Every remaining entry was just verified stuck against the
+    // current resource state.
+    resourcesFreed_ = false;
 }
 
 void
-Engine::startTransfer(std::size_t idx, SimTime t)
+Engine::startTransfer(std::uint32_t idx, SimTime t)
 {
     Transfer &transfer = transfers_[idx];
-    transfer.started = true;
+    transfer.set(tfStarted);
     SimTime begin = t;
-    if (!transfer.eager) {
-        begin += SimTime::fromUs(platform_.rendezvousOverheadUs);
+    if (!transfer.has(tfEager)) {
+        begin += rendezvousOverhead_;
     }
-    transfer.startTime = begin;
-    const SimTime ser =
-        platform_.serializationDelay(transfer.bytes, transfer.local);
-    const SimTime lat = platform_.flightLatency(transfer.local);
+    if (capture_)
+        txMeta_[idx].start = begin;
+    const bool local = transfer.has(tfLocal);
+    const SimTime ser = serializationTime(transfer.bytes, local);
+    const SimTime lat = local ? latencyLocal_ : latencyRemote_;
     transfer.arriveTime = begin + ser + lat;
-    schedule(begin + ser, EventKind::transferInjected,
-             static_cast<std::uint32_t>(idx));
-    schedule(transfer.arriveTime, EventKind::transferArrived,
-             static_cast<std::uint32_t>(idx));
+    schedule(begin + ser, EventKind::transferInjected, idx);
+    schedule(transfer.arriveTime, EventKind::transferArrived, idx);
 }
 
 void
-Engine::handleInjected(std::size_t idx, SimTime t)
+Engine::handleInjected(std::uint32_t idx, SimTime t)
 {
     Transfer &transfer = transfers_[idx];
-    if (!transfer.local) {
-        const auto src_node = static_cast<std::size_t>(
-            platform_.nodeOf(transfer.src));
-        const auto dst_node = static_cast<std::size_t>(
-            platform_.nodeOf(transfer.dst));
+    // wakeRank/completeRequest below can grow the transfer arena
+    // (re-entering postSend), so read everything needed first.
+    const bool local = transfer.has(tfLocal);
+    if (!local) {
+        const std::size_t src_node = nodeOf(transfer.src);
+        const std::size_t dst_node = nodeOf(transfer.dst);
         if (busesLimited())
             ++busFree_;
         if (outLimited())
             ++outFree_[src_node];
         if (inLimited())
             ++inFree_[dst_node];
+        // Queued transfers may now be startable; until the rescan
+        // below runs, makeEligible must not bypass the FIFO scan.
+        resourcesFreed_ = true;
     }
 
-    if (transfer.senderBlocking) {
-        transfer.senderBlocking = false;
-        wakeRank(transfer.src, t);
-    } else if (!transfer.eager && transfer.sendReq != 0) {
-        completeRequest(transfer.src, transfer.sendReq, t);
-        transfer.sendReq = 0;
+    if (transfer.has(tfSenderBlocking)) {
+        const Rank src = transfer.src;
+        transfer.clear(tfSenderBlocking);
+        wakeRank(src, t);
+    } else if (!transfer.has(tfEager) && transfer.sendReq.valid()) {
+        const Rank src = transfer.src;
+        const ReqHandle req = transfer.sendReq;
+        transfer.sendReq = ReqHandle{};
+        completeRequest(src, req, t);
     }
 
-    if (!transfer.local)
-        tryStartQueued(t);
+    if (!local) {
+        if (waitHead_ != npos32)
+            tryStartQueued(t); // also clears resourcesFreed_
+        else
+            resourcesFreed_ = false; // nothing was waiting
+    }
 }
 
 void
-Engine::handleArrived(std::size_t idx, SimTime t)
+Engine::handleArrived(std::uint32_t idx, SimTime t)
 {
     Transfer &transfer = transfers_[idx];
-    transfer.arrived = true;
+    transfer.set(tfArrived);
     transfer.arriveTime = t;
-    if (transfer.recvPosted && transfer.recvReq != 0) {
+    if (transfer.has(tfRecvPosted) && transfer.recvReq.valid()) {
         const SimTime done = t > transfer.recvPostTime
                                  ? t
                                  : transfer.recvPostTime;
-        completeTransferRecv(transfer, done);
+        completeTransferRecv(idx, done);
     }
 }
 
@@ -705,18 +1140,18 @@ Engine::handleCollective(RankCtx &ctx, const CollectiveRec &rec)
 }
 
 void
-Engine::recordCommEvent(const Transfer &t, SimTime recv_complete)
+Engine::recordCommEvent(std::uint32_t idx, SimTime recv_complete)
 {
-    if (!platform_.captureTimeline)
-        return;
+    const Transfer &t = transfers_[idx];
+    const TransferMeta &meta = txMeta_[idx];
     CommEvent event;
-    event.message = t.message;
+    event.message = meta.message;
     event.src = t.src;
     event.dst = t.dst;
-    event.tag = t.tag;
+    event.tag = meta.tag;
     event.bytes = t.bytes;
-    event.sendPost = t.sendPostTime;
-    event.transferStart = t.startTime;
+    event.sendPost = meta.sendPost;
+    event.transferStart = meta.start;
     event.arrival = t.arriveTime;
     event.recvComplete = recv_complete;
     timeline_.addComm(event);
@@ -731,10 +1166,10 @@ Engine::reportDeadlock() const
             continue;
         detail += strformat(
             "\n  rank %d: blocked=%s state=%s pc=%zu/%zu "
-            "awaiting=%zu",
+            "awaiting=%u",
             ctx.rank, ctx.blocked ? "yes" : "no",
             rankStateName(ctx.blockState), ctx.pc,
-            ctx.records->size(), ctx.awaiting.size());
+            ctx.records->size(), ctx.awaitingCount);
     }
     fatal("replay deadlocked with ", traces_.ranks() - doneRanks_,
           " rank(s) unfinished:", detail);

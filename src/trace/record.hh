@@ -21,6 +21,7 @@
 #include <string>
 #include <variant>
 
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace ovlsim::trace {
@@ -33,6 +34,35 @@ inline constexpr MessageId invalidMessageId = 0;
 
 /** Request handle for non-blocking operations, unique per rank. */
 using RequestId = std::uint64_t;
+
+/**
+ * A point-to-point channel (src, dst, tag) packed into one 64-bit
+ * key: 17 bits per rank endpoint and 30 bits of tag. Packing keeps
+ * channel identity a single integer compare/hash on the engine's
+ * matching fast path instead of a lexicographic tuple walk. The
+ * packing is exact (no hashing), so distinct channels can never
+ * collide; the range limits are asserted (128K ranks, and the tag
+ * limit matches the overlap transform's own 1<<30 chunk-tag ceiling).
+ */
+using ChannelKey = std::uint64_t;
+
+inline constexpr int channelRankBits = 17;
+inline constexpr int channelTagBits = 30;
+
+inline ChannelKey
+channelKey(Rank src, Rank dst, Tag tag)
+{
+    ovlAssert(src >= 0 && src < (Rank(1) << channelRankBits),
+              "channel src rank out of range: ", src);
+    ovlAssert(dst >= 0 && dst < (Rank(1) << channelRankBits),
+              "channel dst rank out of range: ", dst);
+    ovlAssert(tag >= 0 && tag < (Tag(1) << channelTagBits),
+              "channel tag out of range: ", tag);
+    return (static_cast<ChannelKey>(src)
+            << (channelRankBits + channelTagBits)) |
+        (static_cast<ChannelKey>(dst) << channelTagBits) |
+        static_cast<ChannelKey>(tag);
+}
 
 /** Collective operations supported by the replay engine. */
 enum class CollOp : std::uint8_t {

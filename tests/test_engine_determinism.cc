@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Determinism guards for the replay engine's container rewrite.
+ *
+ * The engine's matching and request bookkeeping moved from ordered
+ * std::map/std::set to hash-ordered flat structures; nothing about a
+ * replay may depend on that iteration order. These tests assert that
+ * (a) replaying the same trace repeatedly is bit-identical, and
+ * (b) results are invariant under legal reorderings of record
+ * streams (permuting non-blocking posts to distinct channels on an
+ * uncontended platform), which is exactly where container-order
+ * tie-break bugs would surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "helpers.hh"
+#include "sim/engine.hh"
+#include "sim/platform.hh"
+#include "trace/trace.hh"
+
+namespace ovlsim {
+namespace {
+
+using sim::SimResult;
+using trace::CpuBurst;
+using trace::IRecvRec;
+using trace::ISendRec;
+using trace::RecvRec;
+using trace::SendRec;
+using trace::TraceSet;
+using trace::WaitAllRec;
+
+/** Full structural equality of two replay results. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.totalTime.ns(), b.totalTime.ns());
+    EXPECT_EQ(a.eventsProcessed, b.eventsProcessed);
+    EXPECT_EQ(a.transfers, b.transfers);
+    ASSERT_EQ(a.perRank.size(), b.perRank.size());
+    for (std::size_t r = 0; r < a.perRank.size(); ++r) {
+        const auto &ra = a.perRank[r];
+        const auto &rb = b.perRank[r];
+        EXPECT_EQ(ra.endTime.ns(), rb.endTime.ns()) << "rank " << r;
+        EXPECT_EQ(ra.computeTime.ns(), rb.computeTime.ns())
+            << "rank " << r;
+        EXPECT_EQ(ra.sendBlockedTime.ns(),
+                  rb.sendBlockedTime.ns())
+            << "rank " << r;
+        EXPECT_EQ(ra.recvBlockedTime.ns(),
+                  rb.recvBlockedTime.ns())
+            << "rank " << r;
+        EXPECT_EQ(ra.waitBlockedTime.ns(),
+                  rb.waitBlockedTime.ns())
+            << "rank " << r;
+        EXPECT_EQ(ra.collectiveTime.ns(), rb.collectiveTime.ns())
+            << "rank " << r;
+        EXPECT_EQ(ra.messagesSent, rb.messagesSent) << "rank " << r;
+        EXPECT_EQ(ra.messagesReceived, rb.messagesReceived)
+            << "rank " << r;
+        EXPECT_EQ(ra.bytesSent, rb.bytesSent) << "rank " << r;
+    }
+}
+
+TEST(EngineDeterminismTest, RepeatedReplayIsBitIdentical)
+{
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 500'000, 6));
+    for (const double bandwidth : {16.0, 256.0, 4096.0}) {
+        const auto platform = testing::platformAt(bandwidth);
+        const auto first = simulate(bundle.traces, platform);
+        const auto second = simulate(bundle.traces, platform);
+        expectIdentical(first, second);
+    }
+}
+
+TEST(EngineDeterminismTest, RepeatedReplayAcrossPrograms)
+{
+    const std::vector<vm::RankProgram> programs{
+        testing::producerConsumer(256 * 1024, 1'000'000),
+        testing::packedExchange(128 * 1024, 800'000),
+    };
+    for (const auto &program : programs) {
+        const auto bundle = testing::traceOf(2, program);
+        const auto platform = testing::platformAt(256.0);
+        expectIdentical(simulate(bundle.traces, platform),
+                        simulate(bundle.traces, platform));
+    }
+}
+
+TEST(EngineDeterminismTest, ContendedPlatformIsDeterministic)
+{
+    const auto bundle = testing::traceOf(
+        6, testing::ringExchange(128 * 1024, 250'000, 4));
+    auto platform = sim::platforms::contendedCluster(2, 2);
+    platform.bandwidthMBps = 64.0;
+    expectIdentical(simulate(bundle.traces, platform),
+                    simulate(bundle.traces, platform));
+}
+
+/** Deterministic in-place Fisher-Yates with a local xorshift. */
+template <typename T>
+void
+shuffleBySeed(std::vector<T> &items, std::uint64_t seed)
+{
+    std::uint64_t state = seed | 1;
+    auto next = [&state]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (std::size_t i = items.size(); i > 1; --i)
+        std::swap(items[i - 1], items[next() % i]);
+}
+
+/**
+ * Hub trace: rank 0 posts one irecv per peer (distinct channels) in
+ * `order`, computes, then waits for all; each peer computes then
+ * sends. On a platform without link contention, the posting order of
+ * receives to distinct channels is semantically irrelevant, so every
+ * permutation must replay to the identical result; only the
+ * engine's container iteration order varies.
+ */
+TraceSet
+hubTrace(int peers, const std::vector<int> &order)
+{
+    TraceSet traces("hub", peers + 1);
+    auto &hub = traces.rankTrace(0);
+    for (const int p : order) {
+        hub.append(IRecvRec{p + 1, 40 + p,
+                            Bytes(32 * 1024) * (p % 3 + 1),
+                            std::uint64_t(p + 1),
+                            std::uint64_t(100 + p)});
+    }
+    hub.append(CpuBurst{400'000});
+    hub.append(WaitAllRec{});
+    for (int p = 0; p < peers; ++p) {
+        auto &peer = traces.rankTrace(p + 1);
+        peer.append(CpuBurst{50'000 + 10'000 * Instr(p)});
+        peer.append(SendRec{0, 40 + p,
+                            Bytes(32 * 1024) * (p % 3 + 1),
+                            std::uint64_t(p + 1)});
+    }
+    return traces;
+}
+
+TEST(EngineDeterminismTest, IrecvPostOrderInvariantWithoutContention)
+{
+    constexpr int peers = 12;
+    std::vector<int> order;
+    for (int p = 0; p < peers; ++p)
+        order.push_back(p);
+
+    auto platform = sim::platforms::defaultCluster();
+    platform.buses = 0;
+    platform.outLinksPerNode = 0;
+    platform.inLinksPerNode = 0;
+
+    const auto baseline =
+        simulate(hubTrace(peers, order), platform);
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        auto shuffled = order;
+        shuffleBySeed(shuffled, seed * 0x9e3779b97f4a7c15ULL);
+        const auto result =
+            simulate(hubTrace(peers, shuffled), platform);
+        expectIdentical(baseline, result);
+    }
+}
+
+/** Same invariance for non-blocking sends fanning out of one rank. */
+TraceSet
+fanoutTrace(int peers, const std::vector<int> &order)
+{
+    TraceSet traces("fanout", peers + 1);
+    auto &root = traces.rankTrace(0);
+    for (const int p : order) {
+        root.append(ISendRec{p + 1, 60 + p, Bytes(16 * 1024),
+                             std::uint64_t(p + 1),
+                             std::uint64_t(200 + p)});
+    }
+    root.append(CpuBurst{300'000});
+    root.append(WaitAllRec{});
+    for (int p = 0; p < peers; ++p) {
+        auto &peer = traces.rankTrace(p + 1);
+        peer.append(RecvRec{0, 60 + p, Bytes(16 * 1024),
+                            std::uint64_t(p + 1)});
+    }
+    return traces;
+}
+
+TEST(EngineDeterminismTest, IsendPostOrderInvariantWithoutContention)
+{
+    constexpr int peers = 10;
+    std::vector<int> order;
+    for (int p = 0; p < peers; ++p)
+        order.push_back(p);
+
+    auto platform = sim::platforms::idealNetwork();
+    const auto baseline =
+        simulate(fanoutTrace(peers, order), platform);
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        auto shuffled = order;
+        shuffleBySeed(shuffled, seed * 0xdeadbeefcafeULL);
+        const auto result =
+            simulate(fanoutTrace(peers, shuffled), platform);
+        expectIdentical(baseline, result);
+    }
+}
+
+TEST(EngineDeterminismTest, WaitQueueStaysFifoUnderReentrantPosts)
+{
+    // Regression: when a transfer injection releases a contended
+    // resource and the unblocked rank posts a *new* transfer before
+    // the wait queue is rescanned, the new transfer must not
+    // overtake older queued ones. Golden values come from the seed
+    // engine (std::deque wait queue) on this 4-rank scenario: rank 0
+    // sends 1MB rendezvous to rank 1 then 1KB eager to rank 2 while
+    // rank 3's 1MB rendezvous send to rank 2 is queued on the single
+    // bus.
+    TraceSet traces("fifo", 4);
+    traces.rankTrace(0).append(SendRec{1, 1, 1'000'000, 1});
+    traces.rankTrace(0).append(SendRec{2, 2, 1'000, 2});
+    traces.rankTrace(1).append(RecvRec{0, 1, 1'000'000, 1});
+    traces.rankTrace(3).append(SendRec{2, 3, 1'000'000, 3});
+    traces.rankTrace(2).append(RecvRec{3, 3, 1'000'000, 3});
+    traces.rankTrace(2).append(RecvRec{0, 2, 1'000, 2});
+
+    auto platform = sim::platforms::defaultCluster();
+    platform.buses = 1;
+    platform.eagerThreshold = 4096;
+    const auto result = simulate(traces, platform);
+
+    // Rank 3's queued transfer starts when the bus frees, ahead of
+    // rank 0's later eager send.
+    EXPECT_EQ(result.perRank[3].sendBlockedTime.ns(), 7'812'500);
+    EXPECT_EQ(result.perRank[3].endTime.ns(), 7'812'500);
+    EXPECT_EQ(result.perRank[0].endTime.ns(), 3'906'250);
+    EXPECT_EQ(result.perRank[2].recvBlockedTime.ns(), 7'824'406);
+    EXPECT_EQ(result.totalTime.ns(), 7'824'406);
+    EXPECT_EQ(result.eventsProcessed, 10u);
+}
+
+TEST(EngineDeterminismTest, SimulateValidatesPlatformUpFront)
+{
+    // cpusPerNode = 0 must be rejected by PlatformConfig::validate()
+    // before the engine computes node counts (guards the satellite
+    // fix for the unchecked division in Engine::run).
+    TraceSet traces("t", 1);
+    traces.rankTrace(0).append(CpuBurst{1000});
+    auto platform = sim::platforms::defaultCluster();
+    platform.cpusPerNode = 0;
+    EXPECT_THROW(simulate(traces, platform), FatalError);
+}
+
+} // namespace
+} // namespace ovlsim
