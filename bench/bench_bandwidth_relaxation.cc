@@ -25,12 +25,14 @@ using namespace ovlsim;
 using namespace ovlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = parseThreads(argc, argv);
     constexpr double reference = 65536.0; // MB/s
     std::printf("R3: bandwidth needed to match the original's "
                 "performance at %.0f MB/s\n", reference);
-    std::printf("(ideal pattern, 16 chunks, 5%% tolerance)\n\n");
+    std::printf("(ideal pattern, 16 chunks, 5%% tolerance; "
+                "%d threads)\n\n", threads);
 
     TablePrinter table({"app", "t @ reference",
                         "original needs MB/s",
@@ -49,7 +51,7 @@ main()
 
         const auto iso = core::isoPerformance(
             bundle, sim::platforms::defaultCluster(), ideal,
-            reference, 0.05, 1e-2);
+            reference, 0.05, 1e-2, threads);
 
         const double reduction = iso.reductionFactor();
         const double orders =

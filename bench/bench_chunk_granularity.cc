@@ -9,6 +9,7 @@
  * diminishing returns and the per-chunk latency penalty.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -18,10 +19,11 @@ using namespace ovlsim;
 using namespace ovlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = parseThreads(argc, argv);
     std::printf("A2: ideal-pattern speedup vs chunks per "
-                "message\n\n");
+                "message (%d threads)\n\n", threads);
 
     const std::vector<std::size_t> chunk_counts{1, 2, 4, 8,
                                                 16, 32, 64};
@@ -35,20 +37,34 @@ main()
             study.originalTrace(), platform);
         const auto original = study.simulateOriginal(platform);
 
+        // One job per chunk granularity; the variant constructions
+        // and replays both fan over the pool.
+        std::vector<sim::SimJob> jobs(chunk_counts.size());
+        {
+            ThreadPool pool(std::min(
+                threads, static_cast<int>(chunk_counts.size())));
+            pool.parallelFor(
+                chunk_counts.size(), [&](std::size_t i, int) {
+                    core::TransformConfig config;
+                    config.pattern =
+                        core::PatternModel::idealLinear;
+                    config.chunks = chunk_counts[i];
+                    jobs[i] = {&study.overlappedTrace(config),
+                               platform};
+                });
+        }
+        const auto results = sim::simulateBatch(jobs, threads);
+
         TablePrinter table({"chunks", "t overlap-ideal",
                             "speedup"});
-        for (const auto chunks : chunk_counts) {
-            core::TransformConfig config;
-            config.pattern = core::PatternModel::idealLinear;
-            config.chunks = chunks;
-            const auto t =
-                study.simulateOverlapped(config, platform)
-                    .totalTime;
+        for (std::size_t i = 0; i < chunk_counts.size(); ++i) {
+            const auto t = results[i].totalTime;
             const double speedup =
                 speedupPct(original.totalTime, t);
-            table.addRow({strformat("%zu", chunks),
+            table.addRow({strformat("%zu", chunk_counts[i]),
                           humanTime(t), pct(speedup)});
-            csv.addRow({name, strformat("%zu", chunks),
+            csv.addRow({name,
+                        strformat("%zu", chunk_counts[i]),
                         strformat("%.2f", speedup)});
         }
         std::printf("--- %s @ %.2f MB/s ---\n", name.c_str(),

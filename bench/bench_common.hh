@@ -18,10 +18,31 @@
 #include "core/study.hh"
 #include "sim/engine.hh"
 #include "tracer/tracer.hh"
+#include "util/options.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace ovlsim::bench {
+
+/**
+ * Parse the shared bench command line and return the worker count
+ * for sweeps/bisections/batches: `--threads N`, where 0 (the
+ * default) means all hardware cores. Every experiment driver runs
+ * the same campaign regardless of N — parallelism never changes
+ * results, only wall-clock.
+ */
+inline int
+parseThreads(int argc, const char *const *argv)
+{
+    Options options;
+    options.declare("threads", "0",
+                    "worker threads for replay campaigns "
+                    "(0 = all hardware cores)");
+    options.parse(argc, argv);
+    return ThreadPool::resolveThreads(
+        static_cast<int>(options.getInt("threads")));
+}
 
 /** The six applications of the paper's evaluation, in its order. */
 inline const std::vector<std::string> &

@@ -21,10 +21,12 @@ using namespace ovlsim;
 using namespace ovlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = parseThreads(argc, argv);
     std::printf("A1: mechanism ablation at the intermediate "
-                "bandwidth (ideal pattern, 16 chunks)\n\n");
+                "bandwidth (ideal pattern, 16 chunks; "
+                "%d threads)\n\n", threads);
 
     TablePrinter table({"app", "MB/s", "send-side only",
                         "recv-side only", "both"});
@@ -39,8 +41,9 @@ main()
         platform.bandwidthMBps = core::findIntermediateBandwidth(
             study.originalTrace(), platform);
 
-        const auto original = study.simulateOriginal(platform);
-        std::vector<double> speedups;
+        // Original plus the three mechanism variants, batched.
+        std::vector<sim::SimJob> jobs{
+            {&study.originalTrace(), platform}};
         for (const auto mechanism :
              {core::Mechanism::sendSide,
               core::Mechanism::recvSide,
@@ -48,11 +51,15 @@ main()
             core::TransformConfig config;
             config.pattern = core::PatternModel::idealLinear;
             config.mechanism = mechanism;
-            const auto t =
-                study.simulateOverlapped(config, platform)
-                    .totalTime;
-            speedups.push_back(
-                speedupPct(original.totalTime, t));
+            jobs.push_back(
+                {&study.overlappedTrace(config), platform});
+        }
+        const auto results = sim::simulateBatch(jobs, threads);
+        const auto &original = results[0];
+        std::vector<double> speedups;
+        for (std::size_t v = 1; v < results.size(); ++v) {
+            speedups.push_back(speedupPct(
+                original.totalTime, results[v].totalTime));
         }
         table.addRow({name, mbps(platform.bandwidthMBps),
                       pct(speedups[0]), pct(speedups[1]),

@@ -1,17 +1,21 @@
 /**
  * @file
- * Experiments M1-M3: engineering microbenchmarks of the
+ * Experiments M1-M4: engineering microbenchmarks of the
  * environment itself (google-benchmark).
  *
  *  - M1: replay-engine throughput (events per second),
  *  - M2: tracing-tool throughput (records traced per second),
- *  - M3: overlap-transformation and trace-serialization speed.
+ *  - M3: overlap-transformation and trace-serialization speed,
+ *  - M4: study-campaign throughput (bandwidth-sweep points per
+ *    second on the parallel runtime).
  *
  * Besides the google-benchmark suite, `--json[=PATH]` runs the M1
- * replay-engine configurations standalone and appends the largest
- * one's figures (events/sec, ns/event, peak RSS) to the perf
- * trajectory file (default BENCH_engine.json), giving every PR a
- * comparable data point. See ROADMAP.md "Performance methodology".
+ * replay-engine configurations standalone plus the M4 sweep
+ * configuration, and appends the largest M1 figure (events/sec,
+ * ns/event, peak RSS) and the M4 figure (sweep points/sec at
+ * `--threads` workers, default all cores) to the perf trajectory
+ * file (default BENCH_engine.json), giving every PR two comparable
+ * data points. See ROADMAP.md "Performance methodology".
  */
 
 // google-benchmark drives the M1-M3 suite; the --json trajectory
@@ -24,6 +28,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <fstream>
@@ -239,6 +244,93 @@ pointToJson(const JsonPoint &point)
         stamp);
 }
 
+/**
+ * The M4 configuration: one R1-style bandwidth sweep of the sweep3d
+ * proxy (original + the two standard variants per grid point),
+ * repeated until the clock budget runs out. The figure of merit is
+ * sweep points per second — the rate the campaign engine retires
+ * (bandwidth, trace-variant) replay bundles.
+ */
+struct SweepJsonPoint
+{
+    std::string config;
+    int threads = 0;
+    std::size_t gridPoints = 0;
+    std::uint64_t sweeps = 0;
+    double pointsPerSec = 0.0;
+    double msPerPoint = 0.0;
+    long peakRssKb = 0;
+};
+
+SweepJsonPoint
+measureSweepConfig(int threads, double min_seconds)
+{
+    const auto bundle = traceApp("sweep3d", 8);
+    auto platform = sim::platforms::defaultCluster();
+    const auto grid = core::logBandwidthGrid(1.0, 65536.0, 4);
+    const auto variants = core::standardVariants(16);
+
+    // Warm-up sweep (pays variant construction, page faults and
+    // thread spawning outside the timing).
+    core::bandwidthSweep(bundle, platform, grid, variants,
+                         threads);
+
+    std::uint64_t sweeps = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        const auto sweep = core::bandwidthSweep(
+            bundle, platform, grid, variants, threads);
+        if (sweep.points.size() != grid.size())
+            std::abort(); // keep the replays observable
+        ++sweeps;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+
+    SweepJsonPoint point;
+    point.config = strformat("sweep3d-x8/grid%zux%zu",
+                             grid.size(), variants.size() + 1);
+    point.threads = threads;
+    point.gridPoints = grid.size();
+    point.sweeps = sweeps;
+    const double points =
+        static_cast<double>(sweeps * grid.size());
+    point.pointsPerSec = points / elapsed;
+    point.msPerPoint = elapsed * 1e3 / points;
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    point.peakRssKb = usage.ru_maxrss;
+    return point;
+}
+
+std::string
+sweepPointToJson(const SweepJsonPoint &point)
+{
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm_utc{}; gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    return strformat(
+        "{\n"
+        "    \"bench\": \"bench_micro.sweepThroughput\",\n"
+        "    \"config\": \"%s\",\n"
+        "    \"threads\": %d,\n"
+        "    \"grid_points\": %zu,\n"
+        "    \"sweeps\": %llu,\n"
+        "    \"sweep_points_per_sec\": %.2f,\n"
+        "    \"ms_per_point\": %.3f,\n"
+        "    \"peak_rss_kb\": %ld,\n"
+        "    \"timestamp\": \"%s\"\n"
+        "  }",
+        point.config.c_str(), point.threads, point.gridPoints,
+        static_cast<unsigned long long>(point.sweeps),
+        point.pointsPerSec, point.msPerPoint, point.peakRssKb,
+        stamp);
+}
+
 /** Append a point to the JSON-array trajectory file in place. */
 void
 appendToTrajectory(const std::string &path,
@@ -300,7 +392,7 @@ appendToTrajectory(const std::string &path,
 }
 
 int
-runJsonMode(const std::string &path)
+runJsonMode(const std::string &path, int threads)
 {
     JsonPoint largest;
     for (const auto &config : jsonConfigs) {
@@ -315,9 +407,21 @@ runJsonMode(const std::string &path)
             point.peakRssKb);
         largest = point;
     }
+    const SweepJsonPoint sweep =
+        measureSweepConfig(threads, 1.5);
+    std::printf(
+        "%-22s %9.2f sweep points/s  %6.3f ms/point  "
+        "(%llu sweeps @ %d threads, rss %ld KB)\n",
+        sweep.config.c_str(), sweep.pointsPerSec,
+        sweep.msPerPoint,
+        static_cast<unsigned long long>(sweep.sweeps),
+        sweep.threads, sweep.peakRssKb);
     appendToTrajectory(path, pointToJson(largest));
-    std::printf("trajectory point (%s) appended to %s\n",
-                largest.config.c_str(), path.c_str());
+    appendToTrajectory(path, sweepPointToJson(sweep));
+    std::printf(
+        "trajectory points (%s, %s) appended to %s\n",
+        largest.config.c_str(), sweep.config.c_str(),
+        path.c_str());
     return 0;
 }
 
@@ -333,12 +437,31 @@ BENCHMARK(traceSerialization);
 int
 main(int argc, char **argv)
 {
+    // M4 worker count for --json mode (0 = all hardware cores).
+    // The flag is consumed here (compacted out of argv) so plain
+    // google-benchmark runs don't trip on an unrecognized option.
+    int threads = 0;
+    std::string json_path;
+    bool json_mode = false;
+    int kept = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--json")
-            return runJsonMode("BENCH_engine.json");
-        if (arg.rfind("--json=", 0) == 0)
-            return runJsonMode(arg.substr(7));
+        if (arg == "--json") {
+            json_mode = true;
+            json_path = "BENCH_engine.json";
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_mode = true;
+            json_path = arg.substr(7);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = std::atoi(arg.c_str() + 10);
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
+    if (json_mode) {
+        return runJsonMode(json_path,
+                           ThreadPool::resolveThreads(threads));
     }
 #ifdef OVLSIM_HAVE_GBENCH
     benchmark::Initialize(&argc, argv);

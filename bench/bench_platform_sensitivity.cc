@@ -21,24 +21,27 @@ namespace {
 
 double
 idealSpeedupOn(core::OverlapStudy &study,
-               const sim::PlatformConfig &platform)
+               const sim::PlatformConfig &platform, int threads)
 {
     core::TransformConfig ideal;
     ideal.pattern = core::PatternModel::idealLinear;
-    const auto original =
-        study.simulateOriginal(platform).totalTime;
-    const auto overlapped =
-        study.simulateOverlapped(ideal, platform).totalTime;
-    return speedupPct(original, overlapped);
+    const std::vector<sim::SimJob> jobs{
+        {&study.originalTrace(), platform},
+        {&study.overlappedTrace(ideal), platform},
+    };
+    const auto results = sim::simulateBatch(jobs, threads);
+    return speedupPct(results[0].totalTime,
+                      results[1].totalTime);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = parseThreads(argc, argv);
     std::printf("A3: platform sensitivity of the ideal-pattern "
-                "benefit (NAS-BT)\n\n");
+                "benefit (NAS-BT; %d threads)\n\n", threads);
 
     core::OverlapStudy study(traceApp("nas-bt"));
     auto base = sim::platforms::defaultCluster();
@@ -56,7 +59,7 @@ main()
             auto platform = base;
             platform.latencyUs = latency;
             const double speedup =
-                idealSpeedupOn(study, platform);
+                idealSpeedupOn(study, platform, threads);
             table.addRow({strformat("%.1f", latency),
                           pct(speedup)});
             csv.addRow({"latency_us",
@@ -74,7 +77,7 @@ main()
             auto platform = base;
             platform.buses = buses;
             const double speedup =
-                idealSpeedupOn(study, platform);
+                idealSpeedupOn(study, platform, threads);
             table.addRow({buses == 0 ? "unlimited"
                                      : strformat("%d", buses),
                           pct(speedup)});
@@ -96,7 +99,7 @@ main()
             auto platform = base;
             platform.cpuRatio = ratio;
             const double speedup =
-                idealSpeedupOn(study, platform);
+                idealSpeedupOn(study, platform, threads);
             table.addRow({strformat("%.2fx", ratio),
                           pct(speedup)});
             csv.addRow({"cpu_ratio", strformat("%.2f", ratio),

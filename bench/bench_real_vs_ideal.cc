@@ -26,12 +26,14 @@ using namespace ovlsim;
 using namespace ovlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = parseThreads(argc, argv);
     std::printf("R1: real vs ideal computation patterns across "
                 "bandwidths\n");
     std::printf("(speedups vs the original, non-overlapped "
-                "execution; 16 chunks/message)\n\n");
+                "execution; 16 chunks/message; %d threads)\n\n",
+                threads);
 
     const auto grid = core::logBandwidthGrid(1.0, 65536.0, 1);
     const auto variants = core::standardVariants(16);
@@ -44,7 +46,7 @@ main()
         const auto bundle = traceApp(name);
         const auto sweep = core::bandwidthSweep(
             bundle, sim::platforms::defaultCluster(), grid,
-            variants);
+            variants, threads);
 
         TablePrinter table({"bandwidth MB/s", "original",
                             "overlap-real", "real speedup",

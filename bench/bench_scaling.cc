@@ -20,9 +20,11 @@ using namespace ovlsim;
 using namespace ovlsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("S1: ideal-pattern benefit vs machine size\n\n");
+    const int threads = parseThreads(argc, argv);
+    std::printf("S1: ideal-pattern benefit vs machine size "
+                "(%d threads)\n\n", threads);
 
     CsvWriter csv("bench_scaling.csv",
                   {"app", "ranks", "intermediate_mbps",
@@ -49,12 +51,15 @@ main()
 
             core::TransformConfig ideal;
             ideal.pattern = core::PatternModel::idealLinear;
-            const auto original =
-                study.simulateOriginal(platform);
-            const auto overlapped =
-                study.simulateOverlapped(ideal, platform);
+            const std::vector<sim::SimJob> jobs{
+                {&study.originalTrace(), platform},
+                {&study.overlappedTrace(ideal), platform},
+            };
+            const auto results =
+                sim::simulateBatch(jobs, threads);
+            const auto &original = results[0];
             const double speedup = speedupPct(
-                original.totalTime, overlapped.totalTime);
+                original.totalTime, results[1].totalTime);
 
             table.addRow({strformat("%d", ranks),
                           mbps(platform.bandwidthMBps),

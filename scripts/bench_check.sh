@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
-# Perf regression gate for the replay engine.
+# Perf regression gate for the replay engine and the study runtime.
 #
 # Builds Release, runs `bench_micro --json` (the M1 replay-engine
-# throughput measurement on its largest configuration) and fails if
-# events/sec regressed more than the threshold against the checked-in
-# baseline (bench/BENCH_baseline.json).
+# throughput measurement on its largest configuration plus the M4
+# sweep-throughput measurement at all hardware cores) and fails if
+# either figure regressed more than the threshold against the
+# checked-in baseline (bench/BENCH_baseline.json):
+#
+#   M1  events_per_sec        single-replay engine throughput
+#   M4  sweep_points_per_sec  campaign (parallel sweep) throughput
+#
+# A baseline recorded before M4 existed lacks sweep_points_per_sec;
+# the M4 gate is then skipped with a notice — refresh with --update.
 #
 # Usage:
 #   scripts/bench_check.sh           # check against the baseline
@@ -13,6 +20,7 @@
 # Environment:
 #   OVLSIM_BENCH_THRESHOLD  allowed fractional regression (default 0.10)
 #   OVLSIM_BENCH_BUILD_DIR  build directory (default build-bench)
+#   OVLSIM_BENCH_THREADS    M4 worker count (default 0 = all cores)
 #
 # The baseline is machine-dependent; refresh it with --update when the
 # benchmark host changes, and say so in the commit message.
@@ -22,6 +30,7 @@ cd "$(dirname "$0")/.."
 
 THRESHOLD="${OVLSIM_BENCH_THRESHOLD:-0.10}"
 BUILD_DIR="${OVLSIM_BENCH_BUILD_DIR:-build-bench}"
+THREADS="${OVLSIM_BENCH_THREADS:-0}"
 BASELINE="bench/BENCH_baseline.json"
 UPDATE=0
 if [[ "${1:-}" == "--update" ]]; then
@@ -36,40 +45,58 @@ cmake --build "$BUILD_DIR" --target bench_micro -j "$(nproc)" \
 
 RESULT_JSON="$(mktemp)"
 trap 'rm -f "$RESULT_JSON"' EXIT
-"$BUILD_DIR/bench_micro" --json="$RESULT_JSON"
+"$BUILD_DIR/bench_micro" --json="$RESULT_JSON" --threads="$THREADS"
 
-extract_rate() {
-    grep -o '"events_per_sec": *[0-9.eE+]*' "$1" |
+# Last occurrence of a numeric key in a trajectory file (the most
+# recent entry carrying that key).
+extract_key() { # file key
+    grep -o "\"$2\": *[0-9.eE+]*" "$1" |
         tail -n 1 | grep -o '[0-9.eE+]*$'
 }
 
-CURRENT="$(extract_rate "$RESULT_JSON")"
-if [[ -z "$CURRENT" ]]; then
-    echo "bench_check: no events_per_sec in bench output" >&2
+CURRENT_M1="$(extract_key "$RESULT_JSON" events_per_sec)"
+CURRENT_M4="$(extract_key "$RESULT_JSON" sweep_points_per_sec)"
+if [[ -z "$CURRENT_M1" || -z "$CURRENT_M4" ]]; then
+    echo "bench_check: missing figures in bench output" >&2
     exit 1
 fi
 
 if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
     cp "$RESULT_JSON" "$BASELINE"
-    echo "bench_check: baseline updated ($CURRENT events/sec)"
+    echo "bench_check: baseline updated ($CURRENT_M1 events/sec," \
+         "$CURRENT_M4 sweep points/sec)"
     exit 0
 fi
 
-BASE="$(extract_rate "$BASELINE")"
-if [[ -z "$BASE" ]]; then
+# gate NAME CURRENT BASE — fails the script when CURRENT dropped
+# more than THRESHOLD below BASE.
+gate() {
+    awk -v name="$1" -v cur="$2" -v base="$3" -v thr="$THRESHOLD" \
+    'BEGIN {
+        floor = base * (1.0 - thr);
+        printf "bench_check: %s current %.0f, baseline %.0f, floor %.0f (-%d%%)\n",
+               name, cur, base, floor, thr * 100;
+        if (cur < floor) {
+            printf "bench_check: FAIL - %s regressed %.1f%%\n",
+                   name, (1.0 - cur / base) * 100;
+            exit 1;
+        }
+        printf "bench_check: %s OK (%+.1f%% vs baseline)\n",
+               name, (cur / base - 1.0) * 100;
+    }'
+}
+
+BASE_M1="$(extract_key "$BASELINE" events_per_sec)"
+if [[ -z "$BASE_M1" ]]; then
     echo "bench_check: malformed baseline $BASELINE" >&2
     exit 1
 fi
+gate "M1 events/sec" "$CURRENT_M1" "$BASE_M1"
 
-awk -v cur="$CURRENT" -v base="$BASE" -v thr="$THRESHOLD" 'BEGIN {
-    floor = base * (1.0 - thr);
-    printf "bench_check: current %.0f events/sec, baseline %.0f, floor %.0f (-%d%%)\n",
-           cur, base, floor, thr * 100;
-    if (cur < floor) {
-        printf "bench_check: FAIL - engine throughput regressed %.1f%%\n",
-               (1.0 - cur / base) * 100;
-        exit 1;
-    }
-    printf "bench_check: OK (%+.1f%% vs baseline)\n",
-           (cur / base - 1.0) * 100;
-}'
+BASE_M4="$(extract_key "$BASELINE" sweep_points_per_sec)"
+if [[ -n "$BASE_M4" ]]; then
+    gate "M4 sweep points/sec" "$CURRENT_M4" "$BASE_M4"
+else
+    echo "bench_check: baseline has no sweep_points_per_sec;" \
+         "M4 gate skipped (run scripts/bench_check.sh --update)"
+fi

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace ovlsim::core {
 
@@ -56,38 +57,60 @@ SweepResult
 bandwidthSweep(const tracer::TraceBundle &bundle,
                const sim::PlatformConfig &base,
                const std::vector<double> &bandwidths,
-               const std::vector<VariantSpec> &variants)
+               const std::vector<VariantSpec> &variants,
+               int threads)
 {
     SweepResult result;
     result.variants = variants;
 
-    // Build every overlapped trace once; replay per bandwidth.
-    std::vector<trace::TraceSet> variant_traces;
-    variant_traces.reserve(variants.size());
-    for (const auto &spec : variants) {
-        variant_traces.push_back(
-            buildOverlappedTrace(bundle.traces, bundle.overlap,
-                                 spec.config)
-                .traces);
-    }
+    // Lanes beyond the widest phase (usually the per-point fan-out)
+    // would only idle; clamp so tiny sweeps don't pay for a
+    // hardware-sized pool.
+    const std::size_t widest =
+        bandwidths.size() > variants.size() ? bandwidths.size()
+                                            : variants.size();
+    int lanes = ThreadPool::resolveThreads(threads);
+    if (widest > 0 && static_cast<std::size_t>(lanes) > widest)
+        lanes = static_cast<int>(widest);
+    ThreadPool pool(lanes);
 
-    for (const double mbps : bandwidths) {
-        sim::PlatformConfig platform = base;
-        platform.bandwidthMBps = mbps;
+    // Build every overlapped trace once; replay per bandwidth. The
+    // constructions are independent of one another, so they fan out
+    // too (they dominate setup for many-chunk variants).
+    std::vector<trace::TraceSet> variant_traces(variants.size());
+    pool.parallelFor(
+        variants.size(), [&](std::size_t v, int) {
+            variant_traces[v] =
+                buildOverlappedTrace(bundle.traces, bundle.overlap,
+                                     variants[v].config)
+                    .traces;
+        });
 
-        SweepPoint point;
-        point.bandwidthMBps = mbps;
-        const auto original =
-            sim::simulate(bundle.traces, platform);
-        point.originalTime = original.totalTime;
-        point.originalCommFraction = original.commFraction();
-        point.variantTimes.reserve(variants.size());
-        for (const auto &traces : variant_traces) {
-            point.variantTimes.push_back(
-                sim::simulate(traces, platform).totalTime);
-        }
-        result.points.push_back(std::move(point));
-    }
+    // One replay session per lane: replays reuse the engine arenas
+    // across points, and point i writes only slot i, so the sweep is
+    // bit-identical to the sequential loop at any thread count.
+    std::vector<sim::ReplaySession> sessions(
+        static_cast<std::size_t>(pool.size()));
+    result.points.resize(bandwidths.size());
+    pool.parallelFor(
+        bandwidths.size(), [&](std::size_t i, int lane) {
+            auto &session =
+                sessions[static_cast<std::size_t>(lane)];
+            sim::PlatformConfig platform = base;
+            platform.bandwidthMBps = bandwidths[i];
+
+            SweepPoint &point = result.points[i];
+            point.bandwidthMBps = bandwidths[i];
+            const auto original =
+                session.run(bundle.traces, platform);
+            point.originalTime = original.totalTime;
+            point.originalCommFraction = original.commFraction();
+            point.variantTimes.reserve(variants.size());
+            for (const auto &traces : variant_traces) {
+                point.variantTimes.push_back(
+                    session.run(traces, platform).totalTime);
+            }
+        });
     return result;
 }
 
@@ -102,11 +125,14 @@ findIntermediateBandwidth(const trace::TraceSet &original,
 
     // Balance function: > 0 while communication dominates. The
     // comm-blocked share shrinks as bandwidth grows, so bisection on
-    // the log axis converges onto comm time == compute time.
+    // the log axis converges onto comm time == compute time. One
+    // session serves every iteration, so the bisection replays with
+    // warmed-up arenas.
+    sim::ReplaySession session;
     const auto imbalance = [&](double mbps) {
         sim::PlatformConfig platform = base;
         platform.bandwidthMBps = mbps;
-        const auto result = sim::simulate(original, platform);
+        const auto result = session.run(original, platform);
         return result.commFraction() - result.computeFraction();
     };
 
@@ -135,10 +161,11 @@ minBandwidthForTime(const trace::TraceSet &traces,
     ovlAssert(lo_mbps > 0.0 && hi_mbps > lo_mbps,
               "minBandwidthForTime: bad range");
 
+    sim::ReplaySession session;
     const auto meets = [&](double mbps) {
         sim::PlatformConfig platform = base;
         platform.bandwidthMBps = mbps;
-        return sim::simulate(traces, platform).totalTime <= target;
+        return session.run(traces, platform).totalTime <= target;
     };
 
     if (meets(lo_mbps))
@@ -163,7 +190,7 @@ isoPerformance(const tracer::TraceBundle &bundle,
                const sim::PlatformConfig &base,
                const TransformConfig &variant,
                double reference_mbps, double tolerance,
-               double search_lo_mbps)
+               double search_lo_mbps, int threads)
 {
     ovlAssert(reference_mbps > 0.0,
               "isoPerformance: bad reference bandwidth");
@@ -182,15 +209,27 @@ isoPerformance(const tracer::TraceBundle &bundle,
         static_cast<double>(result.originalTime.ns()) *
         (1.0 + tolerance)));
 
-    result.originalRequiredBandwidth = minBandwidthForTime(
-        bundle.traces, base, target, search_lo_mbps,
-        reference_mbps);
-
-    const auto overlapped = buildOverlappedTrace(
-        bundle.traces, bundle.overlap, variant);
-    result.overlappedRequiredBandwidth = minBandwidthForTime(
-        overlapped.traces, base, target, search_lo_mbps,
-        reference_mbps);
+    // The two bisections are independent searches against the same
+    // target; each writes its own result field, so running them
+    // concurrently cannot change the outcome. The overlapped-trace
+    // construction stays inside its task to overlap with the
+    // original's search.
+    const int lanes = ThreadPool::resolveThreads(threads);
+    ThreadPool pool(lanes > 2 ? 2 : lanes);
+    pool.parallelFor(2, [&](std::size_t task, int) {
+        if (task == 0) {
+            result.originalRequiredBandwidth = minBandwidthForTime(
+                bundle.traces, base, target, search_lo_mbps,
+                reference_mbps);
+        } else {
+            const auto overlapped = buildOverlappedTrace(
+                bundle.traces, bundle.overlap, variant);
+            result.overlappedRequiredBandwidth =
+                minBandwidthForTime(overlapped.traces, base,
+                                    target, search_lo_mbps,
+                                    reference_mbps);
+        }
+    });
     return result;
 }
 

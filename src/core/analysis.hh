@@ -61,11 +61,19 @@ struct SweepResult
 /**
  * Simulate the original and every variant across a bandwidth grid.
  * All other platform parameters are taken from `base`.
+ *
+ * With `threads` > 1 the variant-trace construction and the sweep
+ * points are fanned over a fixed thread pool, one ReplaySession per
+ * worker (`threads` <= 0 means all hardware cores). Points are
+ * independent replays and every point writes its own slot, so the
+ * result is bit-identical to the sequential path at any thread
+ * count.
  */
 SweepResult bandwidthSweep(const tracer::TraceBundle &bundle,
                            const sim::PlatformConfig &base,
                            const std::vector<double> &bandwidths,
-                           const std::vector<VariantSpec> &variants);
+                           const std::vector<VariantSpec> &variants,
+                           int threads = 1);
 
 /**
  * Find the "intermediate" bandwidth: the point where the original
@@ -120,13 +128,18 @@ struct IsoPerformanceResult
  * performance at a high reference bandwidth, then find the minimal
  * bandwidth at which (a) the original and (b) the overlapped variant
  * still deliver that performance within `tolerance`.
+ *
+ * With `threads` > 1 the two bisections — original and overlapped
+ * (including the overlapped-trace construction) — run concurrently;
+ * they are independent searches, so the result is bit-identical to
+ * the sequential path.
  */
 IsoPerformanceResult
 isoPerformance(const tracer::TraceBundle &bundle,
                const sim::PlatformConfig &base,
                const TransformConfig &variant,
                double reference_mbps, double tolerance = 0.05,
-               double search_lo_mbps = 1e-3);
+               double search_lo_mbps = 1e-3, int threads = 1);
 
 } // namespace ovlsim::core
 

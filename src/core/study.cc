@@ -20,11 +20,18 @@ const trace::TraceSet &
 OverlapStudy::overlappedTrace(const TransformConfig &config)
 {
     const std::string key = config.label();
-    const auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+    }
+    // Build outside the lock so concurrent callers constructing
+    // *different* variants don't serialize; a same-variant race
+    // costs one redundant build (emplace keeps the first).
     auto result = buildOverlappedTrace(bundle_.traces,
                                        bundle_.overlap, config);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
     return cache_.emplace(key, std::move(result.traces))
         .first->second;
 }

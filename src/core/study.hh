@@ -12,6 +12,7 @@
 #define OVLSIM_CORE_STUDY_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "core/analysis.hh"
@@ -42,7 +43,15 @@ class OverlapStudy
         return bundle_.traces;
     }
 
-    /** Overlapped trace for a variant (built once, then cached). */
+    /**
+     * Overlapped trace for a variant (built once, then cached).
+     *
+     * Safe to call from multiple threads concurrently: the cache is
+     * mutex-guarded and references stay valid for the study's
+     * lifetime (node-based map, entries are never removed). When two
+     * threads race to build the same variant, one build wins and the
+     * other is discarded.
+     */
     const trace::TraceSet &
     overlappedTrace(const TransformConfig &config);
 
@@ -64,6 +73,8 @@ class OverlapStudy
 
   private:
     tracer::TraceBundle bundle_;
+    /** Guards cache_ (variant builds may run on pool workers). */
+    std::mutex cacheMutex_;
     std::map<std::string, trace::TraceSet> cache_;
 };
 

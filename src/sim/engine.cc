@@ -9,6 +9,8 @@
 #include "util/flat_map.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
+#include "util/thread_pool.hh"
+#include "util/types.hh"
 
 namespace ovlsim::sim {
 
@@ -254,19 +256,22 @@ struct CollBarrier
     bool released = false;
 };
 
+/**
+ * The replay engine proper. Default-constructed once (per session or
+ * per simulate() call) and reused: run() resets every container to
+ * its empty state while keeping the allocations, so back-to-back
+ * replays never touch the allocator in steady state.
+ */
 class Engine
 {
   public:
-    Engine(const trace::TraceSet &traces,
-           const PlatformConfig &platform)
-        : traces_(traces), platform_(platform)
-    {
-        platform_.validate();
-    }
+    Engine() = default;
 
-    SimResult run();
+    SimResult run(const trace::TraceSet &traces,
+                  const PlatformConfig &platform);
 
   private:
+    void reset(int nranks);
     void schedule(SimTime t, EventKind kind, std::uint32_t target);
     void countEvent();
     void runRank(RankCtx &ctx);
@@ -356,7 +361,8 @@ class Engine
         return lastSerDelay_[cls];
     }
 
-    const trace::TraceSet &traces_;
+    /** Valid during run(); the job's trace set. */
+    const trace::TraceSet *traces_ = nullptr;
     PlatformConfig platform_;
     bool capture_ = false;
 
@@ -444,13 +450,65 @@ Engine::countEvent()
     }
 }
 
-SimResult
-Engine::run()
+/**
+ * Return every container to its empty state while keeping its
+ * allocation, so a session's next replay starts from warmed-up
+ * arenas. Must leave the engine indistinguishable (results-wise)
+ * from a freshly constructed one; the session-reuse determinism
+ * tests guard this.
+ */
+void
+Engine::reset(int nranks)
 {
-    const int nranks = traces_.ranks();
+    events_.clear();
+    nextSeq_ = 0;
+    processed_ = 0;
     ranks_.resize(static_cast<std::size_t>(nranks));
-    // cpusPerNode > 0 is guaranteed by PlatformConfig::validate(),
-    // which the constructor runs before anything divides by it.
+    for (auto &ctx : ranks_) {
+        ctx.records = nullptr;
+        ctx.pc = 0;
+        ctx.now = SimTime::zero();
+        ctx.blocked = false;
+        ctx.done = false;
+        ctx.blockState = RankState::idle;
+        ctx.blockStart = SimTime::zero();
+        ctx.reqSlots.clear();
+        ctx.reqFreeHead = npos32;
+        ctx.liveReqs = 0;
+        ctx.awaitingCount = 0;
+        ctx.blockingRecvDone = false;
+        ctx.awaitingBlockingRecv = false;
+        ctx.reqIndex.clear();
+        ctx.collSeq = 0;
+        ctx.result = RankResult{};
+    }
+    transfers_.clear();
+    txMeta_.clear();
+    recvPool_.clear();
+    recvPoolFree_ = npos32;
+    waitHead_ = npos32;
+    waitTail_ = npos32;
+    resourcesFreed_ = false;
+    channels_.clear();
+    barriers_.clear();
+    doneRanks_ = 0;
+    lastBurstInstr_ = 0;
+    lastBurstDur_ = SimTime::zero();
+    lastSerBytes_[0] = lastSerBytes_[1] = 0;
+    lastSerDelay_[0] = lastSerDelay_[1] = SimTime::zero();
+    timeline_ = Timeline();
+}
+
+SimResult
+Engine::run(const trace::TraceSet &traces,
+            const PlatformConfig &platform)
+{
+    traces_ = &traces;
+    platform_ = platform;
+    // Validate before anything divides by cpusPerNode.
+    platform_.validate();
+    const int nranks = traces.ranks();
+    reset(nranks);
     const int nodes =
         (nranks + platform_.cpusPerNode - 1) / platform_.cpusPerNode;
     nodeOf_.resize(static_cast<std::size_t>(nranks));
@@ -467,7 +525,7 @@ Engine::run()
     if (capture_)
         timeline_ = Timeline(nranks);
 
-    mips_ = platform_.effectiveMips(traces_.mips());
+    mips_ = platform_.effectiveMips(traces_->mips());
     ovlAssert(mips_ > 0.0, "platform MIPS rate must be positive");
     latencyLocal_ = platform_.flightLatency(true);
     latencyRemote_ = platform_.flightLatency(false);
@@ -478,7 +536,7 @@ Engine::run()
     events_.reserve(static_cast<std::size_t>(nranks) * 4 + 256);
     // Scale the channel table with the trace so big replays do not
     // pay rehash churn; totalRecords() is O(ranks).
-    std::size_t chan_guess = traces_.totalRecords() / 8;
+    std::size_t chan_guess = traces_->totalRecords() / 8;
     if (chan_guess < 256)
         chan_guess = 256;
     if (chan_guess > (1u << 16))
@@ -488,7 +546,7 @@ Engine::run()
     for (Rank r = 0; r < nranks; ++r) {
         auto &ctx = ranks_[static_cast<std::size_t>(r)];
         ctx.rank = r;
-        ctx.records = &traces_.rankTrace(r).records();
+        ctx.records = &traces_->rankTrace(r).records();
         ctx.result.rank = r;
         schedule(SimTime::zero(), EventKind::rankResume,
                  static_cast<std::uint32_t>(r));
@@ -834,7 +892,14 @@ std::uint32_t
 Engine::postSend(RankCtx &ctx, Rank dst, Tag tag, Bytes bytes,
                  MessageId msg, bool blocking, ReqHandle send_req)
 {
-    ovlAssert(dst >= 0 && dst < traces_.ranks(),
+    if (dst == anyRank || tag == anyTag) {
+        fatal("rank ", ctx.rank, ": send with the ",
+              dst == anyRank ? "anyRank" : "anyTag",
+              " wildcard sentinel; wildcard matching is "
+              "unsupported by the replay engine (run "
+              "trace::validateTraceSet to locate the records)");
+    }
+    ovlAssert(dst >= 0 && dst < traces_->ranks(),
               "send to invalid rank ", dst);
     const auto idx =
         static_cast<std::uint32_t>(transfers_.size());
@@ -890,7 +955,14 @@ Engine::postRecv(RankCtx &ctx, Rank src, Tag tag, Bytes bytes,
                  MessageId msg, ReqHandle req)
 {
     (void)msg;
-    ovlAssert(src >= 0 && src < traces_.ranks(),
+    if (src == anyRank || tag == anyTag) {
+        fatal("rank ", ctx.rank, ": receive with the ",
+              src == anyRank ? "anyRank" : "anyTag",
+              " wildcard sentinel; wildcard matching is "
+              "unsupported by the replay engine (run "
+              "trace::validateTraceSet to locate the records)");
+    }
+    ovlAssert(src >= 0 && src < traces_->ranks(),
               "recv from invalid rank ", src);
     ChannelQueue &q = channels_[trace::channelKey(src, ctx.rank,
                                                   tag)];
@@ -1127,12 +1199,12 @@ Engine::handleCollective(RankCtx &ctx, const CollectiveRec &rec)
 
     blockRank(ctx, RankState::collective);
 
-    if (barrier.arrived == traces_.ranks()) {
+    if (barrier.arrived == traces_->ranks()) {
         barrier.released = true;
         const SimTime release = barrier.latest +
-            collectiveCost(platform_, barrier.op, traces_.ranks(),
+            collectiveCost(platform_, barrier.op, traces_->ranks(),
                            barrier.sendBytes, barrier.recvBytes);
-        for (Rank r = 0; r < traces_.ranks(); ++r) {
+        for (Rank r = 0; r < traces_->ranks(); ++r) {
             schedule(release, EventKind::rankResume,
                      static_cast<std::uint32_t>(r));
         }
@@ -1171,18 +1243,63 @@ Engine::reportDeadlock() const
             rankStateName(ctx.blockState), ctx.pc,
             ctx.records->size(), ctx.awaitingCount);
     }
-    fatal("replay deadlocked with ", traces_.ranks() - doneRanks_,
+    fatal("replay deadlocked with ", traces_->ranks() - doneRanks_,
           " rank(s) unfinished:", detail);
 }
 
 } // namespace
 
+struct ReplaySession::Impl
+{
+    Engine engine;
+};
+
+ReplaySession::ReplaySession() : impl_(std::make_unique<Impl>()) {}
+ReplaySession::~ReplaySession() = default;
+ReplaySession::ReplaySession(ReplaySession &&) noexcept = default;
+ReplaySession &
+ReplaySession::operator=(ReplaySession &&) noexcept = default;
+
+SimResult
+ReplaySession::run(const trace::TraceSet &traces,
+                   const PlatformConfig &platform)
+{
+    return impl_->engine.run(traces, platform);
+}
+
 SimResult
 simulate(const trace::TraceSet &traces,
          const PlatformConfig &platform)
 {
-    Engine engine(traces, platform);
-    return engine.run();
+    Engine engine;
+    return engine.run(traces, platform);
+}
+
+std::vector<SimResult>
+simulateBatch(std::span<const SimJob> jobs, int threads)
+{
+    std::vector<SimResult> results(jobs.size());
+    // Never spawn more lanes than jobs: small batches (2-3 replays)
+    // are common in driver loops, where a full hardware-sized pool
+    // would be pure spawn/join overhead.
+    int lanes = ThreadPool::resolveThreads(threads);
+    if (static_cast<std::size_t>(lanes) > jobs.size())
+        lanes = jobs.empty() ? 1
+                             : static_cast<int>(jobs.size());
+    ThreadPool pool(lanes);
+    // One session per lane: lanes never share engine state, and job
+    // i always lands in slot i, so the output is independent of how
+    // tasks were scheduled over lanes.
+    std::vector<ReplaySession> sessions(
+        static_cast<std::size_t>(pool.size()));
+    pool.parallelFor(jobs.size(), [&](std::size_t i, int lane) {
+        const SimJob &job = jobs[i];
+        ovlAssert(job.traces != nullptr,
+                  "simulateBatch: job ", i, " has no trace set");
+        results[i] = sessions[static_cast<std::size_t>(lane)].run(
+            *job.traces, job.platform);
+    });
+    return results;
 }
 
 } // namespace ovlsim::sim

@@ -9,10 +9,22 @@
  * transfers contend for the platform's finite buses and per-node
  * links. The result is the application's reconstructed time-behaviour
  * on the configured platform.
+ *
+ * Two entry points are offered. simulate() replays once and is the
+ * right call for one-off replays. Study campaigns (sweeps,
+ * bisections) replay many (trace, platform) pairs back-to-back; a
+ * ReplaySession keeps the engine's arenas — channel hash table,
+ * transfer pool, request tables, event heap — alive between runs, so
+ * steady-state replays allocate nothing. simulateBatch() fans a batch
+ * of independent jobs over a thread pool with one session per lane.
  */
 
 #ifndef OVLSIM_SIM_ENGINE_HH
 #define OVLSIM_SIM_ENGINE_HH
+
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "sim/platform.hh"
 #include "sim/result.hh"
@@ -26,7 +38,8 @@ namespace ovlsim::sim {
  * The trace set must be structurally valid (see
  * trace::validateTraceSet); replay of an invalid trace raises
  * FatalError, including a deadlock diagnosis when ranks block
- * forever.
+ * forever. Traces using the anyRank/anyTag wildcard sentinels are
+ * rejected with FatalError: wildcard matching is unsupported.
  *
  * @param traces the application traces to replay
  * @param platform the machine to reconstruct the behaviour on
@@ -35,6 +48,56 @@ namespace ovlsim::sim {
  */
 SimResult simulate(const trace::TraceSet &traces,
                    const PlatformConfig &platform);
+
+/**
+ * A reusable replay context.
+ *
+ * Owns the engine's flat-hash channel map, transfer/request arenas
+ * and event heap, and replays any number of (trace, platform) pairs
+ * back-to-back without reallocating them: each run() resets the
+ * containers but keeps their capacity. Results are bit-identical to
+ * simulate() — a session carries no state between runs other than
+ * memory reservations.
+ *
+ * A session is single-threaded; use one session per thread (see
+ * simulateBatch) for parallel campaigns.
+ */
+class ReplaySession
+{
+  public:
+    ReplaySession();
+    ~ReplaySession();
+    ReplaySession(ReplaySession &&) noexcept;
+    ReplaySession &operator=(ReplaySession &&) noexcept;
+
+    /** Replay `traces` on `platform`; same contract as simulate(). */
+    SimResult run(const trace::TraceSet &traces,
+                  const PlatformConfig &platform);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** One replay of a batch: a trace set and the platform to run it on.
+ * The referenced trace set must outlive the simulateBatch call. */
+struct SimJob
+{
+    const trace::TraceSet *traces = nullptr;
+    PlatformConfig platform;
+};
+
+/**
+ * Replay every job of a batch and return the results in job order.
+ *
+ * Jobs are independent; with `threads` > 1 they are fanned over a
+ * fixed thread pool with one ReplaySession per lane, and the result
+ * vector is bit-identical to running the jobs sequentially
+ * (`threads` <= 0 means all hardware cores). The first error raised
+ * by any job is rethrown after in-flight jobs drain.
+ */
+std::vector<SimResult> simulateBatch(std::span<const SimJob> jobs,
+                                     int threads = 1);
 
 } // namespace ovlsim::sim
 

@@ -32,6 +32,16 @@ rankStateCode(RankState state)
     panic("rankStateCode: bad state");
 }
 
+std::uint32_t
+Timeline::newNode()
+{
+    if ((nodeCount_ & (chunkCapacity - 1)) == 0) {
+        chunks_.emplace_back().reserve(chunkCapacity);
+    }
+    chunks_.back().emplace_back();
+    return nodeCount_++;
+}
+
 void
 Timeline::addInterval(Rank r, SimTime begin, SimTime end,
                       RankState state)
@@ -40,19 +50,30 @@ Timeline::addInterval(Rank r, SimTime begin, SimTime end,
     if (end <= begin)
         return;
     auto &list = perRank_[static_cast<std::size_t>(r)];
-    if (!list.empty() && list.back().end == begin &&
-        list.back().state == state) {
-        list.back().end = end;
-        return;
+    if (list.count > 0) {
+        Node &tail = node(list.tail);
+        if (tail.interval.end == begin &&
+            tail.interval.state == state) {
+            tail.interval.end = end;
+            return;
+        }
     }
-    list.push_back(StateInterval{begin, end, state});
+    const std::uint32_t idx = newNode();
+    node(idx).interval = StateInterval{begin, end, state};
+    if (list.count == 0)
+        list.head = idx;
+    else
+        node(list.tail).next = idx;
+    list.tail = idx;
+    ++list.count;
 }
 
-const std::vector<StateInterval> &
+Timeline::IntervalRange
 Timeline::intervals(Rank r) const
 {
     ovlAssert(r >= 0 && r < ranks(), "timeline rank out of range");
-    return perRank_[static_cast<std::size_t>(r)];
+    const auto &list = perRank_[static_cast<std::size_t>(r)];
+    return IntervalRange(this, list.head, list.count);
 }
 
 SimTime
@@ -60,8 +81,11 @@ Timeline::span() const
 {
     SimTime latest = SimTime::zero();
     for (const auto &list : perRank_) {
-        if (!list.empty() && list.back().end > latest)
-            latest = list.back().end;
+        if (list.count == 0)
+            continue;
+        const SimTime end = node(list.tail).interval.end;
+        if (end > latest)
+            latest = end;
     }
     return latest;
 }

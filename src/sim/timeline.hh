@@ -7,6 +7,14 @@
  * per message transfer, sufficient to draw Gantt charts and
  * communication lines and to compare the non-overlapped and
  * overlapped executions qualitatively.
+ *
+ * Intervals are stored in a chunked arena shared by all ranks: fixed
+ * 512-interval chunks that are never reallocated once created, with
+ * each rank's intervals threaded through the arena as an
+ * index-linked list. Appending an interval is a bounds-checked store
+ * plus, once every 512 appends, one chunk allocation — so
+ * capture-enabled replays stay close to capture-off speed even when
+ * sweeps run with timelines on.
  */
 
 #ifndef OVLSIM_SIM_TIMELINE_HH
@@ -66,7 +74,84 @@ struct CommEvent
 /** Full reconstructed behaviour of one replay. */
 class Timeline
 {
+    struct Node
+    {
+        StateInterval interval;
+        std::uint32_t next = nposNode;
+    };
+
+    static constexpr std::uint32_t nposNode = 0xFFFFFFFFu;
+    static constexpr std::uint32_t chunkShift = 9;
+    static constexpr std::uint32_t chunkCapacity = 1u << chunkShift;
+
   public:
+    /**
+     * Forward range over one rank's intervals, iterating the
+     * index-linked list in append order. Valid as long as the
+     * timeline it came from is alive and unmodified.
+     */
+    class IntervalRange
+    {
+      public:
+        class iterator
+        {
+          public:
+            iterator(const Timeline *timeline, std::uint32_t idx)
+                : timeline_(timeline), idx_(idx)
+            {}
+
+            const StateInterval &
+            operator*() const
+            {
+                return timeline_->node(idx_).interval;
+            }
+
+            const StateInterval *
+            operator->() const
+            {
+                return &timeline_->node(idx_).interval;
+            }
+
+            iterator &
+            operator++()
+            {
+                idx_ = timeline_->node(idx_).next;
+                return *this;
+            }
+
+            bool
+            operator==(const iterator &other) const
+            {
+                return idx_ == other.idx_;
+            }
+
+            bool
+            operator!=(const iterator &other) const
+            {
+                return idx_ != other.idx_;
+            }
+
+          private:
+            const Timeline *timeline_;
+            std::uint32_t idx_;
+        };
+
+        IntervalRange(const Timeline *timeline, std::uint32_t head,
+                      std::uint32_t count)
+            : timeline_(timeline), head_(head), count_(count)
+        {}
+
+        iterator begin() const { return {timeline_, head_}; }
+        iterator end() const { return {timeline_, nposNode}; }
+        std::size_t size() const { return count_; }
+        bool empty() const { return count_ == 0; }
+
+      private:
+        const Timeline *timeline_;
+        std::uint32_t head_;
+        std::uint32_t count_;
+    };
+
     Timeline() = default;
     explicit Timeline(int ranks)
         : perRank_(static_cast<std::size_t>(ranks))
@@ -81,7 +166,9 @@ class Timeline
 
     void addComm(CommEvent event) { comms_.push_back(event); }
 
-    const std::vector<StateInterval> &intervals(Rank r) const;
+    /** Rank r's intervals in append order. */
+    IntervalRange intervals(Rank r) const;
+
     const std::vector<CommEvent> &comms() const { return comms_; }
 
     /** Latest interval end across all ranks. */
@@ -91,7 +178,40 @@ class Timeline
     SimTime timeInState(Rank r, RankState state) const;
 
   private:
-    std::vector<std::vector<StateInterval>> perRank_;
+    /** Per-rank list endpoints into the shared node arena. */
+    struct RankList
+    {
+        std::uint32_t head = nposNode;
+        std::uint32_t tail = nposNode;
+        std::uint32_t count = 0;
+    };
+
+    Node &
+    node(std::uint32_t idx)
+    {
+        return chunks_[idx >> chunkShift]
+                      [idx & (chunkCapacity - 1)];
+    }
+
+    const Node &
+    node(std::uint32_t idx) const
+    {
+        return chunks_[idx >> chunkShift]
+                      [idx & (chunkCapacity - 1)];
+    }
+
+    /** Arena slot for a new node (allocates a chunk when full). */
+    std::uint32_t newNode();
+
+    /**
+     * Chunked node arena. Every inner vector is reserved to exactly
+     * chunkCapacity up front and only ever push_back'd, so node
+     * storage is never moved once written (growth allocates a new
+     * chunk instead of reallocating).
+     */
+    std::vector<std::vector<Node>> chunks_;
+    std::uint32_t nodeCount_ = 0;
+    std::vector<RankList> perRank_;
     std::vector<CommEvent> comms_;
 };
 

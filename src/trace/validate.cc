@@ -50,7 +50,29 @@ validateTraceSet(const TraceSet &traces)
         for (std::size_t i = 0; i < rt.records().size(); ++i) {
             const auto &rec = rt.records()[i];
 
+            // The replay engine has no wildcard matching; flag the
+            // anyRank/anyTag sentinels explicitly (replay would
+            // otherwise reject them with a less precise FatalError).
+            const auto flagWildcards = [&](const char *what,
+                                           Rank peer, Tag tag) {
+                if (peer == anyRank) {
+                    issue(strformat(
+                        "rank %d record %zu: %s uses the anyRank "
+                        "wildcard; wildcard matching is unsupported",
+                        rank, i, what));
+                }
+                if (tag == anyTag) {
+                    issue(strformat(
+                        "rank %d record %zu: %s uses the anyTag "
+                        "wildcard; wildcard matching is unsupported",
+                        rank, i, what));
+                }
+            };
+
             if (const auto *s = std::get_if<SendRec>(&rec)) {
+                flagWildcards("send", s->dst, s->tag);
+                if (s->dst == anyRank || s->tag == anyTag)
+                    continue;
                 if (s->dst < 0 || s->dst >= traces.ranks()) {
                     issue(strformat(
                         "rank %d record %zu: send to invalid rank %d",
@@ -60,6 +82,9 @@ validateTraceSet(const TraceSet &traces)
                 channels[{rank, s->dst, s->tag}].sendBytes.push_back(
                     s->bytes);
             } else if (const auto *is_ = std::get_if<ISendRec>(&rec)) {
+                flagWildcards("isend", is_->dst, is_->tag);
+                if (is_->dst == anyRank || is_->tag == anyTag)
+                    continue;
                 if (is_->dst < 0 || is_->dst >= traces.ranks()) {
                     issue(strformat(
                         "rank %d record %zu: isend to invalid rank "
@@ -82,6 +107,9 @@ validateTraceSet(const TraceSet &traces)
                     live.insert(is_->request);
                 }
             } else if (const auto *r = std::get_if<RecvRec>(&rec)) {
+                flagWildcards("recv", r->src, r->tag);
+                if (r->src == anyRank || r->tag == anyTag)
+                    continue;
                 if (r->src < 0 || r->src >= traces.ranks()) {
                     issue(strformat(
                         "rank %d record %zu: recv from invalid rank "
@@ -91,6 +119,9 @@ validateTraceSet(const TraceSet &traces)
                 channels[{r->src, rank, r->tag}].recvBytes.push_back(
                     r->bytes);
             } else if (const auto *ir = std::get_if<IRecvRec>(&rec)) {
+                flagWildcards("irecv", ir->src, ir->tag);
+                if (ir->src == anyRank || ir->tag == anyTag)
+                    continue;
                 if (ir->src < 0 || ir->src >= traces.ranks()) {
                     issue(strformat(
                         "rank %d record %zu: irecv from invalid rank "

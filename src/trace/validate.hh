@@ -34,8 +34,10 @@ struct ValidationReport
  * Validate a trace set.
  *
  * Checks, per rank: request ids are unique and non-zero, every Wait
- * references a live request, and every non-blocking operation is
- * eventually completed by a Wait or WaitAll.
+ * references a live request, every non-blocking operation is
+ * eventually completed by a Wait or WaitAll, and no point-to-point
+ * record uses the anyRank/anyTag wildcard sentinels (the replay
+ * engine has no wildcard matching and rejects such traces).
  *
  * Checks, across ranks: on every (src, dst, tag) channel the
  * send-side and receive-side byte sequences agree element-wise (FIFO

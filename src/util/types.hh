@@ -30,10 +30,16 @@ using Bytes = std::uint64_t;
 /** Count of virtual instructions executed in a computation burst. */
 using Instr = std::uint64_t;
 
-/** Sentinel rank used for "any source" matching. */
+/**
+ * Sentinel rank for "any source" matching. The replay engine does
+ * not implement wildcard matching: traces using the sentinel are
+ * flagged by trace::validateTraceSet and rejected with FatalError at
+ * replay.
+ */
 inline constexpr Rank anyRank = -1;
 
-/** Sentinel tag used for "any tag" matching. */
+/** Sentinel tag for "any tag" matching; unsupported like anyRank —
+ * validated against and rejected at replay. */
 inline constexpr Tag anyTag = -1;
 
 /**

@@ -6,14 +6,49 @@
 #ifndef OVLSIM_TESTS_HELPERS_HH
 #define OVLSIM_TESTS_HELPERS_HH
 
+#include <gtest/gtest.h>
+
 #include <string>
 
 #include "sim/platform.hh"
+#include "sim/result.hh"
 #include "trace/trace.hh"
 #include "tracer/tracer.hh"
 #include "vm/vm.hh"
 
 namespace ovlsim::testing {
+
+/**
+ * Assert full structural equality of two replay results — the
+ * bit-identical contract every determinism/parallelism test pins.
+ */
+inline void
+expectIdentical(const sim::SimResult &a, const sim::SimResult &b)
+{
+    EXPECT_EQ(a.totalTime.ns(), b.totalTime.ns());
+    EXPECT_EQ(a.eventsProcessed, b.eventsProcessed);
+    EXPECT_EQ(a.transfers, b.transfers);
+    ASSERT_EQ(a.perRank.size(), b.perRank.size());
+    for (std::size_t r = 0; r < a.perRank.size(); ++r) {
+        const auto &ra = a.perRank[r];
+        const auto &rb = b.perRank[r];
+        EXPECT_EQ(ra.endTime.ns(), rb.endTime.ns()) << "rank " << r;
+        EXPECT_EQ(ra.computeTime.ns(), rb.computeTime.ns())
+            << "rank " << r;
+        EXPECT_EQ(ra.sendBlockedTime.ns(), rb.sendBlockedTime.ns())
+            << "rank " << r;
+        EXPECT_EQ(ra.recvBlockedTime.ns(), rb.recvBlockedTime.ns())
+            << "rank " << r;
+        EXPECT_EQ(ra.waitBlockedTime.ns(), rb.waitBlockedTime.ns())
+            << "rank " << r;
+        EXPECT_EQ(ra.collectiveTime.ns(), rb.collectiveTime.ns())
+            << "rank " << r;
+        EXPECT_EQ(ra.messagesSent, rb.messagesSent) << "rank " << r;
+        EXPECT_EQ(ra.messagesReceived, rb.messagesReceived)
+            << "rank " << r;
+        EXPECT_EQ(ra.bytesSent, rb.bytesSent) << "rank " << r;
+    }
+}
 
 /**
  * Two-rank producer/consumer: rank 0 computes `instr` instructions

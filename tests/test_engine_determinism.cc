@@ -34,37 +34,7 @@ using trace::SendRec;
 using trace::TraceSet;
 using trace::WaitAllRec;
 
-/** Full structural equality of two replay results. */
-void
-expectIdentical(const SimResult &a, const SimResult &b)
-{
-    EXPECT_EQ(a.totalTime.ns(), b.totalTime.ns());
-    EXPECT_EQ(a.eventsProcessed, b.eventsProcessed);
-    EXPECT_EQ(a.transfers, b.transfers);
-    ASSERT_EQ(a.perRank.size(), b.perRank.size());
-    for (std::size_t r = 0; r < a.perRank.size(); ++r) {
-        const auto &ra = a.perRank[r];
-        const auto &rb = b.perRank[r];
-        EXPECT_EQ(ra.endTime.ns(), rb.endTime.ns()) << "rank " << r;
-        EXPECT_EQ(ra.computeTime.ns(), rb.computeTime.ns())
-            << "rank " << r;
-        EXPECT_EQ(ra.sendBlockedTime.ns(),
-                  rb.sendBlockedTime.ns())
-            << "rank " << r;
-        EXPECT_EQ(ra.recvBlockedTime.ns(),
-                  rb.recvBlockedTime.ns())
-            << "rank " << r;
-        EXPECT_EQ(ra.waitBlockedTime.ns(),
-                  rb.waitBlockedTime.ns())
-            << "rank " << r;
-        EXPECT_EQ(ra.collectiveTime.ns(), rb.collectiveTime.ns())
-            << "rank " << r;
-        EXPECT_EQ(ra.messagesSent, rb.messagesSent) << "rank " << r;
-        EXPECT_EQ(ra.messagesReceived, rb.messagesReceived)
-            << "rank " << r;
-        EXPECT_EQ(ra.bytesSent, rb.bytesSent) << "rank " << r;
-    }
-}
+using testing::expectIdentical;
 
 TEST(EngineDeterminismTest, RepeatedReplayIsBitIdentical)
 {
@@ -243,6 +213,71 @@ TEST(EngineDeterminismTest, WaitQueueStaysFifoUnderReentrantPosts)
     EXPECT_EQ(result.perRank[2].recvBlockedTime.ns(), 7'824'406);
     EXPECT_EQ(result.totalTime.ns(), 7'824'406);
     EXPECT_EQ(result.eventsProcessed, 10u);
+}
+
+TEST(EngineDeterminismTest, SessionReuseIsBitIdentical)
+{
+    // A ReplaySession keeps the engine arenas across runs; replaying
+    // interleaved trace sets and platforms through one session must
+    // match fresh-engine replays bit for bit (the reset() contract:
+    // no state other than memory reservations survives a run).
+    const auto ring = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 500'000, 6));
+    const auto packed = testing::traceOf(
+        2, testing::packedExchange(128 * 1024, 800'000));
+
+    sim::ReplaySession session;
+    for (int round = 0; round < 2; ++round) {
+        for (const double bandwidth : {16.0, 256.0, 4096.0}) {
+            const auto platform = testing::platformAt(bandwidth);
+            expectIdentical(session.run(ring.traces, platform),
+                            simulate(ring.traces, platform));
+            expectIdentical(session.run(packed.traces, platform),
+                            simulate(packed.traces, platform));
+        }
+    }
+}
+
+TEST(EngineDeterminismTest, SessionSurvivesFailedReplay)
+{
+    // A run that throws (deadlocked trace) must not poison the
+    // session for subsequent runs.
+    TraceSet stuck("stuck", 1);
+    stuck.rankTrace(0).append(RecvRec{0, 1, 64, 1});
+
+    const auto ring = testing::traceOf(
+        2, testing::ringExchange(32 * 1024, 200'000, 3));
+    const auto platform = testing::platformAt(256.0);
+
+    sim::ReplaySession session;
+    EXPECT_THROW(session.run(stuck, platform), FatalError);
+    expectIdentical(session.run(ring.traces, platform),
+                    simulate(ring.traces, platform));
+}
+
+TEST(EngineDeterminismTest, RejectsWildcardSentinels)
+{
+    // anyRank/anyTag are unsupported: the engine must fail fast
+    // with a clear FatalError instead of silently never matching.
+    const auto platform = testing::platformAt(256.0);
+    {
+        TraceSet traces("wild", 2);
+        traces.rankTrace(0).append(SendRec{1, 5, 64, 1});
+        traces.rankTrace(1).append(RecvRec{anyRank, 5, 64, 1});
+        EXPECT_THROW(simulate(traces, platform), FatalError);
+    }
+    {
+        TraceSet traces("wild", 2);
+        traces.rankTrace(0).append(SendRec{1, anyTag, 64, 1});
+        traces.rankTrace(1).append(RecvRec{0, 5, 64, 1});
+        EXPECT_THROW(simulate(traces, platform), FatalError);
+    }
+    {
+        TraceSet traces("wild", 2);
+        traces.rankTrace(0).append(
+            IRecvRec{0, anyTag, 64, 1, 7});
+        EXPECT_THROW(simulate(traces, platform), FatalError);
+    }
 }
 
 TEST(EngineDeterminismTest, SimulateValidatesPlatformUpFront)

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Determinism and correctness of the parallel study runtime.
+ *
+ * The study layer fans independent replays over a thread pool with
+ * one reusable ReplaySession per lane. Nothing about a campaign's
+ * results may depend on the thread count or on scheduling: every
+ * parallel path must produce output bit-identical to the sequential
+ * path, and repeated runs must be bit-identical to each other. These
+ * tests pin that contract for simulateBatch, bandwidthSweep and
+ * isoPerformance across thread counts {1, 2, 8}, and cover the
+ * ThreadPool primitive itself (full task coverage, worker-local
+ * lanes, exception propagation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "core/analysis.hh"
+#include "core/study.hh"
+#include "helpers.hh"
+#include "sim/engine.hh"
+#include "util/thread_pool.hh"
+
+namespace ovlsim {
+namespace {
+
+using sim::SimResult;
+
+const int threadCounts[] = {1, 2, 8};
+
+using testing::expectIdentical;
+
+/** Bit-exact equality of two sweep results. */
+void
+expectIdenticalSweep(const core::SweepResult &a,
+                     const core::SweepResult &b)
+{
+    ASSERT_EQ(a.points.size(), b.points.size());
+    ASSERT_EQ(a.variants.size(), b.variants.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        const auto &pa = a.points[i];
+        const auto &pb = b.points[i];
+        EXPECT_EQ(pa.bandwidthMBps, pb.bandwidthMBps)
+            << "point " << i;
+        EXPECT_EQ(pa.originalTime.ns(), pb.originalTime.ns())
+            << "point " << i;
+        EXPECT_EQ(pa.originalCommFraction,
+                  pb.originalCommFraction)
+            << "point " << i;
+        ASSERT_EQ(pa.variantTimes.size(), pb.variantTimes.size());
+        for (std::size_t v = 0; v < pa.variantTimes.size(); ++v) {
+            EXPECT_EQ(pa.variantTimes[v].ns(),
+                      pb.variantTimes[v].ns())
+                << "point " << i << " variant " << v;
+        }
+    }
+}
+
+TEST(ThreadPoolTest, CoversEveryTaskExactlyOnce)
+{
+    for (const int threads : threadCounts) {
+        ThreadPool pool(threads);
+        constexpr std::size_t count = 257;
+        std::vector<std::atomic<int>> hits(count);
+        pool.parallelFor(count, [&](std::size_t task, int lane) {
+            ASSERT_GE(lane, 0);
+            ASSERT_LT(lane, pool.size());
+            hits[task].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+    }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs)
+{
+    ThreadPool pool(4);
+    std::vector<int> values(100, 0);
+    for (int round = 1; round <= 3; ++round) {
+        pool.parallelFor(values.size(),
+                         [&](std::size_t i, int) {
+                             values[i] += round;
+                         });
+    }
+    for (const int v : values)
+        EXPECT_EQ(v, 6);
+}
+
+TEST(ThreadPoolTest, PropagatesTheFirstException)
+{
+    for (const int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(
+            pool.parallelFor(64,
+                             [&](std::size_t task, int) {
+                                 if (task == 13)
+                                     fatal("boom on 13");
+                             }),
+            FatalError);
+        // The pool must stay usable after a failed job.
+        std::atomic<int> ran{0};
+        pool.parallelFor(8, [&](std::size_t, int) { ++ran; });
+        EXPECT_EQ(ran.load(), 8);
+    }
+}
+
+TEST(ThreadPoolTest, ResolveThreadsDefaultsToHardware)
+{
+    EXPECT_EQ(ThreadPool::resolveThreads(3), 3);
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1);
+    EXPECT_GE(ThreadPool::resolveThreads(-1), 1);
+}
+
+TEST(ReplaySessionTest, ReuseMatchesFreshEngineAcrossJobs)
+{
+    // One session replaying different traces and platforms
+    // back-to-back must match a fresh engine per replay, in any
+    // order (the arena-reset contract).
+    const auto ring = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 400'000, 5));
+    const auto pc = testing::traceOf(
+        2, testing::producerConsumer(256 * 1024, 1'000'000));
+
+    sim::ReplaySession session;
+    for (const double bandwidth : {16.0, 4096.0, 64.0}) {
+        const auto platform = testing::platformAt(bandwidth);
+        expectIdentical(session.run(ring.traces, platform),
+                        simulate(ring.traces, platform));
+        expectIdentical(session.run(pc.traces, platform),
+                        simulate(pc.traces, platform));
+    }
+}
+
+TEST(SimulateBatchTest, MatchesSequentialAcrossThreadCounts)
+{
+    const auto ring = testing::traceOf(
+        4, testing::ringExchange(32 * 1024, 300'000, 4));
+    const auto pc = testing::traceOf(
+        2, testing::packedExchange(128 * 1024, 600'000));
+
+    std::vector<sim::SimJob> jobs;
+    for (const double bandwidth : {8.0, 64.0, 512.0, 4096.0}) {
+        jobs.push_back(
+            {&ring.traces, testing::platformAt(bandwidth)});
+        jobs.push_back(
+            {&pc.traces, testing::platformAt(bandwidth)});
+    }
+
+    const auto sequential = simulateBatch(jobs, 1);
+    ASSERT_EQ(sequential.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        expectIdentical(sequential[i],
+                        simulate(*jobs[i].traces,
+                                 jobs[i].platform));
+    }
+    for (const int threads : threadCounts) {
+        const auto parallel = simulateBatch(jobs, threads);
+        ASSERT_EQ(parallel.size(), sequential.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            expectIdentical(parallel[i], sequential[i]);
+    }
+}
+
+TEST(ParallelSweepTest, BitIdenticalAcrossThreadCountsAndRuns)
+{
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 500'000, 4));
+    const auto base = sim::platforms::defaultCluster();
+    const auto grid = core::logBandwidthGrid(1.0, 4096.0, 2);
+    const auto variants = core::standardVariants(8);
+
+    const auto sequential =
+        core::bandwidthSweep(bundle, base, grid, variants, 1);
+    ASSERT_EQ(sequential.points.size(), grid.size());
+    for (const int threads : threadCounts) {
+        // Repeated runs at the same thread count must also agree.
+        expectIdenticalSweep(core::bandwidthSweep(bundle, base,
+                                                  grid, variants,
+                                                  threads),
+                             sequential);
+        expectIdenticalSweep(core::bandwidthSweep(bundle, base,
+                                                  grid, variants,
+                                                  threads),
+                             sequential);
+    }
+}
+
+TEST(ParallelIsoPerformanceTest, ConcurrentBisectionsMatch)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(512 * 1024, 2'000'000));
+    core::TransformConfig ideal;
+    ideal.pattern = core::PatternModel::idealLinear;
+
+    const auto base = sim::platforms::defaultCluster();
+    const auto sequential = core::isoPerformance(
+        bundle, base, ideal, 65536.0, 0.05, 1e-2, 1);
+    for (const int threads : threadCounts) {
+        const auto parallel = core::isoPerformance(
+            bundle, base, ideal, 65536.0, 0.05, 1e-2, threads);
+        EXPECT_EQ(parallel.originalTime.ns(),
+                  sequential.originalTime.ns());
+        EXPECT_EQ(parallel.originalRequiredBandwidth,
+                  sequential.originalRequiredBandwidth);
+        EXPECT_EQ(parallel.overlappedRequiredBandwidth,
+                  sequential.overlappedRequiredBandwidth);
+    }
+}
+
+TEST(ParallelStudyTest, VariantCacheIsThreadSafe)
+{
+    core::OverlapStudy study(testing::traceOf(
+        2, testing::producerConsumer(128 * 1024, 500'000)));
+
+    // Hammer the cache from many lanes with a mix of distinct and
+    // identical variants; every caller must observe a stable,
+    // complete trace (TSAN builds race-check this path).
+    std::vector<core::TransformConfig> configs;
+    for (const std::size_t chunks : {2u, 4u, 8u, 16u}) {
+        core::TransformConfig config;
+        config.pattern = core::PatternModel::idealLinear;
+        config.chunks = chunks;
+        configs.push_back(config);
+    }
+    std::vector<std::size_t> records(32, 0);
+    ThreadPool pool(8);
+    pool.parallelFor(records.size(), [&](std::size_t i, int) {
+        const auto &traces =
+            study.overlappedTrace(configs[i % configs.size()]);
+        records[i] = traces.totalRecords();
+    });
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i],
+                  records[i % configs.size()])
+            << "slot " << i;
+        EXPECT_GT(records[i], 0u) << "slot " << i;
+    }
+}
+
+} // namespace
+} // namespace ovlsim

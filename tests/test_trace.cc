@@ -289,6 +289,39 @@ TEST(ValidateTest, DetectsWaitOnUnknownRequest)
               std::string::npos);
 }
 
+TEST(ValidateTest, FlagsWildcardSentinels)
+{
+    // The engine has no wildcard matching; the validator must call
+    // out anyRank/anyTag explicitly instead of a generic
+    // invalid-rank complaint (and anyTag would otherwise slip
+    // through entirely).
+    {
+        auto traces = makeSimpleTrace();
+        traces.rankTrace(1).append(RecvRec{anyRank, 5, 64, 0});
+        const auto report = validateTraceSet(traces);
+        EXPECT_FALSE(report.valid());
+        EXPECT_NE(report.toString().find("anyRank wildcard"),
+                  std::string::npos);
+    }
+    {
+        auto traces = makeSimpleTrace();
+        traces.rankTrace(1).append(
+            IRecvRec{0, anyTag, 64, 0, 99});
+        const auto report = validateTraceSet(traces);
+        EXPECT_FALSE(report.valid());
+        EXPECT_NE(report.toString().find("anyTag wildcard"),
+                  std::string::npos);
+    }
+    {
+        auto traces = makeSimpleTrace();
+        traces.rankTrace(0).append(SendRec{1, anyTag, 64, 0});
+        const auto report = validateTraceSet(traces);
+        EXPECT_FALSE(report.valid());
+        EXPECT_NE(report.toString().find("anyTag wildcard"),
+                  std::string::npos);
+    }
+}
+
 TEST(LinkTest, AssignsSharedIdsInFifoOrder)
 {
     TraceSet traces("link", 2);
