@@ -3,19 +3,24 @@
  * Experiments M1-M4: engineering microbenchmarks of the
  * environment itself (google-benchmark).
  *
- *  - M1: replay-engine throughput (events per second),
- *  - M2: tracing-tool throughput (records traced per second),
- *  - M3: overlap-transformation and trace-serialization speed,
+ *  - M1: replay-engine throughput (events per second) on compiled
+ *    replay programs — each trace is lowered once and replayed
+ *    through a reusable session, the campaign hot path,
+ *  - M2: trace-lowering throughput (records compiled per second by
+ *    sim::compileTrace),
+ *  - M3: tracing-tool, overlap-transformation and
+ *    trace-serialization speed (google-benchmark suite only),
  *  - M4: study-campaign throughput (bandwidth-sweep points per
  *    second on the parallel runtime).
  *
  * Besides the google-benchmark suite, `--json[=PATH]` runs the M1
- * replay-engine configurations standalone plus the M4 sweep
- * configuration, and appends the largest M1 figure (events/sec,
- * ns/event, peak RSS) and the M4 figure (sweep points/sec at
- * `--threads` workers, default all cores) to the perf trajectory
- * file (default BENCH_engine.json), giving every PR two comparable
- * data points. See ROADMAP.md "Performance methodology".
+ * replay-engine configurations standalone plus the M2 compile and
+ * M4 sweep configurations, and appends the largest M1 figure
+ * (events/sec, ns/event, peak RSS), the M2 figure (records/sec)
+ * and the M4 figure (sweep points/sec at `--threads` workers,
+ * default all cores) to the perf trajectory file (default
+ * BENCH_engine.json), giving every PR three comparable data
+ * points. See ROADMAP.md "Performance methodology".
  */
 
 // google-benchmark drives the M1-M3 suite; the --json trajectory
@@ -63,15 +68,36 @@ simulatorThroughput(benchmark::State &state)
     platform.bandwidthMBps =
         static_cast<double>(state.range(0));
 
+    // Mirror the --json M1 measurement: lower once, replay through
+    // a reusable session (per-replay lowering is its own benchmark,
+    // programCompileThroughput).
+    const auto program = sim::compileShared(bundle.traces);
+    sim::ReplaySession session;
+
     std::uint64_t events = 0;
     for (auto _ : state) {
-        const auto result =
-            sim::simulate(bundle.traces, platform);
+        const auto result = session.run(*program, platform);
         events += result.eventsProcessed;
         benchmark::DoNotOptimize(result.totalTime);
     }
     state.counters["events/s"] = benchmark::Counter(
         static_cast<double>(events),
+        benchmark::Counter::kIsRate);
+}
+
+void
+programCompileThroughput(benchmark::State &state)
+{
+    const auto &bundle = cachedBundle();
+
+    std::size_t records = 0;
+    for (auto _ : state) {
+        const auto program = sim::compileTrace(bundle.traces);
+        records += program.totalOps();
+        benchmark::DoNotOptimize(program.totalSends());
+    }
+    state.counters["records/s"] = benchmark::Counter(
+        static_cast<double>(records),
         benchmark::Counter::kIsRate);
 }
 
@@ -185,16 +211,21 @@ measureConfig(const JsonConfig &config, double min_seconds)
     auto platform = sim::platforms::defaultCluster();
     platform.bandwidthMBps = config.bandwidthMBps;
 
-    // Warm-up run (pays trace/page-cache setup outside the timing).
+    // M1 measures the replay engine proper: the trace is lowered
+    // once (that stage is M2) and replayed through one reusable
+    // session, exactly how campaigns drive the engine. The warm-up
+    // run pays trace/page-cache setup outside the timing.
+    const auto program = sim::compileShared(bundle.traces);
+    sim::ReplaySession session;
     std::uint64_t events_per_run =
-        sim::simulate(bundle.traces, platform).eventsProcessed;
+        session.run(*program, platform).eventsProcessed;
 
     std::uint64_t events = 0;
     std::uint64_t runs = 0;
     const auto start = std::chrono::steady_clock::now();
     double elapsed = 0.0;
     do {
-        const auto result = sim::simulate(bundle.traces, platform);
+        const auto result = session.run(*program, platform);
         events += result.eventsProcessed;
         ++runs;
         elapsed = std::chrono::duration<double>(
@@ -245,11 +276,95 @@ pointToJson(const JsonPoint &point)
 }
 
 /**
+ * The M2 configuration: lower the sweep3d-x8 trace into a
+ * ReplayProgram repeatedly. The figure of merit is records compiled
+ * per second — the one-time cost every campaign pays per trace
+ * variant before the engine replays it, and the whole cost
+ * simulate() adds over a pre-compiled replay.
+ */
+struct CompileJsonPoint
+{
+    std::string config;
+    std::size_t records = 0;
+    std::uint64_t runs = 0;
+    double recordsPerSec = 0.0;
+    double nsPerRecord = 0.0;
+    long peakRssKb = 0;
+};
+
+CompileJsonPoint
+measureCompileConfig(double min_seconds)
+{
+    const auto bundle = traceApp("sweep3d", 8);
+
+    // Warm-up compile (pays page faults outside the timing); the
+    // totalSends sink keeps the loop's programs observable.
+    volatile std::size_t sink =
+        sim::compileTrace(bundle.traces).totalSends();
+
+    std::size_t records = 0;
+    std::uint64_t runs = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        const auto program = sim::compileTrace(bundle.traces);
+        sink = program.totalSends();
+        records += program.totalOps();
+        ++runs;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+    (void)sink;
+
+    CompileJsonPoint point;
+    point.config = "sweep3d-x8/compile";
+    point.records = bundle.traces.totalRecords();
+    point.runs = runs;
+    point.recordsPerSec =
+        static_cast<double>(records) / elapsed;
+    point.nsPerRecord =
+        elapsed * 1e9 / static_cast<double>(records);
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    point.peakRssKb = usage.ru_maxrss;
+    return point;
+}
+
+std::string
+compilePointToJson(const CompileJsonPoint &point)
+{
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm_utc{}; gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    return strformat(
+        "{\n"
+        "    \"bench\": \"bench_micro.programCompile\",\n"
+        "    \"config\": \"%s\",\n"
+        "    \"records\": %zu,\n"
+        "    \"runs\": %llu,\n"
+        "    \"compile_records_per_sec\": %.0f,\n"
+        "    \"ns_per_record\": %.2f,\n"
+        "    \"peak_rss_kb\": %ld,\n"
+        "    \"timestamp\": \"%s\"\n"
+        "  }",
+        point.config.c_str(), point.records,
+        static_cast<unsigned long long>(point.runs),
+        point.recordsPerSec, point.nsPerRecord, point.peakRssKb,
+        stamp);
+}
+
+/**
  * The M4 configuration: one R1-style bandwidth sweep of the sweep3d
  * proxy (original + the two standard variants per grid point),
  * repeated until the clock budget runs out. The figure of merit is
  * sweep points per second — the rate the campaign engine retires
- * (bandwidth, trace-variant) replay bundles.
+ * (bandwidth, trace-variant) replay bundles. Since the sweep engine
+ * lowers each variant once and shares the compiled program across
+ * all grid points, this figure reflects program-replay speed plus
+ * the amortized variant construction.
  */
 struct SweepJsonPoint
 {
@@ -407,6 +522,14 @@ runJsonMode(const std::string &path, int threads)
             point.peakRssKb);
         largest = point;
     }
+    const CompileJsonPoint compile = measureCompileConfig(1.5);
+    std::printf(
+        "%-22s %9.2f M records/s  %6.2f ns/record  "
+        "(%llu compiles x %zu records, rss %ld KB)\n",
+        compile.config.c_str(), compile.recordsPerSec / 1e6,
+        compile.nsPerRecord,
+        static_cast<unsigned long long>(compile.runs),
+        compile.records, compile.peakRssKb);
     const SweepJsonPoint sweep =
         measureSweepConfig(threads, 1.5);
     std::printf(
@@ -417,11 +540,12 @@ runJsonMode(const std::string &path, int threads)
         static_cast<unsigned long long>(sweep.sweeps),
         sweep.threads, sweep.peakRssKb);
     appendToTrajectory(path, pointToJson(largest));
+    appendToTrajectory(path, compilePointToJson(compile));
     appendToTrajectory(path, sweepPointToJson(sweep));
     std::printf(
-        "trajectory points (%s, %s) appended to %s\n",
-        largest.config.c_str(), sweep.config.c_str(),
-        path.c_str());
+        "trajectory points (%s, %s, %s) appended to %s\n",
+        largest.config.c_str(), compile.config.c_str(),
+        sweep.config.c_str(), path.c_str());
     return 0;
 }
 
@@ -429,6 +553,7 @@ runJsonMode(const std::string &path, int threads)
 
 #ifdef OVLSIM_HAVE_GBENCH
 BENCHMARK(simulatorThroughput)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(programCompileThroughput);
 BENCHMARK(tracerThroughput)->Arg(1)->Arg(2);
 BENCHMARK(transformThroughput)->Arg(4)->Arg(16)->Arg(64);
 BENCHMARK(traceSerialization);

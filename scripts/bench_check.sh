@@ -2,16 +2,17 @@
 # Perf regression gate for the replay engine and the study runtime.
 #
 # Builds Release, runs `bench_micro --json` (the M1 replay-engine
-# throughput measurement on its largest configuration plus the M4
-# sweep-throughput measurement at all hardware cores) and fails if
-# either figure regressed more than the threshold against the
+# throughput measurement on its largest configuration plus the M2
+# trace-lowering and M4 sweep-throughput measurements) and fails if
+# any figure regressed more than the threshold against the
 # checked-in baseline (bench/BENCH_baseline.json):
 #
-#   M1  events_per_sec        single-replay engine throughput
-#   M4  sweep_points_per_sec  campaign (parallel sweep) throughput
+#   M1  events_per_sec           compiled-program replay throughput
+#   M2  compile_records_per_sec  trace-lowering (compile) throughput
+#   M4  sweep_points_per_sec     campaign (parallel sweep) throughput
 #
-# A baseline recorded before M4 existed lacks sweep_points_per_sec;
-# the M4 gate is then skipped with a notice — refresh with --update.
+# A baseline recorded before M2/M4 existed lacks their keys; those
+# gates are then skipped with a notice — refresh with --update.
 #
 # Usage:
 #   scripts/bench_check.sh           # check against the baseline
@@ -55,8 +56,10 @@ extract_key() { # file key
 }
 
 CURRENT_M1="$(extract_key "$RESULT_JSON" events_per_sec)"
+CURRENT_M2="$(extract_key "$RESULT_JSON" compile_records_per_sec)"
 CURRENT_M4="$(extract_key "$RESULT_JSON" sweep_points_per_sec)"
-if [[ -z "$CURRENT_M1" || -z "$CURRENT_M4" ]]; then
+if [[ -z "$CURRENT_M1" || -z "$CURRENT_M2" || -z "$CURRENT_M4" ]]
+then
     echo "bench_check: missing figures in bench output" >&2
     exit 1
 fi
@@ -64,6 +67,7 @@ fi
 if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
     cp "$RESULT_JSON" "$BASELINE"
     echo "bench_check: baseline updated ($CURRENT_M1 events/sec," \
+         "$CURRENT_M2 compile records/sec," \
          "$CURRENT_M4 sweep points/sec)"
     exit 0
 fi
@@ -92,6 +96,14 @@ if [[ -z "$BASE_M1" ]]; then
     exit 1
 fi
 gate "M1 events/sec" "$CURRENT_M1" "$BASE_M1"
+
+BASE_M2="$(extract_key "$BASELINE" compile_records_per_sec)"
+if [[ -n "$BASE_M2" ]]; then
+    gate "M2 compile records/sec" "$CURRENT_M2" "$BASE_M2"
+else
+    echo "bench_check: baseline has no compile_records_per_sec;" \
+         "M2 gate skipped (run scripts/bench_check.sh --update)"
+fi
 
 BASE_M4="$(extract_key "$BASELINE" sweep_points_per_sec)"
 if [[ -n "$BASE_M4" ]]; then

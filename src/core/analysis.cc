@@ -74,16 +74,26 @@ bandwidthSweep(const tracer::TraceBundle &bundle,
         lanes = static_cast<int>(widest);
     ThreadPool pool(lanes);
 
-    // Build every overlapped trace once; replay per bandwidth. The
-    // constructions are independent of one another, so they fan out
+    // Compile the original and every overlapped variant once into
+    // shared immutable replay programs; every sweep point replays
+    // from them. The variant TraceSets are dropped as soon as they
+    // are compiled, so the campaign's footprint is one packed
+    // program per variant instead of one fat record vector per
+    // variant, and no lane ever re-lowers a trace. Slot 0 is the
+    // original; the constructions are independent, so they fan out
     // too (they dominate setup for many-chunk variants).
-    std::vector<trace::TraceSet> variant_traces(variants.size());
+    std::vector<std::shared_ptr<const sim::ReplayProgram>> programs(
+        variants.size() + 1);
     pool.parallelFor(
-        variants.size(), [&](std::size_t v, int) {
-            variant_traces[v] =
-                buildOverlappedTrace(bundle.traces, bundle.overlap,
-                                     variants[v].config)
-                    .traces;
+        programs.size(), [&](std::size_t v, int) {
+            if (v == 0) {
+                programs[0] = sim::compileShared(bundle.traces);
+                return;
+            }
+            const auto built = buildOverlappedTrace(
+                bundle.traces, bundle.overlap,
+                variants[v - 1].config);
+            programs[v] = sim::compileShared(built.traces);
         });
 
     // One replay session per lane: replays reuse the engine arenas
@@ -102,13 +112,14 @@ bandwidthSweep(const tracer::TraceBundle &bundle,
             SweepPoint &point = result.points[i];
             point.bandwidthMBps = bandwidths[i];
             const auto original =
-                session.run(bundle.traces, platform);
+                session.run(*programs[0], platform);
             point.originalTime = original.totalTime;
             point.originalCommFraction = original.commFraction();
             point.variantTimes.reserve(variants.size());
-            for (const auto &traces : variant_traces) {
+            for (std::size_t v = 1; v < programs.size(); ++v) {
                 point.variantTimes.push_back(
-                    session.run(traces, platform).totalTime);
+                    session.run(*programs[v], platform)
+                        .totalTime);
             }
         });
     return result;
@@ -120,14 +131,26 @@ findIntermediateBandwidth(const trace::TraceSet &original,
                           double lo_mbps, double hi_mbps,
                           int iterations)
 {
+    return findIntermediateBandwidth(sim::compileTrace(original),
+                                     base, lo_mbps, hi_mbps,
+                                     iterations);
+}
+
+double
+findIntermediateBandwidth(const sim::ReplayProgram &original,
+                          const sim::PlatformConfig &base,
+                          double lo_mbps, double hi_mbps,
+                          int iterations)
+{
     ovlAssert(lo_mbps > 0.0 && hi_mbps > lo_mbps,
               "findIntermediateBandwidth: bad range");
 
     // Balance function: > 0 while communication dominates. The
     // comm-blocked share shrinks as bandwidth grows, so bisection on
     // the log axis converges onto comm time == compute time. One
-    // session serves every iteration, so the bisection replays with
-    // warmed-up arenas.
+    // session serves every iteration of the compiled-once program,
+    // so the bisection replays with warmed-up arenas and no
+    // per-iteration lowering.
     sim::ReplaySession session;
     const auto imbalance = [&](double mbps) {
         sim::PlatformConfig platform = base;
@@ -158,6 +181,17 @@ minBandwidthForTime(const trace::TraceSet &traces,
                     SimTime target, double lo_mbps, double hi_mbps,
                     int iterations)
 {
+    return minBandwidthForTime(sim::compileTrace(traces), base,
+                               target, lo_mbps, hi_mbps,
+                               iterations);
+}
+
+double
+minBandwidthForTime(const sim::ReplayProgram &program,
+                    const sim::PlatformConfig &base,
+                    SimTime target, double lo_mbps, double hi_mbps,
+                    int iterations)
+{
     ovlAssert(lo_mbps > 0.0 && hi_mbps > lo_mbps,
               "minBandwidthForTime: bad range");
 
@@ -165,7 +199,7 @@ minBandwidthForTime(const trace::TraceSet &traces,
     const auto meets = [&](double mbps) {
         sim::PlatformConfig platform = base;
         platform.bandwidthMBps = mbps;
-        return session.run(traces, platform).totalTime <= target;
+        return session.run(program, platform).totalTime <= target;
     };
 
     if (meets(lo_mbps))
@@ -200,10 +234,14 @@ isoPerformance(const tracer::TraceBundle &bundle,
     result.referenceBandwidth = reference_mbps;
     result.tolerance = tolerance;
 
+    // One compiled program of the original serves the reference
+    // replay and every iteration of its bisection below.
+    const auto original = sim::compileShared(bundle.traces);
+
     sim::PlatformConfig reference = base;
     reference.bandwidthMBps = reference_mbps;
     result.originalTime =
-        sim::simulate(bundle.traces, reference).totalTime;
+        sim::simulate(*original, reference).totalTime;
 
     const auto target = SimTime::fromNs(static_cast<std::int64_t>(
         static_cast<double>(result.originalTime.ns()) *
@@ -212,21 +250,24 @@ isoPerformance(const tracer::TraceBundle &bundle,
     // The two bisections are independent searches against the same
     // target; each writes its own result field, so running them
     // concurrently cannot change the outcome. The overlapped-trace
-    // construction stays inside its task to overlap with the
-    // original's search.
+    // construction and lowering stay inside their task to overlap
+    // with the original's search; the TraceSet dies at compile.
     const int lanes = ThreadPool::resolveThreads(threads);
     ThreadPool pool(lanes > 2 ? 2 : lanes);
     pool.parallelFor(2, [&](std::size_t task, int) {
         if (task == 0) {
             result.originalRequiredBandwidth = minBandwidthForTime(
-                bundle.traces, base, target, search_lo_mbps,
+                *original, base, target, search_lo_mbps,
                 reference_mbps);
         } else {
-            const auto overlapped = buildOverlappedTrace(
-                bundle.traces, bundle.overlap, variant);
+            const auto overlapped =
+                sim::compileTrace(buildOverlappedTrace(
+                                      bundle.traces,
+                                      bundle.overlap, variant)
+                                      .traces);
             result.overlappedRequiredBandwidth =
-                minBandwidthForTime(overlapped.traces, base,
-                                    target, search_lo_mbps,
+                minBandwidthForTime(overlapped, base, target,
+                                    search_lo_mbps,
                                     reference_mbps);
         }
     });

@@ -62,7 +62,12 @@ struct SweepResult
  * Simulate the original and every variant across a bandwidth grid.
  * All other platform parameters are taken from `base`.
  *
- * With `threads` > 1 the variant-trace construction and the sweep
+ * The original and every overlapped variant are lowered once into
+ * shared compiled replay programs (sim/program.hh); all sweep points
+ * replay from them, so per-point cost is pure engine time and the
+ * campaign never holds more than one packed program per variant.
+ *
+ * With `threads` > 1 the variant construction/lowering and the sweep
  * points are fanned over a fixed thread pool, one ReplaySession per
  * worker (`threads` <= 0 means all hardware cores). Points are
  * independent replays and every point writes its own slot, so the
@@ -80,9 +85,17 @@ SweepResult bandwidthSweep(const tracer::TraceBundle &bundle,
  * execution spends about as much time blocked on communication as it
  * spends computing (paper Sec. III: "where time spent in
  * communication is comparable to time spent in computation").
- * Bisection on a log scale over [lo, hi].
+ * Bisection on a log scale over [lo, hi]. The TraceSet overload
+ * compiles once on entry; pass a pre-compiled program to share the
+ * lowering with other analyses of the same trace.
  */
 double findIntermediateBandwidth(const trace::TraceSet &original,
+                                 const sim::PlatformConfig &base,
+                                 double lo_mbps = 0.25,
+                                 double hi_mbps = 1 << 20,
+                                 int iterations = 40);
+
+double findIntermediateBandwidth(const sim::ReplayProgram &original,
                                  const sim::PlatformConfig &base,
                                  double lo_mbps = 0.25,
                                  double hi_mbps = 1 << 20,
@@ -91,9 +104,15 @@ double findIntermediateBandwidth(const trace::TraceSet &original,
 /**
  * Smallest bandwidth at which replaying `traces` completes within
  * `target`. Bisection on a log scale; returns `hi_mbps` when even
- * the top of the range misses the target.
+ * the top of the range misses the target. The TraceSet overload
+ * compiles once on entry.
  */
 double minBandwidthForTime(const trace::TraceSet &traces,
+                           const sim::PlatformConfig &base,
+                           SimTime target, double lo_mbps,
+                           double hi_mbps, int iterations = 48);
+
+double minBandwidthForTime(const sim::ReplayProgram &program,
                            const sim::PlatformConfig &base,
                            SimTime target, double lo_mbps,
                            double hi_mbps, int iterations = 48);

@@ -16,8 +16,8 @@ OverlapStudy::fromProgram(int ranks, const vm::RankProgram &program,
         tracer::traceApplication(ranks, program, config));
 }
 
-const trace::TraceSet &
-OverlapStudy::overlappedTrace(const TransformConfig &config)
+const OverlapStudy::Variant &
+OverlapStudy::variantFor(const TransformConfig &config)
 {
     const std::string key = config.label();
     {
@@ -26,28 +26,60 @@ OverlapStudy::overlappedTrace(const TransformConfig &config)
         if (it != cache_.end())
             return it->second;
     }
-    // Build outside the lock so concurrent callers constructing
-    // *different* variants don't serialize; a same-variant race
-    // costs one redundant build (emplace keeps the first).
+    // Build and lower outside the lock so concurrent callers
+    // constructing *different* variants don't serialize; a
+    // same-variant race costs one redundant build (emplace keeps
+    // the first). Entries are never removed, so both the trace
+    // reference and the shared program stay valid for the study's
+    // lifetime.
     auto result = buildOverlappedTrace(bundle_.traces,
                                        bundle_.overlap, config);
+    Variant variant;
+    variant.program = sim::compileShared(result.traces);
+    variant.traces = std::move(result.traces);
     std::lock_guard<std::mutex> lock(cacheMutex_);
-    return cache_.emplace(key, std::move(result.traces))
-        .first->second;
+    return cache_.emplace(key, std::move(variant)).first->second;
+}
+
+const trace::TraceSet &
+OverlapStudy::overlappedTrace(const TransformConfig &config)
+{
+    return variantFor(config).traces;
+}
+
+std::shared_ptr<const sim::ReplayProgram>
+OverlapStudy::originalProgram() const
+{
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        if (originalProgram_ != nullptr)
+            return originalProgram_;
+    }
+    auto program = sim::compileShared(bundle_.traces);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    if (originalProgram_ == nullptr)
+        originalProgram_ = std::move(program);
+    return originalProgram_;
+}
+
+std::shared_ptr<const sim::ReplayProgram>
+OverlapStudy::overlappedProgram(const TransformConfig &config)
+{
+    return variantFor(config).program;
 }
 
 sim::SimResult
 OverlapStudy::simulateOriginal(
     const sim::PlatformConfig &platform) const
 {
-    return sim::simulate(bundle_.traces, platform);
+    return sim::simulate(*originalProgram(), platform);
 }
 
 sim::SimResult
 OverlapStudy::simulateOverlapped(const TransformConfig &config,
                                  const sim::PlatformConfig &platform)
 {
-    return sim::simulate(overlappedTrace(config), platform);
+    return sim::simulate(*overlappedProgram(config), platform);
 }
 
 double

@@ -55,11 +55,27 @@ class OverlapStudy
     const trace::TraceSet &
     overlappedTrace(const TransformConfig &config);
 
-    /** Replay the original trace. */
+    /**
+     * Compiled replay program of the original trace, lowered once
+     * and shared: every caller (and every sweep lane) gets the same
+     * immutable program. Thread-safe like overlappedTrace.
+     */
+    std::shared_ptr<const sim::ReplayProgram> originalProgram() const;
+
+    /**
+     * Compiled replay program of an overlapped variant, built and
+     * lowered once per variant, then served from the cache. All
+     * lanes of a campaign share the returned program instead of
+     * copying trace sets. Thread-safe like overlappedTrace.
+     */
+    std::shared_ptr<const sim::ReplayProgram>
+    overlappedProgram(const TransformConfig &config);
+
+    /** Replay the original trace (via its cached program). */
     sim::SimResult
     simulateOriginal(const sim::PlatformConfig &platform) const;
 
-    /** Replay an overlapped variant. */
+    /** Replay an overlapped variant (via its cached program). */
     sim::SimResult
     simulateOverlapped(const TransformConfig &config,
                        const sim::PlatformConfig &platform);
@@ -72,10 +88,21 @@ class OverlapStudy
                    const sim::PlatformConfig &platform);
 
   private:
+    /** One cached variant: the trace and its compiled program. */
+    struct Variant
+    {
+        trace::TraceSet traces;
+        std::shared_ptr<const sim::ReplayProgram> program;
+    };
+
+    const Variant &variantFor(const TransformConfig &config);
+
     tracer::TraceBundle bundle_;
-    /** Guards cache_ (variant builds may run on pool workers). */
-    std::mutex cacheMutex_;
-    std::map<std::string, trace::TraceSet> cache_;
+    /** Guards cache_ and originalProgram_ (campaign pool workers). */
+    mutable std::mutex cacheMutex_;
+    std::map<std::string, Variant> cache_;
+    mutable std::shared_ptr<const sim::ReplayProgram>
+        originalProgram_;
 };
 
 } // namespace ovlsim::core

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <map>
 #include <vector>
 
+#include "sim/program.hh"
 #include "trace/record.hh"
 #include "util/dary_heap.hh"
 #include "util/flat_map.hh"
@@ -17,55 +19,24 @@ namespace ovlsim::sim {
 namespace {
 
 using trace::ChannelKey;
-using trace::CollectiveRec;
-using trace::CpuBurst;
-using trace::IRecvRec;
-using trace::ISendRec;
 using trace::MessageId;
-using trace::Record;
-using trace::RecvRec;
-using trace::RequestId;
-using trace::SendRec;
-using trace::WaitAllRec;
-using trace::WaitRec;
+using trace::RecordKind;
 
 /** Null index for the intrusive lists threaded through the arenas. */
 constexpr std::uint32_t npos32 = 0xFFFFFFFFu;
-
-/** Trace request ids must stay below this (0 is the null request). */
-constexpr RequestId externalReqLimit = 1ULL << 62;
-
-// runRank dispatches on the variant index; keep the case labels in
-// sync with the Record alternative order.
-static_assert(std::variant_size_v<Record> == 8);
-static_assert(std::is_same_v<std::variant_alternative_t<0, Record>,
-                             CpuBurst>);
-static_assert(std::is_same_v<std::variant_alternative_t<1, Record>,
-                             SendRec>);
-static_assert(std::is_same_v<std::variant_alternative_t<2, Record>,
-                             ISendRec>);
-static_assert(std::is_same_v<std::variant_alternative_t<3, Record>,
-                             RecvRec>);
-static_assert(std::is_same_v<std::variant_alternative_t<4, Record>,
-                             IRecvRec>);
-static_assert(std::is_same_v<std::variant_alternative_t<5, Record>,
-                             WaitRec>);
-static_assert(std::is_same_v<std::variant_alternative_t<6, Record>,
-                             WaitAllRec>);
-static_assert(std::is_same_v<std::variant_alternative_t<7, Record>,
-                             CollectiveRec>);
 
 enum class EventKind : std::uint32_t {
     rankResume = 0,
     transferInjected = 1,
     transferArrived = 2,
+    collectiveRelease = 3,
 };
 
 /**
  * One pending event, packed to 16 bytes so heap sifts move as little
  * memory as possible. The kind lives in the top two bits of
- * `kindTarget`; targets (rank or transfer index) get the remaining
- * 30 bits, and schedule() asserts they fit.
+ * `kindTarget`; targets (rank, transfer index or collective index)
+ * get the remaining 30 bits, and schedule() asserts they fit.
  *
  * `seq` is a 32-bit tie-breaker: schedules are bounded by the 2e9
  * event limit plus the residual heap, so it cannot wrap before the
@@ -105,27 +76,26 @@ struct Event
 static_assert(sizeof(Event) == 16);
 
 /**
- * Slot index of the sentinel handle standing for "the issuing
- * rank's in-flight blocking receive". A rank has at most one (it
- * blocks before posting another), so blocking receives bypass the
- * request table entirely.
+ * Request reference carried by transfers: a register index into the
+ * owning rank's request table (the compiler pre-assigns registers,
+ * see sim/program.hh), or one of two sentinels. A reference is
+ * consumed exactly once — completeRequest clears it from the
+ * transfer before acting — so no generation counter is needed.
  */
-constexpr std::uint32_t blockingRecvSlot = npos32 - 1;
+constexpr std::uint32_t noRequest = npos32;
 
 /**
- * Reference to one slot of a rank's request table (or the blocking
- * receive sentinel). The generation counter detects stale
- * references: a slot is recycled through the free list as soon as
- * its request retires, and the generation increments on every
- * retirement.
+ * Sentinel standing for "the issuing rank's in-flight blocking
+ * receive". A rank has at most one (it blocks before posting
+ * another), so blocking receives bypass the request table entirely.
  */
-struct ReqHandle
-{
-    std::uint32_t slot = npos32;
-    std::uint32_t gen = 0;
+constexpr std::uint32_t blockingRecvReq = npos32 - 1;
 
-    bool valid() const { return slot != npos32; }
-    bool blockingRecv() const { return slot == blockingRecvSlot; }
+/** Request-register state bits. */
+enum : std::uint8_t {
+    regLive = 1u << 0,
+    regDone = 1u << 1,
+    regAwaited = 1u << 2,
 };
 
 /** Transfer state bits (Transfer::flags). */
@@ -153,8 +123,10 @@ struct Transfer
     SimTime recvPostTime;
     /** Scheduled/actual arrival instant (valid once started). */
     SimTime arriveTime;
-    ReqHandle sendReq;
-    ReqHandle recvReq;
+    /** Sender's request register, or a sentinel. */
+    std::uint32_t sendReq = noRequest;
+    /** Receiver's request register, or a sentinel. */
+    std::uint32_t recvReq = noRequest;
     Rank src = 0;
     Rank dst = 0;
     /** Next unmatched send on the same channel (FIFO order). */
@@ -179,27 +151,10 @@ struct TransferMeta
     Tag tag = 0;
 };
 
-/**
- * One slot of a rank's request table. Slots are recycled through a
- * per-rank free list, so posting and retiring requests never touches
- * the allocator in steady state.
- */
-struct ReqSlot
-{
-    /** Trace-visible request id; 0 for internal (blocking) requests. */
-    RequestId externalId = 0;
-    std::uint32_t gen = 1;
-    std::uint32_t nextFree = npos32;
-    bool live = false;
-    bool done = false;
-    /** The owning rank is blocked on this request completing. */
-    bool awaited = false;
-};
-
 /** An unmatched posted receive, pooled in Engine::recvPool_. */
 struct RecvPost
 {
-    ReqHandle req;
+    std::uint32_t req = noRequest;
     SimTime postTime;
     std::uint32_t next = npos32;
 };
@@ -220,76 +175,76 @@ struct ChannelQueue
 struct RankCtx
 {
     Rank rank = 0;
-    const std::vector<Record> *records = nullptr;
-    std::size_t pc = 0;
+    /** This rank's window of the program's shared flat streams. */
+    const std::uint8_t *kinds = nullptr;
+    const PackedOp *ops = nullptr;
+    std::uint32_t pc = 0;
+    std::uint32_t end = 0;
     SimTime now;
     bool blocked = false;
     bool done = false;
     RankState blockState = RankState::idle;
     SimTime blockStart;
 
-    /** Request table: slot storage, free list and live accounting. */
-    std::vector<ReqSlot> reqSlots;
-    std::uint32_t reqFreeHead = npos32;
-    std::uint32_t liveReqs = 0;
+    /**
+     * Request registers, pre-sized from the program. The compiler
+     * assigned every non-blocking op a register and pre-linked its
+     * Wait, so replay needs no id lookup and no free list — just
+     * flag updates at a known index.
+     */
+    std::vector<std::uint8_t> regs;
+    std::uint32_t liveRegs = 0;
     /** Requests the rank is currently blocked on (0 = runnable). */
     std::uint32_t awaitingCount = 0;
     /** The current blocking receive completed before the block. */
     bool blockingRecvDone = false;
     /** The rank is blocked on its current blocking receive. */
     bool awaitingBlockingRecv = false;
-    /** Trace request id -> live slot index. */
-    FlatMap<RequestId, std::uint32_t> reqIndex;
-
-    std::size_t collSeq = 0;
 
     RankResult result;
 };
 
-struct CollBarrier
+/** Runtime half of a collective; static half in CollectiveSpec. */
+struct Barrier
 {
-    trace::CollOp op = trace::CollOp::barrier;
-    Bytes sendBytes = 0;
-    Bytes recvBytes = 0;
     int arrived = 0;
     SimTime latest;
-    bool released = false;
 };
 
 /**
  * The replay engine proper. Default-constructed once (per session or
  * per simulate() call) and reused: run() resets every container to
  * its empty state while keeping the allocations, so back-to-back
- * replays never touch the allocator in steady state.
+ * replays never touch the allocator in steady state. Replays execute
+ * compiled ReplayPrograms (sim/program.hh); the TraceSet entry
+ * points compile on entry.
  */
 class Engine
 {
   public:
     Engine() = default;
 
-    SimResult run(const trace::TraceSet &traces,
+    SimResult run(const ReplayProgram &program,
                   const PlatformConfig &platform);
 
   private:
-    void reset(int nranks);
+    void reset();
     void schedule(SimTime t, EventKind kind, std::uint32_t target);
     void countEvent();
     void runRank(RankCtx &ctx);
     void wakeRank(Rank r, SimTime t);
     void blockRank(RankCtx &ctx, RankState state);
 
-    std::uint32_t allocRequest(RankCtx &ctx, RequestId external);
-    void retireRequest(RankCtx &ctx, std::uint32_t slot);
-    ReqHandle handleOf(const RankCtx &ctx, std::uint32_t slot) const;
-    void completeRequest(Rank r, ReqHandle req, SimTime t);
+    void activateRegister(RankCtx &ctx, std::uint32_t reg);
+    void retireRegister(RankCtx &ctx, std::uint32_t reg);
+    void completeRequest(Rank r, std::uint32_t req, SimTime t);
 
     void completeTransferRecv(std::uint32_t idx, SimTime done);
-    std::uint32_t postSend(RankCtx &ctx, Rank dst, Tag tag,
-                           Bytes bytes, MessageId msg, bool blocking,
-                           ReqHandle send_req);
-    void postRecv(RankCtx &ctx, Rank src, Tag tag, Bytes bytes,
-                  MessageId msg, ReqHandle req);
-    void matchTransfer(std::uint32_t idx, ReqHandle recv_req,
+    std::uint32_t postSend(RankCtx &ctx, const PackedOp &op,
+                           std::uint32_t send_req);
+    void postRecv(RankCtx &ctx, const PackedOp &op,
+                  std::uint32_t req);
+    void matchTransfer(std::uint32_t idx, std::uint32_t recv_req,
                        SimTime post_time);
     bool tryAcquireResources(const Transfer &transfer);
     void makeEligible(std::uint32_t idx, SimTime t);
@@ -297,7 +252,8 @@ class Engine
     void startTransfer(std::uint32_t idx, SimTime t);
     void handleInjected(std::uint32_t idx, SimTime t);
     void handleArrived(std::uint32_t idx, SimTime t);
-    void handleCollective(RankCtx &ctx, const CollectiveRec &rec);
+    void handleCollective(RankCtx &ctx, const PackedOp &op);
+    void handleRelease(SimTime t);
     void recordCommEvent(std::uint32_t idx, SimTime recv_complete);
     [[noreturn]] void reportDeadlock() const;
 
@@ -361,8 +317,9 @@ class Engine
         return lastSerDelay_[cls];
     }
 
-    /** Valid during run(); the job's trace set. */
-    const trace::TraceSet *traces_ = nullptr;
+    /** Valid during run(); the compiled job being replayed. */
+    const ReplayProgram *program_ = nullptr;
+    int nranks_ = 0;
     PlatformConfig platform_;
     bool capture_ = false;
 
@@ -385,6 +342,15 @@ class Engine
     DaryHeap<Event, 4, std::greater<Event>> events_;
     std::uint32_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
+
+    /**
+     * Ranks still to be woken by the collective-release broadcast
+     * currently unwinding. While non-zero, burst self-wakeup
+     * coalescing is suppressed so the inline wakes replay exactly
+     * like the per-rank resume events they replace (see
+     * handleRelease for the equivalence argument).
+     */
+    int broadcastPending_ = 0;
 
     std::vector<RankCtx> ranks_;
     /** Pre-computed node of each rank (avoids a division per use). */
@@ -415,7 +381,7 @@ class Engine
     /** (src, dst, tag) -> unmatched send/receive FIFOs. */
     FlatMap<ChannelKey, ChannelQueue> channels_;
 
-    std::vector<CollBarrier> barriers_;
+    std::vector<Barrier> barriers_;
 
     int busFree_ = 0;
     std::vector<int> outFree_;
@@ -458,28 +424,27 @@ Engine::countEvent()
  * tests guard this.
  */
 void
-Engine::reset(int nranks)
+Engine::reset()
 {
     events_.clear();
     nextSeq_ = 0;
     processed_ = 0;
-    ranks_.resize(static_cast<std::size_t>(nranks));
+    broadcastPending_ = 0;
+    ranks_.resize(static_cast<std::size_t>(nranks_));
     for (auto &ctx : ranks_) {
-        ctx.records = nullptr;
+        ctx.kinds = nullptr;
+        ctx.ops = nullptr;
         ctx.pc = 0;
+        ctx.end = 0;
         ctx.now = SimTime::zero();
         ctx.blocked = false;
         ctx.done = false;
         ctx.blockState = RankState::idle;
         ctx.blockStart = SimTime::zero();
-        ctx.reqSlots.clear();
-        ctx.reqFreeHead = npos32;
-        ctx.liveReqs = 0;
+        ctx.liveRegs = 0;
         ctx.awaitingCount = 0;
         ctx.blockingRecvDone = false;
         ctx.awaitingBlockingRecv = false;
-        ctx.reqIndex.clear();
-        ctx.collSeq = 0;
         ctx.result = RankResult{};
     }
     transfers_.clear();
@@ -500,15 +465,16 @@ Engine::reset(int nranks)
 }
 
 SimResult
-Engine::run(const trace::TraceSet &traces,
+Engine::run(const ReplayProgram &program,
             const PlatformConfig &platform)
 {
-    traces_ = &traces;
+    program_ = &program;
     platform_ = platform;
     // Validate before anything divides by cpusPerNode.
     platform_.validate();
-    const int nranks = traces.ranks();
-    reset(nranks);
+    nranks_ = program.ranks();
+    const int nranks = nranks_;
+    reset();
     const int nodes =
         (nranks + platform_.cpusPerNode - 1) / platform_.cpusPerNode;
     nodeOf_.resize(static_cast<std::size_t>(nranks));
@@ -525,28 +491,41 @@ Engine::run(const trace::TraceSet &traces,
     if (capture_)
         timeline_ = Timeline(nranks);
 
-    mips_ = platform_.effectiveMips(traces_->mips());
+    mips_ = platform_.effectiveMips(program.mips());
     ovlAssert(mips_ > 0.0, "platform MIPS rate must be positive");
     latencyLocal_ = platform_.flightLatency(true);
     latencyRemote_ = platform_.flightLatency(false);
     rendezvousOverhead_ =
         SimTime::fromUs(platform_.rendezvousOverheadUs);
 
-    transfers_.reserve(256);
+    // The compiler counted the sends, so the transfer arena (one
+    // entry per transfer ever posted, indices stable) can be sized
+    // exactly: no growth mid-replay. The recv-post pool is left to
+    // grow on demand: posts are recycled through its free list, so
+    // it only ever holds the maximum number of simultaneously
+    // unmatched receives — usually a tiny fraction of the total.
+    transfers_.reserve(program.totalSends());
+    if (capture_)
+        txMeta_.reserve(program.totalSends());
     events_.reserve(static_cast<std::size_t>(nranks) * 4 + 256);
-    // Scale the channel table with the trace so big replays do not
-    // pay rehash churn; totalRecords() is O(ranks).
-    std::size_t chan_guess = traces_->totalRecords() / 8;
+    // Scale the channel table with the program so big replays do
+    // not pay rehash churn.
+    std::size_t chan_guess = program.totalOps() / 8;
     if (chan_guess < 256)
         chan_guess = 256;
     if (chan_guess > (1u << 16))
         chan_guess = 1u << 16;
     channels_.reserve(chan_guess);
 
+    barriers_.assign(program.collectives().size(), Barrier{});
+
     for (Rank r = 0; r < nranks; ++r) {
         auto &ctx = ranks_[static_cast<std::size_t>(r)];
         ctx.rank = r;
-        ctx.records = &traces_->rankTrace(r).records();
+        ctx.kinds = program.kindsOf(r);
+        ctx.ops = program.opsOf(r);
+        ctx.end = static_cast<std::uint32_t>(program.opCount(r));
+        ctx.regs.assign(program.registerCount(r), 0);
         ctx.result.rank = r;
         schedule(SimTime::zero(), EventKind::rankResume,
                  static_cast<std::uint32_t>(r));
@@ -566,6 +545,9 @@ Engine::run(const trace::TraceSet &traces,
             break;
           case EventKind::transferArrived:
             handleArrived(ev.target(), ev.time);
+            break;
+          case EventKind::collectiveRelease:
+            handleRelease(ev.time);
             break;
         }
     }
@@ -630,61 +612,39 @@ Engine::blockRank(RankCtx &ctx, RankState state)
     ctx.blockStart = ctx.now;
 }
 
-std::uint32_t
-Engine::allocRequest(RankCtx &ctx, RequestId external)
+void
+Engine::activateRegister(RankCtx &ctx, std::uint32_t reg)
 {
-    std::uint32_t slot;
-    if (ctx.reqFreeHead != npos32) {
-        slot = ctx.reqFreeHead;
-        ctx.reqFreeHead = ctx.reqSlots[slot].nextFree;
-    } else {
-        slot = static_cast<std::uint32_t>(ctx.reqSlots.size());
-        ctx.reqSlots.emplace_back();
-    }
-    ReqSlot &s = ctx.reqSlots[slot];
-    s.externalId = external;
-    s.nextFree = npos32;
-    s.live = true;
-    s.done = false;
-    s.awaited = false;
-    ++ctx.liveReqs;
-    return slot;
+    std::uint8_t &state = ctx.regs[reg];
+    ovlAssert((state & regLive) == 0,
+              "rank ", ctx.rank, ": register ", reg,
+              " activated while live");
+    state = regLive;
+    ++ctx.liveRegs;
 }
 
 void
-Engine::retireRequest(RankCtx &ctx, std::uint32_t slot)
+Engine::retireRegister(RankCtx &ctx, std::uint32_t reg)
 {
-    ReqSlot &s = ctx.reqSlots[slot];
-    ovlAssert(s.live, "retiring dead request slot");
-    s.live = false;
-    s.awaited = false;
-    ++s.gen;
-    if (s.externalId != 0)
-        ctx.reqIndex.erase(s.externalId);
-    s.nextFree = ctx.reqFreeHead;
-    ctx.reqFreeHead = slot;
-    --ctx.liveReqs;
-}
-
-ReqHandle
-Engine::handleOf(const RankCtx &ctx, std::uint32_t slot) const
-{
-    return ReqHandle{slot, ctx.reqSlots[slot].gen};
+    ovlAssert((ctx.regs[reg] & regLive) != 0,
+              "retiring dead request register");
+    ctx.regs[reg] = 0;
+    --ctx.liveRegs;
 }
 
 void
 Engine::runRank(RankCtx &ctx)
 {
-    const auto &records = *ctx.records;
-    while (ctx.pc < records.size()) {
-        const Record &rec = records[ctx.pc];
+    const std::uint8_t *kinds = ctx.kinds;
+    const PackedOp *ops = ctx.ops;
+    while (ctx.pc < ctx.end) {
+        const PackedOp &op = ops[ctx.pc];
 
-        // Dispatch on the variant index directly; the alternatives
-        // are listed in Record declaration order.
-        switch (rec.index()) {
-          case 0: { // CpuBurst
-            const auto *burst = std::get_if<CpuBurst>(&rec);
-            const SimTime dur = burstTime(burst->instructions);
+        // Dense dispatch over the compiled one-byte kind stream; no
+        // variant or string access anywhere in the loop.
+        switch (static_cast<RecordKind>(kinds[ctx.pc])) {
+          case RecordKind::burst: {
+            const SimTime dur = burstTime(op.a);
             ++ctx.pc;
             if (dur.ns() == 0)
                 continue;
@@ -700,7 +660,13 @@ Engine::runRank(RankCtx &ctx)
             // so keep running it inline instead of round-tripping a
             // rankResume through the heap. The event still counts as
             // processed so throughput metrics stay comparable.
-            if (events_.empty() || events_.top().time > ctx.now) {
+            // Suppressed while a collective-release broadcast is
+            // waking ranks: the replaced per-rank resume events kept
+            // the heap top at the release instant, so the historical
+            // engine never coalesced here (see handleRelease).
+            if (broadcastPending_ == 0 &&
+                (events_.empty() ||
+                 events_.top().time > ctx.now)) {
                 countEvent();
                 continue;
             }
@@ -709,12 +675,10 @@ Engine::runRank(RankCtx &ctx)
             return;
           }
 
-          case 1: { // SendRec
-            const auto *s = std::get_if<SendRec>(&rec);
+          case RecordKind::send: {
             ++ctx.pc;
             const std::uint32_t idx =
-                postSend(ctx, s->dst, s->tag, s->bytes, s->message,
-                         true, ReqHandle{});
+                postSend(ctx, op, noRequest);
             Transfer &t = transfers_[idx];
             if (!t.has(tfEager)) {
                 // Rendezvous blocking send: stay blocked until the
@@ -726,34 +690,24 @@ Engine::runRank(RankCtx &ctx)
             continue;
           }
 
-          case 2: { // ISendRec
-            const auto *is_ = std::get_if<ISendRec>(&rec);
+          case RecordKind::isend: {
             ++ctx.pc;
-            ovlAssert(is_->request != 0 &&
-                          is_->request < externalReqLimit,
-                      "isend request id out of range");
-            const std::uint32_t slot =
-                allocRequest(ctx, is_->request);
-            ctx.reqIndex.insertOrAssign(is_->request, slot);
-            const ReqHandle handle = handleOf(ctx, slot);
-            const std::uint32_t idx =
-                postSend(ctx, is_->dst, is_->tag, is_->bytes,
-                         is_->message, false, handle);
+            const std::uint32_t reg = op.c;
+            activateRegister(ctx, reg);
+            const std::uint32_t idx = postSend(ctx, op, reg);
             Transfer &t = transfers_[idx];
             if (t.has(tfEager)) {
                 // Buffered: the request completes at the call.
-                t.sendReq = ReqHandle{};
-                completeRequest(ctx.rank, handle, ctx.now);
+                t.sendReq = noRequest;
+                completeRequest(ctx.rank, reg, ctx.now);
             }
             continue;
           }
 
-          case 3: { // RecvRec
-            const auto *r = std::get_if<RecvRec>(&rec);
+          case RecordKind::recv: {
             ++ctx.pc;
             ctx.blockingRecvDone = false;
-            postRecv(ctx, r->src, r->tag, r->bytes, r->message,
-                     ReqHandle{blockingRecvSlot, 0});
+            postRecv(ctx, op, blockingRecvReq);
             if (ctx.blockingRecvDone)
                 continue;
             ctx.awaitingBlockingRecv = true;
@@ -761,56 +715,45 @@ Engine::runRank(RankCtx &ctx)
             return;
           }
 
-          case 4: { // IRecvRec
-            const auto *ir = std::get_if<IRecvRec>(&rec);
+          case RecordKind::irecv: {
             ++ctx.pc;
-            ovlAssert(ir->request != 0 &&
-                          ir->request < externalReqLimit,
-                      "irecv request id out of range");
-            const std::uint32_t slot =
-                allocRequest(ctx, ir->request);
-            ctx.reqIndex.insertOrAssign(ir->request, slot);
-            postRecv(ctx, ir->src, ir->tag, ir->bytes, ir->message,
-                     handleOf(ctx, slot));
+            const std::uint32_t reg = op.c;
+            activateRegister(ctx, reg);
+            postRecv(ctx, op, reg);
             continue;
           }
 
-          case 5: { // WaitRec
-            const auto *w = std::get_if<WaitRec>(&rec);
-            const std::uint32_t *slotp =
-                ctx.reqIndex.find(w->request);
-            if (slotp == nullptr) {
-                panic("rank ", ctx.rank,
-                      ": wait on unknown request ", w->request);
-            }
-            const std::uint32_t slot = *slotp;
+          case RecordKind::wait: {
             ++ctx.pc;
-            ReqSlot &state = ctx.reqSlots[slot];
-            if (state.done) {
-                retireRequest(ctx, slot);
+            const std::uint32_t reg = op.c;
+            std::uint8_t &state = ctx.regs[reg];
+            ovlAssert((state & regLive) != 0,
+                      "rank ", ctx.rank,
+                      ": wait on dead register ", reg);
+            if ((state & regDone) != 0) {
+                retireRegister(ctx, reg);
                 continue;
             }
-            state.awaited = true;
+            state |= regAwaited;
             ctx.awaitingCount = 1;
             blockRank(ctx, RankState::waitBlocked);
             return;
           }
 
-          case 6: { // WaitAllRec
+          case RecordKind::waitAll: {
             ++ctx.pc;
             std::uint32_t awaiting = 0;
-            if (ctx.liveReqs > 0) {
-                const std::uint32_t nslots = static_cast<
-                    std::uint32_t>(ctx.reqSlots.size());
-                for (std::uint32_t slot = 0; slot < nslots;
-                     ++slot) {
-                    ReqSlot &state = ctx.reqSlots[slot];
-                    if (!state.live)
+            if (ctx.liveRegs > 0) {
+                const std::uint32_t nregs = static_cast<
+                    std::uint32_t>(ctx.regs.size());
+                for (std::uint32_t reg = 0; reg < nregs; ++reg) {
+                    std::uint8_t &state = ctx.regs[reg];
+                    if ((state & regLive) == 0)
                         continue;
-                    if (state.done) {
-                        retireRequest(ctx, slot);
+                    if ((state & regDone) != 0) {
+                        retireRegister(ctx, reg);
                     } else {
-                        state.awaited = true;
+                        state |= regAwaited;
                         ++awaiting;
                     }
                 }
@@ -822,15 +765,14 @@ Engine::runRank(RankCtx &ctx)
             return;
           }
 
-          case 7: { // CollectiveRec
-            const auto *g = std::get_if<CollectiveRec>(&rec);
+          case RecordKind::collective: {
             ++ctx.pc;
-            handleCollective(ctx, *g);
+            handleCollective(ctx, op);
             return;
           }
 
           default:
-            panic("rank ", ctx.rank, ": unhandled record kind");
+            panic("rank ", ctx.rank, ": corrupt op kind");
         }
     }
 
@@ -841,10 +783,10 @@ Engine::runRank(RankCtx &ctx)
 }
 
 void
-Engine::completeRequest(Rank r, ReqHandle req, SimTime t)
+Engine::completeRequest(Rank r, std::uint32_t req, SimTime t)
 {
     auto &ctx = ranks_[static_cast<std::size_t>(r)];
-    if (req.blockingRecv()) {
+    if (req == blockingRecvReq) {
         // Blocking receives bypass the request table: either the
         // rank is blocked on this receive (wake it) or the receive
         // completed during the posting call itself.
@@ -856,17 +798,17 @@ Engine::completeRequest(Rank r, ReqHandle req, SimTime t)
         }
         return;
     }
-    ovlAssert(req.valid() && req.slot < ctx.reqSlots.size(),
-              "rank ", r, ": completing invalid request handle");
-    ReqSlot &s = ctx.reqSlots[req.slot];
-    ovlAssert(s.live && s.gen == req.gen,
-              "rank ", r, ": completing stale request handle");
-    s.done = true;
+    ovlAssert(req < ctx.regs.size(),
+              "rank ", r, ": completing invalid request register");
+    std::uint8_t &state = ctx.regs[req];
+    ovlAssert((state & regLive) != 0,
+              "rank ", r, ": completing dead request register");
+    state |= regDone;
 
-    if (ctx.blocked && s.awaited) {
-        // The Wait/Recv record that awaited this request has already
-        // been consumed, so the slot can be retired here.
-        retireRequest(ctx, req.slot);
+    if (ctx.blocked && (state & regAwaited) != 0) {
+        // The Wait/WaitAll that awaited this request has already
+        // been consumed, so the register can be retired here.
+        retireRegister(ctx, req);
         if (--ctx.awaitingCount == 0)
             wakeRank(r, t);
     }
@@ -881,26 +823,25 @@ Engine::completeTransferRecv(std::uint32_t idx, SimTime done)
     ++ranks_[static_cast<std::size_t>(t.dst)]
           .result.messagesReceived;
     const Rank dst = t.dst;
-    const ReqHandle req = t.recvReq;
-    t.recvReq = ReqHandle{};
-    // completeRequest can re-enter the engine and grow the transfer
-    // arena; everything needed from `t` was read above.
+    const std::uint32_t req = t.recvReq;
+    t.recvReq = noRequest;
+    // completeRequest can re-enter the engine and post further
+    // transfers. The arena is reserved exactly (run()), so `t`
+    // would stay valid, but everything needed is read — and the
+    // request reference cleared against double completion — first,
+    // keeping this independent of the sizing invariant.
     completeRequest(dst, req, done);
 }
 
 std::uint32_t
-Engine::postSend(RankCtx &ctx, Rank dst, Tag tag, Bytes bytes,
-                 MessageId msg, bool blocking, ReqHandle send_req)
+Engine::postSend(RankCtx &ctx, const PackedOp &op,
+                 std::uint32_t send_req)
 {
-    if (dst == anyRank || tag == anyTag) {
-        fatal("rank ", ctx.rank, ": send with the ",
-              dst == anyRank ? "anyRank" : "anyTag",
-              " wildcard sentinel; wildcard matching is "
-              "unsupported by the replay engine (run "
-              "trace::validateTraceSet to locate the records)");
-    }
-    ovlAssert(dst >= 0 && dst < traces_->ranks(),
-              "send to invalid rank ", dst);
+    // The compiler already rejected wildcard sentinels and
+    // out-of-range peers, and pre-packed the channel key.
+    const ChannelKey key = op.a;
+    const Bytes bytes = op.b;
+    const Rank dst = trace::channelDstOf(key);
     const auto idx =
         static_cast<std::uint32_t>(transfers_.size());
     Transfer &t = transfers_.emplace_back();
@@ -910,23 +851,23 @@ Engine::postSend(RankCtx &ctx, Rank dst, Tag tag, Bytes bytes,
     if (nodeOf(ctx.rank) == nodeOf(dst))
         t.set(tfLocal);
     const bool small = bytes <= platform_.eagerThreshold;
-    const bool forced = !blocking && platform_.forceEagerIsend;
+    const bool forced =
+        send_req != noRequest && platform_.forceEagerIsend;
     if (small || forced)
         t.set(tfEager);
     t.sendReq = send_req;
     if (capture_) {
         TransferMeta &meta = txMeta_.emplace_back();
-        meta.message = msg;
+        meta.message = program_->p2pMeta(op.d).message;
         meta.sendPost = ctx.now;
-        meta.tag = tag;
+        meta.tag = trace::channelTagOf(key);
     }
 
     ++ctx.result.messagesSent;
     ctx.result.bytesSent += bytes;
 
     // Match against an already-posted receive, FIFO per channel.
-    ChannelQueue &q = channels_[trace::channelKey(ctx.rank, dst,
-                                                  tag)];
+    ChannelQueue &q = channels_[key];
     if (q.recvHead != npos32) {
         const std::uint32_t post_idx = q.recvHead;
         q.recvHead = recvPool_[post_idx].next;
@@ -951,21 +892,12 @@ Engine::postSend(RankCtx &ctx, Rank dst, Tag tag, Bytes bytes,
 }
 
 void
-Engine::postRecv(RankCtx &ctx, Rank src, Tag tag, Bytes bytes,
-                 MessageId msg, ReqHandle req)
+Engine::postRecv(RankCtx &ctx, const PackedOp &op,
+                 std::uint32_t req)
 {
-    (void)msg;
-    if (src == anyRank || tag == anyTag) {
-        fatal("rank ", ctx.rank, ": receive with the ",
-              src == anyRank ? "anyRank" : "anyTag",
-              " wildcard sentinel; wildcard matching is "
-              "unsupported by the replay engine (run "
-              "trace::validateTraceSet to locate the records)");
-    }
-    ovlAssert(src >= 0 && src < traces_->ranks(),
-              "recv from invalid rank ", src);
-    ChannelQueue &q = channels_[trace::channelKey(src, ctx.rank,
-                                                  tag)];
+    const ChannelKey key = op.a;
+    const Bytes bytes = op.b;
+    ChannelQueue &q = channels_[key];
     if (q.sendHead != npos32) {
         const std::uint32_t idx = q.sendHead;
         q.sendHead = transfers_[idx].chanNext;
@@ -976,8 +908,9 @@ Engine::postRecv(RankCtx &ctx, Rank src, Tag tag, Bytes bytes,
         if (t.bytes != bytes) {
             fatal("rank ", ctx.rank, ": recv of ", bytes,
                   " bytes matches send of ", t.bytes,
-                  " bytes on channel ", src, "->", ctx.rank,
-                  " tag ", tag);
+                  " bytes on channel ", trace::channelSrcOf(key),
+                  "->", ctx.rank, " tag ",
+                  trace::channelTagOf(key));
         }
         matchTransfer(idx, req, ctx.now);
     } else {
@@ -1000,7 +933,7 @@ Engine::postRecv(RankCtx &ctx, Rank src, Tag tag, Bytes bytes,
 }
 
 void
-Engine::matchTransfer(std::uint32_t idx, ReqHandle recv_req,
+Engine::matchTransfer(std::uint32_t idx, std::uint32_t recv_req,
                       SimTime post_time)
 {
     Transfer &t = transfers_[idx];
@@ -1124,8 +1057,10 @@ void
 Engine::handleInjected(std::uint32_t idx, SimTime t)
 {
     Transfer &transfer = transfers_[idx];
-    // wakeRank/completeRequest below can grow the transfer arena
-    // (re-entering postSend), so read everything needed first.
+    // wakeRank/completeRequest below can re-enter postSend; the
+    // exactly-reserved arena keeps `transfer` valid regardless, but
+    // read what the resource release needs first so this does not
+    // lean on the sizing invariant.
     const bool local = transfer.has(tfLocal);
     if (!local) {
         const std::size_t src_node = nodeOf(transfer.src);
@@ -1145,10 +1080,11 @@ Engine::handleInjected(std::uint32_t idx, SimTime t)
         const Rank src = transfer.src;
         transfer.clear(tfSenderBlocking);
         wakeRank(src, t);
-    } else if (!transfer.has(tfEager) && transfer.sendReq.valid()) {
+    } else if (!transfer.has(tfEager) &&
+               transfer.sendReq != noRequest) {
         const Rank src = transfer.src;
-        const ReqHandle req = transfer.sendReq;
-        transfer.sendReq = ReqHandle{};
+        const std::uint32_t req = transfer.sendReq;
+        transfer.sendReq = noRequest;
         completeRequest(src, req, t);
     }
 
@@ -1166,7 +1102,8 @@ Engine::handleArrived(std::uint32_t idx, SimTime t)
     Transfer &transfer = transfers_[idx];
     transfer.set(tfArrived);
     transfer.arriveTime = t;
-    if (transfer.has(tfRecvPosted) && transfer.recvReq.valid()) {
+    if (transfer.has(tfRecvPosted) &&
+        transfer.recvReq != noRequest) {
         const SimTime done = t > transfer.recvPostTime
                                  ? t
                                  : transfer.recvPostTime;
@@ -1175,40 +1112,57 @@ Engine::handleArrived(std::uint32_t idx, SimTime t)
 }
 
 void
-Engine::handleCollective(RankCtx &ctx, const CollectiveRec &rec)
+Engine::handleCollective(RankCtx &ctx, const PackedOp &op)
 {
-    const std::size_t index = ctx.collSeq++;
-    if (index >= barriers_.size()) {
-        CollBarrier barrier;
-        barrier.op = rec.op;
-        barrier.sendBytes = rec.sendBytes;
-        barrier.recvBytes = rec.recvBytes;
-        barriers_.push_back(barrier);
-    }
-    CollBarrier &barrier = barriers_[index];
-    if (barrier.op != rec.op) {
-        fatal("rank ", ctx.rank, ": collective #", index, " is ",
-              trace::collOpName(rec.op), " but other ranks ran ",
-              trace::collOpName(barrier.op));
-    }
-    barrier.sendBytes = std::max(barrier.sendBytes, rec.sendBytes);
-    barrier.recvBytes = std::max(barrier.recvBytes, rec.recvBytes);
+    // The compiler verified op agreement across ranks and resolved
+    // the cross-rank byte maxima into the collective table, so
+    // arrival is pure counting.
+    Barrier &barrier = barriers_[op.c];
     ++barrier.arrived;
     if (ctx.now > barrier.latest)
         barrier.latest = ctx.now;
 
     blockRank(ctx, RankState::collective);
 
-    if (barrier.arrived == traces_->ranks()) {
-        barrier.released = true;
+    if (barrier.arrived == nranks_) {
+        const CollectiveSpec &spec =
+            program_->collectives()[op.c];
         const SimTime release = barrier.latest +
-            collectiveCost(platform_, barrier.op, traces_->ranks(),
-                           barrier.sendBytes, barrier.recvBytes);
-        for (Rank r = 0; r < traces_->ranks(); ++r) {
-            schedule(release, EventKind::rankResume,
-                     static_cast<std::uint32_t>(r));
-        }
+            collectiveCost(platform_, spec.op, nranks_,
+                           spec.sendBytes, spec.recvBytes);
+        // One broadcast-release event replaces the historical
+        // one-rankResume-per-rank fan-out (see handleRelease).
+        schedule(release, EventKind::collectiveRelease, op.c);
     }
+}
+
+/**
+ * Release every rank blocked on a completed collective.
+ *
+ * Equivalence with the replaced per-rank resume fan-out: the N
+ * rankResume events all carried the release instant and consecutive
+ * sequence numbers, so they popped consecutively in rank order —
+ * any other event's sequence lies entirely before or after the
+ * block, never inside it. Waking ranks 0..N-1 inline in that order
+ * is therefore the exact event order the heap produced. While ranks
+ * remain to wake, their pending resumes used to cap the heap top at
+ * the release instant, which disabled burst self-wakeup coalescing;
+ * broadcastPending_ reproduces that (runRank checks it), and the
+ * countEvent() calls keep the processed-event accounting — and so
+ * the throughput metrics and SimResult::eventsProcessed —
+ * bit-identical to the fan-out.
+ */
+void
+Engine::handleRelease(SimTime t)
+{
+    const int nranks = nranks_;
+    for (Rank r = 0; r < nranks; ++r) {
+        if (r > 0)
+            countEvent();
+        broadcastPending_ = nranks - 1 - r;
+        wakeRank(r, t);
+    }
+    broadcastPending_ = 0;
 }
 
 void
@@ -1240,10 +1194,11 @@ Engine::reportDeadlock() const
             "\n  rank %d: blocked=%s state=%s pc=%zu/%zu "
             "awaiting=%u",
             ctx.rank, ctx.blocked ? "yes" : "no",
-            rankStateName(ctx.blockState), ctx.pc,
-            ctx.records->size(), ctx.awaitingCount);
+            rankStateName(ctx.blockState),
+            static_cast<std::size_t>(ctx.pc),
+            static_cast<std::size_t>(ctx.end), ctx.awaitingCount);
     }
-    fatal("replay deadlocked with ", traces_->ranks() - doneRanks_,
+    fatal("replay deadlocked with ", nranks_ - doneRanks_,
           " rank(s) unfinished:", detail);
 }
 
@@ -1264,7 +1219,14 @@ SimResult
 ReplaySession::run(const trace::TraceSet &traces,
                    const PlatformConfig &platform)
 {
-    return impl_->engine.run(traces, platform);
+    return impl_->engine.run(compileTrace(traces), platform);
+}
+
+SimResult
+ReplaySession::run(const ReplayProgram &program,
+                   const PlatformConfig &platform)
+{
+    return impl_->engine.run(program, platform);
 }
 
 SimResult
@@ -1272,13 +1234,41 @@ simulate(const trace::TraceSet &traces,
          const PlatformConfig &platform)
 {
     Engine engine;
-    return engine.run(traces, platform);
+    return engine.run(compileTrace(traces), platform);
+}
+
+SimResult
+simulate(const ReplayProgram &program,
+         const PlatformConfig &platform)
+{
+    Engine engine;
+    return engine.run(program, platform);
 }
 
 std::vector<SimResult>
 simulateBatch(std::span<const SimJob> jobs, int threads)
 {
     std::vector<SimResult> results(jobs.size());
+    // Resolve one compiled program per job. Jobs carrying an
+    // explicit program share it as-is; the rest compile once per
+    // distinct TraceSet pointer (driver batches typically replay a
+    // handful of trace sets across many platforms).
+    std::vector<std::shared_ptr<const ReplayProgram>> programs(
+        jobs.size());
+    std::map<const trace::TraceSet *, std::size_t> first_use;
+    std::vector<std::size_t> to_compile;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].program != nullptr) {
+            programs[i] = jobs[i].program;
+            continue;
+        }
+        ovlAssert(jobs[i].traces != nullptr,
+                  "simulateBatch: job ", i,
+                  " has neither traces nor a program");
+        if (first_use.emplace(jobs[i].traces, i).second)
+            to_compile.push_back(i);
+    }
+
     // Never spawn more lanes than jobs: small batches (2-3 replays)
     // are common in driver loops, where a full hardware-sized pool
     // would be pure spawn/join overhead.
@@ -1287,17 +1277,25 @@ simulateBatch(std::span<const SimJob> jobs, int threads)
         lanes = jobs.empty() ? 1
                              : static_cast<int>(jobs.size());
     ThreadPool pool(lanes);
+    pool.parallelFor(
+        to_compile.size(), [&](std::size_t k, int) {
+            const std::size_t i = to_compile[k];
+            programs[i] = compileShared(*jobs[i].traces);
+        });
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (programs[i] == nullptr)
+            programs[i] =
+                programs[first_use.at(jobs[i].traces)];
+    }
+
     // One session per lane: lanes never share engine state, and job
     // i always lands in slot i, so the output is independent of how
     // tasks were scheduled over lanes.
     std::vector<ReplaySession> sessions(
         static_cast<std::size_t>(pool.size()));
     pool.parallelFor(jobs.size(), [&](std::size_t i, int lane) {
-        const SimJob &job = jobs[i];
-        ovlAssert(job.traces != nullptr,
-                  "simulateBatch: job ", i, " has no trace set");
         results[i] = sessions[static_cast<std::size_t>(lane)].run(
-            *job.traces, job.platform);
+            *programs[i], jobs[i].platform);
     });
     return results;
 }

@@ -2,21 +2,29 @@
  * @file
  * Trace-driven discrete-event replay engine (the Dimemas substitute).
  *
- * The engine walks every rank's record stream, converting instruction
- * bursts into time via the platform's MIPS rate and resolving MPI
+ * The engine executes compiled replay programs (sim/program.hh): the
+ * trace's record streams lowered once into a flat instruction stream
+ * with pre-packed channel keys, pre-linked request registers and
+ * pre-resolved collective cost inputs. Replay converts instruction
+ * bursts into time via the platform's MIPS rate and resolves MPI
  * semantics (blocking/non-blocking point-to-point with eager and
  * rendezvous protocols, FIFO per-channel matching, collectives) while
  * transfers contend for the platform's finite buses and per-node
  * links. The result is the application's reconstructed time-behaviour
  * on the configured platform.
  *
- * Two entry points are offered. simulate() replays once and is the
- * right call for one-off replays. Study campaigns (sweeps,
- * bisections) replay many (trace, platform) pairs back-to-back; a
- * ReplaySession keeps the engine's arenas — channel hash table,
- * transfer pool, request tables, event heap — alive between runs, so
- * steady-state replays allocate nothing. simulateBatch() fans a batch
- * of independent jobs over a thread pool with one session per lane.
+ * Entry points:
+ *  - simulate(traces, platform) compiles on entry and replays once —
+ *    the right call for one-off replays.
+ *  - ReplaySession replays many jobs back-to-back, keeping the
+ *    engine's arenas (channel hash table, transfer pool, request
+ *    registers, event heap) alive between runs so steady-state
+ *    replays allocate nothing. Its ReplayProgram overload skips
+ *    compilation entirely — study campaigns compile each trace
+ *    variant once and share the program across all sweep points.
+ *  - simulateBatch() fans a batch of independent jobs over a thread
+ *    pool with one session per lane, compiling each distinct trace
+ *    set once.
  */
 
 #ifndef OVLSIM_SIM_ENGINE_HH
@@ -27,19 +35,21 @@
 #include <vector>
 
 #include "sim/platform.hh"
+#include "sim/program.hh"
 #include "sim/result.hh"
 #include "trace/trace.hh"
 
 namespace ovlsim::sim {
 
 /**
- * Replay a trace set on a platform.
+ * Replay a trace set on a platform (compile-on-entry convenience
+ * wrapper around the ReplayProgram overload).
  *
- * The trace set must be structurally valid (see
- * trace::validateTraceSet); replay of an invalid trace raises
- * FatalError, including a deadlock diagnosis when ranks block
- * forever. Traces using the anyRank/anyTag wildcard sentinels are
- * rejected with FatalError: wildcard matching is unsupported.
+ * The trace set must be structurally valid: compilation raises
+ * FatalError on traces the engine cannot replay (wildcard
+ * anyRank/anyTag sentinels, out-of-range peers, disagreeing
+ * collective sequences), and replay raises FatalError with a
+ * per-rank diagnosis when ranks block forever.
  *
  * @param traces the application traces to replay
  * @param platform the machine to reconstruct the behaviour on
@@ -49,18 +59,23 @@ namespace ovlsim::sim {
 SimResult simulate(const trace::TraceSet &traces,
                    const PlatformConfig &platform);
 
+/** Replay a pre-compiled program; same contract as simulate(). */
+SimResult simulate(const ReplayProgram &program,
+                   const PlatformConfig &platform);
+
 /**
  * A reusable replay context.
  *
- * Owns the engine's flat-hash channel map, transfer/request arenas
- * and event heap, and replays any number of (trace, platform) pairs
- * back-to-back without reallocating them: each run() resets the
- * containers but keeps their capacity. Results are bit-identical to
- * simulate() — a session carries no state between runs other than
- * memory reservations.
+ * Owns the engine's flat-hash channel map, transfer arena, request
+ * registers and event heap, and replays any number of
+ * (program, platform) pairs back-to-back without reallocating them:
+ * each run() resets the containers but keeps their capacity.
+ * Results are bit-identical to simulate() — a session carries no
+ * state between runs other than memory reservations.
  *
  * A session is single-threaded; use one session per thread (see
- * simulateBatch) for parallel campaigns.
+ * simulateBatch) for parallel campaigns. One const ReplayProgram
+ * may be shared by any number of concurrent sessions.
  */
 class ReplaySession
 {
@@ -70,8 +85,12 @@ class ReplaySession
     ReplaySession(ReplaySession &&) noexcept;
     ReplaySession &operator=(ReplaySession &&) noexcept;
 
-    /** Replay `traces` on `platform`; same contract as simulate(). */
+    /** Compile `traces` and replay; same contract as simulate(). */
     SimResult run(const trace::TraceSet &traces,
+                  const PlatformConfig &platform);
+
+    /** Replay a pre-compiled program (the campaign hot path). */
+    SimResult run(const ReplayProgram &program,
                   const PlatformConfig &platform);
 
   private:
@@ -79,12 +98,31 @@ class ReplaySession
     std::unique_ptr<Impl> impl_;
 };
 
-/** One replay of a batch: a trace set and the platform to run it on.
- * The referenced trace set must outlive the simulateBatch call. */
+/**
+ * One replay of a batch: what to replay and the platform to run it
+ * on. Either `program` (preferred; shared, pre-compiled) or
+ * `traces` (compiled once per distinct pointer inside
+ * simulateBatch) must be set; `program` wins when both are. A
+ * referenced trace set must outlive the simulateBatch call.
+ */
 struct SimJob
 {
+    SimJob() = default;
+
+    SimJob(const trace::TraceSet *traces_in,
+           PlatformConfig platform_in)
+        : traces(traces_in), platform(std::move(platform_in))
+    {}
+
+    SimJob(std::shared_ptr<const ReplayProgram> program_in,
+           PlatformConfig platform_in)
+        : platform(std::move(platform_in)),
+          program(std::move(program_in))
+    {}
+
     const trace::TraceSet *traces = nullptr;
     PlatformConfig platform;
+    std::shared_ptr<const ReplayProgram> program;
 };
 
 /**

@@ -64,6 +64,34 @@ channelKey(Rank src, Rank dst, Tag tag)
         static_cast<ChannelKey>(tag);
 }
 
+/**
+ * Exact inverses of channelKey's packing. The replay-program
+ * compiler stores only the packed key per point-to-point op; these
+ * recover the endpoints and tag for replay (node lookups, results)
+ * and decoding.
+ */
+inline constexpr Rank
+channelSrcOf(ChannelKey key)
+{
+    return static_cast<Rank>(key >>
+                             (channelRankBits + channelTagBits));
+}
+
+inline constexpr Rank
+channelDstOf(ChannelKey key)
+{
+    return static_cast<Rank>(
+        (key >> channelTagBits) &
+        ((ChannelKey(1) << channelRankBits) - 1));
+}
+
+inline constexpr Tag
+channelTagOf(ChannelKey key)
+{
+    return static_cast<Tag>(key &
+                            ((ChannelKey(1) << channelTagBits) - 1));
+}
+
 /** Collective operations supported by the replay engine. */
 enum class CollOp : std::uint8_t {
     barrier,
@@ -150,6 +178,29 @@ struct CollectiveRec
 using Record = std::variant<CpuBurst, SendRec, ISendRec, RecvRec,
                             IRecvRec, WaitRec, WaitAllRec,
                             CollectiveRec>;
+
+/**
+ * Dense record discriminator, numerically equal to the Record
+ * variant index (static-asserted where both are consumed). The
+ * replay-program compiler lowers each record to this one-byte kind
+ * plus a packed operand slot.
+ */
+enum class RecordKind : std::uint8_t {
+    burst = 0,
+    send = 1,
+    isend = 2,
+    recv = 3,
+    irecv = 4,
+    wait = 5,
+    waitAll = 6,
+    collective = 7,
+};
+
+inline RecordKind
+recordKind(const Record &rec)
+{
+    return static_cast<RecordKind>(rec.index());
+}
 
 /** True if the record is an MPI (non-computation) record. */
 bool isCommRecord(const Record &rec);

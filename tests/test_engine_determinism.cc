@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "apps/app.hh"
 #include "helpers.hh"
 #include "sim/engine.hh"
 #include "sim/platform.hh"
@@ -213,6 +214,42 @@ TEST(EngineDeterminismTest, WaitQueueStaysFifoUnderReentrantPosts)
     EXPECT_EQ(result.perRank[2].recvBlockedTime.ns(), 7'824'406);
     EXPECT_EQ(result.totalTime.ns(), 7'824'406);
     EXPECT_EQ(result.eventsProcessed, 10u);
+}
+
+TEST(EngineDeterminismTest, CollectiveHeavyAppsAreDeterministic)
+{
+    // Collective completion is released by a single broadcast event
+    // that wakes every rank in rank order, replacing one rankResume
+    // per rank (see Engine::handleRelease for the equivalence
+    // argument). nas-cg and alya are the collective-heavy proxies;
+    // repeated replays, session reuse and the compiled-program path
+    // must all agree bit for bit, on contended and uncontended
+    // platforms.
+    for (const char *name : {"nas-cg", "alya"}) {
+        const auto &app = apps::findApp(name);
+        auto params = app.defaults();
+        params.iterations = 2;
+        tracer::TracerConfig config;
+        config.appName = name;
+        const auto bundle = tracer::traceApplication(
+            params.ranks, app.program(params), config);
+        const auto program = sim::compileShared(bundle.traces);
+
+        auto contended = sim::platforms::contendedCluster(2, 2);
+        contended.bandwidthMBps = 64.0;
+        sim::ReplaySession session;
+        for (const auto &platform :
+             {testing::platformAt(16.0),
+              testing::platformAt(1024.0), contended}) {
+            const auto fresh = simulate(bundle.traces, platform);
+            expectIdentical(fresh,
+                            simulate(bundle.traces, platform));
+            expectIdentical(fresh,
+                            session.run(*program, platform));
+            expectIdentical(fresh,
+                            session.run(*program, platform));
+        }
+    }
 }
 
 TEST(EngineDeterminismTest, SessionReuseIsBitIdentical)

@@ -211,6 +211,69 @@ TEST(ParallelIsoPerformanceTest, ConcurrentBisectionsMatch)
     }
 }
 
+TEST(ParallelProgramSharingTest, OneProgramServesAllLanes)
+{
+    // Campaigns compile each trace variant once and hand the same
+    // immutable ReplayProgram to every sweep lane. Replaying one
+    // shared program concurrently from many sessions must be
+    // bit-identical to sequential and to the compile-on-entry path
+    // (TSAN builds race-check the sharing).
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(48 * 1024, 350'000, 5));
+    const auto program = sim::compileShared(bundle.traces);
+
+    std::vector<sim::SimJob> jobs;
+    for (const double bandwidth :
+         {4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+        jobs.emplace_back(program,
+                          testing::platformAt(bandwidth));
+    }
+
+    const auto sequential = simulateBatch(jobs, 1);
+    ASSERT_EQ(sequential.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        expectIdentical(sequential[i],
+                        simulate(bundle.traces,
+                                 jobs[i].platform));
+    }
+    for (const int threads : threadCounts) {
+        const auto parallel = simulateBatch(jobs, threads);
+        ASSERT_EQ(parallel.size(), sequential.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            expectIdentical(parallel[i], sequential[i]);
+    }
+}
+
+TEST(ParallelProgramSharingTest, StudyProgramsAreShared)
+{
+    // The study cache must hand out the *same* compiled program for
+    // repeated requests of one variant, from any number of lanes.
+    core::OverlapStudy study(testing::traceOf(
+        2, testing::producerConsumer(128 * 1024, 500'000)));
+    core::TransformConfig ideal;
+    ideal.pattern = core::PatternModel::idealLinear;
+
+    std::vector<std::shared_ptr<const sim::ReplayProgram>>
+        programs(16);
+    ThreadPool pool(8);
+    pool.parallelFor(programs.size(), [&](std::size_t i, int) {
+        programs[i] = i % 2 == 0 ? study.originalProgram()
+                                 : study.overlappedProgram(ideal);
+    });
+    for (std::size_t i = 2; i < programs.size(); ++i)
+        EXPECT_EQ(programs[i], programs[i % 2]) << "slot " << i;
+    EXPECT_NE(programs[0], programs[1]);
+
+    // And the served programs replay identically to their traces.
+    const auto platform = testing::platformAt(128.0);
+    expectIdentical(
+        simulate(*programs[0], platform),
+        simulate(study.bundle().traces, platform));
+    expectIdentical(
+        simulate(*programs[1], platform),
+        simulate(study.overlappedTrace(ideal), platform));
+}
+
 TEST(ParallelStudyTest, VariantCacheIsThreadSafe)
 {
     core::OverlapStudy study(testing::traceOf(
