@@ -34,11 +34,13 @@ main(int argc, char **argv)
         core::OverlapStudy study(traceApp(name));
         auto platform = sim::platforms::defaultCluster();
         platform.bandwidthMBps = core::findIntermediateBandwidth(
-            study.originalTrace(), platform);
+            *study.originalProgram(), platform);
         const auto original = study.simulateOriginal(platform);
 
         // One job per chunk granularity; the variant constructions
-        // and replays both fan over the pool.
+        // and lowerings fan over the pool and each job carries the
+        // study's cached compiled program (no re-lowering in the
+        // batch).
         std::vector<sim::SimJob> jobs(chunk_counts.size());
         {
             ThreadPool pool(std::min(
@@ -49,7 +51,7 @@ main(int argc, char **argv)
                     config.pattern =
                         core::PatternModel::idealLinear;
                     config.chunks = chunk_counts[i];
-                    jobs[i] = {&study.overlappedTrace(config),
+                    jobs[i] = {study.overlappedProgram(config),
                                platform};
                 });
         }

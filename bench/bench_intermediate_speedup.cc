@@ -45,7 +45,7 @@ main(int argc, char **argv)
         core::OverlapStudy study(traceApp(name));
         auto platform = sim::platforms::defaultCluster();
         const double ib = core::findIntermediateBandwidth(
-            study.originalTrace(), platform);
+            *study.originalProgram(), platform);
         platform.bandwidthMBps = ib;
 
         core::TransformConfig ideal;
@@ -54,11 +54,13 @@ main(int argc, char **argv)
         real.pattern = core::PatternModel::real;
 
         // The three replays at the operating point are independent;
-        // batch them over the pool.
+        // batch the study's cached compiled programs over the pool
+        // (the bisection above already paid the original's
+        // lowering).
         const std::vector<sim::SimJob> jobs{
-            {&study.originalTrace(), platform},
-            {&study.overlappedTrace(ideal), platform},
-            {&study.overlappedTrace(real), platform},
+            {study.originalProgram(), platform},
+            {study.overlappedProgram(ideal), platform},
+            {study.overlappedProgram(real), platform},
         };
         const auto results = sim::simulateBatch(jobs, threads);
         const auto &original = results[0];

@@ -39,11 +39,12 @@ main(int argc, char **argv)
         core::OverlapStudy study(traceApp(name));
         auto platform = sim::platforms::defaultCluster();
         platform.bandwidthMBps = core::findIntermediateBandwidth(
-            study.originalTrace(), platform);
+            *study.originalProgram(), platform);
 
-        // Original plus the three mechanism variants, batched.
+        // Original plus the three mechanism variants, batched over
+        // the study's cached compiled programs.
         std::vector<sim::SimJob> jobs{
-            {&study.originalTrace(), platform}};
+            {study.originalProgram(), platform}};
         for (const auto mechanism :
              {core::Mechanism::sendSide,
               core::Mechanism::recvSide,
@@ -52,7 +53,7 @@ main(int argc, char **argv)
             config.pattern = core::PatternModel::idealLinear;
             config.mechanism = mechanism;
             jobs.push_back(
-                {&study.overlappedTrace(config), platform});
+                {study.overlappedProgram(config), platform});
         }
         const auto results = sim::simulateBatch(jobs, threads);
         const auto &original = results[0];

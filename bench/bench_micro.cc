@@ -8,19 +8,25 @@
  *    through a reusable session, the campaign hot path,
  *  - M2: trace-lowering throughput (records compiled per second by
  *    sim::compileTrace),
- *  - M3: tracing-tool, overlap-transformation and
- *    trace-serialization speed (google-benchmark suite only),
+ *  - M3: overlap-transformation throughput (records per second
+ *    through core::buildOverlappedTrace — the dominant per-variant
+ *    setup cost of a sweep campaign now that replay is compiled),
  *  - M4: study-campaign throughput (bandwidth-sweep points per
- *    second on the parallel runtime).
+ *    second on the parallel runtime),
+ *  - M5: contended-topology replay throughput (events per second
+ *    replaying through the link-contention network model of
+ *    src/net/ on a tapered fat tree).
  *
  * Besides the google-benchmark suite, `--json[=PATH]` runs the M1
- * replay-engine configurations standalone plus the M2 compile and
- * M4 sweep configurations, and appends the largest M1 figure
- * (events/sec, ns/event, peak RSS), the M2 figure (records/sec)
- * and the M4 figure (sweep points/sec at `--threads` workers,
- * default all cores) to the perf trajectory file (default
- * BENCH_engine.json), giving every PR three comparable data
- * points. See ROADMAP.md "Performance methodology".
+ * replay-engine configurations standalone plus the M2 compile, M3
+ * transform, M4 sweep and M5 topology configurations, and appends
+ * the largest M1 figure (events/sec, ns/event, peak RSS), the M2
+ * figure (records/sec), the M3 figure (transform records/sec), the
+ * M4 figure (sweep points/sec at `--threads` workers, default all
+ * cores) and the M5 figure (topology events/sec) to the perf
+ * trajectory file (default BENCH_engine.json), giving every PR
+ * five comparable data points. See ROADMAP.md "Performance
+ * methodology".
  */
 
 // google-benchmark drives the M1-M3 suite; the --json trajectory
@@ -357,6 +363,182 @@ compilePointToJson(const CompileJsonPoint &point)
 }
 
 /**
+ * The M3 configuration: rebuild the standard real-pattern
+ * overlapped variant of the sweep3d-x8 trace repeatedly. The figure
+ * of merit is source records transformed per second — with replay
+ * compiled and programs shared, buildOverlappedTrace is the
+ * dominant per-variant setup cost a campaign pays (ROADMAP Open
+ * items), so the trajectory tracks it next to M2.
+ */
+struct TransformJsonPoint
+{
+    std::string config;
+    std::size_t records = 0;
+    std::uint64_t runs = 0;
+    double recordsPerSec = 0.0;
+    double nsPerRecord = 0.0;
+    long peakRssKb = 0;
+};
+
+TransformJsonPoint
+measureTransformConfig(double min_seconds)
+{
+    const auto bundle = traceApp("sweep3d", 8);
+    core::TransformConfig config;
+    config.pattern = core::PatternModel::real;
+    config.mechanism = core::Mechanism::both;
+    config.chunks = 16;
+
+    // Warm-up build outside the timing; the chunk sink keeps the
+    // loop's results observable.
+    volatile std::size_t sink =
+        core::buildOverlappedTrace(bundle.traces, bundle.overlap,
+                                   config)
+            .totalChunks;
+
+    std::size_t records = 0;
+    std::uint64_t runs = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        const auto result = core::buildOverlappedTrace(
+            bundle.traces, bundle.overlap, config);
+        sink = result.totalChunks;
+        records += bundle.traces.totalRecords();
+        ++runs;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+    (void)sink;
+
+    TransformJsonPoint point;
+    point.config = "sweep3d-x8/transform-real16";
+    point.records = bundle.traces.totalRecords();
+    point.runs = runs;
+    point.recordsPerSec = static_cast<double>(records) / elapsed;
+    point.nsPerRecord =
+        elapsed * 1e9 / static_cast<double>(records);
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    point.peakRssKb = usage.ru_maxrss;
+    return point;
+}
+
+std::string
+transformPointToJson(const TransformJsonPoint &point)
+{
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm_utc{}; gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    return strformat(
+        "{\n"
+        "    \"bench\": \"bench_micro.transformThroughput\",\n"
+        "    \"config\": \"%s\",\n"
+        "    \"records\": %zu,\n"
+        "    \"runs\": %llu,\n"
+        "    \"transform_records_per_sec\": %.0f,\n"
+        "    \"ns_per_record\": %.2f,\n"
+        "    \"peak_rss_kb\": %ld,\n"
+        "    \"timestamp\": \"%s\"\n"
+        "  }",
+        point.config.c_str(), point.records,
+        static_cast<unsigned long long>(point.runs),
+        point.recordsPerSec, point.nsPerRecord, point.peakRssKb,
+        stamp);
+}
+
+/**
+ * The M5 configuration: replay the sweep3d-x8 trace through the
+ * link-contention network model on a 2:1-per-level tapered fat
+ * tree (the congested-fabric scenario topology campaigns sweep).
+ * The figure of merit is events per second — directly comparable
+ * to M1's flat-bus figure, so the trajectory shows the cost of
+ * per-link contention on the same workload. The program is lowered
+ * once and the session's compiled-topology cache is hot after the
+ * warm-up run, matching how topologySweep drives the engine.
+ */
+struct TopoJsonPoint
+{
+    std::string config;
+    std::size_t records = 0;
+    std::uint64_t eventsPerRun = 0;
+    std::uint64_t runs = 0;
+    double eventsPerSec = 0.0;
+    double nsPerEvent = 0.0;
+    long peakRssKb = 0;
+};
+
+TopoJsonPoint
+measureTopoConfig(double min_seconds)
+{
+    const auto bundle = traceApp("sweep3d", 8);
+    auto platform = sim::platforms::defaultCluster();
+    platform.bandwidthMBps = 4096.0;
+    platform.topology = net::topologies::taperedFatTree(4, 0.5);
+
+    const auto program = sim::compileShared(bundle.traces);
+    sim::ReplaySession session;
+    const std::uint64_t events_per_run =
+        session.run(*program, platform).eventsProcessed;
+
+    std::uint64_t events = 0;
+    std::uint64_t runs = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        const auto result = session.run(*program, platform);
+        events += result.eventsProcessed;
+        ++runs;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+
+    TopoJsonPoint point;
+    point.config = "sweep3d-x8/fat-tree-taper2/bw4096";
+    point.records = bundle.traces.totalRecords();
+    point.eventsPerRun = events_per_run;
+    point.runs = runs;
+    point.eventsPerSec = static_cast<double>(events) / elapsed;
+    point.nsPerEvent =
+        elapsed * 1e9 / static_cast<double>(events);
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    point.peakRssKb = usage.ru_maxrss;
+    return point;
+}
+
+std::string
+topoPointToJson(const TopoJsonPoint &point)
+{
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm_utc{}; gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    return strformat(
+        "{\n"
+        "    \"bench\": \"bench_micro.topologyReplay\",\n"
+        "    \"config\": \"%s\",\n"
+        "    \"records\": %zu,\n"
+        "    \"events_per_run\": %llu,\n"
+        "    \"runs\": %llu,\n"
+        "    \"topo_events_per_sec\": %.0f,\n"
+        "    \"ns_per_event\": %.2f,\n"
+        "    \"peak_rss_kb\": %ld,\n"
+        "    \"timestamp\": \"%s\"\n"
+        "  }",
+        point.config.c_str(), point.records,
+        static_cast<unsigned long long>(point.eventsPerRun),
+        static_cast<unsigned long long>(point.runs),
+        point.eventsPerSec, point.nsPerEvent, point.peakRssKb,
+        stamp);
+}
+
+/**
  * The M4 configuration: one R1-style bandwidth sweep of the sweep3d
  * proxy (original + the two standard variants per grid point),
  * repeated until the clock budget runs out. The figure of merit is
@@ -530,6 +712,15 @@ runJsonMode(const std::string &path, int threads)
         compile.nsPerRecord,
         static_cast<unsigned long long>(compile.runs),
         compile.records, compile.peakRssKb);
+    const TransformJsonPoint transform =
+        measureTransformConfig(1.5);
+    std::printf(
+        "%-22s %9.2f M records/s  %6.2f ns/record  "
+        "(%llu builds x %zu records, rss %ld KB)\n",
+        transform.config.c_str(),
+        transform.recordsPerSec / 1e6, transform.nsPerRecord,
+        static_cast<unsigned long long>(transform.runs),
+        transform.records, transform.peakRssKb);
     const SweepJsonPoint sweep =
         measureSweepConfig(threads, 1.5);
     std::printf(
@@ -539,13 +730,25 @@ runJsonMode(const std::string &path, int threads)
         sweep.msPerPoint,
         static_cast<unsigned long long>(sweep.sweeps),
         sweep.threads, sweep.peakRssKb);
+    const TopoJsonPoint topo = measureTopoConfig(1.5);
+    std::printf(
+        "%-22s %9.2f M events/s  %6.2f ns/event  "
+        "(%llu runs x %llu events, rss %ld KB)\n",
+        topo.config.c_str(), topo.eventsPerSec / 1e6,
+        topo.nsPerEvent,
+        static_cast<unsigned long long>(topo.runs),
+        static_cast<unsigned long long>(topo.eventsPerRun),
+        topo.peakRssKb);
     appendToTrajectory(path, pointToJson(largest));
     appendToTrajectory(path, compilePointToJson(compile));
+    appendToTrajectory(path, transformPointToJson(transform));
     appendToTrajectory(path, sweepPointToJson(sweep));
+    appendToTrajectory(path, topoPointToJson(topo));
     std::printf(
-        "trajectory points (%s, %s, %s) appended to %s\n",
+        "trajectory points (%s, %s, %s, %s, %s) appended to %s\n",
         largest.config.c_str(), compile.config.c_str(),
-        sweep.config.c_str(), path.c_str());
+        transform.config.c_str(), sweep.config.c_str(),
+        topo.config.c_str(), path.c_str());
     return 0;
 }
 

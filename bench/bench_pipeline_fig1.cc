@@ -61,10 +61,16 @@ main(int argc, char **argv)
                 overlapped.totalChunks, ideal.label().c_str());
 
     // Stage 3: Dimemas-like reconstruction on a configurable
-    // platform, near the intermediate bandwidth.
+    // platform, near the intermediate bandwidth. Both traces are
+    // lowered once into shared compiled programs; the bisection
+    // and the replays below all run from them.
+    const auto original_program =
+        sim::compileShared(bundle.traces);
+    const auto overlapped_program =
+        sim::compileShared(overlapped.traces);
     auto platform = sim::platforms::defaultCluster();
     platform.bandwidthMBps = core::findIntermediateBandwidth(
-        bundle.traces, platform);
+        *original_program, platform);
     platform.captureTimeline = true;
     std::printf("[replay] platform: %.2f MB/s, %.1f us latency, "
                 "%s buses\n\n",
@@ -74,11 +80,11 @@ main(int argc, char **argv)
                     : strformat("%d", platform.buses).c_str());
 
     // The original and overlapped replays are independent; batch
-    // them over the worker pool like every other driver (each trace
-    // set is compiled once inside the batch).
+    // them over the worker pool like every other driver, sharing
+    // the pre-compiled programs.
     const std::vector<sim::SimJob> jobs{
-        {&bundle.traces, platform},
-        {&overlapped.traces, platform},
+        {original_program, platform},
+        {overlapped_program, platform},
     };
     const auto results = sim::simulateBatch(jobs, threads);
     const auto &original_result = results[0];

@@ -47,13 +47,13 @@ main(int argc, char **argv)
             auto platform = sim::platforms::defaultCluster();
             platform.bandwidthMBps =
                 core::findIntermediateBandwidth(
-                    study.originalTrace(), platform);
+                    *study.originalProgram(), platform);
 
             core::TransformConfig ideal;
             ideal.pattern = core::PatternModel::idealLinear;
             const std::vector<sim::SimJob> jobs{
-                {&study.originalTrace(), platform},
-                {&study.overlappedTrace(ideal), platform},
+                {study.originalProgram(), platform},
+                {study.overlappedProgram(ideal), platform},
             };
             const auto results =
                 sim::simulateBatch(jobs, threads);

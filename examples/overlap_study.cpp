@@ -76,7 +76,7 @@ main(int argc, char **argv)
     table.print(std::cout);
 
     const double ib = core::findIntermediateBandwidth(
-        bundle.traces, base);
+        *sim::compileShared(bundle.traces), base);
     std::printf("\nintermediate bandwidth (comm == comp): %.2f "
                 "MB/s\n", ib);
 

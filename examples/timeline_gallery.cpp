@@ -43,8 +43,10 @@ main(int argc, char **argv)
     platform.captureTimeline = true;
     double bandwidth = options.getDouble("bandwidth");
     if (bandwidth <= 0.0) {
+        // The study's cached compiled program serves the bisection
+        // and the replays below — the trace is lowered exactly once.
         bandwidth = core::findIntermediateBandwidth(
-            study.originalTrace(), platform);
+            *study.originalProgram(), platform);
     }
     platform.bandwidthMBps = bandwidth;
     std::printf("%s at %.2f MB/s\n\n", app.name().c_str(),

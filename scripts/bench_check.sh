@@ -3,16 +3,20 @@
 #
 # Builds Release, runs `bench_micro --json` (the M1 replay-engine
 # throughput measurement on its largest configuration plus the M2
-# trace-lowering and M4 sweep-throughput measurements) and fails if
-# any figure regressed more than the threshold against the
-# checked-in baseline (bench/BENCH_baseline.json):
+# trace-lowering, M3 overlap-transformation, M4 sweep-throughput and
+# M5 contended-topology measurements) and fails if any figure
+# regressed more than the threshold against the checked-in baseline
+# (bench/BENCH_baseline.json):
 #
-#   M1  events_per_sec           compiled-program replay throughput
-#   M2  compile_records_per_sec  trace-lowering (compile) throughput
-#   M4  sweep_points_per_sec     campaign (parallel sweep) throughput
+#   M1  events_per_sec             compiled-program replay throughput
+#   M2  compile_records_per_sec    trace-lowering (compile) throughput
+#   M3  transform_records_per_sec  overlap-transformation throughput
+#   M4  sweep_points_per_sec       campaign (parallel sweep) throughput
+#   M5  topo_events_per_sec        topology-contended replay throughput
 #
-# A baseline recorded before M2/M4 existed lacks their keys; those
-# gates are then skipped with a notice — refresh with --update.
+# A baseline that lacks any gated key is stale: the gate fails fast
+# with a readable diff of the expected vs present keys instead of
+# silently skipping a metric — refresh with --update.
 #
 # Usage:
 #   scripts/bench_check.sh           # check against the baseline
@@ -33,6 +37,9 @@ THRESHOLD="${OVLSIM_BENCH_THRESHOLD:-0.10}"
 BUILD_DIR="${OVLSIM_BENCH_BUILD_DIR:-build-bench}"
 THREADS="${OVLSIM_BENCH_THREADS:-0}"
 BASELINE="bench/BENCH_baseline.json"
+GATED_KEYS=(events_per_sec compile_records_per_sec
+            transform_records_per_sec sweep_points_per_sec
+            topo_events_per_sec)
 UPDATE=0
 if [[ "${1:-}" == "--update" ]]; then
     UPDATE=1
@@ -55,22 +62,42 @@ extract_key() { # file key
         tail -n 1 | grep -o '[0-9.eE+]*$'
 }
 
-CURRENT_M1="$(extract_key "$RESULT_JSON" events_per_sec)"
-CURRENT_M2="$(extract_key "$RESULT_JSON" compile_records_per_sec)"
-CURRENT_M4="$(extract_key "$RESULT_JSON" sweep_points_per_sec)"
-if [[ -z "$CURRENT_M1" || -z "$CURRENT_M2" || -z "$CURRENT_M4" ]]
-then
-    echo "bench_check: missing figures in bench output" >&2
-    exit 1
-fi
+# Fail fast with a readable key diff when `file` is missing any
+# gated metric, so a stale baseline (or broken bench output) never
+# silently skips a gate.
+require_keys() { # file what
+    local missing=()
+    local key
+    for key in "${GATED_KEYS[@]}"; do
+        if [[ -z "$(extract_key "$1" "$key")" ]]; then
+            missing+=("$key")
+        fi
+    done
+    if [[ "${#missing[@]}" -gt 0 ]]; then
+        {
+            echo "bench_check: FAIL - $2 is missing metric keys"
+            echo "  expected: ${GATED_KEYS[*]}"
+            echo "  missing:  ${missing[*]}"
+            echo "  (refresh with scripts/bench_check.sh --update)"
+        } >&2
+        exit 1
+    fi
+}
+
+require_keys "$RESULT_JSON" "bench output"
 
 if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
     cp "$RESULT_JSON" "$BASELINE"
-    echo "bench_check: baseline updated ($CURRENT_M1 events/sec," \
-         "$CURRENT_M2 compile records/sec," \
-         "$CURRENT_M4 sweep points/sec)"
+    echo "bench_check: baseline updated" \
+         "($(extract_key "$BASELINE" events_per_sec) events/sec," \
+         "$(extract_key "$BASELINE" compile_records_per_sec) compile records/sec," \
+         "$(extract_key "$BASELINE" transform_records_per_sec) transform records/sec," \
+         "$(extract_key "$BASELINE" sweep_points_per_sec) sweep points/sec," \
+         "$(extract_key "$BASELINE" topo_events_per_sec) topo events/sec)"
     exit 0
 fi
+
+require_keys "$BASELINE" "baseline $BASELINE"
 
 # gate NAME CURRENT BASE — fails the script when CURRENT dropped
 # more than THRESHOLD below BASE.
@@ -90,25 +117,18 @@ gate() {
     }'
 }
 
-BASE_M1="$(extract_key "$BASELINE" events_per_sec)"
-if [[ -z "$BASE_M1" ]]; then
-    echo "bench_check: malformed baseline $BASELINE" >&2
-    exit 1
-fi
-gate "M1 events/sec" "$CURRENT_M1" "$BASE_M1"
-
-BASE_M2="$(extract_key "$BASELINE" compile_records_per_sec)"
-if [[ -n "$BASE_M2" ]]; then
-    gate "M2 compile records/sec" "$CURRENT_M2" "$BASE_M2"
-else
-    echo "bench_check: baseline has no compile_records_per_sec;" \
-         "M2 gate skipped (run scripts/bench_check.sh --update)"
-fi
-
-BASE_M4="$(extract_key "$BASELINE" sweep_points_per_sec)"
-if [[ -n "$BASE_M4" ]]; then
-    gate "M4 sweep points/sec" "$CURRENT_M4" "$BASE_M4"
-else
-    echo "bench_check: baseline has no sweep_points_per_sec;" \
-         "M4 gate skipped (run scripts/bench_check.sh --update)"
-fi
+gate "M1 events/sec" \
+     "$(extract_key "$RESULT_JSON" events_per_sec)" \
+     "$(extract_key "$BASELINE" events_per_sec)"
+gate "M2 compile records/sec" \
+     "$(extract_key "$RESULT_JSON" compile_records_per_sec)" \
+     "$(extract_key "$BASELINE" compile_records_per_sec)"
+gate "M3 transform records/sec" \
+     "$(extract_key "$RESULT_JSON" transform_records_per_sec)" \
+     "$(extract_key "$BASELINE" transform_records_per_sec)"
+gate "M4 sweep points/sec" \
+     "$(extract_key "$RESULT_JSON" sweep_points_per_sec)" \
+     "$(extract_key "$BASELINE" sweep_points_per_sec)"
+gate "M5 topo events/sec" \
+     "$(extract_key "$RESULT_JSON" topo_events_per_sec)" \
+     "$(extract_key "$BASELINE" topo_events_per_sec)"

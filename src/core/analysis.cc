@@ -125,6 +125,45 @@ bandwidthSweep(const tracer::TraceBundle &bundle,
     return result;
 }
 
+std::vector<TopologySpec>
+standardTopologies()
+{
+    using namespace net::topologies;
+    return {
+        {"flat-bus", flatBus()},
+        {"fat-tree", fatTree(4)},
+        {"fat-tree-taper2", taperedFatTree(4, 0.5)},
+        {"torus-2d", torus2d()},
+        {"dragonfly", dragonfly()},
+    };
+}
+
+TopologySweepResult
+topologySweep(const tracer::TraceBundle &bundle,
+              const sim::PlatformConfig &base,
+              const std::vector<double> &bandwidths,
+              const std::vector<VariantSpec> &variants,
+              const std::vector<TopologySpec> &topologies,
+              int threads)
+{
+    TopologySweepResult result;
+    result.topologies = topologies;
+    result.sweeps.reserve(topologies.size());
+    // Topologies run one after another: each inner sweep already
+    // fans its variant construction and grid points over the worker
+    // pool, and sequential outer order keeps every sweep's lane
+    // layout — and therefore the whole campaign — bit-identical to
+    // a one-topology run.
+    for (const auto &spec : topologies) {
+        sim::PlatformConfig platform = base;
+        platform.topology = spec.topology;
+        platform.name = base.name + "/" + spec.name;
+        result.sweeps.push_back(bandwidthSweep(
+            bundle, platform, bandwidths, variants, threads));
+    }
+    return result;
+}
+
 double
 findIntermediateBandwidth(const trace::TraceSet &original,
                           const sim::PlatformConfig &base,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/transform.hh"
+#include "net/topology.hh"
 #include "sim/engine.hh"
 #include "tracer/tracer.hh"
 
@@ -79,6 +80,46 @@ SweepResult bandwidthSweep(const tracer::TraceBundle &bundle,
                            const std::vector<double> &bandwidths,
                            const std::vector<VariantSpec> &variants,
                            int threads = 1);
+
+/** A named interconnect to include in a topology campaign. */
+struct TopologySpec
+{
+    std::string name;
+    net::TopologyConfig topology;
+};
+
+/**
+ * The standard topology set campaigns sweep: the flat bus baseline,
+ * a full-bisection fat tree, a 2:1-per-level tapered fat tree, a
+ * wrapped 2-D torus and a dragonfly (the latter two auto-sized to
+ * the node count at route compilation).
+ */
+std::vector<TopologySpec> standardTopologies();
+
+/** One topology's outcome inside a topology campaign. */
+struct TopologySweepResult
+{
+    std::vector<TopologySpec> topologies;
+    /** Parallel to `topologies`: one full R1-style sweep each. */
+    std::vector<SweepResult> sweeps;
+};
+
+/**
+ * The R1 bandwidth sweep repeated per interconnect: for every
+ * topology, replay the original and every overlapped variant across
+ * the bandwidth grid with that topology installed in the platform
+ * (`base`'s other parameters are kept). Each per-topology sweep
+ * runs on the parallel sweep engine (`threads` as in
+ * bandwidthSweep) and the result is bit-identical to the
+ * sequential path at any thread count.
+ */
+TopologySweepResult
+topologySweep(const tracer::TraceBundle &bundle,
+              const sim::PlatformConfig &base,
+              const std::vector<double> &bandwidths,
+              const std::vector<VariantSpec> &variants,
+              const std::vector<TopologySpec> &topologies,
+              int threads = 1);
 
 /**
  * Find the "intermediate" bandwidth: the point where the original

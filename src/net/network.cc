@@ -1,0 +1,185 @@
+#include "network.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace ovlsim::net {
+
+namespace {
+
+/**
+ * Residual-byte tolerance when deciding that a flow has finished.
+ * finishTime() rounds up to the integer-ns clock, so at the armed
+ * instant a flow's remaining bytes are <= 0 up to double rounding;
+ * anything materially positive means a slowdown intervened and the
+ * event fired early.
+ */
+constexpr double remainingEps = 1e-3;
+
+} // namespace
+
+void
+LinkNetwork::configure(const CompiledTopology *topo,
+                       double base_mbps)
+{
+    ovlAssert(topo != nullptr, "LinkNetwork: null topology");
+    ovlAssert(base_mbps > 0.0,
+              "LinkNetwork: base bandwidth must be positive");
+    topo_ = topo;
+    const std::size_t links = topo->linkCount();
+    linkRate_.resize(links);
+    for (std::size_t l = 0; l < links; ++l) {
+        // MB/s = 1e6 bytes per second = 1e-3 bytes per ns.
+        linkRate_[l] = topo->linkFactor(
+                           static_cast<std::uint32_t>(l)) *
+            base_mbps * 1e-3;
+    }
+    linkLoad_.assign(links, 0);
+    flows_.clear();
+    reschedules_.clear();
+}
+
+double
+LinkNetwork::bottleneckRate(const Flow &flow) const
+{
+    double rate = std::numeric_limits<double>::infinity();
+    for (const std::uint32_t link :
+         topo_->route(flow.src, flow.dst)) {
+        const double share = linkRate_[link] /
+            static_cast<double>(linkLoad_[link]);
+        if (share < rate)
+            rate = share;
+    }
+    ovlAssert(rate > 0.0 && std::isfinite(rate),
+              "LinkNetwork: flow over an empty route");
+    return rate;
+}
+
+void
+LinkNetwork::advanceAll(SimTime now)
+{
+    for (Flow &flow : flows_) {
+        const std::int64_t dt = (now - flow.lastUpdate).ns();
+        if (dt <= 0)
+            continue;
+        flow.remaining -= flow.rate * static_cast<double>(dt);
+        if (flow.remaining < 0.0)
+            flow.remaining = 0.0;
+        flow.lastUpdate = now;
+    }
+}
+
+SimTime
+LinkNetwork::finishTime(const Flow &flow, SimTime now)
+{
+    if (flow.remaining <= 0.0)
+        return now;
+    const double ns = std::ceil(flow.remaining / flow.rate);
+    return now + SimTime::fromNs(static_cast<std::int64_t>(ns));
+}
+
+SimTime
+LinkNetwork::start(std::uint32_t id, int src, int dst, Bytes bytes,
+                   SimTime now)
+{
+    ovlAssert(topo_ != nullptr, "LinkNetwork: not configured");
+    ovlAssert(src != dst,
+              "LinkNetwork: intra-node traffic bypasses the "
+              "network");
+    // Settle everyone's progress under the pre-admission rates.
+    advanceAll(now);
+    for (const std::uint32_t link : topo_->route(src, dst))
+        ++linkLoad_[link];
+
+    Flow flow;
+    flow.id = id;
+    flow.src = src;
+    flow.dst = dst;
+    flow.remaining = static_cast<double>(bytes);
+    flow.lastUpdate = now;
+    flows_.push_back(flow);
+
+    // Occupancy only grew, so rates can only drop: no flow's armed
+    // event needs replacing — stale early events re-arm when they
+    // fire. (A flow admitted mid-rendezvous-overhead may have
+    // lastUpdate ahead of older flows; advanceAll clamps dt >= 0.)
+    for (Flow &f : flows_)
+        f.rate = bottleneckRate(f);
+    Flow &admitted = flows_.back();
+    admitted.armed = finishTime(admitted, now);
+    return admitted.armed;
+}
+
+LinkNetwork::FinishCheck
+LinkNetwork::onFinishEvent(std::uint32_t id, SimTime now)
+{
+    std::size_t slot = flows_.size();
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+        if (flows_[i].id == id) {
+            slot = i;
+            break;
+        }
+    }
+    ovlAssert(slot < flows_.size(),
+              "LinkNetwork: finish event for unknown flow");
+
+    {
+        Flow &flow = flows_[slot];
+        const std::int64_t dt = (now - flow.lastUpdate).ns();
+        if (dt > 0) {
+            flow.remaining -=
+                flow.rate * static_cast<double>(dt);
+            flow.lastUpdate = now;
+        }
+        if (flow.remaining > remainingEps) {
+            // Early (stale) event: a slowdown moved the finish out.
+            // Re-arm unless a pending event already covers it.
+            const SimTime retry = finishTime(flow, now);
+            FinishCheck check;
+            check.retry = retry;
+            if (retry < flow.armed || flow.armed <= now) {
+                flow.armed = retry;
+                check.reschedule = true;
+            }
+            return check;
+        }
+    }
+
+    // Completed: free the links, settle the survivors under the old
+    // rates, then hand out the speedups.
+    const Flow done = flows_[slot];
+    advanceAll(now);
+    flows_.erase(flows_.begin() +
+                 static_cast<std::ptrdiff_t>(slot));
+    for (const std::uint32_t link :
+         topo_->route(done.src, done.dst)) {
+        ovlAssert(linkLoad_[link] > 0,
+                  "LinkNetwork: link occupancy underflow");
+        --linkLoad_[link];
+    }
+    for (Flow &flow : flows_) {
+        flow.rate = bottleneckRate(flow);
+        const SimTime finish = finishTime(flow, now);
+        if (finish < flow.armed) {
+            flow.armed = finish;
+            reschedules_.emplace_back(flow.id, finish);
+        }
+    }
+    FinishCheck check;
+    check.done = true;
+    check.retry = now;
+    return check;
+}
+
+std::uint64_t
+LinkNetwork::totalLoad() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint32_t load : linkLoad_)
+        total += load;
+    return total;
+}
+
+} // namespace ovlsim::net

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Link-level contention model over compiled topologies.
+ *
+ * LinkNetwork tracks the set of in-flight transfers (flows) of one
+ * replay. A flow occupies every link of its compiled route for its
+ * whole serialization; each link's capacity is shared equally among
+ * its occupants, and a flow progresses at the bandwidth of its
+ * bottleneck link share — a simplified fluid model re-evaluated at
+ * event granularity, in the spirit of SimGrid's flow-level network
+ * models.
+ *
+ * The driver (sim/engine.cc) owns the event heap; LinkNetwork owns
+ * bytes-remaining accounting and rate assignment:
+ *
+ *  - start() admits a flow and returns the finish time to schedule,
+ *  - onFinishEvent() is called when a scheduled finish event fires;
+ *    it either completes the flow (freeing its links and recomputing
+ *    the survivors' rates) or reports the corrected finish time to
+ *    reschedule — flows slow down lazily (the stale early event
+ *    re-arms itself) and speed up eagerly (completions emit
+ *    reschedules via pendingReschedules()).
+ *
+ * Scheduling stays deterministic: flows are iterated in admission
+ * order, all arithmetic is event-ordered double precision, and equal
+ * replays produce equal event sequences on any host or thread.
+ */
+
+#ifndef OVLSIM_NET_NETWORK_HH
+#define OVLSIM_NET_NETWORK_HH
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/topology.hh"
+#include "util/types.hh"
+
+namespace ovlsim::net {
+
+class LinkNetwork
+{
+  public:
+    LinkNetwork() = default;
+
+    /**
+     * Bind to a compiled topology with a base link bandwidth in
+     * MB/s (a factor-1.0 link). Drops any in-flight flows; keeps
+     * allocations, so sessions reconfigure per replay for free.
+     */
+    void configure(const CompiledTopology *topo, double base_mbps);
+
+    /**
+     * Admit flow `id` from `src` to `dst` nodes at `now` and return
+     * the finish time the driver must schedule. Admission can only
+     * slow other flows down; their already-scheduled finish events
+     * re-arm lazily when they fire early.
+     */
+    SimTime start(std::uint32_t id, int src, int dst, Bytes bytes,
+                  SimTime now);
+
+    struct FinishCheck
+    {
+        /** The flow completed; its links are freed. */
+        bool done = false;
+        /** When !done && reschedule: the corrected finish time. */
+        SimTime retry;
+        /**
+         * When !done: whether the driver must schedule `retry` (a
+         * pending event may already cover the corrected finish).
+         */
+        bool reschedule = false;
+    };
+
+    /**
+     * A finish event for `id` fired at `now`. Completion frees the
+     * flow's links, advances every surviving flow and recomputes
+     * their rates; flows that sped up appear in
+     * pendingReschedules() for the driver to re-arm.
+     */
+    FinishCheck onFinishEvent(std::uint32_t id, SimTime now);
+
+    /**
+     * (flow id, earlier finish time) pairs produced by the last
+     * completion; the driver schedules each and then clears.
+     */
+    std::span<const std::pair<std::uint32_t, SimTime>>
+    pendingReschedules() const
+    {
+        return reschedules_;
+    }
+
+    void clearPendingReschedules() { reschedules_.clear(); }
+
+    /** In-flight flow count (0 when the network is drained). */
+    std::uint32_t
+    activeFlows() const
+    {
+        return static_cast<std::uint32_t>(flows_.size());
+    }
+
+    /**
+     * Sum of link occupancies. Invariant pinned by tests: equals
+     * the summed route lengths of the in-flight flows, and zero
+     * once the network drains.
+     */
+    std::uint64_t totalLoad() const;
+
+  private:
+    struct Flow
+    {
+        std::uint32_t id = 0;
+        int src = 0;
+        int dst = 0;
+        /** Bytes still to serialize through the bottleneck. */
+        double remaining = 0.0;
+        /** Current bottleneck share, bytes per ns. */
+        double rate = 0.0;
+        SimTime lastUpdate;
+        /**
+         * Time of the pending finish event believed to be the
+         * earliest for this flow. Between rate changes there is
+         * always one pending event at `armed`, so no completion is
+         * ever missed; extra stale events re-arm or fall through
+         * harmlessly.
+         */
+        SimTime armed;
+    };
+
+    /** Bottleneck share of one flow under current occupancies. */
+    double bottleneckRate(const Flow &flow) const;
+
+    /** Progress every flow to `now` at its current rate. */
+    void advanceAll(SimTime now);
+
+    /**
+     * Finish instant of a flow at its current rate (ceil to the
+     * integer-ns clock, so the event never fires with bytes left
+     * from rounding alone).
+     */
+    static SimTime finishTime(const Flow &flow, SimTime now);
+
+    const CompiledTopology *topo_ = nullptr;
+    /** Per-link capacity in bytes/ns and current occupancy. */
+    std::vector<double> linkRate_;
+    std::vector<std::uint32_t> linkLoad_;
+    /** In-flight flows, admission-ordered. */
+    std::vector<Flow> flows_;
+    std::vector<std::pair<std::uint32_t, SimTime>> reschedules_;
+};
+
+} // namespace ovlsim::net
+
+#endif // OVLSIM_NET_NETWORK_HH

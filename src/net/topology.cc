@@ -1,0 +1,527 @@
+#include "topology.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace ovlsim::net {
+
+const char *
+topologyKindName(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::flatBus:
+        return "flat-bus";
+      case TopologyKind::fatTree:
+        return "fat-tree";
+      case TopologyKind::torus:
+        return "torus";
+      case TopologyKind::dragonfly:
+        return "dragonfly";
+    }
+    return "unknown";
+}
+
+TopologyKind
+topologyKindFromName(const std::string &name)
+{
+    if (name == "flat-bus")
+        return TopologyKind::flatBus;
+    if (name == "fat-tree")
+        return TopologyKind::fatTree;
+    if (name == "torus")
+        return TopologyKind::torus;
+    if (name == "dragonfly")
+        return TopologyKind::dragonfly;
+    fatal("unknown topology name '", name,
+          "' (expected flat-bus, fat-tree, torus or dragonfly)");
+}
+
+void
+TopologyConfig::validate() const
+{
+    if (kind == TopologyKind::fatTree) {
+        if (fatTreeRadix < 2) {
+            fatal("topology: fat-tree radix must be at least 2, "
+                  "got ", fatTreeRadix);
+        }
+        if (!isPowerOfTwo(static_cast<std::uint64_t>(fatTreeRadix))) {
+            fatal("topology: fat-tree radix must be a power of "
+                  "two, got ", fatTreeRadix);
+        }
+        if (fatTreeTaper <= 0.0)
+            fatal("topology: fat-tree taper must be positive");
+    }
+    if (kind == TopologyKind::torus) {
+        for (const int dim : torusDims) {
+            if (dim < 1) {
+                fatal("topology: torus dimensions must be "
+                      "positive, got ", dim);
+            }
+        }
+    }
+    if (kind == TopologyKind::dragonfly) {
+        if (dragonflyGroups < 0) {
+            fatal("topology: dragonfly groups must be >= 0 "
+                  "(0 = auto)");
+        }
+        if (dragonflyRoutersPerGroup < 1 ||
+            dragonflyNodesPerRouter < 1) {
+            fatal("topology: dragonfly routers/group and "
+                  "nodes/router must be positive");
+        }
+    }
+    if (linkBandwidthMBps < 0.0) {
+        fatal("topology: link bandwidth must not be negative "
+              "(0 = inherit platform bandwidth)");
+    }
+    if (hopLatencyUs < 0.0)
+        fatal("topology: hop latency must be non-negative");
+}
+
+/**
+ * Route accumulator: links are registered with a capacity factor
+ * and routes appended row-by-row in (src, dst) order, then sealed
+ * into the CSR arrays of a CompiledTopology.
+ */
+class TopologyBuilder
+{
+  public:
+    explicit TopologyBuilder(int nodes) : nodes_(nodes)
+    {
+        routes_.resize(static_cast<std::size_t>(nodes) *
+                       static_cast<std::size_t>(nodes));
+    }
+
+    std::uint32_t
+    addLink(double factor)
+    {
+        ovlAssert(factor > 0.0, "link factor must be positive");
+        factors_.push_back(factor);
+        return static_cast<std::uint32_t>(factors_.size() - 1);
+    }
+
+    std::vector<std::uint32_t> &
+    route(int src, int dst)
+    {
+        return routes_[static_cast<std::size_t>(src) *
+                           static_cast<std::size_t>(nodes_) +
+                       static_cast<std::size_t>(dst)];
+    }
+
+    CompiledTopology
+    seal() &&
+    {
+        CompiledTopology topo;
+        topo.nodes_ = nodes_;
+        topo.linkFactor_ = std::move(factors_);
+        topo.routeBegin_.reserve(routes_.size() + 1);
+        std::size_t total = 0;
+        for (const auto &r : routes_)
+            total += r.size();
+        topo.linkIds_.reserve(total);
+        topo.routeBegin_.push_back(0);
+        for (const auto &r : routes_) {
+            topo.linkIds_.insert(topo.linkIds_.end(), r.begin(),
+                                 r.end());
+            topo.routeBegin_.push_back(
+                static_cast<std::uint32_t>(topo.linkIds_.size()));
+            if (r.size() > topo.maxRoute_)
+                topo.maxRoute_ = r.size();
+        }
+        return topo;
+    }
+
+  private:
+    int nodes_;
+    std::vector<double> factors_;
+    std::vector<std::vector<std::uint32_t>> routes_;
+};
+
+namespace {
+
+
+
+/** Per-node injection/reception links shared by all fabric kinds. */
+struct HostLinks
+{
+    std::vector<std::uint32_t> up;
+    std::vector<std::uint32_t> down;
+};
+
+HostLinks
+addHostLinks(TopologyBuilder &b, int nodes)
+{
+    HostLinks host;
+    host.up.reserve(static_cast<std::size_t>(nodes));
+    host.down.reserve(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) {
+        host.up.push_back(b.addLink(1.0));
+        host.down.push_back(b.addLink(1.0));
+    }
+    return host;
+}
+
+CompiledTopology
+compileFatTree(const TopologyConfig &config, int nodes)
+{
+    const int radix = config.fatTreeRadix;
+    TopologyBuilder b(nodes);
+    const HostLinks host = addHostLinks(b, nodes);
+
+    // Aggregate tree: level-0 switches attach `radix` nodes each;
+    // every `radix` switches of a level share one parent above.
+    // Directed up/down links per switch, with level-(l+1) edges
+    // carrying factor (radix * taper)^(l+1): taper == 1 reproduces
+    // full bisection (an upper link matches the sum of its
+    // children), taper < 1 thins the tree toward the root.
+    std::vector<int> levelCounts;
+    int count = static_cast<int>(
+        ceilDiv(static_cast<std::uint64_t>(nodes),
+                static_cast<std::uint64_t>(radix)));
+    if (count < 1)
+        count = 1;
+    levelCounts.push_back(count);
+    while (levelCounts.back() > 1) {
+        levelCounts.push_back(static_cast<int>(
+            ceilDiv(static_cast<std::uint64_t>(levelCounts.back()),
+                    static_cast<std::uint64_t>(radix))));
+    }
+    const int levels = static_cast<int>(levelCounts.size());
+
+    // up[l][s] / down[l][s]: links between level-l switch s and its
+    // level-(l+1) parent (absent for the top level).
+    std::vector<std::vector<std::uint32_t>> up(
+        static_cast<std::size_t>(levels));
+    std::vector<std::vector<std::uint32_t>> down(
+        static_cast<std::size_t>(levels));
+    for (int l = 0; l + 1 < levels; ++l) {
+        const double factor = std::pow(
+            static_cast<double>(radix) * config.fatTreeTaper,
+            static_cast<double>(l + 1));
+        const auto switches =
+            static_cast<std::size_t>(levelCounts[l]);
+        up[l].reserve(switches);
+        down[l].reserve(switches);
+        for (std::size_t s = 0; s < switches; ++s) {
+            up[l].push_back(b.addLink(factor));
+            down[l].push_back(b.addLink(factor));
+        }
+    }
+
+    for (int src = 0; src < nodes; ++src) {
+        for (int dst = 0; dst < nodes; ++dst) {
+            if (src == dst)
+                continue;
+            auto &route = b.route(src, dst);
+            route.push_back(host.up[static_cast<std::size_t>(src)]);
+            // Climb until both endpoints share a switch.
+            int s = src / radix;
+            int d = dst / radix;
+            int level = 0;
+            std::vector<std::uint32_t> descent;
+            while (s != d) {
+                route.push_back(
+                    up[level][static_cast<std::size_t>(s)]);
+                descent.push_back(
+                    down[level][static_cast<std::size_t>(d)]);
+                s /= radix;
+                d /= radix;
+                ++level;
+            }
+            route.insert(route.end(), descent.rbegin(),
+                         descent.rend());
+            route.push_back(
+                host.down[static_cast<std::size_t>(dst)]);
+        }
+    }
+    return std::move(b).seal();
+}
+
+CompiledTopology
+compileTorus(const TopologyConfig &config, int nodes)
+{
+    std::vector<int> dims = config.torusDims;
+    if (dims.empty()) {
+        // Auto: near-square 2-D grid covering the node count.
+        const int side = static_cast<int>(std::ceil(
+            std::sqrt(static_cast<double>(nodes))));
+        const int rows = static_cast<int>(
+            ceilDiv(static_cast<std::uint64_t>(nodes),
+                    static_cast<std::uint64_t>(side)));
+        dims = {side, rows < 1 ? 1 : rows};
+    }
+    std::size_t capacity = 1;
+    for (const int dim : dims)
+        capacity *= static_cast<std::size_t>(dim);
+    if (capacity < static_cast<std::size_t>(nodes)) {
+        fatal("topology: torus of ", capacity,
+              " positions cannot host ", nodes, " nodes");
+    }
+    const int ndims = static_cast<int>(dims.size());
+
+    TopologyBuilder b(nodes);
+    const HostLinks host = addHostLinks(b, nodes);
+
+    // One router per grid position; per position, per dimension,
+    // one directed link each way (dir 0 = +, dir 1 = -).
+    std::vector<std::uint32_t> grid(capacity *
+                                    static_cast<std::size_t>(ndims) *
+                                    2);
+    for (std::size_t p = 0; p < capacity; ++p) {
+        for (int dim = 0; dim < ndims; ++dim) {
+            for (int dir = 0; dir < 2; ++dir) {
+                grid[(p * static_cast<std::size_t>(ndims) +
+                      static_cast<std::size_t>(dim)) *
+                         2 +
+                     static_cast<std::size_t>(dir)] =
+                    b.addLink(1.0);
+            }
+        }
+    }
+    const auto linkAt = [&](std::size_t pos, int dim, int dir) {
+        return grid[(pos * static_cast<std::size_t>(ndims) +
+                     static_cast<std::size_t>(dim)) *
+                        2 +
+                    static_cast<std::size_t>(dir)];
+    };
+    const auto coordsOf = [&](int node) {
+        std::vector<int> c(static_cast<std::size_t>(ndims));
+        int rest = node;
+        for (int dim = 0; dim < ndims; ++dim) {
+            c[static_cast<std::size_t>(dim)] =
+                rest % dims[static_cast<std::size_t>(dim)];
+            rest /= dims[static_cast<std::size_t>(dim)];
+        }
+        return c;
+    };
+    const auto indexOf = [&](const std::vector<int> &c) {
+        std::size_t index = 0;
+        for (int dim = ndims - 1; dim >= 0; --dim) {
+            index = index * static_cast<std::size_t>(
+                                dims[static_cast<std::size_t>(dim)]) +
+                static_cast<std::size_t>(
+                    c[static_cast<std::size_t>(dim)]);
+        }
+        return index;
+    };
+
+    for (int src = 0; src < nodes; ++src) {
+        for (int dst = 0; dst < nodes; ++dst) {
+            if (src == dst)
+                continue;
+            auto &route = b.route(src, dst);
+            route.push_back(host.up[static_cast<std::size_t>(src)]);
+            // Dimension-ordered routing; on a wrapped ring the
+            // shorter way wins and exact ties go positive.
+            std::vector<int> pos = coordsOf(src);
+            const std::vector<int> goal = coordsOf(dst);
+            for (int dim = 0; dim < ndims; ++dim) {
+                const int size = dims[static_cast<std::size_t>(dim)];
+                int delta = goal[static_cast<std::size_t>(dim)] -
+                    pos[static_cast<std::size_t>(dim)];
+                int dir; // 0 = +, 1 = -
+                int steps;
+                if (config.torusWrap) {
+                    int forward = delta >= 0 ? delta : delta + size;
+                    const int backward = size - forward;
+                    if (forward <= backward) {
+                        dir = 0;
+                        steps = forward;
+                    } else {
+                        dir = 1;
+                        steps = backward;
+                    }
+                } else {
+                    dir = delta >= 0 ? 0 : 1;
+                    steps = delta >= 0 ? delta : -delta;
+                }
+                for (int i = 0; i < steps; ++i) {
+                    route.push_back(
+                        linkAt(indexOf(pos), dim, dir));
+                    int &coord = pos[static_cast<std::size_t>(dim)];
+                    coord += dir == 0 ? 1 : -1;
+                    if (coord < 0)
+                        coord += size;
+                    if (coord >= size)
+                        coord -= size;
+                }
+            }
+            route.push_back(
+                host.down[static_cast<std::size_t>(dst)]);
+        }
+    }
+    return std::move(b).seal();
+}
+
+CompiledTopology
+compileDragonfly(const TopologyConfig &config, int nodes)
+{
+    const int a = config.dragonflyRoutersPerGroup;
+    const int p = config.dragonflyNodesPerRouter;
+    int groups = config.dragonflyGroups;
+    if (groups == 0) {
+        groups = static_cast<int>(
+            ceilDiv(static_cast<std::uint64_t>(nodes),
+                    static_cast<std::uint64_t>(a) *
+                        static_cast<std::uint64_t>(p)));
+        if (groups < 1)
+            groups = 1;
+    }
+    const std::size_t capacity = static_cast<std::size_t>(groups) *
+        static_cast<std::size_t>(a) * static_cast<std::size_t>(p);
+    if (capacity < static_cast<std::size_t>(nodes)) {
+        fatal("topology: dragonfly of ", capacity,
+              " terminals (", groups, " groups x ", a,
+              " routers x ", p, " nodes) cannot host ", nodes,
+              " nodes");
+    }
+
+    TopologyBuilder b(nodes);
+    const HostLinks host = addHostLinks(b, nodes);
+
+    // Local links: one directed link per ordered router pair inside
+    // each group. Global links: one directed aggregate link per
+    // ordered group pair, attached at deterministic gateways.
+    const int routers = groups * a;
+    std::vector<std::uint32_t> local(
+        static_cast<std::size_t>(routers) *
+        static_cast<std::size_t>(a));
+    for (int r = 0; r < routers; ++r) {
+        const int group = r / a;
+        for (int other = 0; other < a; ++other) {
+            if (group * a + other == r)
+                continue;
+            local[static_cast<std::size_t>(r) *
+                      static_cast<std::size_t>(a) +
+                  static_cast<std::size_t>(other)] =
+                b.addLink(1.0);
+        }
+    }
+    std::vector<std::uint32_t> global(
+        static_cast<std::size_t>(groups) *
+        static_cast<std::size_t>(groups));
+    for (int g1 = 0; g1 < groups; ++g1) {
+        for (int g2 = 0; g2 < groups; ++g2) {
+            if (g1 == g2)
+                continue;
+            global[static_cast<std::size_t>(g1) *
+                       static_cast<std::size_t>(groups) +
+                   static_cast<std::size_t>(g2)] = b.addLink(1.0);
+        }
+    }
+    const auto localLink = [&](int from_router, int to_local) {
+        return local[static_cast<std::size_t>(from_router) *
+                         static_cast<std::size_t>(a) +
+                     static_cast<std::size_t>(to_local)];
+    };
+    const auto globalLink = [&](int g1, int g2) {
+        return global[static_cast<std::size_t>(g1) *
+                          static_cast<std::size_t>(groups) +
+                      static_cast<std::size_t>(g2)];
+    };
+
+    for (int src = 0; src < nodes; ++src) {
+        for (int dst = 0; dst < nodes; ++dst) {
+            if (src == dst)
+                continue;
+            auto &route = b.route(src, dst);
+            route.push_back(host.up[static_cast<std::size_t>(src)]);
+            const int r1 = src / p;
+            const int r2 = dst / p;
+            const int g1 = r1 / a;
+            const int g2 = r2 / a;
+            if (g1 == g2) {
+                if (r1 != r2)
+                    route.push_back(localLink(r1, r2 % a));
+            } else {
+                // Minimal route through the gateway routers that
+                // hold the (g1, g2) aggregate global link.
+                const int gw1 = g1 * a + g2 % a;
+                const int gw2 = g2 * a + g1 % a;
+                if (r1 != gw1)
+                    route.push_back(localLink(r1, gw1 % a));
+                route.push_back(globalLink(g1, g2));
+                if (gw2 != r2)
+                    route.push_back(localLink(gw2, r2 % a));
+            }
+            route.push_back(
+                host.down[static_cast<std::size_t>(dst)]);
+        }
+    }
+    return std::move(b).seal();
+}
+
+} // namespace
+
+CompiledTopology
+compileTopology(const TopologyConfig &config, int nodes)
+{
+    config.validate();
+    ovlAssert(nodes > 0, "compileTopology: node count must be "
+                         "positive");
+    switch (config.kind) {
+      case TopologyKind::flatBus:
+        // The engine's classic bus pool handles flat platforms;
+        // compile to an empty table so route() is well-defined.
+        return std::move(TopologyBuilder(nodes)).seal();
+      case TopologyKind::fatTree:
+        return compileFatTree(config, nodes);
+      case TopologyKind::torus:
+        return compileTorus(config, nodes);
+      case TopologyKind::dragonfly:
+        return compileDragonfly(config, nodes);
+    }
+    panic("compileTopology: corrupt topology kind");
+}
+
+namespace topologies {
+
+TopologyConfig
+flatBus()
+{
+    return TopologyConfig{};
+}
+
+TopologyConfig
+fatTree(int radix)
+{
+    TopologyConfig config;
+    config.kind = TopologyKind::fatTree;
+    config.fatTreeRadix = radix;
+    config.fatTreeTaper = 1.0;
+    return config;
+}
+
+TopologyConfig
+taperedFatTree(int radix, double taper)
+{
+    TopologyConfig config = fatTree(radix);
+    config.fatTreeTaper = taper;
+    return config;
+}
+
+TopologyConfig
+torus2d()
+{
+    TopologyConfig config;
+    config.kind = TopologyKind::torus;
+    config.torusWrap = true;
+    return config;
+}
+
+TopologyConfig
+dragonfly()
+{
+    TopologyConfig config;
+    config.kind = TopologyKind::dragonfly;
+    config.dragonflyGroups = 0; // auto-size
+    config.dragonflyRoutersPerGroup = 2;
+    config.dragonflyNodesPerRouter = 2;
+    return config;
+}
+
+} // namespace topologies
+
+} // namespace ovlsim::net

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Network topology descriptions and the route compiler.
+ *
+ * The seed platform mirrors Dimemas' machine model: a flat pool of
+ * buses plus per-node injection/reception links, so every study can
+ * vary only bandwidth, latency and bus count. This module adds real
+ * interconnect shapes underneath the replay engine — the versatile-
+ * network-model argument of SimGrid and the topology-aware design of
+ * large-scale simulation work:
+ *
+ *  - fat-tree with configurable tapering (an aggregate tree: each
+ *    up/down edge stands for all parallel physical links at that
+ *    level, with `fatTreeTaper` scaling its capacity relative to
+ *    full bisection),
+ *  - k-ary torus/mesh with dimension-ordered routing,
+ *  - dragonfly (all-to-all router groups joined by one aggregate
+ *    global link per group pair).
+ *
+ * A TopologyConfig is a pure description. compileTopology() lowers it
+ * once per (topology, node count) into a CompiledTopology: flat
+ * per-(srcNode, dstNode) link-id sequences in CSR layout plus a
+ * per-link capacity factor — the same compile-once philosophy as
+ * sim/program.hh, so the replay hot path never walks a graph. The
+ * link-level contention model that consumes these routes lives in
+ * net/network.hh.
+ *
+ * Every route is directed and includes a per-node injection link at
+ * the source and a reception link at the destination, so NIC
+ * contention falls out of the same link-sharing model as switch
+ * contention. The flat-bus kind compiles to an empty table: the
+ * engine keeps its classic (bit-identical) bus path for it, and the
+ * Dimemas bus/out-link/in-link counts only apply there.
+ */
+
+#ifndef OVLSIM_NET_TOPOLOGY_HH
+#define OVLSIM_NET_TOPOLOGY_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ovlsim::net {
+
+/** Interconnect shapes understood by the route compiler. */
+enum class TopologyKind : std::uint8_t {
+    /** Dimemas bus pool (the seed model; engine fast path). */
+    flatBus,
+    /** Tree with per-level tapering of aggregate link capacity. */
+    fatTree,
+    /** k-ary torus (wrap links) or mesh (no wrap). */
+    torus,
+    /** Groups of routers, all-to-all locally and globally. */
+    dragonfly,
+};
+
+/** Stable name of a topology kind (config files, reports). */
+const char *topologyKindName(TopologyKind kind);
+
+/** Parse a topology kind name; throws FatalError on garbage. */
+TopologyKind topologyKindFromName(const std::string &name);
+
+/** Complete description of one interconnect. */
+struct TopologyConfig
+{
+    TopologyKind kind = TopologyKind::flatBus;
+
+    /**
+     * Fat tree: nodes (and switches) per switch port group. The
+     * aggregate-tree construction assumes a power-of-two radix;
+     * validate() rejects others.
+     */
+    int fatTreeRadix = 4;
+
+    /**
+     * Capacity of a level-l aggregate link relative to full
+     * bisection: factor = (radix * taper)^l. 1.0 reproduces a full
+     * (non-blocking) fat tree; 0.5 is the classic 2:1 taper per
+     * level, concentrating contention toward the root.
+     */
+    double fatTreeTaper = 1.0;
+
+    /**
+     * Torus dimensions, e.g. {4, 4, 2}. Empty means "auto": the
+     * compiler picks a near-square 2-D grid covering the node
+     * count.
+     */
+    std::vector<int> torusDims;
+
+    /** True = torus (wrap links); false = mesh. */
+    bool torusWrap = true;
+
+    /** Dragonfly groups; 0 means "auto-size to the node count". */
+    int dragonflyGroups = 0;
+
+    /** Routers per dragonfly group (all-to-all inside a group). */
+    int dragonflyRoutersPerGroup = 2;
+
+    /** Nodes attached to each dragonfly router. */
+    int dragonflyNodesPerRouter = 2;
+
+    /**
+     * Base capacity of a factor-1.0 link in MB/s; 0 means "inherit
+     * the platform's remote bandwidth", which keeps bandwidth
+     * sweeps meaningful across topologies.
+     */
+    double linkBandwidthMBps = 0.0;
+
+    /** Extra one-way latency per hop beyond the first, in us. */
+    double hopLatencyUs = 0.0;
+
+    bool isFlat() const { return kind == TopologyKind::flatBus; }
+
+    /** Validate ranges; throws FatalError on nonsense values. */
+    void validate() const;
+
+    bool operator==(const TopologyConfig &) const = default;
+};
+
+/**
+ * A topology lowered into flat per-(srcNode, dstNode) routes.
+ *
+ * Routes are CSR windows into one shared link-id array; link
+ * capacities are stored as factors relative to the platform's base
+ * link bandwidth. Immutable after compilation; the engine caches one
+ * per (topology, node count) and replays any number of platforms
+ * against it.
+ */
+class CompiledTopology
+{
+  public:
+    CompiledTopology() = default;
+
+    int nodes() const { return nodes_; }
+    std::uint32_t linkCount() const
+    {
+        return static_cast<std::uint32_t>(linkFactor_.size());
+    }
+
+    /** Longest compiled route, in links. */
+    std::size_t maxRouteLength() const { return maxRoute_; }
+
+    /** Capacity multiplier of a link vs the base bandwidth. */
+    double
+    linkFactor(std::uint32_t link) const
+    {
+        return linkFactor_[link];
+    }
+
+    /**
+     * Link ids a (src, dst) transfer occupies, in traversal order:
+     * injection link, fabric links, reception link. Empty when
+     * src == dst (intra-node traffic bypasses the network) and for
+     * the flat-bus kind.
+     */
+    std::span<const std::uint32_t>
+    route(int src, int dst) const
+    {
+        const std::size_t row =
+            static_cast<std::size_t>(src) *
+                static_cast<std::size_t>(nodes_) +
+            static_cast<std::size_t>(dst);
+        return {linkIds_.data() + routeBegin_[row],
+                linkIds_.data() + routeBegin_[row + 1]};
+    }
+
+  private:
+    friend CompiledTopology compileTopology(
+        const TopologyConfig &config, int nodes);
+    /** Route accumulator (topology.cc) that seals into this. */
+    friend class TopologyBuilder;
+
+    int nodes_ = 0;
+    std::size_t maxRoute_ = 0;
+    std::vector<double> linkFactor_;
+    /** CSR offsets, nodes_^2 + 1 entries. */
+    std::vector<std::uint32_t> routeBegin_;
+    std::vector<std::uint32_t> linkIds_;
+};
+
+/**
+ * Lower `config` into per-node-pair link routes for a machine of
+ * `nodes` nodes. Throws FatalError when the topology cannot host
+ * the node count (torus dims or dragonfly sizing too small) — the
+ * auto-sized variants (empty torusDims, dragonflyGroups == 0) always
+ * fit. Deterministic: equal inputs compile to equal tables.
+ */
+CompiledTopology compileTopology(const TopologyConfig &config,
+                                 int nodes);
+
+/** Ready-made topology descriptions used by campaigns/examples. */
+namespace topologies {
+
+/** The seed flat bus pool (engine fast path). */
+TopologyConfig flatBus();
+
+/** Full-bisection fat tree (radix 4). */
+TopologyConfig fatTree(int radix = 4);
+
+/** 2:1-per-level tapered fat tree (radix 4). */
+TopologyConfig taperedFatTree(int radix = 4, double taper = 0.5);
+
+/** Auto-sized wrapped 2-D torus. */
+TopologyConfig torus2d();
+
+/** Auto-sized dragonfly (2 routers/group, 2 nodes/router). */
+TopologyConfig dragonfly();
+
+} // namespace topologies
+
+} // namespace ovlsim::net
+
+#endif // OVLSIM_NET_TOPOLOGY_HH

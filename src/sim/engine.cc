@@ -5,6 +5,8 @@
 #include <map>
 #include <vector>
 
+#include "net/network.hh"
+#include "net/topology.hh"
 #include "sim/program.hh"
 #include "trace/record.hh"
 #include "util/dary_heap.hh"
@@ -107,6 +109,8 @@ enum : std::uint8_t {
     tfQueued = 1u << 4,
     tfStarted = 1u << 5,
     tfArrived = 1u << 6,
+    /** Serializing through the topology network (net mode only). */
+    tfInNet = 1u << 7,
 };
 
 /**
@@ -251,6 +255,8 @@ class Engine
     void tryStartQueued(SimTime t);
     void startTransfer(std::uint32_t idx, SimTime t);
     void handleInjected(std::uint32_t idx, SimTime t);
+    void handleNetInjected(std::uint32_t idx, SimTime t);
+    void finishInjection(std::uint32_t idx, SimTime t);
     void handleArrived(std::uint32_t idx, SimTime t);
     void handleCollective(RankCtx &ctx, const PackedOp &op);
     void handleRelease(SimTime t);
@@ -322,6 +328,21 @@ class Engine
     int nranks_ = 0;
     PlatformConfig platform_;
     bool capture_ = false;
+
+    /**
+     * Topology-network seam. False keeps the classic Dimemas bus
+     * path (bit-identical to the pre-topology engine); true routes
+     * every remote transfer over the compiled topology with
+     * link-shared contention. The compiled routes are cached
+     * across replays of a session: sweeps vary bandwidth against
+     * one (topology, node count) compilation.
+     */
+    bool netMode_ = false;
+    net::CompiledTopology topo_;
+    net::TopologyConfig topoKey_;
+    int topoNodes_ = -1;
+    net::LinkNetwork network_;
+    SimTime hopLatency_;
 
     /** Per-replay constants hoisted out of the hot loop. */
     double mips_ = 1.0;
@@ -487,6 +508,25 @@ Engine::run(const ReplayProgram &program,
                     platform_.outLinksPerNode);
     inFree_.assign(static_cast<std::size_t>(nodes),
                    platform_.inLinksPerNode);
+    netMode_ = !platform_.topology.isFlat();
+    if (netMode_) {
+        // Compile-once seam: the route table depends only on the
+        // topology description and the node count, so back-to-back
+        // replays (bandwidth sweeps, bisections) reuse it.
+        if (topoNodes_ != nodes ||
+            !(topoKey_ == platform_.topology)) {
+            topo_ = net::compileTopology(platform_.topology, nodes);
+            topoKey_ = platform_.topology;
+            topoNodes_ = nodes;
+        }
+        const double base_mbps =
+            platform_.topology.linkBandwidthMBps > 0.0
+                ? platform_.topology.linkBandwidthMBps
+                : platform_.bandwidthMBps;
+        network_.configure(&topo_, base_mbps);
+        hopLatency_ =
+            SimTime::fromUs(platform_.topology.hopLatencyUs);
+    }
     capture_ = platform_.captureTimeline;
     if (capture_)
         timeline_ = Timeline(nranks);
@@ -986,6 +1026,13 @@ Engine::makeEligible(std::uint32_t idx, SimTime t)
         startTransfer(idx, t);
         return;
     }
+    if (netMode_) {
+        // Topology mode has no admission gate: every remote
+        // transfer starts immediately and contention is expressed
+        // by sharing the links of its compiled route.
+        startTransfer(idx, t);
+        return;
+    }
     // Fast path: when no resources were freed since the last full
     // scan, every queued transfer is still stuck, so enqueue-then-
     // scan reduces to checking this transfer's resources directly
@@ -1046,6 +1093,19 @@ Engine::startTransfer(std::uint32_t idx, SimTime t)
     if (capture_)
         txMeta_[idx].start = begin;
     const bool local = transfer.has(tfLocal);
+    if (netMode_ && !local) {
+        // Admit the flow into the link network; its serialization
+        // finish arrives as a transferInjected event whose time the
+        // contention model owns (and may move as flows come and
+        // go). Arrival is scheduled at injection completion.
+        transfer.set(tfInNet);
+        const SimTime finish = network_.start(
+            idx, static_cast<int>(nodeOf(transfer.src)),
+            static_cast<int>(nodeOf(transfer.dst)),
+            transfer.bytes, begin);
+        schedule(finish, EventKind::transferInjected, idx);
+        return;
+    }
     const SimTime ser = serializationTime(transfer.bytes, local);
     const SimTime lat = local ? latencyLocal_ : latencyRemote_;
     transfer.arriveTime = begin + ser + lat;
@@ -1053,9 +1113,35 @@ Engine::startTransfer(std::uint32_t idx, SimTime t)
     schedule(transfer.arriveTime, EventKind::transferArrived, idx);
 }
 
+/**
+ * Sender-side consequences of a completed injection, shared by the
+ * bus and topology paths: unblock a blocking rendezvous sender or
+ * complete a rendezvous isend request.
+ */
+void
+Engine::finishInjection(std::uint32_t idx, SimTime t)
+{
+    Transfer &transfer = transfers_[idx];
+    if (transfer.has(tfSenderBlocking)) {
+        const Rank src = transfer.src;
+        transfer.clear(tfSenderBlocking);
+        wakeRank(src, t);
+    } else if (!transfer.has(tfEager) &&
+               transfer.sendReq != noRequest) {
+        const Rank src = transfer.src;
+        const std::uint32_t req = transfer.sendReq;
+        transfer.sendReq = noRequest;
+        completeRequest(src, req, t);
+    }
+}
+
 void
 Engine::handleInjected(std::uint32_t idx, SimTime t)
 {
+    if (netMode_) {
+        handleNetInjected(idx, t);
+        return;
+    }
     Transfer &transfer = transfers_[idx];
     // wakeRank/completeRequest below can re-enter postSend; the
     // exactly-reserved arena keeps `transfer` valid regardless, but
@@ -1076,17 +1162,7 @@ Engine::handleInjected(std::uint32_t idx, SimTime t)
         resourcesFreed_ = true;
     }
 
-    if (transfer.has(tfSenderBlocking)) {
-        const Rank src = transfer.src;
-        transfer.clear(tfSenderBlocking);
-        wakeRank(src, t);
-    } else if (!transfer.has(tfEager) &&
-               transfer.sendReq != noRequest) {
-        const Rank src = transfer.src;
-        const std::uint32_t req = transfer.sendReq;
-        transfer.sendReq = noRequest;
-        completeRequest(src, req, t);
-    }
+    finishInjection(idx, t);
 
     if (!local) {
         if (waitHead_ != npos32)
@@ -1094,6 +1170,50 @@ Engine::handleInjected(std::uint32_t idx, SimTime t)
         else
             resourcesFreed_ = false; // nothing was waiting
     }
+}
+
+/**
+ * A transferInjected event in topology mode. For remote transfers
+ * the event time is owned by the link-contention model: it may be a
+ * stale early prediction (slowdowns re-arm lazily), the real
+ * serialization finish, or a leftover after completion (ignored via
+ * tfInNet). On completion the freed capacity can speed other flows
+ * up; their corrected finish events are scheduled here, and the
+ * transfer's arrival is scheduled after the route's flight latency.
+ */
+void
+Engine::handleNetInjected(std::uint32_t idx, SimTime t)
+{
+    Transfer &transfer = transfers_[idx];
+    if (!transfer.has(tfLocal)) {
+        if (!transfer.has(tfInNet))
+            return; // stale event after completion
+        const auto check = network_.onFinishEvent(idx, t);
+        if (!check.done) {
+            if (check.reschedule) {
+                schedule(check.retry,
+                         EventKind::transferInjected, idx);
+            }
+            return;
+        }
+        transfer.clear(tfInNet);
+        for (const auto &[flow, finish] :
+             network_.pendingReschedules())
+            schedule(finish, EventKind::transferInjected, flow);
+        network_.clearPendingReschedules();
+
+        const auto route = topo_.route(
+            static_cast<int>(nodeOf(transfer.src)),
+            static_cast<int>(nodeOf(transfer.dst)));
+        SimTime arrive = t + latencyRemote_;
+        if (route.size() > 1) {
+            arrive += hopLatency_ *
+                static_cast<std::int64_t>(route.size() - 1);
+        }
+        transfer.arriveTime = arrive;
+        schedule(arrive, EventKind::transferArrived, idx);
+    }
+    finishInjection(idx, t);
 }
 
 void

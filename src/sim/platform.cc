@@ -56,6 +56,7 @@ PlatformConfig::validate() const
         collectives.bandwidthFactor < 0.0) {
         fatal("platform: collective factors must be >= 0");
     }
+    topology.validate();
 }
 
 SimTime
@@ -136,6 +137,17 @@ rendezvousCluster(Bytes eager_threshold)
     PlatformConfig cfg = defaultCluster();
     cfg.name = "rendezvous-cluster";
     cfg.eagerThreshold = eager_threshold;
+    return cfg;
+}
+
+PlatformConfig
+topologyCluster(const net::TopologyConfig &topology,
+                int cpus_per_node)
+{
+    PlatformConfig cfg = defaultCluster(cpus_per_node);
+    cfg.name = std::string("cluster-") +
+        net::topologyKindName(topology.kind);
+    cfg.topology = topology;
     return cfg;
 }
 

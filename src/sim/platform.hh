@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "net/topology.hh"
 #include "trace/record.hh"
 #include "util/types.hh"
 
@@ -98,6 +99,18 @@ struct PlatformConfig
 
     CollectiveModelConfig collectives;
 
+    /**
+     * Interconnect shape (src/net/). The default flat bus keeps the
+     * engine's classic Dimemas path — bit-identical to platforms
+     * that predate the field. Any other kind routes remote
+     * transfers over compiled per-link routes with shared-link
+     * contention; `buses`/`outLinksPerNode`/`inLinksPerNode` then
+     * no longer apply (NIC contention comes from the topology's own
+     * injection/reception links), while `bandwidthMBps` remains the
+     * base link capacity unless the topology pins its own.
+     */
+    net::TopologyConfig topology;
+
     /** Effective MIPS rate given a trace's recorded rate. */
     double
     effectiveMips(double trace_mips) const
@@ -146,6 +159,10 @@ PlatformConfig rendezvousCluster(Bytes eager_threshold = 32 * 1024);
 
 /** Ideal network: effectively infinite bandwidth, zero latency. */
 PlatformConfig idealNetwork();
+
+/** Default cluster routed over an explicit interconnect topology. */
+PlatformConfig topologyCluster(const net::TopologyConfig &topology,
+                               int cpus_per_node = 1);
 
 } // namespace platforms
 

@@ -3,10 +3,44 @@
 #include <fstream>
 #include <sstream>
 
+#include "net/topology.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
 namespace ovlsim::sim {
+
+namespace {
+
+/** Parse torus dimensions of the form "4x4x2". */
+std::vector<int>
+parseTorusDims(std::size_t line_no, const std::string &value)
+{
+    std::vector<int> dims;
+    for (const auto &field : split(value, 'x')) {
+        const auto dim = parseInt(trim(field));
+        if (dim < 1) {
+            fatal("platform config line ", line_no,
+                  ": torus dimensions must be positive, got '",
+                  value, "'");
+        }
+        dims.push_back(static_cast<int>(dim));
+    }
+    return dims;
+}
+
+std::string
+torusDimsToString(const std::vector<int> &dims)
+{
+    std::string text;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (i > 0)
+            text += 'x';
+        text += strformat("%d", dims[i]);
+    }
+    return text;
+}
+
+} // namespace
 
 PlatformConfig
 readPlatformConfig(std::istream &is)
@@ -66,6 +100,41 @@ readPlatformConfig(std::istream &is)
         } else if (key == "collective_bandwidth_factor") {
             config.collectives.bandwidthFactor =
                 parseDouble(value);
+        } else if (key == "topology") {
+            // Unknown names fail here with the full list of kinds.
+            config.topology.kind =
+                net::topologyKindFromName(value);
+        } else if (key == "fat_tree_radix") {
+            config.topology.fatTreeRadix =
+                static_cast<int>(parseInt(value));
+        } else if (key == "fat_tree_taper") {
+            config.topology.fatTreeTaper = parseDouble(value);
+        } else if (key == "torus_dims") {
+            config.topology.torusDims =
+                parseTorusDims(line_no, value);
+        } else if (key == "torus_wrap") {
+            config.topology.torusWrap = parseBool(value);
+        } else if (key == "dragonfly_groups") {
+            config.topology.dragonflyGroups =
+                static_cast<int>(parseInt(value));
+        } else if (key == "dragonfly_routers_per_group") {
+            config.topology.dragonflyRoutersPerGroup =
+                static_cast<int>(parseInt(value));
+        } else if (key == "dragonfly_nodes_per_router") {
+            config.topology.dragonflyNodesPerRouter =
+                static_cast<int>(parseInt(value));
+        } else if (key == "link_bandwidth_mbps") {
+            // Inheriting the platform bandwidth is spelled by
+            // omitting the key, so an explicit zero is nonsense.
+            const double mbps = parseDouble(value);
+            if (mbps <= 0.0) {
+                fatal("platform config line ", line_no,
+                      ": link_bandwidth_mbps must be positive "
+                      "(omit the key to inherit bandwidth_mbps)");
+            }
+            config.topology.linkBandwidthMBps = mbps;
+        } else if (key == "hop_latency_us") {
+            config.topology.hopLatencyUs = parseDouble(value);
         } else {
             fatal("platform config line ", line_no,
                   ": unknown key '", key, "'");
@@ -120,6 +189,29 @@ writePlatformConfig(const PlatformConfig &config,
        << strformat("%.17g",
                     config.collectives.bandwidthFactor)
        << "\n";
+    const auto &topo = config.topology;
+    os << "topology = " << net::topologyKindName(topo.kind)
+       << "\n";
+    os << "fat_tree_radix = " << topo.fatTreeRadix << "\n";
+    os << "fat_tree_taper = "
+       << strformat("%.17g", topo.fatTreeTaper) << "\n";
+    if (!topo.torusDims.empty()) {
+        os << "torus_dims = " << torusDimsToString(topo.torusDims)
+           << "\n";
+    }
+    os << "torus_wrap = " << (topo.torusWrap ? "true" : "false")
+       << "\n";
+    os << "dragonfly_groups = " << topo.dragonflyGroups << "\n";
+    os << "dragonfly_routers_per_group = "
+       << topo.dragonflyRoutersPerGroup << "\n";
+    os << "dragonfly_nodes_per_router = "
+       << topo.dragonflyNodesPerRouter << "\n";
+    if (topo.linkBandwidthMBps > 0.0) {
+        os << "link_bandwidth_mbps = "
+           << strformat("%.17g", topo.linkBandwidthMBps) << "\n";
+    }
+    os << "hop_latency_us = "
+       << strformat("%.17g", topo.hopLatencyUs) << "\n";
 }
 
 void

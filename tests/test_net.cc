@@ -1,0 +1,477 @@
+/**
+ * @file
+ * The topology-aware network subsystem: route compilation, the
+ * link-contention model's invariants, platform-file coverage of the
+ * topology fields, and the engine seam.
+ *
+ * Key contracts pinned here:
+ *  - per-link occupancy conservation: while flows are in flight the
+ *    summed link loads equal the summed route lengths, and a
+ *    drained network holds zero load,
+ *  - route symmetry: route(a, b) and route(b, a) traverse the same
+ *    number of links in every compiled topology,
+ *  - bus-model bit-identity: a platform carrying the default
+ *    flat-bus topology replays exactly like the pre-topology
+ *    engine path (same struct, same code path — pinned against the
+ *    compile-on-entry reference),
+ *  - uncontended equivalence: a lone transfer through a
+ *    full-bisection fabric costs exactly the flat model's
+ *    serialization + latency,
+ *  - determinism: every topology replays bit-identically across
+ *    repeats, sessions and the one-shot entry point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "core/analysis.hh"
+#include "helpers.hh"
+#include "net/network.hh"
+#include "net/topology.hh"
+#include "sim/engine.hh"
+#include "sim/platform_file.hh"
+
+namespace ovlsim {
+namespace {
+
+using net::CompiledTopology;
+using net::LinkNetwork;
+using net::TopologyConfig;
+using net::TopologyKind;
+using testing::expectIdentical;
+
+TEST(TopologyKindTest, NamesRoundTrip)
+{
+    for (const auto kind :
+         {TopologyKind::flatBus, TopologyKind::fatTree,
+          TopologyKind::torus, TopologyKind::dragonfly}) {
+        EXPECT_EQ(net::topologyKindFromName(
+                      net::topologyKindName(kind)),
+                  kind);
+    }
+    EXPECT_THROW(net::topologyKindFromName("hypercube"),
+                 FatalError);
+}
+
+TEST(TopologyConfigTest, ValidateRejectsNonsense)
+{
+    TopologyConfig tree = net::topologies::fatTree();
+    tree.fatTreeRadix = 3; // not a power of two
+    EXPECT_THROW(tree.validate(), FatalError);
+    tree.fatTreeRadix = 1;
+    EXPECT_THROW(tree.validate(), FatalError);
+    tree = net::topologies::fatTree();
+    tree.fatTreeTaper = 0.0;
+    EXPECT_THROW(tree.validate(), FatalError);
+
+    TopologyConfig torus = net::topologies::torus2d();
+    torus.torusDims = {4, 0};
+    EXPECT_THROW(torus.validate(), FatalError);
+
+    TopologyConfig fly = net::topologies::dragonfly();
+    fly.dragonflyRoutersPerGroup = 0;
+    EXPECT_THROW(fly.validate(), FatalError);
+
+    TopologyConfig bad = net::topologies::fatTree();
+    bad.linkBandwidthMBps = -1.0;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = net::topologies::fatTree();
+    bad.hopLatencyUs = -0.5;
+    EXPECT_THROW(bad.validate(), FatalError);
+}
+
+TEST(TopologyConfigTest, PlatformValidateCoversTopology)
+{
+    auto platform = sim::platforms::topologyCluster(
+        net::topologies::fatTree());
+    platform.topology.fatTreeRadix = 6;
+    EXPECT_THROW(platform.validate(), FatalError);
+}
+
+TEST(PlatformFileTopologyTest, RoundTripPreservesTopology)
+{
+    auto config = sim::platforms::defaultCluster(2);
+    config.topology = net::topologies::taperedFatTree(8, 0.25);
+    config.topology.linkBandwidthMBps = 512.0;
+    config.topology.hopLatencyUs = 0.75;
+
+    std::stringstream stream;
+    sim::writePlatformConfig(config, stream);
+    const auto parsed = sim::readPlatformConfig(stream);
+    EXPECT_TRUE(parsed.topology == config.topology);
+
+    auto torus = sim::platforms::defaultCluster();
+    torus.topology = net::topologies::torus2d();
+    torus.topology.torusDims = {4, 2, 2};
+    torus.topology.torusWrap = false;
+    std::stringstream stream2;
+    sim::writePlatformConfig(torus, stream2);
+    EXPECT_TRUE(sim::readPlatformConfig(stream2).topology ==
+                torus.topology);
+}
+
+TEST(PlatformFileTopologyTest, RejectsBadTopologyValues)
+{
+    std::stringstream unknown("topology = moebius-strip\n");
+    EXPECT_THROW(sim::readPlatformConfig(unknown), FatalError);
+
+    std::stringstream radix("topology = fat-tree\n"
+                            "fat_tree_radix = 6\n");
+    EXPECT_THROW(sim::readPlatformConfig(radix), FatalError);
+
+    std::stringstream zerobw("topology = torus\n"
+                             "link_bandwidth_mbps = 0\n");
+    EXPECT_THROW(sim::readPlatformConfig(zerobw), FatalError);
+
+    std::stringstream dims("topology = torus\n"
+                           "torus_dims = 4x0\n");
+    EXPECT_THROW(sim::readPlatformConfig(dims), FatalError);
+}
+
+/** Route length of every ordered pair, for symmetry checks. */
+void
+expectRouteSymmetry(const CompiledTopology &topo)
+{
+    for (int a = 0; a < topo.nodes(); ++a) {
+        for (int b = 0; b < topo.nodes(); ++b) {
+            EXPECT_EQ(topo.route(a, b).size(),
+                      topo.route(b, a).size())
+                << "pair " << a << "<->" << b;
+        }
+    }
+}
+
+TEST(RouteCompilerTest, FatTreeRoutes)
+{
+    const auto topo = net::compileTopology(
+        net::topologies::fatTree(2), 8);
+    EXPECT_EQ(topo.nodes(), 8);
+    // Same leaf: injection + reception only.
+    EXPECT_EQ(topo.route(0, 1).size(), 2u);
+    // Opposite halves of an 8-node radix-2 tree: 2 up, 2 down.
+    EXPECT_EQ(topo.route(0, 7).size(), 6u);
+    // Intra-node traffic never touches the network.
+    EXPECT_TRUE(topo.route(3, 3).empty());
+    expectRouteSymmetry(topo);
+}
+
+TEST(RouteCompilerTest, TorusRoutesUseShortestDirection)
+{
+    TopologyConfig config = net::topologies::torus2d();
+    config.torusDims = {4};
+    const auto topo = net::compileTopology(config, 4);
+    // Ring of 4: 0 -> 1 is one hop (+ inject/eject), 0 -> 3 wraps
+    // backwards in one hop, 0 -> 2 ties and takes two.
+    EXPECT_EQ(topo.route(0, 1).size(), 3u);
+    EXPECT_EQ(topo.route(0, 3).size(), 3u);
+    EXPECT_EQ(topo.route(0, 2).size(), 4u);
+    expectRouteSymmetry(topo);
+
+    config.torusWrap = false;
+    const auto mesh = net::compileTopology(config, 4);
+    // Mesh: no wrap, 0 -> 3 walks the full line.
+    EXPECT_EQ(mesh.route(0, 3).size(), 5u);
+    expectRouteSymmetry(mesh);
+}
+
+TEST(RouteCompilerTest, DragonflyRoutes)
+{
+    TopologyConfig config = net::topologies::dragonfly();
+    config.dragonflyGroups = 3;
+    config.dragonflyRoutersPerGroup = 2;
+    config.dragonflyNodesPerRouter = 2;
+    const auto topo = net::compileTopology(config, 12);
+    // Same router: inject + eject.
+    EXPECT_EQ(topo.route(0, 1).size(), 2u);
+    // Same group, different router: one local hop.
+    EXPECT_EQ(topo.route(0, 2).size(), 3u);
+    expectRouteSymmetry(topo);
+    // Cross-group routes take at most local-global-local + NIC.
+    for (int a = 0; a < 12; ++a) {
+        for (int b = 0; b < 12; ++b) {
+            if (a != b) {
+                EXPECT_LE(topo.route(a, b).size(), 5u);
+            }
+        }
+    }
+}
+
+TEST(RouteCompilerTest, AutoSizingCoversTheNodeCount)
+{
+    for (const int nodes : {1, 2, 5, 16, 33}) {
+        const auto torus = net::compileTopology(
+            net::topologies::torus2d(), nodes);
+        const auto fly = net::compileTopology(
+            net::topologies::dragonfly(), nodes);
+        EXPECT_EQ(torus.nodes(), nodes);
+        EXPECT_EQ(fly.nodes(), nodes);
+    }
+    // Explicit sizing that cannot host the machine is fatal.
+    TopologyConfig small = net::topologies::torus2d();
+    small.torusDims = {2, 2};
+    EXPECT_THROW(net::compileTopology(small, 5), FatalError);
+    TopologyConfig fly = net::topologies::dragonfly();
+    fly.dragonflyGroups = 1;
+    EXPECT_THROW(net::compileTopology(fly, 5), FatalError);
+}
+
+/**
+ * Mini event loop over a LinkNetwork: drives every armed finish
+ * event in time order, checking occupancy conservation throughout.
+ */
+struct NetHarness
+{
+    explicit NetHarness(const CompiledTopology &topo,
+                        double base_mbps)
+        : topo_(topo)
+    {
+        net.configure(&topo_, base_mbps);
+    }
+
+    void
+    start(std::uint32_t id, int src, int dst, Bytes bytes,
+          SimTime now)
+    {
+        expectedLoad += topo_.route(src, dst).size();
+        const SimTime finish = net.start(id, src, dst, bytes, now);
+        events.push({finish.ns(), id});
+        EXPECT_EQ(net.totalLoad(), expectedLoad);
+    }
+
+    /** Run until drained; returns the completion time per flow id. */
+    std::vector<std::pair<std::uint32_t, SimTime>>
+    drain()
+    {
+        std::vector<std::pair<std::uint32_t, SimTime>> done;
+        std::vector<std::uint32_t> finished;
+        while (!events.empty()) {
+            const auto [ns, id] = events.top();
+            events.pop();
+            // Leftover events of completed flows are dropped, the
+            // way the engine's tfInNet flag drops them.
+            if (std::find(finished.begin(), finished.end(), id) !=
+                finished.end())
+                continue;
+            const SimTime now = SimTime::fromNs(ns);
+            const auto check = net.onFinishEvent(id, now);
+            if (!check.done) {
+                if (check.reschedule)
+                    events.push({check.retry.ns(), id});
+                continue;
+            }
+            done.emplace_back(id, now);
+            finished.push_back(id);
+            for (const auto &[flow, finish] :
+                 net.pendingReschedules())
+                events.push({finish.ns(), flow});
+            net.clearPendingReschedules();
+        }
+        EXPECT_EQ(net.activeFlows(), 0u);
+        EXPECT_EQ(net.totalLoad(), 0u);
+        return done;
+    }
+
+    const CompiledTopology &topo_;
+    LinkNetwork net;
+    std::uint64_t expectedLoad = 0;
+    using Ev = std::pair<std::int64_t, std::uint32_t>;
+    std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>>
+        events;
+};
+
+TEST(LinkNetworkTest, OccupancyConservation)
+{
+    const auto topo = net::compileTopology(
+        net::topologies::fatTree(2), 8);
+    NetHarness h(topo, 1000.0); // 1 B/ns
+    h.start(0, 0, 7, 64 * 1024, SimTime::zero());
+    h.start(1, 1, 6, 32 * 1024, SimTime::fromNs(100));
+    h.start(2, 4, 3, 16 * 1024, SimTime::fromNs(200));
+    const auto done = h.drain();
+    EXPECT_EQ(done.size(), 3u);
+}
+
+TEST(LinkNetworkTest, UncontendedFlowMatchesSerialization)
+{
+    // 1000 MB/s = 1 B/ns: a lone 4096-byte flow through a
+    // full-bisection tree serializes in exactly 4096 ns.
+    const auto topo = net::compileTopology(
+        net::topologies::fatTree(2), 4);
+    NetHarness h(topo, 1000.0);
+    h.start(0, 0, 3, 4096, SimTime::zero());
+    const auto done = h.drain();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].second.ns(), 4096);
+}
+
+TEST(LinkNetworkTest, SharedBottleneckHalvesTheRate)
+{
+    // Radix-2 tapered tree over 4 nodes: flows 0->2 and 1->3 both
+    // cross the leaf0->root and root->leaf1 aggregate links, whose
+    // taper-0.5 factor gives them exactly the base capacity. Two
+    // equal flows admitted together must each take twice the lone
+    // serialization; with full bisection (factor 2) they must not
+    // contend at all.
+    TopologyConfig tapered = net::topologies::taperedFatTree(2);
+    const auto topo = net::compileTopology(tapered, 4);
+    NetHarness both(topo, 1000.0);
+    both.start(0, 0, 2, 4096, SimTime::zero());
+    both.start(1, 1, 3, 4096, SimTime::zero());
+    auto done = both.drain();
+    ASSERT_EQ(done.size(), 2u);
+    for (const auto &[id, finish] : done)
+        EXPECT_EQ(finish.ns(), 8192) << "flow " << id;
+
+    const auto full = net::compileTopology(
+        net::topologies::fatTree(2), 4);
+    NetHarness wide(full, 1000.0);
+    wide.start(0, 0, 2, 4096, SimTime::zero());
+    wide.start(1, 1, 3, 4096, SimTime::zero());
+    done = wide.drain();
+    ASSERT_EQ(done.size(), 2u);
+    for (const auto &[id, finish] : done)
+        EXPECT_EQ(finish.ns(), 4096) << "flow " << id;
+}
+
+TEST(LinkNetworkTest, LateArrivalSlowsAndCompletionSpeedsUp)
+{
+    // One flow runs alone for 2048 ns, shares the fabric with a
+    // second for its remaining 2048 bytes (at half rate: 4096 ns),
+    // then the second finishes alone at full rate again:
+    //   flow 0: 2048 + 4096 = 6144 ns total.
+    //   flow 1: 2048 shared bytes + 2048 solo = 6144 + 2048.
+    TopologyConfig tapered = net::topologies::taperedFatTree(2);
+    const auto topo = net::compileTopology(tapered, 4);
+    NetHarness h(topo, 1000.0);
+    h.start(0, 0, 2, 4096, SimTime::zero());
+    h.start(1, 1, 3, 4096, SimTime::fromNs(2048));
+    const auto done = h.drain();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].first, 0u);
+    EXPECT_EQ(done[0].second.ns(), 6144);
+    EXPECT_EQ(done[1].first, 1u);
+    EXPECT_EQ(done[1].second.ns(), 8192);
+}
+
+TEST(EngineSeamTest, FlatBusTopologyIsBitIdentical)
+{
+    // A platform carrying an explicit flat-bus TopologyConfig is
+    // the same struct as one that predates the field; both must
+    // take the classic engine path and replay identically.
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 400'000, 5));
+    const auto plain = testing::platformAt(256.0);
+    auto tagged = plain;
+    tagged.topology = net::topologies::flatBus();
+    expectIdentical(simulate(bundle.traces, tagged),
+                    simulate(bundle.traces, plain));
+}
+
+TEST(EngineSeamTest, UncontendedFatTreeMatchesFlatModel)
+{
+    // One lone remote message: link-shared serialization over a
+    // full-bisection tree with zero hop latency degenerates to the
+    // flat model's bytes/bandwidth + latency. 1000 MB/s = 1 B/ns
+    // keeps both paths' integer rounding exact.
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(256 * 1024, 1'000'000));
+    auto flat = testing::platformAt(1000.0);
+    auto tree = flat;
+    tree.topology = net::topologies::fatTree(4);
+    const auto a = simulate(bundle.traces, flat);
+    const auto b = simulate(bundle.traces, tree);
+    EXPECT_EQ(a.totalTime.ns(), b.totalTime.ns());
+}
+
+TEST(EngineSeamTest, HopLatencyAddsPerHop)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(256 * 1024, 1'000'000));
+    auto tree = testing::platformAt(1000.0);
+    tree.topology = net::topologies::fatTree(4);
+    const auto base = simulate(bundle.traces, tree);
+    // Nodes 0 and 1 share a radix-4 leaf: 2 links, 1 extra hop.
+    tree.topology.hopLatencyUs = 3.0;
+    const auto slowed = simulate(bundle.traces, tree);
+    EXPECT_EQ(slowed.totalTime.ns() - base.totalTime.ns(),
+              SimTime::fromUs(3.0).ns());
+}
+
+TEST(EngineSeamTest, ContentionNeverBeatsTheFlatModel)
+{
+    // The flat bus (unlimited buses) serializes every transfer at
+    // full bandwidth; link sharing can only slow them down.
+    const auto bundle = testing::traceOf(
+        8, testing::ringExchange(128 * 1024, 200'000, 4));
+    const auto flat = testing::platformAt(1000.0);
+    const auto flat_time =
+        simulate(bundle.traces, flat).totalTime;
+    for (const auto &spec : core::standardTopologies()) {
+        auto platform = flat;
+        platform.topology = spec.topology;
+        const auto result = simulate(bundle.traces, platform);
+        EXPECT_GE(result.totalTime.ns(), flat_time.ns())
+            << spec.name;
+        EXPECT_GT(result.totalTime.ns(), 0) << spec.name;
+    }
+}
+
+TEST(EngineSeamTest, TopologiesReplayDeterministically)
+{
+    const auto bundle = testing::traceOf(
+        8, testing::ringExchange(96 * 1024, 300'000, 4));
+    for (const auto &spec : core::standardTopologies()) {
+        auto platform = testing::platformAt(512.0);
+        platform.topology = spec.topology;
+        const auto reference = simulate(bundle.traces, platform);
+        // Repeats, the one-shot path and a reused session agree.
+        expectIdentical(simulate(bundle.traces, platform),
+                        reference);
+        sim::ReplaySession session;
+        expectIdentical(session.run(bundle.traces, platform),
+                        reference);
+        expectIdentical(session.run(bundle.traces, platform),
+                        reference);
+    }
+}
+
+TEST(EngineSeamTest, RendezvousOverTopology)
+{
+    // Rendezvous protocol (tiny eager threshold) across the
+    // contention model: deterministic and deadlock-free. (A ring
+    // of blocking rendezvous sends would deadlock on any model;
+    // producer/consumer is the protocol-safe shape.)
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(256 * 1024, 800'000));
+    auto platform = sim::platforms::rendezvousCluster(4 * 1024);
+    platform.topology = net::topologies::taperedFatTree(2);
+    const auto reference = simulate(bundle.traces, platform);
+    EXPECT_GT(reference.totalTime.ns(), 0);
+    sim::ReplaySession session;
+    expectIdentical(session.run(bundle.traces, platform),
+                    reference);
+}
+
+TEST(EngineSeamTest, SessionReusesAcrossTopologiesAndBandwidths)
+{
+    // One session sweeping platforms (the campaign pattern): the
+    // compiled-topology cache must never leak state between runs.
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(48 * 1024, 350'000, 3));
+    sim::ReplaySession session;
+    for (const double bandwidth : {64.0, 1024.0}) {
+        for (const auto &spec : core::standardTopologies()) {
+            auto platform = testing::platformAt(bandwidth);
+            platform.topology = spec.topology;
+            expectIdentical(session.run(bundle.traces, platform),
+                            simulate(bundle.traces, platform));
+        }
+    }
+}
+
+} // namespace
+} // namespace ovlsim

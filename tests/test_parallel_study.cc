@@ -189,6 +189,60 @@ TEST(ParallelSweepTest, BitIdenticalAcrossThreadCountsAndRuns)
     }
 }
 
+TEST(TopologySweepTest, BitIdenticalAcrossThreadCountsAndRuns)
+{
+    // Topology campaigns replay the same programs over compiled
+    // routes from many lanes; nothing about link-shared contention
+    // may depend on thread count or scheduling (TSAN builds
+    // race-check the per-lane topology caches).
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(48 * 1024, 300'000, 3));
+    const auto base = sim::platforms::defaultCluster();
+    const auto grid = core::logBandwidthGrid(4.0, 1024.0, 1);
+    const auto variants = core::standardVariants(4);
+    const auto topologies = core::standardTopologies();
+
+    const auto sequential = core::topologySweep(
+        bundle, base, grid, variants, topologies, 1);
+    ASSERT_EQ(sequential.sweeps.size(), topologies.size());
+    for (const auto &sweep : sequential.sweeps)
+        ASSERT_EQ(sweep.points.size(), grid.size());
+    for (const int threads : threadCounts) {
+        for (int run = 0; run < 2; ++run) {
+            const auto parallel = core::topologySweep(
+                bundle, base, grid, variants, topologies,
+                threads);
+            ASSERT_EQ(parallel.sweeps.size(),
+                      sequential.sweeps.size());
+            for (std::size_t t = 0; t < topologies.size(); ++t) {
+                expectIdenticalSweep(parallel.sweeps[t],
+                                     sequential.sweeps[t]);
+            }
+        }
+    }
+}
+
+TEST(TopologySweepTest, TopologiesActuallyDiverge)
+{
+    // The campaign is only interesting if the fabrics disagree
+    // somewhere: a congested tapered tree must cost more than the
+    // flat bus at some grid point.
+    const auto bundle = testing::traceOf(
+        8, testing::ringExchange(128 * 1024, 150'000, 3));
+    const auto base = sim::platforms::defaultCluster();
+    const std::vector<double> grid{64.0};
+    const auto variants = core::standardVariants(4);
+    const std::vector<core::TopologySpec> topologies{
+        {"flat-bus", net::topologies::flatBus()},
+        {"tapered", net::topologies::taperedFatTree(2, 0.25)},
+    };
+    const auto result = core::topologySweep(
+        bundle, base, grid, variants, topologies, 2);
+    ASSERT_EQ(result.sweeps.size(), 2u);
+    EXPECT_GT(result.sweeps[1].points[0].originalTime.ns(),
+              result.sweeps[0].points[0].originalTime.ns());
+}
+
 TEST(ParallelIsoPerformanceTest, ConcurrentBisectionsMatch)
 {
     const auto bundle = testing::traceOf(
