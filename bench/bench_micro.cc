@@ -15,17 +15,21 @@
  *    second on the parallel runtime),
  *  - M5: contended-topology replay throughput (events per second
  *    replaying through the link-contention network model of
- *    src/net/ on a tapered fat tree).
+ *    src/net/ on a tapered fat tree),
+ *  - M6: algorithmic-collective replay throughput (events per
+ *    second replaying nas-cg-x8 on the tapered fat tree with
+ *    collectives lowered into point-to-point schedules, src/coll/).
  *
  * Besides the google-benchmark suite, `--json[=PATH]` runs the M1
  * replay-engine configurations standalone plus the M2 compile, M3
- * transform, M4 sweep and M5 topology configurations, and appends
- * the largest M1 figure (events/sec, ns/event, peak RSS), the M2
- * figure (records/sec), the M3 figure (transform records/sec), the
- * M4 figure (sweep points/sec at `--threads` workers, default all
- * cores) and the M5 figure (topology events/sec) to the perf
- * trajectory file (default BENCH_engine.json), giving every PR
- * five comparable data points. See ROADMAP.md "Performance
+ * transform, M4 sweep, M5 topology and M6 collective
+ * configurations, and appends the largest M1 figure (events/sec,
+ * ns/event, peak RSS), the M2 figure (records/sec), the M3 figure
+ * (transform records/sec), the M4 figure (sweep points/sec at
+ * `--threads` workers, default all cores), the M5 figure (topology
+ * events/sec) and the M6 figure (collective events/sec) to the
+ * perf trajectory file (default BENCH_engine.json), giving every
+ * PR six comparable data points. See ROADMAP.md "Performance
  * methodology".
  */
 
@@ -539,6 +543,97 @@ topoPointToJson(const TopoJsonPoint &point)
 }
 
 /**
+ * The M6 configuration: replay the nas-cg-x8 trace — the
+ * collective-heavy proxy — with algorithmic collectives on the
+ * 2:1-per-level tapered fat tree. Every allreduce lowers into its
+ * compiled point-to-point schedule (src/coll/) and contends on the
+ * fabric's links next to the transpose-exchange traffic, so the
+ * figure prices the schedule-execution seam plus the extra
+ * contention events, directly comparable to M5's analytic-collective
+ * contended replay. Schedules resolve once per session (and shape
+ * compiles once per process), matching how collectiveSweep drives
+ * the engine.
+ */
+struct CollJsonPoint
+{
+    std::string config;
+    std::size_t records = 0;
+    std::uint64_t eventsPerRun = 0;
+    std::uint64_t runs = 0;
+    double eventsPerSec = 0.0;
+    double nsPerEvent = 0.0;
+    long peakRssKb = 0;
+};
+
+CollJsonPoint
+measureCollConfig(double min_seconds)
+{
+    const auto bundle = traceApp("nas-cg", 8);
+    auto platform = sim::platforms::defaultCluster();
+    platform.bandwidthMBps = 4096.0;
+    platform.topology = net::topologies::taperedFatTree(4, 0.5);
+    platform.collectiveModel = coll::CollectiveModel::algorithmic;
+
+    const auto program = sim::compileShared(bundle.traces);
+    sim::ReplaySession session;
+    const std::uint64_t events_per_run =
+        session.run(*program, platform).eventsProcessed;
+
+    std::uint64_t events = 0;
+    std::uint64_t runs = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        const auto result = session.run(*program, platform);
+        events += result.eventsProcessed;
+        ++runs;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+
+    CollJsonPoint point;
+    point.config = "nas-cg-x8/fat-tree-taper2/algorithmic/bw4096";
+    point.records = bundle.traces.totalRecords();
+    point.eventsPerRun = events_per_run;
+    point.runs = runs;
+    point.eventsPerSec = static_cast<double>(events) / elapsed;
+    point.nsPerEvent =
+        elapsed * 1e9 / static_cast<double>(events);
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    point.peakRssKb = usage.ru_maxrss;
+    return point;
+}
+
+std::string
+collPointToJson(const CollJsonPoint &point)
+{
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm_utc{}; gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    return strformat(
+        "{\n"
+        "    \"bench\": \"bench_micro.collectiveReplay\",\n"
+        "    \"config\": \"%s\",\n"
+        "    \"records\": %zu,\n"
+        "    \"events_per_run\": %llu,\n"
+        "    \"runs\": %llu,\n"
+        "    \"coll_events_per_sec\": %.0f,\n"
+        "    \"ns_per_event\": %.2f,\n"
+        "    \"peak_rss_kb\": %ld,\n"
+        "    \"timestamp\": \"%s\"\n"
+        "  }",
+        point.config.c_str(), point.records,
+        static_cast<unsigned long long>(point.eventsPerRun),
+        static_cast<unsigned long long>(point.runs),
+        point.eventsPerSec, point.nsPerEvent, point.peakRssKb,
+        stamp);
+}
+
+/**
  * The M4 configuration: one R1-style bandwidth sweep of the sweep3d
  * proxy (original + the two standard variants per grid point),
  * repeated until the clock budget runs out. The figure of merit is
@@ -739,16 +834,27 @@ runJsonMode(const std::string &path, int threads)
         static_cast<unsigned long long>(topo.runs),
         static_cast<unsigned long long>(topo.eventsPerRun),
         topo.peakRssKb);
+    const CollJsonPoint coll = measureCollConfig(1.5);
+    std::printf(
+        "%-22s %9.2f M events/s  %6.2f ns/event  "
+        "(%llu runs x %llu events, rss %ld KB)\n",
+        coll.config.c_str(), coll.eventsPerSec / 1e6,
+        coll.nsPerEvent,
+        static_cast<unsigned long long>(coll.runs),
+        static_cast<unsigned long long>(coll.eventsPerRun),
+        coll.peakRssKb);
     appendToTrajectory(path, pointToJson(largest));
     appendToTrajectory(path, compilePointToJson(compile));
     appendToTrajectory(path, transformPointToJson(transform));
     appendToTrajectory(path, sweepPointToJson(sweep));
     appendToTrajectory(path, topoPointToJson(topo));
+    appendToTrajectory(path, collPointToJson(coll));
     std::printf(
-        "trajectory points (%s, %s, %s, %s, %s) appended to %s\n",
+        "trajectory points (%s, %s, %s, %s, %s, %s) appended to "
+        "%s\n",
         largest.config.c_str(), compile.config.c_str(),
         transform.config.c_str(), sweep.config.c_str(),
-        topo.config.c_str(), path.c_str());
+        topo.config.c_str(), coll.config.c_str(), path.c_str());
     return 0;
 }
 

@@ -3,16 +3,17 @@
 #
 # Builds Release, runs `bench_micro --json` (the M1 replay-engine
 # throughput measurement on its largest configuration plus the M2
-# trace-lowering, M3 overlap-transformation, M4 sweep-throughput and
-# M5 contended-topology measurements) and fails if any figure
-# regressed more than the threshold against the checked-in baseline
-# (bench/BENCH_baseline.json):
+# trace-lowering, M3 overlap-transformation, M4 sweep-throughput,
+# M5 contended-topology and M6 algorithmic-collective measurements)
+# and fails if any figure regressed more than the threshold against
+# the checked-in baseline (bench/BENCH_baseline.json):
 #
 #   M1  events_per_sec             compiled-program replay throughput
 #   M2  compile_records_per_sec    trace-lowering (compile) throughput
 #   M3  transform_records_per_sec  overlap-transformation throughput
 #   M4  sweep_points_per_sec       campaign (parallel sweep) throughput
 #   M5  topo_events_per_sec        topology-contended replay throughput
+#   M6  coll_events_per_sec        algorithmic-collective replay throughput
 #
 # A baseline that lacks any gated key is stale: the gate fails fast
 # with a readable diff of the expected vs present keys instead of
@@ -39,7 +40,7 @@ THREADS="${OVLSIM_BENCH_THREADS:-0}"
 BASELINE="bench/BENCH_baseline.json"
 GATED_KEYS=(events_per_sec compile_records_per_sec
             transform_records_per_sec sweep_points_per_sec
-            topo_events_per_sec)
+            topo_events_per_sec coll_events_per_sec)
 UPDATE=0
 if [[ "${1:-}" == "--update" ]]; then
     UPDATE=1
@@ -93,7 +94,8 @@ if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
          "$(extract_key "$BASELINE" compile_records_per_sec) compile records/sec," \
          "$(extract_key "$BASELINE" transform_records_per_sec) transform records/sec," \
          "$(extract_key "$BASELINE" sweep_points_per_sec) sweep points/sec," \
-         "$(extract_key "$BASELINE" topo_events_per_sec) topo events/sec)"
+         "$(extract_key "$BASELINE" topo_events_per_sec) topo events/sec," \
+         "$(extract_key "$BASELINE" coll_events_per_sec) coll events/sec)"
     exit 0
 fi
 
@@ -132,3 +134,6 @@ gate "M4 sweep points/sec" \
 gate "M5 topo events/sec" \
      "$(extract_key "$RESULT_JSON" topo_events_per_sec)" \
      "$(extract_key "$BASELINE" topo_events_per_sec)"
+gate "M6 coll events/sec" \
+     "$(extract_key "$RESULT_JSON" coll_events_per_sec)" \
+     "$(extract_key "$BASELINE" coll_events_per_sec)"

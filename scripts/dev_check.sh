@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# One-command pre-merge check: tier-1, ASAN and the TSAN-labeled
+# parallel subset, each in its own build tree so the sanitizer
+# toggles never contaminate the normal configuration.
+#
+#   1. tier-1:  default Release-ish build, full ctest suite
+#   2. ASAN:    OVLSIM_ASAN build, full ctest suite
+#   3. TSAN:    OVLSIM_TSAN build, `ctest -L parallel` (the thread
+#               pool, parallel sweeps, variant/schedule caches) and
+#               `ctest -L coll` (the algorithmic collective engine)
+#
+# Usage:
+#   scripts/dev_check.sh            # run all three stages
+#   scripts/dev_check.sh --fast     # tier-1 only
+#
+# Environment:
+#   OVLSIM_DEV_BUILD_PREFIX  build directory prefix (default build-dev)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PREFIX="${OVLSIM_DEV_BUILD_PREFIX:-build-dev}"
+JOBS="$(nproc)"
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+    FAST=1
+fi
+
+stage() { # name cmake-extra-args...
+    local name="$1"
+    shift
+    local dir="$PREFIX-$name"
+    echo "== dev_check: configure + build ($name) =="
+    cmake -B "$dir" -S . "$@" >/dev/null
+    cmake --build "$dir" -j "$JOBS" >/dev/null
+}
+
+echo "== dev_check: stage 1/3 tier-1 =="
+stage tier1 -DCMAKE_BUILD_TYPE=Release
+(cd "$PREFIX-tier1" && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$FAST" == 1 ]]; then
+    echo "dev_check: PASS (tier-1 only)"
+    exit 0
+fi
+
+echo "== dev_check: stage 2/3 ASAN =="
+stage asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_ASAN=ON
+(cd "$PREFIX-asan" && ctest --output-on-failure -j "$JOBS")
+
+echo "== dev_check: stage 3/3 TSAN (parallel + coll labels) =="
+stage tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_TSAN=ON
+(cd "$PREFIX-tsan" && ctest --output-on-failure -L parallel)
+(cd "$PREFIX-tsan" && ctest --output-on-failure -L coll)
+
+echo "dev_check: PASS (tier-1 + ASAN + TSAN subsets)"

@@ -1,0 +1,170 @@
+#include "coll.hh"
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+#include "util/strings.hh"
+
+namespace ovlsim::coll {
+
+const char *
+collectiveModelName(CollectiveModel model)
+{
+    switch (model) {
+      case CollectiveModel::analytic: return "analytic";
+      case CollectiveModel::algorithmic: return "algorithmic";
+    }
+    panic("collectiveModelName: bad CollectiveModel value");
+}
+
+CollectiveModel
+collectiveModelFromName(const std::string &name)
+{
+    const std::string s = toLower(name);
+    if (s == "analytic")
+        return CollectiveModel::analytic;
+    if (s == "algorithmic")
+        return CollectiveModel::algorithmic;
+    fatal("unknown collective model '", name,
+          "' (expected one of: analytic algorithmic)");
+}
+
+const char *
+algorithmName(Algorithm algorithm)
+{
+    switch (algorithm) {
+      case Algorithm::automatic: return "auto";
+      case Algorithm::linear: return "linear";
+      case Algorithm::binomialTree: return "binomial-tree";
+      case Algorithm::recursiveDoubling: return "recursive-doubling";
+      case Algorithm::ring: return "ring";
+      case Algorithm::pairwise: return "pairwise";
+      case Algorithm::dissemination: return "dissemination";
+    }
+    panic("algorithmName: bad Algorithm value");
+}
+
+Algorithm
+algorithmFromName(const std::string &name)
+{
+    const std::string s = toLower(name);
+    if (s == "auto" || s == "automatic")
+        return Algorithm::automatic;
+    if (s == "linear")
+        return Algorithm::linear;
+    if (s == "binomial-tree" || s == "binomial")
+        return Algorithm::binomialTree;
+    if (s == "recursive-doubling" || s == "rdb")
+        return Algorithm::recursiveDoubling;
+    if (s == "ring")
+        return Algorithm::ring;
+    if (s == "pairwise")
+        return Algorithm::pairwise;
+    if (s == "dissemination")
+        return Algorithm::dissemination;
+    fatal("unknown collective algorithm '", name,
+          "' (expected one of: auto linear binomial-tree "
+          "recursive-doubling ring pairwise dissemination)");
+}
+
+bool
+algorithmSupports(trace::CollOp op, Algorithm algorithm)
+{
+    using trace::CollOp;
+    if (algorithm == Algorithm::automatic)
+        return true;
+    switch (op) {
+      case CollOp::barrier:
+        return algorithm == Algorithm::dissemination;
+      case CollOp::broadcast:
+      case CollOp::reduce:
+        return algorithm == Algorithm::binomialTree ||
+            algorithm == Algorithm::linear;
+      case CollOp::allReduce:
+      case CollOp::allGather:
+        return algorithm == Algorithm::recursiveDoubling ||
+            algorithm == Algorithm::ring;
+      case CollOp::gather:
+      case CollOp::scatter:
+        return algorithm == Algorithm::linear;
+      case CollOp::allToAll:
+        return algorithm == Algorithm::pairwise;
+    }
+    panic("algorithmSupports: bad CollOp value");
+}
+
+/** The algorithms an op accepts, for error messages. */
+static std::string
+supportedList(trace::CollOp op)
+{
+    std::string list;
+    for (const Algorithm algorithm :
+         {Algorithm::linear, Algorithm::binomialTree,
+          Algorithm::recursiveDoubling, Algorithm::ring,
+          Algorithm::pairwise, Algorithm::dissemination}) {
+        if (!algorithmSupports(op, algorithm))
+            continue;
+        if (!list.empty())
+            list += ' ';
+        list += algorithmName(algorithm);
+    }
+    return list;
+}
+
+Algorithm
+selectAlgorithm(trace::CollOp op, int ranks, Bytes bytes,
+                Algorithm pinned)
+{
+    using trace::CollOp;
+    ovlAssert(ranks > 0, "selectAlgorithm: collective over zero "
+                         "ranks");
+    if (pinned != Algorithm::automatic) {
+        if (!algorithmSupports(op, pinned)) {
+            fatal("collective algorithm ", algorithmName(pinned),
+                  " cannot lower ", trace::collOpName(op),
+                  " (supported: ", supportedList(op), ")");
+        }
+        return pinned;
+    }
+    const bool pow2 =
+        isPowerOfTwo(static_cast<std::uint64_t>(ranks));
+    switch (op) {
+      case CollOp::barrier:
+        return Algorithm::dissemination;
+      case CollOp::broadcast:
+      case CollOp::reduce:
+        return Algorithm::binomialTree;
+      case CollOp::allReduce:
+        return bytes > ringCutoffBytes ? Algorithm::ring
+                                       : Algorithm::recursiveDoubling;
+      case CollOp::allGather:
+        // The recursive-doubling allgather needs a power-of-two
+        // rank count (no fold doubles the gathered blocks cleanly);
+        // ring handles any count and wins for large payloads anyway.
+        return (pow2 && bytes <= ringCutoffBytes)
+                   ? Algorithm::recursiveDoubling
+                   : Algorithm::ring;
+      case CollOp::gather:
+      case CollOp::scatter:
+        return Algorithm::linear;
+      case CollOp::allToAll:
+        return Algorithm::pairwise;
+    }
+    panic("selectAlgorithm: bad CollOp value");
+}
+
+void
+validateOverrides(const AlgorithmOverrides &overrides)
+{
+    for (std::size_t i = 0; i < collOpCount; ++i) {
+        const auto op = static_cast<trace::CollOp>(i);
+        const Algorithm algorithm = overrides.byOp[i];
+        if (!algorithmSupports(op, algorithm)) {
+            fatal("collective algorithm ",
+                  algorithmName(algorithm), " cannot lower ",
+                  trace::collOpName(op), " (supported: ",
+                  supportedList(op), ")");
+        }
+    }
+}
+
+} // namespace ovlsim::coll

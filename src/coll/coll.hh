@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Collective-model configuration: which pricing model a platform
+ * uses for CollectiveRecs and which point-to-point algorithm lowers
+ * each operation under the algorithmic model.
+ *
+ * The seed platform prices every collective with one analytic
+ * latency+bandwidth formula (sim::collectiveCost) — collectives are
+ * invisible to the link-contention network of src/net/. The
+ * algorithmic model instead lowers each collective into a compiled
+ * schedule of point-to-point transfers (coll/schedule.hh) executed
+ * through the engine's ordinary transfer path, so collective traffic
+ * occupies links and contends exactly like application messages —
+ * the SMPI/SimGrid fidelity step that makes topology studies
+ * meaningful for collective-heavy applications.
+ *
+ * Algorithm selection follows the classic MPI implementations:
+ * binomial trees for rooted broadcast/reduce, recursive doubling for
+ * small allreduce/allgather, rings for large ones, a dissemination
+ * exchange for barriers, pairwise exchange for alltoall and linear
+ * fan-in/out for gather/scatter. `Algorithm::automatic` applies the
+ * size-based cutoffs below; platform files may pin one algorithm per
+ * operation (collective_algorithm_<op> keys), with unsupported
+ * (op, algorithm) combinations rejected by a clear FatalError.
+ */
+
+#ifndef OVLSIM_COLL_COLL_HH
+#define OVLSIM_COLL_COLL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/record.hh"
+#include "util/types.hh"
+
+namespace ovlsim::coll {
+
+/** How a platform prices CollectiveRecs. */
+enum class CollectiveModel : std::uint8_t {
+    /** The seed analytic formulas (sim::collectiveCost). */
+    analytic,
+    /** Lowered point-to-point schedules on the transfer path. */
+    algorithmic,
+};
+
+/** Stable name of a collective model (config files, reports). */
+const char *collectiveModelName(CollectiveModel model);
+
+/** Parse a collective model name; throws FatalError on garbage. */
+CollectiveModel collectiveModelFromName(const std::string &name);
+
+/** Point-to-point lowering algorithms for collectives. */
+enum class Algorithm : std::uint8_t {
+    /** Size/shape-based selection (the cutoffs below). */
+    automatic,
+    /** Direct fan-in/out to or from the root. */
+    linear,
+    /** Binomial tree rooted at the operation's root. */
+    binomialTree,
+    /** Recursive doubling (with a fold for non-power-of-two). */
+    recursiveDoubling,
+    /** Ring exchange (bandwidth-optimal for large payloads). */
+    ring,
+    /** Pairwise exchange over P-1 shifted rounds. */
+    pairwise,
+    /** Dissemination exchange (any rank count, ceil(lg P) rounds). */
+    dissemination,
+};
+
+/** Stable name of an algorithm (config files, reports). */
+const char *algorithmName(Algorithm algorithm);
+
+/** Parse an algorithm name; throws FatalError on garbage. */
+Algorithm algorithmFromName(const std::string &name);
+
+/** Number of CollOp values (sizes the per-op override table). */
+inline constexpr std::size_t collOpCount = 8;
+
+/**
+ * True when `algorithm` can lower `op` (automatic always can).
+ * The schedule compiler refuses unsupported pairs with a
+ * FatalError; platform parsing rejects them up front.
+ */
+bool algorithmSupports(trace::CollOp op, Algorithm algorithm);
+
+/**
+ * Payload size above which `automatic` switches allreduce and
+ * allgather from the latency-optimal recursive doubling to the
+ * bandwidth-optimal ring (the classic MPI cutoff shape).
+ */
+inline constexpr Bytes ringCutoffBytes = Bytes(256) * 1024;
+
+/**
+ * Resolve the algorithm `automatic` selects for one operation:
+ *
+ *   barrier     -> dissemination
+ *   broadcast   -> binomial tree
+ *   reduce      -> binomial tree
+ *   allreduce   -> recursive doubling; ring above ringCutoffBytes
+ *   allgather   -> recursive doubling (power-of-two rank counts,
+ *                  small payloads); ring otherwise
+ *   gather      -> linear
+ *   scatter     -> linear
+ *   alltoall    -> pairwise
+ *
+ * A non-automatic `pinned` wins unconditionally; it must support
+ * `op` (FatalError otherwise). `bytes` is the operation's block
+ * size (the cross-rank max the program compiler resolved).
+ */
+Algorithm selectAlgorithm(trace::CollOp op, int ranks, Bytes bytes,
+                          Algorithm pinned = Algorithm::automatic);
+
+/** Per-operation algorithm pins; automatic everywhere by default. */
+struct AlgorithmOverrides
+{
+    std::array<Algorithm, collOpCount> byOp{};
+
+    Algorithm
+    of(trace::CollOp op) const
+    {
+        return byOp[static_cast<std::size_t>(op)];
+    }
+
+    void
+    set(trace::CollOp op, Algorithm algorithm)
+    {
+        byOp[static_cast<std::size_t>(op)] = algorithm;
+    }
+
+    bool operator==(const AlgorithmOverrides &) const = default;
+};
+
+/**
+ * Validate every pinned (op, algorithm) pair; throws FatalError
+ * naming the offending pair and the algorithms the op supports.
+ */
+void validateOverrides(const AlgorithmOverrides &overrides);
+
+} // namespace ovlsim::coll
+
+#endif // OVLSIM_COLL_COLL_HH

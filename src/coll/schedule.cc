@@ -1,0 +1,421 @@
+#include "schedule.hh"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace ovlsim::coll {
+
+using trace::CollOp;
+
+/**
+ * Accumulates a schedule round by round. A round is a set of
+ * transfers that are logically concurrent: every rank's sends of
+ * the round are appended before any of its recvs, so a rank never
+ * waits on a peer before injecting what the peer needs — the
+ * construction that keeps every schedule's dependency graph acyclic
+ * regardless of the rank-iteration order inside a round.
+ */
+class ScheduleBuilder
+{
+  public:
+    ScheduleBuilder(CollOp op, Algorithm algorithm, int ranks,
+                    Rank root, Bytes block)
+        : perRank_(static_cast<std::size_t>(ranks))
+    {
+        sealed_.op_ = op;
+        sealed_.algorithm_ = algorithm;
+        sealed_.ranks_ = ranks;
+        sealed_.root_ = root;
+        sealed_.blockBytes_ = block;
+    }
+
+    struct Xfer
+    {
+        Rank src;
+        Rank dst;
+        Bytes bytes;
+    };
+
+    void
+    round(std::span<const Xfer> xfers)
+    {
+        const std::uint32_t base = sealed_.recvSlots_;
+        for (std::size_t i = 0; i < xfers.size(); ++i) {
+            const Xfer &x = xfers[i];
+            ovlAssert(x.src != x.dst,
+                      "collective schedule: self-transfer");
+            const auto slot =
+                base + static_cast<std::uint32_t>(i);
+            perRank_[static_cast<std::size_t>(x.src)].push_back(
+                Step{x.bytes, x.dst, slot, true});
+            ++sealed_.sendCount_;
+            sealed_.totalBytes_ += x.bytes;
+        }
+        for (std::size_t i = 0; i < xfers.size(); ++i) {
+            const Xfer &x = xfers[i];
+            const auto slot =
+                base + static_cast<std::uint32_t>(i);
+            perRank_[static_cast<std::size_t>(x.dst)].push_back(
+                Step{x.bytes, x.src, slot, false});
+        }
+        sealed_.recvSlots_ =
+            base + static_cast<std::uint32_t>(xfers.size());
+    }
+
+    Schedule
+    seal() &&
+    {
+        sealed_.rankBegin_.reserve(perRank_.size() + 1);
+        sealed_.rankBegin_.push_back(0);
+        std::size_t total = 0;
+        for (const auto &steps : perRank_)
+            total += steps.size();
+        sealed_.steps_.reserve(total);
+        for (const auto &steps : perRank_) {
+            sealed_.steps_.insert(sealed_.steps_.end(),
+                                  steps.begin(), steps.end());
+            sealed_.rankBegin_.push_back(
+                static_cast<std::uint32_t>(
+                    sealed_.steps_.size()));
+        }
+        return std::move(sealed_);
+    }
+
+  private:
+    Schedule sealed_;
+    std::vector<std::vector<Step>> perRank_;
+};
+
+namespace {
+
+using Xfer = ScheduleBuilder::Xfer;
+using Builder = ScheduleBuilder;
+
+/** Dissemination exchange: ceil(lg P) rounds, any rank count. */
+void
+buildDissemination(Builder &b, int ranks, Bytes bytes)
+{
+    std::vector<Xfer> xfers;
+    for (int k = 1; k < ranks; k <<= 1) {
+        xfers.clear();
+        for (Rank r = 0; r < ranks; ++r)
+            xfers.push_back(Xfer{r, (r + k) % ranks, bytes});
+        b.round(xfers);
+    }
+}
+
+/** Binomial tree away from the root (broadcast). */
+void
+buildBinomialBcast(Builder &b, int ranks, Rank root, Bytes bytes)
+{
+    const auto actual = [&](int v) {
+        return static_cast<Rank>((v + root) % ranks);
+    };
+    std::vector<Xfer> xfers;
+    for (int mask = 1; mask < ranks; mask <<= 1) {
+        xfers.clear();
+        for (int v = 0; v < mask; ++v) {
+            if (v + mask < ranks) {
+                xfers.push_back(
+                    Xfer{actual(v), actual(v + mask), bytes});
+            }
+        }
+        b.round(xfers);
+    }
+}
+
+/** Binomial tree toward the root (reduce): the bcast reversed. */
+void
+buildBinomialReduce(Builder &b, int ranks, Rank root, Bytes bytes)
+{
+    const auto actual = [&](int v) {
+        return static_cast<Rank>((v + root) % ranks);
+    };
+    std::vector<Xfer> xfers;
+    // A virtual rank sends once, in the round of its lowest set
+    // bit, and receives from v + mask in every earlier round.
+    for (int mask = 1; mask < ranks; mask <<= 1) {
+        xfers.clear();
+        for (int v = mask; v < ranks; v += 2 * mask)
+            xfers.push_back(Xfer{actual(v), actual(v - mask), bytes});
+        b.round(xfers);
+    }
+}
+
+/** Direct fan-out from the root (bcast/scatter). */
+void
+buildLinearFanOut(Builder &b, int ranks, Rank root, Bytes bytes)
+{
+    std::vector<Xfer> xfers;
+    for (Rank r = 0; r < ranks; ++r) {
+        if (r != root)
+            xfers.push_back(Xfer{root, r, bytes});
+    }
+    b.round(xfers);
+}
+
+/** Direct fan-in to the root (reduce/gather). */
+void
+buildLinearFanIn(Builder &b, int ranks, Rank root, Bytes bytes)
+{
+    std::vector<Xfer> xfers;
+    for (Rank r = 0; r < ranks; ++r) {
+        if (r != root)
+            xfers.push_back(Xfer{r, root, bytes});
+    }
+    b.round(xfers);
+}
+
+/**
+ * Recursive-doubling allreduce with the standard non-power-of-two
+ * fold: the first 2*rem ranks pair up (odd halves park their
+ * contribution with the even halves), the surviving power-of-two
+ * set exchanges full payloads over lg(p2) rounds, and the parked
+ * ranks get the result back.
+ */
+void
+buildRecursiveDoublingAllReduce(Builder &b, int ranks, Bytes bytes)
+{
+    int p2 = 1;
+    while (p2 * 2 <= ranks)
+        p2 *= 2;
+    const int rem = ranks - p2;
+    const auto active = [&](int j) {
+        return static_cast<Rank>(j < rem ? 2 * j : j + rem);
+    };
+
+    std::vector<Xfer> xfers;
+    if (rem > 0) {
+        xfers.clear();
+        for (int i = 0; i < rem; ++i) {
+            xfers.push_back(Xfer{static_cast<Rank>(2 * i + 1),
+                                 static_cast<Rank>(2 * i), bytes});
+        }
+        b.round(xfers);
+    }
+    for (int mask = 1; mask < p2; mask <<= 1) {
+        xfers.clear();
+        for (int j = 0; j < p2; ++j) {
+            if ((j & mask) == 0) {
+                xfers.push_back(
+                    Xfer{active(j), active(j | mask), bytes});
+                xfers.push_back(
+                    Xfer{active(j | mask), active(j), bytes});
+            }
+        }
+        b.round(xfers);
+    }
+    if (rem > 0) {
+        xfers.clear();
+        for (int i = 0; i < rem; ++i) {
+            xfers.push_back(Xfer{static_cast<Rank>(2 * i),
+                                 static_cast<Rank>(2 * i + 1),
+                                 bytes});
+        }
+        b.round(xfers);
+    }
+}
+
+/**
+ * Ring allreduce: reduce-scatter then allgather, P-1 rounds each.
+ * The payload splits into P near-equal chunks (the first
+ * bytes % P chunks carry the remainder), so every rank moves
+ * ~2 * (P-1)/P * bytes — the bandwidth-optimal schedule.
+ */
+void
+buildRingAllReduce(Builder &b, int ranks, Bytes bytes)
+{
+    const auto chunk = [&](int i) {
+        const auto p = static_cast<Bytes>(ranks);
+        return bytes / p +
+            (static_cast<Bytes>(i) < bytes % p ? 1 : 0);
+    };
+    std::vector<Xfer> xfers;
+    for (int s = 0; s < ranks - 1; ++s) {
+        xfers.clear();
+        for (Rank r = 0; r < ranks; ++r) {
+            xfers.push_back(Xfer{r, (r + 1) % ranks,
+                                 chunk((r - s + ranks) % ranks)});
+        }
+        b.round(xfers);
+    }
+    for (int s = 0; s < ranks - 1; ++s) {
+        xfers.clear();
+        for (Rank r = 0; r < ranks; ++r) {
+            xfers.push_back(
+                Xfer{r, (r + 1) % ranks,
+                     chunk((r + 1 - s + 2 * ranks) % ranks)});
+        }
+        b.round(xfers);
+    }
+}
+
+/**
+ * Recursive-doubling allgather: partners exchange their gathered
+ * halves, doubling the payload each round. Power-of-two ranks only
+ * (enforced by the caller).
+ */
+void
+buildRecursiveDoublingAllGather(Builder &b, int ranks, Bytes block)
+{
+    std::vector<Xfer> xfers;
+    for (int mask = 1; mask < ranks; mask <<= 1) {
+        const Bytes bytes = block * static_cast<Bytes>(mask);
+        xfers.clear();
+        for (int j = 0; j < ranks; ++j) {
+            if ((j & mask) == 0) {
+                xfers.push_back(Xfer{static_cast<Rank>(j),
+                                     static_cast<Rank>(j | mask),
+                                     bytes});
+                xfers.push_back(Xfer{static_cast<Rank>(j | mask),
+                                     static_cast<Rank>(j), bytes});
+            }
+        }
+        b.round(xfers);
+    }
+}
+
+/** Ring allgather: P-1 rounds forwarding one block each. */
+void
+buildRingAllGather(Builder &b, int ranks, Bytes block)
+{
+    std::vector<Xfer> xfers;
+    for (int s = 0; s < ranks - 1; ++s) {
+        xfers.clear();
+        for (Rank r = 0; r < ranks; ++r)
+            xfers.push_back(Xfer{r, (r + 1) % ranks, block});
+        b.round(xfers);
+    }
+}
+
+/** Pairwise exchange: round k sends to r+k and receives from r-k. */
+void
+buildPairwiseAllToAll(Builder &b, int ranks, Bytes block)
+{
+    std::vector<Xfer> xfers;
+    for (int k = 1; k < ranks; ++k) {
+        xfers.clear();
+        for (Rank r = 0; r < ranks; ++r)
+            xfers.push_back(Xfer{r, (r + k) % ranks, block});
+        b.round(xfers);
+    }
+}
+
+Schedule
+build(CollOp op, int ranks, Rank root, Bytes bytes,
+      Algorithm algorithm)
+{
+    Builder b(op, algorithm, ranks, root, bytes);
+    if (ranks <= 1)
+        return std::move(b).seal();
+
+    switch (op) {
+      case CollOp::barrier:
+        buildDissemination(b, ranks, 0);
+        break;
+      case CollOp::broadcast:
+        if (algorithm == Algorithm::linear)
+            buildLinearFanOut(b, ranks, root, bytes);
+        else
+            buildBinomialBcast(b, ranks, root, bytes);
+        break;
+      case CollOp::reduce:
+        if (algorithm == Algorithm::linear)
+            buildLinearFanIn(b, ranks, root, bytes);
+        else
+            buildBinomialReduce(b, ranks, root, bytes);
+        break;
+      case CollOp::allReduce:
+        if (algorithm == Algorithm::ring)
+            buildRingAllReduce(b, ranks, bytes);
+        else
+            buildRecursiveDoublingAllReduce(b, ranks, bytes);
+        break;
+      case CollOp::allGather:
+        if (algorithm == Algorithm::recursiveDoubling) {
+            if (!isPowerOfTwo(static_cast<std::uint64_t>(ranks))) {
+                fatal("recursive-doubling allgather requires a "
+                      "power-of-two rank count, got ", ranks,
+                      " (use ring or auto)");
+            }
+            buildRecursiveDoublingAllGather(b, ranks, bytes);
+        } else {
+            buildRingAllGather(b, ranks, bytes);
+        }
+        break;
+      case CollOp::gather:
+        buildLinearFanIn(b, ranks, root, bytes);
+        break;
+      case CollOp::scatter:
+        buildLinearFanOut(b, ranks, root, bytes);
+        break;
+      case CollOp::allToAll:
+        buildPairwiseAllToAll(b, ranks, bytes);
+        break;
+    }
+    return std::move(b).seal();
+}
+
+/** Rooted ops key on the root; the rest normalize it away. */
+bool
+isRooted(CollOp op)
+{
+    return op == CollOp::broadcast || op == CollOp::reduce ||
+        op == CollOp::gather || op == CollOp::scatter;
+}
+
+using CacheKey =
+    std::tuple<std::uint8_t, int, Rank, Bytes, std::uint8_t>;
+
+std::mutex cacheMutex;
+std::map<CacheKey, std::shared_ptr<const Schedule>> &
+cache()
+{
+    static std::map<CacheKey, std::shared_ptr<const Schedule>> map;
+    return map;
+}
+
+} // namespace
+
+std::shared_ptr<const Schedule>
+compileSchedule(trace::CollOp op, int ranks, Rank root, Bytes bytes,
+                Algorithm algorithm)
+{
+    ovlAssert(ranks > 0,
+              "compileSchedule: collective over zero ranks");
+    if (!isRooted(op))
+        root = 0;
+    if (root < 0 || root >= ranks) {
+        fatal("collective ", trace::collOpName(op), " root ", root,
+              " out of range for ", ranks, " ranks");
+    }
+    const Algorithm resolved =
+        selectAlgorithm(op, ranks, bytes, algorithm);
+    const CacheKey key{static_cast<std::uint8_t>(op), ranks, root,
+                       bytes, static_cast<std::uint8_t>(resolved)};
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        const auto it = cache().find(key);
+        if (it != cache().end())
+            return it->second;
+    }
+    // Build outside the lock (compilation is pure); first insert
+    // wins when two threads race on the same shape.
+    auto built = std::make_shared<const Schedule>(
+        build(op, ranks, root, bytes, resolved));
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return cache().emplace(key, std::move(built)).first->second;
+}
+
+std::size_t
+scheduleCacheSize()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return cache().size();
+}
+
+} // namespace ovlsim::coll

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Compiled collective schedules: one collective lowered into the
+ * point-to-point transfers that realize it.
+ *
+ * A Schedule is the algorithmic-collective analogue of a
+ * sim::ReplayProgram: the per-rank sequence of sends and receives an
+ * algorithm performs, compiled once per (op, rank count, root,
+ * payload, algorithm) and shared immutably across every replay,
+ * session and sweep lane that executes that collective
+ * (compileSchedule caches globally, like sim::compileShared).
+ *
+ * Execution semantics (the engine's contract, sim/engine.cc):
+ *
+ *  - each rank walks its step list in order from the instant it
+ *    enters the collective,
+ *  - a send step posts one transfer on the engine's ordinary
+ *    transfer path (bus admission or link-network contention) and
+ *    advances only when its injection completes — so back-to-back
+ *    sends serialize through the sender exactly like the classic
+ *    algorithms assume,
+ *  - a recv step advances when its matching transfer has arrived
+ *    (arrivals are pre-matched by slot id: no tag matching, no
+ *    interference with application point-to-point channels).
+ *
+ * Deadlock-freedom is by construction: recv steps only wait on
+ * transfers, transfers only wait on their sender's earlier steps,
+ * and every builder emits rounds of "all sends, then all recvs", so
+ * the step dependency graph is acyclic. The coll test suite checks
+ * this property by topologically executing every compiled schedule,
+ * and checks that each schedule moves exactly the bytes the
+ * operation's semantics require per rank.
+ */
+
+#ifndef OVLSIM_COLL_SCHEDULE_HH
+#define OVLSIM_COLL_SCHEDULE_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "coll/coll.hh"
+#include "trace/record.hh"
+#include "util/types.hh"
+
+namespace ovlsim::coll {
+
+/**
+ * One step of one rank's schedule. Send steps carry the slot id of
+ * the matching recv step at the peer; recv steps carry their own
+ * slot id. Slot ids are dense per schedule, so an executor tracks
+ * arrivals in one flat array.
+ */
+struct Step
+{
+    Bytes bytes = 0;
+    Rank peer = 0;
+    std::uint32_t slot = 0;
+    bool isSend = false;
+};
+
+/** An immutable compiled collective. */
+class Schedule
+{
+  public:
+    Schedule() = default;
+
+    trace::CollOp op() const { return op_; }
+    /** The resolved (never `automatic`) lowering algorithm. */
+    Algorithm algorithm() const { return algorithm_; }
+    int ranks() const { return ranks_; }
+    Rank root() const { return root_; }
+    /** The block size the schedule was compiled for. */
+    Bytes blockBytes() const { return blockBytes_; }
+
+    /** Rank `r`'s steps, in execution order. */
+    std::span<const Step>
+    stepsOf(Rank r) const
+    {
+        const auto i = static_cast<std::size_t>(r);
+        return {steps_.data() + rankBegin_[i],
+                steps_.data() + rankBegin_[i + 1]};
+    }
+
+    /** Total recv steps (sizes an executor's arrival table). */
+    std::uint32_t recvSlots() const { return recvSlots_; }
+
+    /** Total send steps (sizes the engine's transfer arena). */
+    std::size_t sendCount() const { return sendCount_; }
+
+    std::size_t totalSteps() const { return steps_.size(); }
+
+    /** Sum of send-step payloads over all ranks. */
+    Bytes totalBytes() const { return totalBytes_; }
+
+  private:
+    friend class ScheduleBuilder;
+
+    trace::CollOp op_ = trace::CollOp::barrier;
+    Algorithm algorithm_ = Algorithm::dissemination;
+    int ranks_ = 0;
+    Rank root_ = 0;
+    Bytes blockBytes_ = 0;
+
+    /** Steps in rank-major CSR layout. */
+    std::vector<Step> steps_;
+    std::vector<std::uint32_t> rankBegin_;
+    std::uint32_t recvSlots_ = 0;
+    std::size_t sendCount_ = 0;
+    Bytes totalBytes_ = 0;
+};
+
+/**
+ * Lower one collective into a schedule for `ranks` ranks.
+ *
+ * `bytes` is the operation's block size — the cross-rank max of the
+ * trace's send/recv byte counts, exactly the value the analytic
+ * model prices (for gather/scatter/allgather/alltoall it is the
+ * per-rank block, matching the analytic (P-1)-term). `root` only
+ * matters for rooted operations. `algorithm` may be `automatic`
+ * (selectAlgorithm applies) or a pin; unsupported pins raise a
+ * FatalError naming the op and its supported algorithms.
+ *
+ * Compilation is deterministic and cached: equal inputs return the
+ * same shared immutable schedule on every call, from any thread —
+ * sweep lanes share one schedule per collective shape the way they
+ * share one ReplayProgram per trace variant.
+ */
+std::shared_ptr<const Schedule>
+compileSchedule(trace::CollOp op, int ranks, Rank root, Bytes bytes,
+                Algorithm algorithm = Algorithm::automatic);
+
+/** Number of distinct schedules the process-wide cache holds. */
+std::size_t scheduleCacheSize();
+
+} // namespace ovlsim::coll
+
+#endif // OVLSIM_COLL_SCHEDULE_HH

@@ -164,6 +164,39 @@ topologySweep(const tracer::TraceBundle &bundle,
     return result;
 }
 
+CollectiveSweepResult
+collectiveSweep(const tracer::TraceBundle &bundle,
+                const sim::PlatformConfig &base,
+                const std::vector<double> &bandwidths,
+                const std::vector<VariantSpec> &variants,
+                const std::vector<TopologySpec> &topologies,
+                int threads)
+{
+    // One topology campaign per collective model: topologySweep
+    // already owns the per-topology platform setup and the
+    // bit-identical sequential ordering, and the sweeps are
+    // independent replays, so running the models back to back is
+    // equivalent to interleaving them. The collective schedules
+    // are shared through the process-wide cache, so the
+    // algorithmic pass compiles each collective shape once across
+    // all topologies.
+    CollectiveSweepResult result;
+    result.topologies = topologies;
+    sim::PlatformConfig model_base = base;
+    model_base.collectiveModel = coll::CollectiveModel::analytic;
+    result.analytic =
+        topologySweep(bundle, model_base, bandwidths, variants,
+                      topologies, threads)
+            .sweeps;
+    model_base.collectiveModel =
+        coll::CollectiveModel::algorithmic;
+    result.algorithmic =
+        topologySweep(bundle, model_base, bandwidths, variants,
+                      topologies, threads)
+            .sweeps;
+    return result;
+}
+
 double
 findIntermediateBandwidth(const trace::TraceSet &original,
                           const sim::PlatformConfig &base,

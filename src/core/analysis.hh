@@ -121,6 +121,38 @@ topologySweep(const tracer::TraceBundle &bundle,
               const std::vector<TopologySpec> &topologies,
               int threads = 1);
 
+/** One topology's analytic-vs-algorithmic outcome. */
+struct CollectiveSweepResult
+{
+    std::vector<TopologySpec> topologies;
+    /** Parallel to `topologies`: analytic-collective sweeps. */
+    std::vector<SweepResult> analytic;
+    /** Parallel to `topologies`: algorithmic-collective sweeps. */
+    std::vector<SweepResult> algorithmic;
+};
+
+/**
+ * The R1 bandwidth sweep repeated per interconnect under both
+ * collective models: for every topology, the original and every
+ * overlapped variant replay across the bandwidth grid twice — once
+ * with the analytic closed-form collective costs (the classic
+ * Dimemas path) and once with collectives lowered into
+ * point-to-point schedules that contend on the fabric's links
+ * (src/coll/). The gap between the paired sweeps is the topology
+ * effect the analytic model cannot see — the interesting read for
+ * collective-heavy applications (nas-cg, alya). Each inner sweep
+ * runs on the parallel sweep engine (`threads` as in
+ * bandwidthSweep) and the result is bit-identical to the
+ * sequential path at any thread count.
+ */
+CollectiveSweepResult
+collectiveSweep(const tracer::TraceBundle &bundle,
+                const sim::PlatformConfig &base,
+                const std::vector<double> &bandwidths,
+                const std::vector<VariantSpec> &variants,
+                const std::vector<TopologySpec> &topologies,
+                int threads = 1);
+
 /**
  * Find the "intermediate" bandwidth: the point where the original
  * execution spends about as much time blocked on communication as it

@@ -37,8 +37,29 @@ LinkNetwork::configure(const CompiledTopology *topo,
             base_mbps * 1e-3;
     }
     linkLoad_.assign(links, 0);
+    linkTouch_.assign(links, 0);
+    touchEpoch_ = 0;
     flows_.clear();
     reschedules_.clear();
+}
+
+void
+LinkNetwork::markTouched(int src, int dst)
+{
+    ++touchEpoch_;
+    for (const std::uint32_t link : topo_->route(src, dst))
+        linkTouch_[link] = touchEpoch_;
+}
+
+bool
+LinkNetwork::touches(const Flow &flow) const
+{
+    for (const std::uint32_t link :
+         topo_->route(flow.src, flow.dst)) {
+        if (linkTouch_[link] == touchEpoch_)
+            return true;
+    }
+    return false;
 }
 
 double
@@ -92,6 +113,7 @@ LinkNetwork::start(std::uint32_t id, int src, int dst, Bytes bytes,
     advanceAll(now);
     for (const std::uint32_t link : topo_->route(src, dst))
         ++linkLoad_[link];
+    markTouched(src, dst);
 
     Flow flow;
     flow.id = id;
@@ -105,8 +127,13 @@ LinkNetwork::start(std::uint32_t id, int src, int dst, Bytes bytes,
     // event needs replacing — stale early events re-arm when they
     // fire. (A flow admitted mid-rendezvous-overhead may have
     // lastUpdate ahead of older flows; advanceAll clamps dt >= 0.)
-    for (Flow &f : flows_)
-        f.rate = bottleneckRate(f);
+    // Flows whose routes miss every link the admission loaded keep
+    // their bottleneck share unchanged, so their rate is not even
+    // recomputed.
+    for (Flow &f : flows_) {
+        if (touches(f))
+            f.rate = bottleneckRate(f);
+    }
     Flow &admitted = flows_.back();
     admitted.armed = finishTime(admitted, now);
     return admitted.armed;
@@ -148,7 +175,12 @@ LinkNetwork::onFinishEvent(std::uint32_t id, SimTime now)
     }
 
     // Completed: free the links, settle the survivors under the old
-    // rates, then hand out the speedups.
+    // rates, then hand out the speedups. Survivors whose routes
+    // miss every freed link — or whose bottleneck sits on an
+    // untouched link and keeps the same share — skip the re-arm
+    // check entirely: their armed finish event is still exact
+    // (ROADMAP's "O(active flows) per rate change" open item, the
+    // rate-recompute/re-arm half).
     const Flow done = flows_[slot];
     advanceAll(now);
     flows_.erase(flows_.begin() +
@@ -159,8 +191,14 @@ LinkNetwork::onFinishEvent(std::uint32_t id, SimTime now)
                   "LinkNetwork: link occupancy underflow");
         --linkLoad_[link];
     }
+    markTouched(done.src, done.dst);
     for (Flow &flow : flows_) {
-        flow.rate = bottleneckRate(flow);
+        if (!touches(flow))
+            continue;
+        const double rate = bottleneckRate(flow);
+        if (rate == flow.rate)
+            continue;
+        flow.rate = rate;
         const SimTime finish = finishTime(flow, now);
         if (finish < flow.armed) {
             flow.armed = finish;

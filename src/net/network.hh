@@ -135,6 +135,17 @@ class LinkNetwork
     void advanceAll(SimTime now);
 
     /**
+     * Mark the links of a route touched by the current join/leave
+     * (bumps the touch epoch). touches() then answers whether a
+     * flow's route crosses any touched link — flows that do not are
+     * provably unaffected: no load on their route changed, so their
+     * bottleneck share (and armed finish event) is still exact and
+     * both the rate recompute and the re-arm check can be skipped.
+     */
+    void markTouched(int src, int dst);
+    bool touches(const Flow &flow) const;
+
+    /**
      * Finish instant of a flow at its current rate (ceil to the
      * integer-ns clock, so the event never fires with bytes left
      * from rounding alone).
@@ -145,6 +156,9 @@ class LinkNetwork
     /** Per-link capacity in bytes/ns and current occupancy. */
     std::vector<double> linkRate_;
     std::vector<std::uint32_t> linkLoad_;
+    /** Links touched in the current epoch (see markTouched). */
+    std::vector<std::uint32_t> linkTouch_;
+    std::uint32_t touchEpoch_ = 0;
     /** In-flight flows, admission-ordered. */
     std::vector<Flow> flows_;
     std::vector<std::pair<std::uint32_t, SimTime>> reschedules_;

@@ -1,10 +1,13 @@
 #include "engine.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <map>
 #include <vector>
 
+#include "coll/coll.hh"
+#include "coll/schedule.hh"
 #include "net/network.hh"
 #include "net/topology.hh"
 #include "sim/program.hh"
@@ -101,7 +104,7 @@ enum : std::uint8_t {
 };
 
 /** Transfer state bits (Transfer::flags). */
-enum : std::uint8_t {
+enum : std::uint16_t {
     tfLocal = 1u << 0,
     tfEager = 1u << 1,
     tfSenderBlocking = 1u << 2,
@@ -111,6 +114,13 @@ enum : std::uint8_t {
     tfArrived = 1u << 6,
     /** Serializing through the topology network (net mode only). */
     tfInNet = 1u << 7,
+    /**
+     * Step of a lowered collective schedule (algorithmic model).
+     * Pre-matched at schedule compile time: sendReq holds the
+     * collective table index and recvReq the recv-slot id, and the
+     * transfer never touches channel matching or request registers.
+     */
+    tfColl = 1u << 8,
 };
 
 /**
@@ -137,11 +147,11 @@ struct Transfer
     std::uint32_t chanNext = npos32;
     /** Next transfer queued for interconnect resources. */
     std::uint32_t waitNext = npos32;
-    std::uint8_t flags = 0;
+    std::uint16_t flags = 0;
 
-    bool has(std::uint8_t f) const { return (flags & f) != 0; }
-    void set(std::uint8_t f) { flags |= f; }
-    void clear(std::uint8_t f) { flags &= static_cast<std::uint8_t>(~f); }
+    bool has(std::uint16_t f) const { return (flags & f) != 0; }
+    void set(std::uint16_t f) { flags |= f; }
+    void clear(std::uint16_t f) { flags &= static_cast<std::uint16_t>(~f); }
 };
 
 static_assert(sizeof(Transfer) <= 64);
@@ -213,6 +223,44 @@ struct Barrier
 {
     int arrived = 0;
     SimTime latest;
+    /** Pooled CollExec slot (algorithmic model), or npos32. */
+    std::uint32_t exec = npos32;
+};
+
+/** Per-rank progress states of an executing schedule. */
+enum : std::uint8_t {
+    /** The rank has not reached the collective yet. */
+    collAbsent = 0,
+    /** Cursor advancing (transient inside advanceCollRank). */
+    collRunning = 1,
+    /** Cursor parked on a send awaiting injection completion. */
+    collWaitInject = 2,
+    /** Cursor parked on a recv awaiting the slot's arrival. */
+    collWaitRecv = 3,
+    /** All steps retired; the rank has been released. */
+    collDone = 4,
+};
+
+/**
+ * Execution state of one in-flight algorithmic collective: the
+ * per-rank cursors into the shared compiled Schedule and the
+ * arrival table of its recv slots. Pooled and reused across
+ * collective instances (a rank is in at most one collective, so at
+ * most nranks instances are ever live at once) so steady-state
+ * replays allocate nothing.
+ */
+struct CollExec
+{
+    /** Arrival instants per recv slot (valid when slotArrived). */
+    std::vector<SimTime> slotTime;
+    std::vector<std::uint8_t> slotArrived;
+    /** Per-rank index of the next unretired step. */
+    std::vector<std::uint32_t> cursor;
+    /** Per-rank local time within the schedule. */
+    std::vector<SimTime> rankTime;
+    std::vector<std::uint8_t> rankState;
+    /** Ranks still executing; 0 returns the slot to the pool. */
+    int remaining = 0;
 };
 
 /**
@@ -260,6 +308,17 @@ class Engine
     void handleArrived(std::uint32_t idx, SimTime t);
     void handleCollective(RankCtx &ctx, const PackedOp &op);
     void handleRelease(SimTime t);
+
+    /** Algorithmic-collective seam (see handleCollective). */
+    void resolveCollSchedules();
+    std::uint32_t acquireCollExec(std::uint32_t c);
+    void startCollRank(std::uint32_t c, Rank r);
+    void advanceCollRank(std::uint32_t c, Rank r);
+    void postCollTransfer(std::uint32_t c, Rank r,
+                          const coll::Step &step, SimTime t);
+    void onCollSendInjected(std::uint32_t idx, SimTime t);
+    void onCollArrived(std::uint32_t idx, SimTime t);
+    void finishCollRank(std::uint32_t c, Rank r);
     void recordCommEvent(std::uint32_t idx, SimTime recv_complete);
     [[noreturn]] void reportDeadlock() const;
 
@@ -404,6 +463,23 @@ class Engine
 
     std::vector<Barrier> barriers_;
 
+    /**
+     * Algorithmic-collective state. collSched_ holds one shared
+     * compiled schedule per program collective, resolved once per
+     * (program collectives, rank count, algorithm pins) and cached
+     * across replays — a bandwidth sweep resolves its schedules
+     * once, like the compiled-topology cache. The CollExec pool is
+     * engine-lifetime; acquire re-initializes, so sessions replay
+     * with warmed-up arrays.
+     */
+    bool algorithmic_ = false;
+    std::vector<std::shared_ptr<const coll::Schedule>> collSched_;
+    std::vector<CollectiveSpec> collSchedKey_;
+    int collSchedRanks_ = -1;
+    coll::AlgorithmOverrides collSchedPins_;
+    std::vector<CollExec> collExecs_;
+    std::vector<std::uint32_t> collExecFree_;
+
     int busFree_ = 0;
     std::vector<int> outFree_;
     std::vector<int> inFree_;
@@ -477,6 +553,12 @@ Engine::reset()
     resourcesFreed_ = false;
     channels_.clear();
     barriers_.clear();
+    // Every pooled CollExec is free at the start of a run (a
+    // previous run that threw may have left some marked busy).
+    collExecFree_.clear();
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(collExecs_.size()); ++i)
+        collExecFree_.push_back(i);
     doneRanks_ = 0;
     lastBurstInstr_ = 0;
     lastBurstDur_ = SimTime::zero();
@@ -538,15 +620,32 @@ Engine::run(const ReplayProgram &program,
     rendezvousOverhead_ =
         SimTime::fromUs(platform_.rendezvousOverheadUs);
 
+    // Algorithmic collectives replace the closed-form cost with
+    // compiled point-to-point schedules executed on the transfer
+    // path. With one rank there is no traffic to lower; the
+    // analytic path (whose cost is zero for P == 1 up to latency
+    // terms) keeps replaying those.
+    algorithmic_ = platform_.collectiveModel ==
+            coll::CollectiveModel::algorithmic &&
+        nranks_ > 1 && !program.collectives().empty();
+    std::size_t coll_sends = 0;
+    if (algorithmic_) {
+        resolveCollSchedules();
+        for (const auto &sched : collSched_)
+            coll_sends += sched->sendCount();
+    }
+
     // The compiler counted the sends, so the transfer arena (one
     // entry per transfer ever posted, indices stable) can be sized
-    // exactly: no growth mid-replay. The recv-post pool is left to
-    // grow on demand: posts are recycled through its free list, so
-    // it only ever holds the maximum number of simultaneously
-    // unmatched receives — usually a tiny fraction of the total.
-    transfers_.reserve(program.totalSends());
+    // exactly: no growth mid-replay (collective schedule steps
+    // included — each send step posts exactly one transfer). The
+    // recv-post pool is left to grow on demand: posts are recycled
+    // through its free list, so it only ever holds the maximum
+    // number of simultaneously unmatched receives — usually a tiny
+    // fraction of the total.
+    transfers_.reserve(program.totalSends() + coll_sends);
     if (capture_)
-        txMeta_.reserve(program.totalSends());
+        txMeta_.reserve(program.totalSends() + coll_sends);
     events_.reserve(static_cast<std::size_t>(nranks) * 4 + 256);
     // Scale the channel table with the program so big replays do
     // not pay rehash churn.
@@ -1122,6 +1221,10 @@ void
 Engine::finishInjection(std::uint32_t idx, SimTime t)
 {
     Transfer &transfer = transfers_[idx];
+    if (transfer.has(tfColl)) {
+        onCollSendInjected(idx, t);
+        return;
+    }
     if (transfer.has(tfSenderBlocking)) {
         const Rank src = transfer.src;
         transfer.clear(tfSenderBlocking);
@@ -1222,6 +1325,10 @@ Engine::handleArrived(std::uint32_t idx, SimTime t)
     Transfer &transfer = transfers_[idx];
     transfer.set(tfArrived);
     transfer.arriveTime = t;
+    if (transfer.has(tfColl)) {
+        onCollArrived(idx, t);
+        return;
+    }
     if (transfer.has(tfRecvPosted) &&
         transfer.recvReq != noRequest) {
         const SimTime done = t > transfer.recvPostTime
@@ -1243,6 +1350,25 @@ Engine::handleCollective(RankCtx &ctx, const PackedOp &op)
         barrier.latest = ctx.now;
 
     blockRank(ctx, RankState::collective);
+
+    if (algorithmic_) {
+        // Algorithmic model: the rank starts walking its compiled
+        // schedule at its own arrival instant (true MPI semantics —
+        // a broadcast root can leave before the leaves arrive) and
+        // is released when its last step retires. The analytic
+        // barrier-and-release machinery below stays untouched.
+        const CollectiveSpec &spec =
+            program_->collectives()[op.c];
+        if (static_cast<Rank>(op.d) != spec.root) {
+            fatal("rank ", ctx.rank, ": collective #", op.c,
+                  " names root ", op.d, " but other ranks named ",
+                  spec.root,
+                  " (the algorithmic collective model requires "
+                  "root agreement)");
+        }
+        startCollRank(op.c, ctx.rank);
+        return;
+    }
 
     if (barrier.arrived == nranks_) {
         const CollectiveSpec &spec =
@@ -1283,6 +1409,223 @@ Engine::handleRelease(SimTime t)
         wakeRank(r, t);
     }
     broadcastPending_ = 0;
+}
+
+/**
+ * Resolve one shared compiled schedule per program collective.
+ * Pure function of (collective table, rank count, algorithm pins),
+ * so the result is cached across replays: a bandwidth sweep
+ * resolves its schedules once and every sweep point reuses them,
+ * and the process-wide schedule cache dedups across sessions and
+ * sweep lanes.
+ */
+void
+Engine::resolveCollSchedules()
+{
+    const auto specs = program_->collectives();
+    if (collSchedRanks_ == nranks_ &&
+        collSchedPins_ == platform_.collectiveAlgorithms &&
+        collSchedKey_.size() == specs.size() &&
+        std::equal(collSchedKey_.begin(), collSchedKey_.end(),
+                   specs.begin()))
+        return;
+    collSched_.clear();
+    collSched_.reserve(specs.size());
+    for (const CollectiveSpec &spec : specs) {
+        const Bytes bytes =
+            std::max(spec.sendBytes, spec.recvBytes);
+        collSched_.push_back(coll::compileSchedule(
+            spec.op, nranks_, spec.root, bytes,
+            platform_.collectiveAlgorithms.of(spec.op)));
+    }
+    collSchedKey_.assign(specs.begin(), specs.end());
+    collSchedRanks_ = nranks_;
+    collSchedPins_ = platform_.collectiveAlgorithms;
+}
+
+/** Pool out an execution state sized for collective `c`. */
+std::uint32_t
+Engine::acquireCollExec(std::uint32_t c)
+{
+    std::uint32_t slot;
+    if (!collExecFree_.empty()) {
+        slot = collExecFree_.back();
+        collExecFree_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(collExecs_.size());
+        collExecs_.emplace_back();
+    }
+    const coll::Schedule &sched = *collSched_[c];
+    CollExec &ex = collExecs_[slot];
+    ex.slotTime.assign(sched.recvSlots(), SimTime());
+    ex.slotArrived.assign(sched.recvSlots(), 0);
+    ex.cursor.assign(static_cast<std::size_t>(nranks_), 0);
+    ex.rankTime.assign(static_cast<std::size_t>(nranks_),
+                       SimTime());
+    ex.rankState.assign(static_cast<std::size_t>(nranks_),
+                        collAbsent);
+    ex.remaining = nranks_;
+    return slot;
+}
+
+void
+Engine::startCollRank(std::uint32_t c, Rank r)
+{
+    Barrier &barrier = barriers_[c];
+    if (barrier.exec == npos32)
+        barrier.exec = acquireCollExec(c);
+    CollExec &ex = collExecs_[barrier.exec];
+    ex.rankTime[static_cast<std::size_t>(r)] =
+        ranks_[static_cast<std::size_t>(r)].now;
+    ex.rankState[static_cast<std::size_t>(r)] = collRunning;
+    advanceCollRank(c, r);
+}
+
+/**
+ * Walk rank `r`'s step list as far as it can go: send steps post
+ * one transfer and park the cursor until the injection completes
+ * (back-to-back sends serialize through the sender, like the
+ * classic algorithms assume), recv steps retire as soon as their
+ * pre-matched slot has arrived. A cursor that walks off the end
+ * releases the rank.
+ */
+void
+Engine::advanceCollRank(std::uint32_t c, Rank r)
+{
+    const std::uint32_t exec = barriers_[c].exec;
+    const auto steps = collSched_[c]->stepsOf(r);
+    const auto ri = static_cast<std::size_t>(r);
+    for (;;) {
+        CollExec &ex = collExecs_[exec];
+        const std::uint32_t cur = ex.cursor[ri];
+        if (cur >= steps.size())
+            break;
+        const coll::Step &step = steps[cur];
+        if (step.isSend) {
+            ex.rankState[ri] = collWaitInject;
+            postCollTransfer(c, r, step, ex.rankTime[ri]);
+            return;
+        }
+        if (!ex.slotArrived[step.slot]) {
+            ex.rankState[ri] = collWaitRecv;
+            return;
+        }
+        if (ex.slotTime[step.slot] > ex.rankTime[ri])
+            ex.rankTime[ri] = ex.slotTime[step.slot];
+        ++ex.cursor[ri];
+    }
+    finishCollRank(c, r);
+}
+
+void
+Engine::postCollTransfer(std::uint32_t c, Rank r,
+                         const coll::Step &step, SimTime t)
+{
+    const Rank dst = step.peer;
+    const auto idx = static_cast<std::uint32_t>(transfers_.size());
+    Transfer &transfer = transfers_.emplace_back();
+    transfer.bytes = step.bytes;
+    transfer.src = r;
+    transfer.dst = dst;
+    transfer.set(tfColl);
+    // Eager semantics: the schedule executor owns the sender's
+    // pacing (the cursor waits for injection), so the transfer
+    // itself never blocks and never enters rendezvous.
+    transfer.set(tfEager);
+    if (nodeOf(r) == nodeOf(dst))
+        transfer.set(tfLocal);
+    transfer.sendReq = c;
+    transfer.recvReq = step.slot;
+    if (capture_) {
+        // Keep the meta arena parallel; collective steps carry no
+        // trace message id or tag.
+        TransferMeta &meta = txMeta_.emplace_back();
+        meta.sendPost = t;
+    }
+    auto &result = ranks_[static_cast<std::size_t>(r)].result;
+    ++result.messagesSent;
+    result.bytesSent += step.bytes;
+    makeEligible(idx, t);
+}
+
+/**
+ * A schedule send finished injecting: the sender's cursor resumes
+ * past it. Exactly one un-injected collective send exists per rank
+ * at a time (the cursor waits), so the event maps back to the
+ * cursor without bookkeeping.
+ */
+void
+Engine::onCollSendInjected(std::uint32_t idx, SimTime t)
+{
+    const Transfer &transfer = transfers_[idx];
+    const std::uint32_t c = transfer.sendReq;
+    const Rank r = transfer.src;
+    const auto ri = static_cast<std::size_t>(r);
+    CollExec &ex = collExecs_[barriers_[c].exec];
+    ovlAssert(ex.rankState[ri] == collWaitInject,
+              "collective injection for a rank not waiting on one");
+    if (t > ex.rankTime[ri])
+        ex.rankTime[ri] = t;
+    ++ex.cursor[ri];
+    ex.rankState[ri] = collRunning;
+    advanceCollRank(c, r);
+}
+
+/**
+ * A schedule transfer arrived: record its slot and, when the
+ * receiver's cursor is parked on exactly this slot, resume it.
+ * Out-of-order arrivals (a later round's payload overtaking an
+ * earlier sender) just mark their slot; the cursor consumes them
+ * in order when it gets there.
+ */
+void
+Engine::onCollArrived(std::uint32_t idx, SimTime t)
+{
+    const Transfer &transfer = transfers_[idx];
+    const std::uint32_t c = transfer.sendReq;
+    const std::uint32_t slot = transfer.recvReq;
+    const Rank dst = transfer.dst;
+    const auto di = static_cast<std::size_t>(dst);
+    CollExec &ex = collExecs_[barriers_[c].exec];
+    ovlAssert(!ex.slotArrived[slot],
+              "collective slot arrived twice");
+    ex.slotArrived[slot] = 1;
+    ex.slotTime[slot] = t;
+    ++ranks_[di].result.messagesReceived;
+    if (ex.rankState[di] != collWaitRecv)
+        return;
+    const auto steps = collSched_[c]->stepsOf(dst);
+    const coll::Step &step = steps[ex.cursor[di]];
+    if (step.slot != slot)
+        return;
+    if (t > ex.rankTime[di])
+        ex.rankTime[di] = t;
+    ++ex.cursor[di];
+    ex.rankState[di] = collRunning;
+    advanceCollRank(c, dst);
+}
+
+/**
+ * Rank `r` retired its last step: release it at its schedule-local
+ * time. When the last rank finishes, the execution state returns
+ * to the pool — by then every transfer of the instance has arrived
+ * (a rank cannot finish before consuming all its recv slots, and
+ * every send is some rank's recv slot), so no event can reference
+ * the slot afterwards.
+ */
+void
+Engine::finishCollRank(std::uint32_t c, Rank r)
+{
+    Barrier &barrier = barriers_[c];
+    CollExec &ex = collExecs_[barrier.exec];
+    const auto ri = static_cast<std::size_t>(r);
+    ex.rankState[ri] = collDone;
+    const SimTime done = ex.rankTime[ri];
+    if (--ex.remaining == 0) {
+        collExecFree_.push_back(barrier.exec);
+        barrier.exec = npos32;
+    }
+    wakeRank(r, done);
 }
 
 void

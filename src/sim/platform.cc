@@ -56,6 +56,16 @@ PlatformConfig::validate() const
         collectives.bandwidthFactor < 0.0) {
         fatal("platform: collective factors must be >= 0");
     }
+    if (collectiveModel == coll::CollectiveModel::algorithmic &&
+        (collectives.latencyFactor != 1.0 ||
+         collectives.bandwidthFactor != 1.0)) {
+        fatal("platform: the algorithmic collective model prices "
+              "collectives from their point-to-point schedules; "
+              "collective_latency_factor/"
+              "collective_bandwidth_factor apply only to the "
+              "analytic model (collective_model = analytic)");
+    }
+    coll::validateOverrides(collectiveAlgorithms);
     topology.validate();
 }
 

@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "coll/coll.hh"
 #include "net/topology.hh"
 #include "trace/record.hh"
 #include "util/types.hh"
@@ -98,6 +99,27 @@ struct PlatformConfig
     bool captureTimeline = false;
 
     CollectiveModelConfig collectives;
+
+    /**
+     * How CollectiveRecs are priced (src/coll/). The default
+     * analytic model keeps the classic closed-form path —
+     * bit-identical to platforms that predate the field. The
+     * algorithmic model lowers each collective into a compiled
+     * point-to-point schedule (binomial trees, recursive doubling,
+     * rings, ...) executed through the engine's ordinary transfer
+     * path, so collective traffic contends for buses and topology
+     * links exactly like application messages.
+     */
+    coll::CollectiveModel collectiveModel =
+        coll::CollectiveModel::analytic;
+
+    /**
+     * Per-operation algorithm pins for the algorithmic model
+     * (`automatic` everywhere by default — size-based selection).
+     * Ignored by the analytic model, but validated regardless so a
+     * nonsensical pin never waits for a mode switch to surface.
+     */
+    coll::AlgorithmOverrides collectiveAlgorithms;
 
     /**
      * Interconnect shape (src/net/). The default flat bus keeps the

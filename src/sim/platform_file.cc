@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "coll/coll.hh"
 #include "net/topology.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -10,6 +11,42 @@
 namespace ovlsim::sim {
 
 namespace {
+
+/** Key prefix of the per-op collective algorithm pins. */
+const std::string collAlgoPrefix = "collective_algorithm_";
+
+/**
+ * Parse one `collective_algorithm_<op> = <algorithm>` pin. Unknown
+ * op names, unknown algorithm names and algorithms that cannot
+ * lower the op all fail here with the full list of valid values,
+ * mirroring the topology-key error style.
+ */
+void
+parseCollectiveAlgorithm(PlatformConfig &config,
+                         std::size_t line_no,
+                         const std::string &key,
+                         const std::string &value)
+{
+    const std::string op_name = key.substr(collAlgoPrefix.size());
+    trace::CollOp op;
+    try {
+        op = trace::collOpFromName(op_name);
+    } catch (const FatalError &) {
+        fatal("platform config line ", line_no,
+              ": unknown collective op '", op_name, "' in key '",
+              key,
+              "' (expected one of: barrier broadcast reduce "
+              "allreduce gather allgather scatter alltoall)");
+    }
+    const coll::Algorithm algorithm =
+        coll::algorithmFromName(value);
+    if (!coll::algorithmSupports(op, algorithm)) {
+        fatal("platform config line ", line_no, ": algorithm '",
+              value, "' cannot lower ", trace::collOpName(op),
+              " collectives");
+    }
+    config.collectiveAlgorithms.set(op, algorithm);
+}
 
 /** Parse torus dimensions of the form "4x4x2". */
 std::vector<int>
@@ -100,6 +137,12 @@ readPlatformConfig(std::istream &is)
         } else if (key == "collective_bandwidth_factor") {
             config.collectives.bandwidthFactor =
                 parseDouble(value);
+        } else if (key == "collective_model") {
+            // Unknown names fail here with the valid models.
+            config.collectiveModel =
+                coll::collectiveModelFromName(value);
+        } else if (key.rfind(collAlgoPrefix, 0) == 0) {
+            parseCollectiveAlgorithm(config, line_no, key, value);
         } else if (key == "topology") {
             // Unknown names fail here with the full list of kinds.
             config.topology.kind =
@@ -189,6 +232,17 @@ writePlatformConfig(const PlatformConfig &config,
        << strformat("%.17g",
                     config.collectives.bandwidthFactor)
        << "\n";
+    os << "collective_model = "
+       << coll::collectiveModelName(config.collectiveModel)
+       << "\n";
+    for (std::size_t i = 0; i < coll::collOpCount; ++i) {
+        const auto algorithm = config.collectiveAlgorithms.byOp[i];
+        if (algorithm == coll::Algorithm::automatic)
+            continue;
+        os << "collective_algorithm_"
+           << trace::collOpName(static_cast<trace::CollOp>(i))
+           << " = " << coll::algorithmName(algorithm) << "\n";
+    }
     const auto &topo = config.topology;
     os << "topology = " << net::topologyKindName(topo.kind)
        << "\n";

@@ -294,7 +294,8 @@ compileTrace(const trace::TraceSet &traces)
                 const auto *g = std::get_if<CollectiveRec>(&rec);
                 if (coll_index == p.collectives_.size()) {
                     p.collectives_.push_back(CollectiveSpec{
-                        g->op, g->sendBytes, g->recvBytes});
+                        g->op, g->sendBytes, g->recvBytes,
+                        g->root});
                 } else {
                     CollectiveSpec &spec =
                         p.collectives_[coll_index];

@@ -94,13 +94,20 @@ static_assert(sizeof(PackedOp) == 24);
  * One collective of the program, shared by all ranks. Byte counts
  * are the maximum over every participating rank's record — exactly
  * the values the engine's running max used to converge to when the
- * last rank arrived, now resolved at compile time.
+ * last rank arrived, now resolved at compile time. `root` is the
+ * first participating rank's root (per-rank roots stay in the op
+ * stream for decoding; the analytic cost model ignores the root
+ * entirely, and the algorithmic model rejects replays whose ranks
+ * disagree on it).
  */
 struct CollectiveSpec
 {
     trace::CollOp op = trace::CollOp::barrier;
     Bytes sendBytes = 0;
     Bytes recvBytes = 0;
+    Rank root = 0;
+
+    bool operator==(const CollectiveSpec &) const = default;
 };
 
 /** Cold per-p2p-op identifiers (timeline capture and decoding). */

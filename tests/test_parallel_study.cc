@@ -222,6 +222,60 @@ TEST(TopologySweepTest, BitIdenticalAcrossThreadCountsAndRuns)
     }
 }
 
+TEST(CollectiveSweepTest, BitIdenticalAcrossThreadCountsAndRuns)
+{
+    // Algorithmic collectives replay compiled schedules shared
+    // through a process-wide cache from many lanes at once; like
+    // programs and compiled topologies, nothing about them may
+    // depend on thread count or scheduling (TSAN builds race-check
+    // the schedule cache and the per-lane executors).
+    const auto bundle = testing::traceOf(
+        4, [](vm::VmContext &ctx) {
+            const Rank right = (ctx.rank() + 1) % ctx.ranks();
+            const Rank left =
+                (ctx.rank() + ctx.ranks() - 1) % ctx.ranks();
+            const auto sbuf =
+                ctx.allocBuffer("halo", 32 * 1024);
+            const auto rbuf =
+                ctx.allocBuffer("halo-in", 32 * 1024);
+            for (int it = 0; it < 3; ++it) {
+                ctx.compute(200'000);
+                ctx.computeStore(sbuf, 0, 32 * 1024, 0.2, 4);
+                ctx.send(sbuf, 0, 32 * 1024, right, 5);
+                ctx.recv(rbuf, 0, 32 * 1024, left, 5);
+                ctx.allReduce(16 * 1024);
+                ctx.barrier();
+            }
+            ctx.broadcast(64 * 1024, 0);
+        });
+    const auto base = sim::platforms::defaultCluster();
+    const auto grid = core::logBandwidthGrid(4.0, 1024.0, 1);
+    const auto variants = core::standardVariants(4);
+    const std::vector<core::TopologySpec> topologies{
+        {"flat-bus", net::topologies::flatBus()},
+        {"tapered", net::topologies::taperedFatTree(2, 0.5)},
+        {"torus", net::topologies::torus2d()},
+    };
+
+    const auto sequential = core::collectiveSweep(
+        bundle, base, grid, variants, topologies, 1);
+    ASSERT_EQ(sequential.analytic.size(), topologies.size());
+    ASSERT_EQ(sequential.algorithmic.size(), topologies.size());
+    for (const int threads : threadCounts) {
+        for (int run = 0; run < 2; ++run) {
+            const auto parallel = core::collectiveSweep(
+                bundle, base, grid, variants, topologies,
+                threads);
+            for (std::size_t t = 0; t < topologies.size(); ++t) {
+                expectIdenticalSweep(parallel.analytic[t],
+                                     sequential.analytic[t]);
+                expectIdenticalSweep(parallel.algorithmic[t],
+                                     sequential.algorithmic[t]);
+            }
+        }
+    }
+}
+
 TEST(TopologySweepTest, TopologiesActuallyDiverge)
 {
     // The campaign is only interesting if the fabrics disagree
