@@ -18,19 +18,22 @@
  *    src/net/ on a tapered fat tree),
  *  - M6: algorithmic-collective replay throughput (events per
  *    second replaying nas-cg-x8 on the tapered fat tree with
- *    collectives lowered into point-to-point schedules, src/coll/).
+ *    collectives lowered into point-to-point schedules, src/coll/),
+ *  - M7: dynamic-scenario replay throughput (events per second
+ *    replaying sweep3d-x8 on the tapered fat tree while a scenario
+ *    degrades and recovers the whole fabric mid-run, src/scen/).
  *
  * Besides the google-benchmark suite, `--json[=PATH]` runs the M1
  * replay-engine configurations standalone plus the M2 compile, M3
- * transform, M4 sweep, M5 topology and M6 collective
+ * transform, M4 sweep, M5 topology, M6 collective and M7 scenario
  * configurations, and appends the largest M1 figure (events/sec,
  * ns/event, peak RSS), the M2 figure (records/sec), the M3 figure
  * (transform records/sec), the M4 figure (sweep points/sec at
  * `--threads` workers, default all cores), the M5 figure (topology
- * events/sec) and the M6 figure (collective events/sec) to the
- * perf trajectory file (default BENCH_engine.json), giving every
- * PR six comparable data points. See ROADMAP.md "Performance
- * methodology".
+ * events/sec), the M6 figure (collective events/sec) and the M7
+ * figure (scenario events/sec) to the perf trajectory file
+ * (default BENCH_engine.json), giving every PR seven comparable
+ * data points. See ROADMAP.md "Performance methodology".
  */
 
 // google-benchmark drives the M1-M3 suite; the --json trajectory
@@ -634,6 +637,112 @@ collPointToJson(const CollJsonPoint &point)
 }
 
 /**
+ * The M7 configuration: the M5 contended replay with a dynamic
+ * scenario installed — the whole fabric degrades to quarter
+ * capacity (and doubled per-hop latency) over the middle half of
+ * the run and recovers, so every replay pays the scenario seam:
+ * per-link scale commits, frozen-finish re-arms and the flat/net
+ * cost-path multiplier checks (src/scen/). The figure is directly
+ * comparable to M5's scenario-free events/sec on the same workload
+ * and fabric, so the trajectory prices what fault injection costs
+ * the engine. The window is scaled once from a nominal warm-up
+ * run, matching how degradation campaigns build their scenarios.
+ */
+struct ScenJsonPoint
+{
+    std::string config;
+    std::size_t records = 0;
+    std::uint64_t eventsPerRun = 0;
+    std::uint64_t runs = 0;
+    double eventsPerSec = 0.0;
+    double nsPerEvent = 0.0;
+    long peakRssKb = 0;
+};
+
+ScenJsonPoint
+measureScenConfig(double min_seconds)
+{
+    const auto bundle = traceApp("sweep3d", 8);
+    auto platform = sim::platforms::defaultCluster();
+    platform.bandwidthMBps = 4096.0;
+    platform.topology = net::topologies::taperedFatTree(4, 0.5);
+
+    const auto program = sim::compileShared(bundle.traces);
+    sim::ReplaySession session;
+    const SimTime nominal =
+        session.run(*program, platform).totalTime;
+
+    scen::ScenarioEvent degrade;
+    degrade.time = SimTime::fromNs(nominal.ns() / 4);
+    degrade.kind = scen::ScenEventKind::degrade;
+    degrade.target = scen::ScenTarget::all;
+    degrade.bandwidthFactor = 0.25;
+    degrade.latencyFactor = 2.0;
+    platform.scenario.events.push_back(degrade);
+    scen::ScenarioEvent recover;
+    recover.time = SimTime::fromNs(3 * (nominal.ns() / 4));
+    recover.kind = scen::ScenEventKind::recover;
+    recover.target = scen::ScenTarget::all;
+    platform.scenario.events.push_back(recover);
+
+    const std::uint64_t events_per_run =
+        session.run(*program, platform).eventsProcessed;
+
+    std::uint64_t events = 0;
+    std::uint64_t runs = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        const auto result = session.run(*program, platform);
+        events += result.eventsProcessed;
+        ++runs;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+
+    ScenJsonPoint point;
+    point.config = "sweep3d-x8/fat-tree-taper2/mid-degrade/bw4096";
+    point.records = bundle.traces.totalRecords();
+    point.eventsPerRun = events_per_run;
+    point.runs = runs;
+    point.eventsPerSec = static_cast<double>(events) / elapsed;
+    point.nsPerEvent =
+        elapsed * 1e9 / static_cast<double>(events);
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    point.peakRssKb = usage.ru_maxrss;
+    return point;
+}
+
+std::string
+scenPointToJson(const ScenJsonPoint &point)
+{
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm_utc{}; gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    return strformat(
+        "{\n"
+        "    \"bench\": \"bench_micro.scenarioReplay\",\n"
+        "    \"config\": \"%s\",\n"
+        "    \"records\": %zu,\n"
+        "    \"events_per_run\": %llu,\n"
+        "    \"runs\": %llu,\n"
+        "    \"scen_events_per_sec\": %.0f,\n"
+        "    \"ns_per_event\": %.2f,\n"
+        "    \"peak_rss_kb\": %ld,\n"
+        "    \"timestamp\": \"%s\"\n"
+        "  }",
+        point.config.c_str(), point.records,
+        static_cast<unsigned long long>(point.eventsPerRun),
+        static_cast<unsigned long long>(point.runs),
+        point.eventsPerSec, point.nsPerEvent, point.peakRssKb,
+        stamp);
+}
+
+/**
  * The M4 configuration: one R1-style bandwidth sweep of the sweep3d
  * proxy (original + the two standard variants per grid point),
  * repeated until the clock budget runs out. The figure of merit is
@@ -843,18 +952,29 @@ runJsonMode(const std::string &path, int threads)
         static_cast<unsigned long long>(coll.runs),
         static_cast<unsigned long long>(coll.eventsPerRun),
         coll.peakRssKb);
+    const ScenJsonPoint scen = measureScenConfig(1.5);
+    std::printf(
+        "%-22s %9.2f M events/s  %6.2f ns/event  "
+        "(%llu runs x %llu events, rss %ld KB)\n",
+        scen.config.c_str(), scen.eventsPerSec / 1e6,
+        scen.nsPerEvent,
+        static_cast<unsigned long long>(scen.runs),
+        static_cast<unsigned long long>(scen.eventsPerRun),
+        scen.peakRssKb);
     appendToTrajectory(path, pointToJson(largest));
     appendToTrajectory(path, compilePointToJson(compile));
     appendToTrajectory(path, transformPointToJson(transform));
     appendToTrajectory(path, sweepPointToJson(sweep));
     appendToTrajectory(path, topoPointToJson(topo));
     appendToTrajectory(path, collPointToJson(coll));
+    appendToTrajectory(path, scenPointToJson(scen));
     std::printf(
-        "trajectory points (%s, %s, %s, %s, %s, %s) appended to "
-        "%s\n",
+        "trajectory points (%s, %s, %s, %s, %s, %s, %s) appended "
+        "to %s\n",
         largest.config.c_str(), compile.config.c_str(),
         transform.config.c_str(), sweep.config.c_str(),
-        topo.config.c_str(), coll.config.c_str(), path.c_str());
+        topo.config.c_str(), coll.config.c_str(),
+        scen.config.c_str(), path.c_str());
     return 0;
 }
 

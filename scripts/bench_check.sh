@@ -4,9 +4,10 @@
 # Builds Release, runs `bench_micro --json` (the M1 replay-engine
 # throughput measurement on its largest configuration plus the M2
 # trace-lowering, M3 overlap-transformation, M4 sweep-throughput,
-# M5 contended-topology and M6 algorithmic-collective measurements)
-# and fails if any figure regressed more than the threshold against
-# the checked-in baseline (bench/BENCH_baseline.json):
+# M5 contended-topology, M6 algorithmic-collective and M7
+# dynamic-scenario measurements) and fails if any figure regressed
+# more than the threshold against the checked-in baseline
+# (bench/BENCH_baseline.json):
 #
 #   M1  events_per_sec             compiled-program replay throughput
 #   M2  compile_records_per_sec    trace-lowering (compile) throughput
@@ -14,6 +15,7 @@
 #   M4  sweep_points_per_sec       campaign (parallel sweep) throughput
 #   M5  topo_events_per_sec        topology-contended replay throughput
 #   M6  coll_events_per_sec        algorithmic-collective replay throughput
+#   M7  scen_events_per_sec        degraded-scenario replay throughput
 #
 # A baseline that lacks any gated key is stale: the gate fails fast
 # with a readable diff of the expected vs present keys instead of
@@ -40,7 +42,8 @@ THREADS="${OVLSIM_BENCH_THREADS:-0}"
 BASELINE="bench/BENCH_baseline.json"
 GATED_KEYS=(events_per_sec compile_records_per_sec
             transform_records_per_sec sweep_points_per_sec
-            topo_events_per_sec coll_events_per_sec)
+            topo_events_per_sec coll_events_per_sec
+            scen_events_per_sec)
 UPDATE=0
 if [[ "${1:-}" == "--update" ]]; then
     UPDATE=1
@@ -95,7 +98,8 @@ if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
          "$(extract_key "$BASELINE" transform_records_per_sec) transform records/sec," \
          "$(extract_key "$BASELINE" sweep_points_per_sec) sweep points/sec," \
          "$(extract_key "$BASELINE" topo_events_per_sec) topo events/sec," \
-         "$(extract_key "$BASELINE" coll_events_per_sec) coll events/sec)"
+         "$(extract_key "$BASELINE" coll_events_per_sec) coll events/sec," \
+         "$(extract_key "$BASELINE" scen_events_per_sec) scen events/sec)"
     exit 0
 fi
 
@@ -137,3 +141,6 @@ gate "M5 topo events/sec" \
 gate "M6 coll events/sec" \
      "$(extract_key "$RESULT_JSON" coll_events_per_sec)" \
      "$(extract_key "$BASELINE" coll_events_per_sec)"
+gate "M7 scen events/sec" \
+     "$(extract_key "$RESULT_JSON" scen_events_per_sec)" \
+     "$(extract_key "$BASELINE" scen_events_per_sec)"

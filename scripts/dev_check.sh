@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# One-command pre-merge check: tier-1, ASAN and the TSAN-labeled
-# parallel subset, each in its own build tree so the sanitizer
-# toggles never contaminate the normal configuration.
+# One-command pre-merge check: tier-1, ASAN, UBSAN and the
+# TSAN-labeled parallel subset, each in its own build tree so the
+# sanitizer toggles never contaminate the normal configuration.
 #
 #   1. tier-1:  default Release-ish build, full ctest suite
 #   2. ASAN:    OVLSIM_ASAN build, full ctest suite
-#   3. TSAN:    OVLSIM_TSAN build, `ctest -L parallel` (the thread
-#               pool, parallel sweeps, variant/schedule caches) and
+#   3. UBSAN:   OVLSIM_UBSAN build, full ctest suite (signed
+#               overflow and friends in the event/cost arithmetic)
+#   4. TSAN:    OVLSIM_TSAN build, `ctest -L parallel` (the thread
+#               pool, parallel sweeps, scenario determinism) and
 #               `ctest -L coll` (the algorithmic collective engine)
 #
 # Usage:
-#   scripts/dev_check.sh            # run all three stages
+#   scripts/dev_check.sh            # run all four stages
 #   scripts/dev_check.sh --fast     # tier-1 only
 #
 # Environment:
@@ -35,7 +37,7 @@ stage() { # name cmake-extra-args...
     cmake --build "$dir" -j "$JOBS" >/dev/null
 }
 
-echo "== dev_check: stage 1/3 tier-1 =="
+echo "== dev_check: stage 1/4 tier-1 =="
 stage tier1 -DCMAKE_BUILD_TYPE=Release
 (cd "$PREFIX-tier1" && ctest --output-on-failure -j "$JOBS")
 
@@ -44,13 +46,17 @@ if [[ "$FAST" == 1 ]]; then
     exit 0
 fi
 
-echo "== dev_check: stage 2/3 ASAN =="
+echo "== dev_check: stage 2/4 ASAN =="
 stage asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_ASAN=ON
 (cd "$PREFIX-asan" && ctest --output-on-failure -j "$JOBS")
 
-echo "== dev_check: stage 3/3 TSAN (parallel + coll labels) =="
+echo "== dev_check: stage 3/4 UBSAN =="
+stage ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_UBSAN=ON
+(cd "$PREFIX-ubsan" && ctest --output-on-failure -j "$JOBS")
+
+echo "== dev_check: stage 4/4 TSAN (parallel + coll labels) =="
 stage tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_TSAN=ON
 (cd "$PREFIX-tsan" && ctest --output-on-failure -L parallel)
 (cd "$PREFIX-tsan" && ctest --output-on-failure -L coll)
 
-echo "dev_check: PASS (tier-1 + ASAN + TSAN subsets)"
+echo "dev_check: PASS (tier-1 + ASAN + UBSAN + TSAN subsets)"

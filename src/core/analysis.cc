@@ -164,6 +164,31 @@ topologySweep(const tracer::TraceBundle &bundle,
     return result;
 }
 
+DegradedSweepResult
+degradedSweep(const tracer::TraceBundle &bundle,
+              const sim::PlatformConfig &base,
+              const std::vector<double> &bandwidths,
+              const std::vector<VariantSpec> &variants,
+              const std::vector<ScenarioSpec> &scenarios,
+              int threads)
+{
+    DegradedSweepResult result;
+    result.scenarios = scenarios;
+    result.sweeps.reserve(scenarios.size());
+    // Sequential outer loop for the same reason as topologySweep:
+    // the inner sweep owns the fan-out, and a fixed outer order
+    // keeps the campaign bit-identical to one-scenario runs at any
+    // thread count.
+    for (const auto &spec : scenarios) {
+        sim::PlatformConfig platform = base;
+        platform.scenario = spec.scenario;
+        platform.name = base.name + "/" + spec.name;
+        result.sweeps.push_back(bandwidthSweep(
+            bundle, platform, bandwidths, variants, threads));
+    }
+    return result;
+}
+
 CollectiveSweepResult
 collectiveSweep(const tracer::TraceBundle &bundle,
                 const sim::PlatformConfig &base,

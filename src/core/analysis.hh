@@ -19,6 +19,7 @@
 
 #include "core/transform.hh"
 #include "net/topology.hh"
+#include "scen/scenario.hh"
 #include "sim/engine.hh"
 #include "tracer/tracer.hh"
 
@@ -119,6 +120,43 @@ topologySweep(const tracer::TraceBundle &bundle,
               const std::vector<double> &bandwidths,
               const std::vector<VariantSpec> &variants,
               const std::vector<TopologySpec> &topologies,
+              int threads = 1);
+
+/** A named dynamic scenario to include in a degradation campaign. */
+struct ScenarioSpec
+{
+    std::string name;
+    scen::ScenarioConfig scenario;
+};
+
+/** One scenario's outcome inside a degradation campaign. */
+struct DegradedSweepResult
+{
+    std::vector<ScenarioSpec> scenarios;
+    /** Parallel to `scenarios`: one full R1-style sweep each. */
+    std::vector<SweepResult> sweeps;
+};
+
+/**
+ * The R1 bandwidth sweep repeated per dynamic scenario: for every
+ * scenario (src/scen/ — link degradations, stalls, reroutes,
+ * background traffic), replay the original and every overlapped
+ * variant across the bandwidth grid with the scenario installed in
+ * the platform (`base`'s other parameters, including its topology,
+ * are kept). The gap against a no-scenario sweep is the resilience
+ * question: how much of the overlap benefit survives a degraded
+ * machine. Scenarios containing fail-stop events terminate their
+ * sweep by design; campaigns use degrade/stall/reroute/background
+ * events. Each per-scenario sweep runs on the parallel sweep engine
+ * (`threads` as in bandwidthSweep) and the result is bit-identical
+ * to the sequential path at any thread count.
+ */
+DegradedSweepResult
+degradedSweep(const tracer::TraceBundle &bundle,
+              const sim::PlatformConfig &base,
+              const std::vector<double> &bandwidths,
+              const std::vector<VariantSpec> &variants,
+              const std::vector<ScenarioSpec> &scenarios,
               int threads = 1);
 
 /** One topology's analytic-vs-algorithmic outcome. */

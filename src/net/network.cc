@@ -1,5 +1,6 @@
 #include "network.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -30,12 +31,18 @@ LinkNetwork::configure(const CompiledTopology *topo,
     topo_ = topo;
     const std::size_t links = topo->linkCount();
     linkRate_.resize(links);
+    linkBase_.resize(links);
     for (std::size_t l = 0; l < links; ++l) {
         // MB/s = 1e6 bytes per second = 1e-3 bytes per ns.
-        linkRate_[l] = topo->linkFactor(
+        linkBase_[l] = topo->linkFactor(
                            static_cast<std::uint32_t>(l)) *
             base_mbps * 1e-3;
+        linkRate_[l] = linkBase_[l];
     }
+    linkScale_.assign(links, 1.0);
+    scaleDirty_.clear();
+    overrideIdx_.clear();
+    overrideRoutes_.clear();
     linkLoad_.assign(links, 0);
     linkTouch_.assign(links, 0);
     touchEpoch_ = 0;
@@ -47,7 +54,7 @@ void
 LinkNetwork::markTouched(int src, int dst)
 {
     ++touchEpoch_;
-    for (const std::uint32_t link : topo_->route(src, dst))
+    for (const std::uint32_t link : routeOf(src, dst))
         linkTouch_[link] = touchEpoch_;
 }
 
@@ -55,7 +62,7 @@ bool
 LinkNetwork::touches(const Flow &flow) const
 {
     for (const std::uint32_t link :
-         topo_->route(flow.src, flow.dst)) {
+         routeOf(flow.src, flow.dst)) {
         if (linkTouch_[link] == touchEpoch_)
             return true;
     }
@@ -67,13 +74,15 @@ LinkNetwork::bottleneckRate(const Flow &flow) const
 {
     double rate = std::numeric_limits<double>::infinity();
     for (const std::uint32_t link :
-         topo_->route(flow.src, flow.dst)) {
+         routeOf(flow.src, flow.dst)) {
         const double share = linkRate_[link] /
             static_cast<double>(linkLoad_[link]);
         if (share < rate)
             rate = share;
     }
-    ovlAssert(rate > 0.0 && std::isfinite(rate),
+    // Rate 0 is legal: a scenario froze a link on the route and the
+    // flow is parked until recovery.
+    ovlAssert(rate >= 0.0 && std::isfinite(rate),
               "LinkNetwork: flow over an empty route");
     return rate;
 }
@@ -97,6 +106,8 @@ LinkNetwork::finishTime(const Flow &flow, SimTime now)
 {
     if (flow.remaining <= 0.0)
         return now;
+    if (flow.rate <= 0.0)
+        return SimTime::max(); // frozen: only a recovery re-arms
     const double ns = std::ceil(flow.remaining / flow.rate);
     return now + SimTime::fromNs(static_cast<std::int64_t>(ns));
 }
@@ -111,7 +122,7 @@ LinkNetwork::start(std::uint32_t id, int src, int dst, Bytes bytes,
               "network");
     // Settle everyone's progress under the pre-admission rates.
     advanceAll(now);
-    for (const std::uint32_t link : topo_->route(src, dst))
+    for (const std::uint32_t link : routeOf(src, dst))
         ++linkLoad_[link];
     markTouched(src, dst);
 
@@ -162,10 +173,16 @@ LinkNetwork::onFinishEvent(std::uint32_t id, SimTime now)
         }
         if (flow.remaining > remainingEps) {
             // Early (stale) event: a slowdown moved the finish out.
-            // Re-arm unless a pending event already covers it.
+            // Re-arm unless a pending event already covers it. A
+            // frozen flow (rate 0) parks instead: no event to
+            // schedule, the recovery's applyScales() re-arms it.
             const SimTime retry = finishTime(flow, now);
             FinishCheck check;
             check.retry = retry;
+            if (retry == SimTime::max()) {
+                flow.armed = SimTime::max();
+                return check;
+            }
             if (retry < flow.armed || flow.armed <= now) {
                 flow.armed = retry;
                 check.reschedule = true;
@@ -186,7 +203,7 @@ LinkNetwork::onFinishEvent(std::uint32_t id, SimTime now)
     flows_.erase(flows_.begin() +
                  static_cast<std::ptrdiff_t>(slot));
     for (const std::uint32_t link :
-         topo_->route(done.src, done.dst)) {
+         routeOf(done.src, done.dst)) {
         ovlAssert(linkLoad_[link] > 0,
                   "LinkNetwork: link occupancy underflow");
         --linkLoad_[link];
@@ -218,6 +235,168 @@ LinkNetwork::totalLoad() const
     for (const std::uint32_t load : linkLoad_)
         total += load;
     return total;
+}
+
+void
+LinkNetwork::setLinkScale(std::uint32_t link, double scale)
+{
+    ovlAssert(scale >= 0.0,
+              "LinkNetwork: link scale must be non-negative");
+    if (linkScale_[link] == scale)
+        return;
+    linkScale_[link] = scale;
+    linkRate_[link] = linkBase_[link] * scale;
+    scaleDirty_.push_back(link);
+}
+
+void
+LinkNetwork::applyScales(SimTime now)
+{
+    if (scaleDirty_.empty())
+        return;
+    advanceAll(now);
+    ++touchEpoch_;
+    for (const std::uint32_t link : scaleDirty_)
+        linkTouch_[link] = touchEpoch_;
+    scaleDirty_.clear();
+    for (Flow &flow : flows_) {
+        if (!touches(flow))
+            continue;
+        const double rate = bottleneckRate(flow);
+        if (rate == flow.rate)
+            continue;
+        flow.rate = rate;
+        const SimTime finish = finishTime(flow, now);
+        // Speedups (including unfreezes, whose armed is "never")
+        // re-arm eagerly; slowdowns wait for their stale event.
+        if (finish < flow.armed) {
+            flow.armed = finish;
+            reschedules_.emplace_back(flow.id, finish);
+        }
+    }
+}
+
+LinkNetwork::RerouteReport
+LinkNetwork::rerouteDeadLinks(SimTime now)
+{
+    ovlAssert(topo_ != nullptr, "LinkNetwork: not configured");
+    advanceAll(now);
+    const int nodes = topo_->nodes();
+    const std::uint32_t links = topo_->linkCount();
+
+    // Snapshot the routes whose occupancy the in-flight flows
+    // currently hold, before any override changes underneath them.
+    std::vector<std::vector<std::uint32_t>> held;
+    held.reserve(flows_.size());
+    for (const Flow &flow : flows_) {
+        const auto r = routeOf(flow.src, flow.dst);
+        held.emplace_back(r.begin(), r.end());
+    }
+
+    // Adjacency of the surviving directed graph, links in id order
+    // so the breadth-first parents — and hence every detour — are
+    // deterministic.
+    std::vector<std::vector<std::uint32_t>> out(
+        topo_->vertexCount());
+    for (std::uint32_t l = 0; l < links; ++l) {
+        if (linkScale_[l] > 0.0)
+            out[topo_->linkFrom(l)].push_back(l);
+    }
+    const auto isDead = [&](std::span<const std::uint32_t> route) {
+        for (const std::uint32_t l : route)
+            if (linkScale_[l] <= 0.0)
+                return true;
+        return false;
+    };
+    constexpr std::uint32_t noParent =
+        std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> parent(topo_->vertexCount());
+    std::vector<std::uint32_t> queue;
+
+    overrideRoutes_.clear();
+    overrideIdx_.assign(static_cast<std::size_t>(nodes) *
+                            static_cast<std::size_t>(nodes),
+                        -1);
+    for (int s = 0; s < nodes; ++s) {
+        for (int d = 0; d < nodes; ++d) {
+            if (s == d)
+                continue;
+            const auto compiled = topo_->route(s, d);
+            if (!isDead(compiled))
+                continue; // compiled route survives; no override
+            // Shortest surviving path s -> d by hop count.
+            parent.assign(parent.size(), noParent);
+            queue.clear();
+            queue.push_back(static_cast<std::uint32_t>(s));
+            bool found = false;
+            for (std::size_t head = 0;
+                 head < queue.size() && !found; ++head) {
+                const std::uint32_t v = queue[head];
+                for (const std::uint32_t l : out[v]) {
+                    const std::uint32_t w = topo_->linkTo(l);
+                    if (w == static_cast<std::uint32_t>(s) ||
+                        parent[w] != noParent)
+                        continue;
+                    parent[w] = l;
+                    if (w == static_cast<std::uint32_t>(d)) {
+                        found = true;
+                        break;
+                    }
+                    queue.push_back(w);
+                }
+            }
+            if (!found) {
+                RerouteReport report;
+                report.ok = false;
+                report.src = s;
+                report.dst = d;
+                return report;
+            }
+            std::vector<std::uint32_t> path;
+            for (std::uint32_t v = static_cast<std::uint32_t>(d);
+                 v != static_cast<std::uint32_t>(s);
+                 v = topo_->linkFrom(parent[v]))
+                path.push_back(parent[v]);
+            std::reverse(path.begin(), path.end());
+            overrideIdx_[rowOf(s, d)] = static_cast<std::int32_t>(
+                overrideRoutes_.size());
+            overrideRoutes_.push_back(std::move(path));
+        }
+    }
+    if (overrideRoutes_.empty())
+        overrideIdx_.clear();
+
+    // Migrate in-flight flows: move their occupancy from the route
+    // they held to the new effective one, then recompute every
+    // rate. Total load is conserved by construction: each flow
+    // holds exactly one route's worth of occupancy at all times.
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+        Flow &flow = flows_[i];
+        const auto fresh = routeOf(flow.src, flow.dst);
+        const auto &old = held[i];
+        if (std::equal(fresh.begin(), fresh.end(), old.begin(),
+                       old.end()))
+            continue;
+        for (const std::uint32_t l : old) {
+            ovlAssert(linkLoad_[l] > 0,
+                      "LinkNetwork: link occupancy underflow");
+            --linkLoad_[l];
+        }
+        for (const std::uint32_t l : fresh)
+            ++linkLoad_[l];
+    }
+    for (Flow &flow : flows_) {
+        const double rate = bottleneckRate(flow);
+        if (rate == flow.rate)
+            continue;
+        flow.rate = rate;
+        const SimTime finish = finishTime(flow, now);
+        if (finish < flow.armed) {
+            flow.armed = finish;
+            reschedules_.emplace_back(flow.id, finish);
+        }
+    }
+    return RerouteReport{};
 }
 
 } // namespace ovlsim::net

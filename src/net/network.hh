@@ -55,7 +55,10 @@ class LinkNetwork
      * Admit flow `id` from `src` to `dst` nodes at `now` and return
      * the finish time the driver must schedule. Admission can only
      * slow other flows down; their already-scheduled finish events
-     * re-arm lazily when they fire early.
+     * re-arm lazily when they fire early. Returns SimTime::max()
+     * when the route is currently frozen (a scenario stalled or
+     * failed one of its links): the flow is admitted but makes no
+     * progress, and a later applyScales() recovery reschedules it.
      */
     SimTime start(std::uint32_t id, int src, int dst, Bytes bytes,
                   SimTime now);
@@ -107,6 +110,77 @@ class LinkNetwork
      */
     std::uint64_t totalLoad() const;
 
+    /** Current occupancy of one link (flows crossing it). */
+    std::uint32_t
+    linkLoad(std::uint32_t link) const
+    {
+        return linkLoad_[link];
+    }
+
+    /**
+     * Scenario seam: scale a link's capacity relative to its
+     * configured rate. 1.0 restores the compiled capacity, values
+     * in (0, 1) degrade it, 0 kills the link (flows crossing it
+     * freeze at rate 0). Takes effect at the next applyScales().
+     */
+    void setLinkScale(std::uint32_t link, double scale);
+
+    /** Current scenario scale of a link (1.0 when undisturbed). */
+    double
+    linkScale(std::uint32_t link) const
+    {
+        return linkScale_[link];
+    }
+
+    /**
+     * Commit pending setLinkScale() changes at `now`: settle every
+     * flow's progress under the old rates, then recompute the rates
+     * of flows crossing a changed link through the same bottleneck
+     * machinery as admission/completion. Slowdowns re-arm lazily
+     * (the stale early event corrects itself); speedups — including
+     * flows unfreezing after a recovery — appear in
+     * pendingReschedules() for the driver.
+     */
+    void applyScales(SimTime now);
+
+    /**
+     * Effective route of a (src, dst) pair: the scenario reroute
+     * override when one is active, else the compiled route.
+     */
+    std::span<const std::uint32_t>
+    routeOf(int src, int dst) const
+    {
+        if (!overrideRoutes_.empty()) {
+            const std::int32_t o = overrideIdx_[rowOf(src, dst)];
+            if (o >= 0)
+                return overrideRoutes_[static_cast<std::size_t>(o)];
+        }
+        return topo_->route(src, dst);
+    }
+
+    /** First unroutable pair when rerouteDeadLinks() fails. */
+    struct RerouteReport
+    {
+        bool ok = true;
+        int src = 0;
+        int dst = 0;
+    };
+
+    /**
+     * Re-resolve every (src, dst) pair whose effective route
+     * crosses a dead (scale == 0) link: breadth-first shortest path
+     * over the surviving directed links of the topology graph,
+     * deterministic (links expand in id order). Pairs whose
+     * compiled route no longer crosses a dead link drop back to it.
+     * In-flight flows migrate — their occupancy moves from the old
+     * route to the new one and every rate is recomputed, so
+     * totalLoad() stays equal to the summed effective route
+     * lengths. Returns {false, src, dst} for the first pair with no
+     * surviving path (the topology has no diversity there); the
+     * caller decides how fatal that is.
+     */
+    RerouteReport rerouteDeadLinks(SimTime now);
+
   private:
     struct Flow
     {
@@ -152,10 +226,28 @@ class LinkNetwork
      */
     static SimTime finishTime(const Flow &flow, SimTime now);
 
+    std::size_t
+    rowOf(int src, int dst) const
+    {
+        return static_cast<std::size_t>(src) *
+            static_cast<std::size_t>(topo_->nodes()) +
+            static_cast<std::size_t>(dst);
+    }
+
     const CompiledTopology *topo_ = nullptr;
     /** Per-link capacity in bytes/ns and current occupancy. */
     std::vector<double> linkRate_;
     std::vector<std::uint32_t> linkLoad_;
+    /** Configured (scale-1.0) capacity per link. */
+    std::vector<double> linkBase_;
+    /** Scenario capacity scale per link (1.0 = undisturbed). */
+    std::vector<double> linkScale_;
+    /** Links changed since the last applyScales(). */
+    std::vector<std::uint32_t> scaleDirty_;
+    /** Reroute overrides: per (src, dst) row, -1 or an index into
+     * overrideRoutes_. Empty overrideRoutes_ = no overrides. */
+    std::vector<std::int32_t> overrideIdx_;
+    std::vector<std::vector<std::uint32_t>> overrideRoutes_;
     /** Links touched in the current epoch (see markTouched). */
     std::vector<std::uint32_t> linkTouch_;
     std::uint32_t touchEpoch_ = 0;

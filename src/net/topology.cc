@@ -88,17 +88,29 @@ TopologyConfig::validate() const
 class TopologyBuilder
 {
   public:
-    explicit TopologyBuilder(int nodes) : nodes_(nodes)
+    explicit TopologyBuilder(int nodes)
+        : nodes_(nodes), vertices_(static_cast<std::uint32_t>(nodes))
     {
         routes_.resize(static_cast<std::size_t>(nodes) *
                        static_cast<std::size_t>(nodes));
     }
 
+    /**
+     * Register a directed link `from` -> `to`. Vertex ids below the
+     * node count denote nodes; callers allocate switch/router
+     * vertices at `nodes + k` (see each compiler's vertex scheme).
+     */
     std::uint32_t
-    addLink(double factor)
+    addLink(double factor, std::uint32_t from, std::uint32_t to)
     {
         ovlAssert(factor > 0.0, "link factor must be positive");
         factors_.push_back(factor);
+        from_.push_back(from);
+        to_.push_back(to);
+        if (from + 1 > vertices_)
+            vertices_ = from + 1;
+        if (to + 1 > vertices_)
+            vertices_ = to + 1;
         return static_cast<std::uint32_t>(factors_.size() - 1);
     }
 
@@ -115,7 +127,10 @@ class TopologyBuilder
     {
         CompiledTopology topo;
         topo.nodes_ = nodes_;
+        topo.vertices_ = vertices_;
         topo.linkFactor_ = std::move(factors_);
+        topo.linkFrom_ = std::move(from_);
+        topo.linkTo_ = std::move(to_);
         topo.routeBegin_.reserve(routes_.size() + 1);
         std::size_t total = 0;
         for (const auto &r : routes_)
@@ -135,7 +150,10 @@ class TopologyBuilder
 
   private:
     int nodes_;
+    std::uint32_t vertices_;
     std::vector<double> factors_;
+    std::vector<std::uint32_t> from_;
+    std::vector<std::uint32_t> to_;
     std::vector<std::vector<std::uint32_t>> routes_;
 };
 
@@ -150,15 +168,22 @@ struct HostLinks
     std::vector<std::uint32_t> down;
 };
 
+/**
+ * `attachOf(n)` names the switch/router vertex node n hangs off;
+ * the injection link runs node -> switch, reception the reverse.
+ */
+template <typename AttachOf>
 HostLinks
-addHostLinks(TopologyBuilder &b, int nodes)
+addHostLinks(TopologyBuilder &b, int nodes, AttachOf &&attachOf)
 {
     HostLinks host;
     host.up.reserve(static_cast<std::size_t>(nodes));
     host.down.reserve(static_cast<std::size_t>(nodes));
     for (int n = 0; n < nodes; ++n) {
-        host.up.push_back(b.addLink(1.0));
-        host.down.push_back(b.addLink(1.0));
+        const std::uint32_t node = static_cast<std::uint32_t>(n);
+        const std::uint32_t attach = attachOf(n);
+        host.up.push_back(b.addLink(1.0, node, attach));
+        host.down.push_back(b.addLink(1.0, attach, node));
     }
     return host;
 }
@@ -167,8 +192,6 @@ CompiledTopology
 compileFatTree(const TopologyConfig &config, int nodes)
 {
     const int radix = config.fatTreeRadix;
-    TopologyBuilder b(nodes);
-    const HostLinks host = addHostLinks(b, nodes);
 
     // Aggregate tree: level-0 switches attach `radix` nodes each;
     // every `radix` switches of a level share one parent above.
@@ -190,6 +213,25 @@ compileFatTree(const TopologyConfig &config, int nodes)
     }
     const int levels = static_cast<int>(levelCounts.size());
 
+    // Vertex scheme: level-l switch s lives at nodes + offset(l) + s.
+    std::vector<std::uint32_t> levelOffset(
+        static_cast<std::size_t>(levels));
+    std::uint32_t vertex_cursor = static_cast<std::uint32_t>(nodes);
+    for (int l = 0; l < levels; ++l) {
+        levelOffset[static_cast<std::size_t>(l)] = vertex_cursor;
+        vertex_cursor +=
+            static_cast<std::uint32_t>(levelCounts[static_cast<std::size_t>(l)]);
+    }
+    const auto switchVertex = [&](int l, std::size_t s) {
+        return levelOffset[static_cast<std::size_t>(l)] +
+            static_cast<std::uint32_t>(s);
+    };
+
+    TopologyBuilder b(nodes);
+    const HostLinks host = addHostLinks(b, nodes, [&](int n) {
+        return switchVertex(0, static_cast<std::size_t>(n / radix));
+    });
+
     // up[l][s] / down[l][s]: links between level-l switch s and its
     // level-(l+1) parent (absent for the top level).
     std::vector<std::vector<std::uint32_t>> up(
@@ -205,8 +247,12 @@ compileFatTree(const TopologyConfig &config, int nodes)
         up[l].reserve(switches);
         down[l].reserve(switches);
         for (std::size_t s = 0; s < switches; ++s) {
-            up[l].push_back(b.addLink(factor));
-            down[l].push_back(b.addLink(factor));
+            const std::uint32_t child = switchVertex(l, s);
+            const std::uint32_t parent =
+                switchVertex(l + 1,
+                             s / static_cast<std::size_t>(radix));
+            up[l].push_back(b.addLink(factor, child, parent));
+            down[l].push_back(b.addLink(factor, parent, child));
         }
     }
 
@@ -262,7 +308,32 @@ compileTorus(const TopologyConfig &config, int nodes)
     const int ndims = static_cast<int>(dims.size());
 
     TopologyBuilder b(nodes);
-    const HostLinks host = addHostLinks(b, nodes);
+    // Vertex scheme: the router at grid position p is nodes + p;
+    // node n attaches to the router at its own position (p == n).
+    const auto routerVertex = [&](std::size_t pos) {
+        return static_cast<std::uint32_t>(nodes) +
+            static_cast<std::uint32_t>(pos);
+    };
+    const HostLinks host = addHostLinks(b, nodes, [&](int n) {
+        return routerVertex(static_cast<std::size_t>(n));
+    });
+
+    // Position of the neighbour one step along `dim` (dir 0 = +,
+    // dir 1 = -), with wraparound (meshes never route off the edge,
+    // so the wrapped neighbour is merely an unused edge there).
+    const auto neighborOf = [&](std::size_t pos, int dim, int dir) {
+        std::size_t stride = 1;
+        for (int d = 0; d < dim; ++d)
+            stride *= static_cast<std::size_t>(
+                dims[static_cast<std::size_t>(d)]);
+        const std::size_t size = static_cast<std::size_t>(
+            dims[static_cast<std::size_t>(dim)]);
+        const std::size_t coord = (pos / stride) % size;
+        const std::size_t next = dir == 0
+            ? (coord + 1) % size
+            : (coord + size - 1) % size;
+        return pos - coord * stride + next * stride;
+    };
 
     // One router per grid position; per position, per dimension,
     // one directed link each way (dir 0 = +, dir 1 = -).
@@ -276,7 +347,8 @@ compileTorus(const TopologyConfig &config, int nodes)
                       static_cast<std::size_t>(dim)) *
                          2 +
                      static_cast<std::size_t>(dir)] =
-                    b.addLink(1.0);
+                    b.addLink(1.0, routerVertex(p),
+                              routerVertex(neighborOf(p, dim, dir)));
             }
         }
     }
@@ -379,7 +451,15 @@ compileDragonfly(const TopologyConfig &config, int nodes)
     }
 
     TopologyBuilder b(nodes);
-    const HostLinks host = addHostLinks(b, nodes);
+    // Vertex scheme: router r lives at nodes + r; node n attaches
+    // to router n / p.
+    const auto routerVertex = [&](int r) {
+        return static_cast<std::uint32_t>(nodes) +
+            static_cast<std::uint32_t>(r);
+    };
+    const HostLinks host = addHostLinks(b, nodes, [&](int n) {
+        return routerVertex(n / p);
+    });
 
     // Local links: one directed link per ordered router pair inside
     // each group. Global links: one directed aggregate link per
@@ -396,7 +476,8 @@ compileDragonfly(const TopologyConfig &config, int nodes)
             local[static_cast<std::size_t>(r) *
                       static_cast<std::size_t>(a) +
                   static_cast<std::size_t>(other)] =
-                b.addLink(1.0);
+                b.addLink(1.0, routerVertex(r),
+                          routerVertex(group * a + other));
         }
     }
     std::vector<std::uint32_t> global(
@@ -408,7 +489,9 @@ compileDragonfly(const TopologyConfig &config, int nodes)
                 continue;
             global[static_cast<std::size_t>(g1) *
                        static_cast<std::size_t>(groups) +
-                   static_cast<std::size_t>(g2)] = b.addLink(1.0);
+                   static_cast<std::size_t>(g2)] =
+                b.addLink(1.0, routerVertex(g1 * a + g2 % a),
+                          routerVertex(g2 * a + g1 % a));
         }
     }
     const auto localLink = [&](int from_router, int to_local) {

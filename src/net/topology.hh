@@ -149,6 +149,40 @@ class CompiledTopology
     }
 
     /**
+     * Vertices of the underlying graph: ids [0, nodes) are the
+     * nodes themselves, ids >= nodes are switches/routers. Every
+     * link is a directed edge between two vertices, so fault
+     * handling can re-resolve routes around a dead link by
+     * searching the surviving graph (scen/ reroute semantics).
+     */
+    std::uint32_t vertexCount() const { return vertices_; }
+
+    /** Source vertex of a directed link. */
+    std::uint32_t
+    linkFrom(std::uint32_t link) const
+    {
+        return linkFrom_[link];
+    }
+
+    /** Destination vertex of a directed link. */
+    std::uint32_t
+    linkTo(std::uint32_t link) const
+    {
+        return linkTo_[link];
+    }
+
+    /**
+     * True for per-node injection/reception (NIC) links — one
+     * endpoint is a node vertex. Fabric links join two switches.
+     */
+    bool
+    isHostLink(std::uint32_t link) const
+    {
+        return linkFrom_[link] < static_cast<std::uint32_t>(nodes_) ||
+            linkTo_[link] < static_cast<std::uint32_t>(nodes_);
+    }
+
+    /**
      * Link ids a (src, dst) transfer occupies, in traversal order:
      * injection link, fabric links, reception link. Empty when
      * src == dst (intra-node traffic bypasses the network) and for
@@ -173,7 +207,10 @@ class CompiledTopology
 
     int nodes_ = 0;
     std::size_t maxRoute_ = 0;
+    std::uint32_t vertices_ = 0;
     std::vector<double> linkFactor_;
+    std::vector<std::uint32_t> linkFrom_;
+    std::vector<std::uint32_t> linkTo_;
     /** CSR offsets, nodes_^2 + 1 entries. */
     std::vector<std::uint32_t> routeBegin_;
     std::vector<std::uint32_t> linkIds_;

@@ -1,0 +1,480 @@
+#include "scenario.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hh"
+
+namespace ovlsim::scen {
+
+const char *
+scenEventKindName(ScenEventKind kind)
+{
+    switch (kind) {
+      case ScenEventKind::degrade: return "degrade";
+      case ScenEventKind::recover: return "recover";
+      case ScenEventKind::fail: return "fail";
+      case ScenEventKind::background: return "background";
+    }
+    return "unknown";
+}
+
+const char *
+scenTargetName(ScenTarget target)
+{
+    switch (target) {
+      case ScenTarget::all: return "all";
+      case ScenTarget::node: return "node";
+      case ScenTarget::route: return "route";
+      case ScenTarget::link: return "link";
+    }
+    return "unknown";
+}
+
+const char *
+failSemanticsName(FailSemantics semantics)
+{
+    switch (semantics) {
+      case FailSemantics::failStop: return "fail-stop";
+      case FailSemantics::stall: return "stall";
+      case FailSemantics::reroute: return "reroute";
+    }
+    return "unknown";
+}
+
+FailSemantics
+failSemanticsFromName(const std::string &name)
+{
+    if (name == "fail-stop")
+        return FailSemantics::failStop;
+    if (name == "stall")
+        return FailSemantics::stall;
+    if (name == "reroute")
+        return FailSemantics::reroute;
+    fatal("unknown failure semantics '", name,
+          "' (expected fail-stop, stall or reroute)");
+}
+
+std::string
+ScenarioEvent::describe() const
+{
+    std::string scope;
+    switch (target) {
+      case ScenTarget::all:
+        scope = "all";
+        break;
+      case ScenTarget::node:
+        scope = strformat("node %d", nodeA);
+        break;
+      case ScenTarget::route:
+        scope = strformat("route %d %d", nodeA, nodeB);
+        break;
+      case ScenTarget::link:
+        scope = strformat("link %d %d", nodeA, nodeB);
+        break;
+    }
+    switch (kind) {
+      case ScenEventKind::degrade:
+        return strformat("at %.3fus degrade %s bw %g lat %g",
+                         time.toUs(), scope.c_str(),
+                         bandwidthFactor, latencyFactor);
+      case ScenEventKind::recover:
+        return strformat("at %.3fus recover %s", time.toUs(),
+                         scope.c_str());
+      case ScenEventKind::fail:
+        return strformat("at %.3fus fail %s %s", time.toUs(),
+                         scope.c_str(),
+                         failSemanticsName(semantics));
+      case ScenEventKind::background:
+        return strformat("at %.3fus background %d %d %llu",
+                         time.toUs(), nodeA, nodeB,
+                         static_cast<unsigned long long>(bytes));
+    }
+    return "unknown scenario event";
+}
+
+void
+ScenarioConfig::validate() const
+{
+    for (const ScenarioEvent &ev : events) {
+        if (ev.time < SimTime::zero()) {
+            fatal("scenario: event times must be non-negative (",
+                  ev.describe(), ")");
+        }
+        switch (ev.kind) {
+          case ScenEventKind::degrade:
+            if (ev.bandwidthFactor <= 0.0 || ev.latencyFactor <= 0.0) {
+                fatal("scenario: degrade factors must be positive "
+                      "(", ev.describe(),
+                      "); use `fail ... stall` to freeze a link");
+            }
+            break;
+          case ScenEventKind::background:
+            if (ev.bytes == 0) {
+                fatal("scenario: background flows need a payload (",
+                      ev.describe(), ")");
+            }
+            if (ev.nodeA == ev.nodeB) {
+                fatal("scenario: background flows must cross the "
+                      "network (", ev.describe(), ")");
+            }
+            break;
+          case ScenEventKind::recover:
+          case ScenEventKind::fail:
+            break;
+        }
+        if (ev.target != ScenTarget::all && ev.nodeA < 0) {
+            fatal("scenario: event names no target node (",
+                  ev.describe(), ")");
+        }
+        if ((ev.target == ScenTarget::route ||
+             ev.target == ScenTarget::link) &&
+            (ev.nodeB < 0 || ev.nodeA == ev.nodeB)) {
+            fatal("scenario: route/link targets need two distinct "
+                  "nodes (", ev.describe(), ")");
+        }
+    }
+}
+
+namespace {
+
+/** Tokenize one event line on arbitrary whitespace. */
+std::vector<std::string>
+tokensOf(const std::string &line)
+{
+    std::istringstream in(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (in >> token)
+        tokens.push_back(token);
+    return tokens;
+}
+
+} // namespace
+
+ScenarioConfig
+readScenario(std::istream &in, const std::string &source)
+{
+    ScenarioConfig config;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t comment = line.find('#');
+        if (comment != std::string::npos)
+            line.resize(comment);
+        const auto tokens = tokensOf(line);
+        if (tokens.empty())
+            continue;
+        try {
+            if (tokens[0] != "at" || tokens.size() < 3) {
+                fatal("expected `at <time_us> "
+                      "<degrade|recover|fail|background> ...`");
+            }
+            ScenarioEvent ev;
+            // Times are microseconds; an explicit `ns` suffix
+            // bypasses the double conversion so any instant on the
+            // integer-ns clock round-trips exactly.
+            const std::string &when = tokens[1];
+            if (when.size() > 2 &&
+                when.compare(when.size() - 2, 2, "ns") == 0) {
+                ev.time = SimTime::fromNs(
+                    parseInt(when.substr(0, when.size() - 2)));
+            } else {
+                ev.time = SimTime::fromUs(parseDouble(when));
+            }
+            const std::string &verb = tokens[2];
+            std::size_t pos = 3;
+            const auto need = [&](std::size_t extra,
+                                  const char *what) {
+                if (pos + extra > tokens.size())
+                    fatal("truncated ", verb, " event: missing ",
+                          what);
+            };
+            const auto parseTarget = [&]() {
+                need(1, "target");
+                const std::string &t = tokens[pos++];
+                if (t == "all") {
+                    ev.target = ScenTarget::all;
+                } else if (t == "node") {
+                    need(1, "node id");
+                    ev.target = ScenTarget::node;
+                    ev.nodeA = static_cast<int>(
+                        parseInt(tokens[pos++]));
+                } else if (t == "route" || t == "link") {
+                    need(2, "node pair");
+                    ev.target = t == "route" ? ScenTarget::route
+                                             : ScenTarget::link;
+                    ev.nodeA = static_cast<int>(
+                        parseInt(tokens[pos++]));
+                    ev.nodeB = static_cast<int>(
+                        parseInt(tokens[pos++]));
+                } else {
+                    fatal("unknown target '", t,
+                          "' (expected all, node, route or link)");
+                }
+            };
+            if (verb == "degrade") {
+                ev.kind = ScenEventKind::degrade;
+                parseTarget();
+                while (pos < tokens.size()) {
+                    const std::string &key = tokens[pos++];
+                    need(1, "factor value");
+                    if (key == "bw") {
+                        ev.bandwidthFactor =
+                            parseDouble(tokens[pos++]);
+                    } else if (key == "lat") {
+                        ev.latencyFactor =
+                            parseDouble(tokens[pos++]);
+                    } else {
+                        fatal("unknown degrade key '", key,
+                              "' (expected bw or lat)");
+                    }
+                }
+            } else if (verb == "recover") {
+                ev.kind = ScenEventKind::recover;
+                parseTarget();
+            } else if (verb == "fail") {
+                ev.kind = ScenEventKind::fail;
+                parseTarget();
+                need(1, "failure semantics");
+                ev.semantics =
+                    failSemanticsFromName(tokens[pos++]);
+            } else if (verb == "background") {
+                ev.kind = ScenEventKind::background;
+                ev.target = ScenTarget::route;
+                need(3, "src dst bytes");
+                ev.nodeA = static_cast<int>(parseInt(tokens[pos++]));
+                ev.nodeB = static_cast<int>(parseInt(tokens[pos++]));
+                ev.bytes = static_cast<Bytes>(
+                    parseInt(tokens[pos++]));
+            } else {
+                fatal("unknown event '", verb,
+                      "' (expected degrade, recover, fail or "
+                      "background)");
+            }
+            if (pos != tokens.size())
+                fatal("trailing tokens after event");
+            config.events.push_back(ev);
+        } catch (const FatalError &err) {
+            fatal(source, " line ", line_no, ": ", err.what());
+        }
+    }
+    config.validate();
+    return config;
+}
+
+ScenarioConfig
+readScenarioFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open scenario file '", path, "'");
+    ScenarioConfig config = readScenario(in, path);
+    config.sourcePath = path;
+    return config;
+}
+
+void
+writeScenario(const ScenarioConfig &config, std::ostream &out)
+{
+    out << "# ovlsim scenario\n";
+    for (const ScenarioEvent &ev : config.events) {
+        // Whole microseconds stay readable; anything finer is
+        // written on the ns clock so it round-trips exactly.
+        const std::int64_t ns = ev.time.ns();
+        const std::string when = ns % 1000 == 0
+            ? strformat("%lld", static_cast<long long>(ns / 1000))
+            : strformat("%lldns", static_cast<long long>(ns));
+        std::string scope;
+        switch (ev.target) {
+          case ScenTarget::all:
+            scope = "all";
+            break;
+          case ScenTarget::node:
+            scope = strformat("node %d", ev.nodeA);
+            break;
+          case ScenTarget::route:
+            scope = strformat("route %d %d", ev.nodeA, ev.nodeB);
+            break;
+          case ScenTarget::link:
+            scope = strformat("link %d %d", ev.nodeA, ev.nodeB);
+            break;
+        }
+        switch (ev.kind) {
+          case ScenEventKind::degrade:
+            out << strformat("at %s degrade %s bw %.17g lat "
+                             "%.17g\n",
+                             when.c_str(), scope.c_str(),
+                             ev.bandwidthFactor, ev.latencyFactor);
+            break;
+          case ScenEventKind::recover:
+            out << strformat("at %s recover %s\n", when.c_str(),
+                             scope.c_str());
+            break;
+          case ScenEventKind::fail:
+            out << strformat("at %s fail %s %s\n", when.c_str(),
+                             scope.c_str(),
+                             failSemanticsName(ev.semantics));
+            break;
+          case ScenEventKind::background:
+            out << strformat("at %s background %d %d %llu\n",
+                             when.c_str(), ev.nodeA, ev.nodeB,
+                             static_cast<unsigned long long>(
+                                 ev.bytes));
+            break;
+        }
+    }
+}
+
+CompiledScenario
+compileScenario(const ScenarioConfig &config,
+                const net::CompiledTopology *topo, int nodes)
+{
+    config.validate();
+    const bool flat = topo == nullptr || topo->linkCount() == 0;
+
+    CompiledScenario compiled;
+    compiled.events_ = config.events;
+    for (const ScenarioEvent &ev : compiled.events_) {
+        const bool names_nodes = ev.target != ScenTarget::all;
+        if (names_nodes &&
+            (ev.nodeA >= nodes ||
+             (ev.nodeB >= 0 && ev.nodeB >= nodes))) {
+            fatal("scenario: event targets a node beyond the ",
+                  nodes, "-node machine (", ev.describe(), ")");
+        }
+        if (flat && ev.kind == ScenEventKind::fail &&
+            ev.semantics == FailSemantics::reroute) {
+            fatal("scenario: reroute semantics needs a routed "
+                  "topology with path diversity; the flat bus has "
+                  "none (", ev.describe(), ")");
+        }
+    }
+
+    // Sort by time, declaration order breaking ties — the stream
+    // the engine merges into its heap.
+    std::vector<std::uint32_t> order(compiled.events_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return compiled.events_[a].time <
+                             compiled.events_[b].time;
+                     });
+    {
+        std::vector<ScenarioEvent> sorted;
+        sorted.reserve(compiled.events_.size());
+        for (const std::uint32_t i : order)
+            sorted.push_back(compiled.events_[i]);
+        compiled.events_ = std::move(sorted);
+    }
+
+    // Resolve link sets against the compiled topology.
+    compiled.linkBegin_.assign(1, 0);
+    for (const ScenarioEvent &ev : compiled.events_) {
+        if (!flat && ev.kind != ScenEventKind::background) {
+            std::vector<std::uint32_t> links;
+            switch (ev.target) {
+              case ScenTarget::all:
+                links.resize(topo->linkCount());
+                std::iota(links.begin(), links.end(), 0u);
+                break;
+              case ScenTarget::node:
+                for (std::uint32_t l = 0; l < topo->linkCount();
+                     ++l) {
+                    const auto n =
+                        static_cast<std::uint32_t>(ev.nodeA);
+                    if (topo->linkFrom(l) == n ||
+                        topo->linkTo(l) == n)
+                        links.push_back(l);
+                }
+                break;
+              case ScenTarget::route:
+              case ScenTarget::link: {
+                const auto route =
+                    topo->route(ev.nodeA, ev.nodeB);
+                for (const std::uint32_t l : route) {
+                    if (ev.target == ScenTarget::link &&
+                        topo->isHostLink(l))
+                        continue;
+                    links.push_back(l);
+                }
+                if (links.empty()) {
+                    fatal("scenario: no fabric links between "
+                          "nodes ", ev.nodeA, " and ", ev.nodeB,
+                          " (", ev.describe(),
+                          "); use `route` to include the NICs");
+                }
+                break;
+              }
+            }
+            std::sort(links.begin(), links.end());
+            links.erase(std::unique(links.begin(), links.end()),
+                        links.end());
+            compiled.linkIds_.insert(compiled.linkIds_.end(),
+                                     links.begin(), links.end());
+        }
+        compiled.linkBegin_.push_back(
+            static_cast<std::uint32_t>(compiled.linkIds_.size()));
+    }
+
+    // Match every recover with the most recent unmatched
+    // degrade/fail of the same scope.
+    compiled.match_.assign(compiled.events_.size(),
+                           CompiledScenario::npos);
+    for (std::size_t i = 0; i < compiled.events_.size(); ++i) {
+        const ScenarioEvent &ev = compiled.events_[i];
+        if (ev.kind != ScenEventKind::recover)
+            continue;
+        bool matched = false;
+        for (std::size_t j = i; j-- > 0;) {
+            const ScenarioEvent &prior = compiled.events_[j];
+            if ((prior.kind != ScenEventKind::degrade &&
+                 prior.kind != ScenEventKind::fail) ||
+                !prior.sameScope(ev) ||
+                compiled.match_[j] != CompiledScenario::npos)
+                continue;
+            if (prior.kind == ScenEventKind::fail &&
+                prior.semantics == FailSemantics::failStop) {
+                fatal("scenario: cannot recover a fail-stop event "
+                      "(", ev.describe(), " would undo ",
+                      prior.describe(), ")");
+            }
+            compiled.match_[i] = static_cast<std::uint32_t>(j);
+            compiled.match_[j] = static_cast<std::uint32_t>(i);
+            matched = true;
+            break;
+        }
+        if (!matched) {
+            fatal("scenario: recover with nothing to undo (",
+                  ev.describe(), ")");
+        }
+    }
+    return compiled;
+}
+
+std::string
+FailureDiagnosis::toString() const
+{
+    std::string detail = strformat(
+        "scenario failure `%s` fired at %.3fus with %zu rank(s) "
+        "unfinished:",
+        event.c_str(), time.toUs(), blockedRanks.size());
+    for (const BlockedRank &r : blockedRanks) {
+        detail += strformat("\n  rank %d: state=%s pc=%zu/%zu",
+                            r.rank, r.state.c_str(), r.pc, r.end);
+    }
+    return detail;
+}
+
+FailureError::FailureError(FailureDiagnosis diagnosis)
+    : FatalError(diagnosis.toString()),
+      diag_(std::make_shared<const FailureDiagnosis>(
+          std::move(diagnosis)))
+{}
+
+} // namespace ovlsim::scen

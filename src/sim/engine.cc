@@ -10,6 +10,7 @@
 #include "coll/schedule.hh"
 #include "net/network.hh"
 #include "net/topology.hh"
+#include "scen/scenario.hh"
 #include "sim/program.hh"
 #include "trace/record.hh"
 #include "util/dary_heap.hh"
@@ -35,13 +36,18 @@ enum class EventKind : std::uint32_t {
     transferInjected = 1,
     transferArrived = 2,
     collectiveRelease = 3,
+    /** A compiled scenario event fires (target = event index). */
+    scenario = 4,
+    /** A background flow finished (target = its event index). */
+    backgroundFinish = 5,
 };
 
 /**
  * One pending event, packed to 16 bytes so heap sifts move as little
- * memory as possible. The kind lives in the top two bits of
- * `kindTarget`; targets (rank, transfer index or collective index)
- * get the remaining 30 bits, and schedule() asserts they fit.
+ * memory as possible. The kind lives in the top four bits of
+ * `kindTarget`; targets (rank, transfer index, collective index or
+ * scenario event index) get the remaining 28 bits, and schedule()
+ * asserts they fit.
  *
  * `seq` is a 32-bit tie-breaker: schedules are bounded by the 2e9
  * event limit plus the residual heap, so it cannot wrap before the
@@ -53,7 +59,7 @@ struct Event
     std::uint32_t seq;
     std::uint32_t kindTarget;
 
-    static constexpr std::uint32_t kindShift = 30;
+    static constexpr std::uint32_t kindShift = 28;
     static constexpr std::uint32_t targetMask =
         (1u << kindShift) - 1;
 
@@ -322,6 +328,19 @@ class Engine
     void recordCommEvent(std::uint32_t idx, SimTime recv_complete);
     [[noreturn]] void reportDeadlock() const;
 
+    /** Scenario seam (see handleScenarioEvent). */
+    void handleScenarioEvent(std::uint32_t i, SimTime t);
+    void applyScenLinkScales(std::size_t i);
+    void drainNetReschedules();
+    void scheduleNetFinish(std::uint32_t flow, SimTime t);
+    void startBackgroundFlow(std::uint32_t i, SimTime t);
+    void handleBackgroundFinish(std::uint32_t i, SimTime t);
+    [[noreturn]] void reportFailStop(std::uint32_t i, SimTime t);
+    void flatScenCost(int src, int dst, Bytes bytes, SimTime begin,
+                      SimTime &ser, SimTime &lat) const;
+    SimTime applyFlatStalls(int src, int dst, SimTime begin,
+                            SimTime finish) const;
+
     bool
     busesLimited() const
     {
@@ -402,6 +421,29 @@ class Engine
     int topoNodes_ = -1;
     net::LinkNetwork network_;
     SimTime hopLatency_;
+
+    /**
+     * Dynamic-scenario seam, next to netMode_. False keeps both
+     * cost paths bit-identical to the scenario-free engine; true
+     * merges the compiled event stream (compiled per run — the
+     * lists are tiny) into the heap: one scenario event is armed at
+     * a time and its handler chains the next. scenActive_ marks
+     * events whose effect is currently live (and doubles as the
+     * in-flight flag of background flows); on the LinkNetwork path
+     * linkLatScale_ carries the per-link latency multiplier that
+     * the capacity-only LinkNetwork cannot.
+     */
+    bool scenMode_ = false;
+    scen::CompiledScenario scenario_;
+    std::vector<std::uint8_t> scenActive_;
+    std::vector<double> linkLatScale_;
+
+    /**
+     * LinkNetwork flow-id offset of background flows. Transfer
+     * indices are capped at Event::targetMask (28 bits), so ids at
+     * and above this never collide with a transfer's.
+     */
+    static constexpr std::uint32_t bgIdBase = 1u << 28;
 
     /** Per-replay constants hoisted out of the hot loop. */
     double mips_ = 1.0;
@@ -609,6 +651,18 @@ Engine::run(const ReplayProgram &program,
         hopLatency_ =
             SimTime::fromUs(platform_.topology.hopLatencyUs);
     }
+    scenMode_ = !platform_.scenario.empty();
+    if (scenMode_) {
+        // Compiled fresh each run: scenarios are a handful of
+        // events, so unlike routes and collective schedules there
+        // is nothing worth caching.
+        scenario_ = scen::compileScenario(
+            platform_.scenario, netMode_ ? &topo_ : nullptr,
+            nodes);
+        scenActive_.assign(scenario_.eventCount(), 0);
+        if (netMode_)
+            linkLatScale_.assign(topo_.linkCount(), 1.0);
+    }
     capture_ = platform_.captureTimeline;
     if (capture_)
         timeline_ = Timeline(nranks);
@@ -670,6 +724,11 @@ Engine::run(const ReplayProgram &program,
                  static_cast<std::uint32_t>(r));
     }
 
+    // Arm the scenario stream: one event pending at a time, each
+    // handler chaining its successor.
+    if (scenMode_)
+        schedule(scenario_.event(0).time, EventKind::scenario, 0);
+
     while (!events_.empty()) {
         const Event ev = events_.top();
         events_.pop();
@@ -687,6 +746,12 @@ Engine::run(const ReplayProgram &program,
             break;
           case EventKind::collectiveRelease:
             handleRelease(ev.time);
+            break;
+          case EventKind::scenario:
+            handleScenarioEvent(ev.target(), ev.time);
+            break;
+          case EventKind::backgroundFinish:
+            handleBackgroundFinish(ev.target(), ev.time);
             break;
         }
     }
@@ -1202,7 +1267,35 @@ Engine::startTransfer(std::uint32_t idx, SimTime t)
             idx, static_cast<int>(nodeOf(transfer.src)),
             static_cast<int>(nodeOf(transfer.dst)),
             transfer.bytes, begin);
-        schedule(finish, EventKind::transferInjected, idx);
+        // A frozen route (a scenario stalled or failed one of its
+        // links) admits the flow but makes no progress; the
+        // recovery's applyScales reschedules it.
+        if (finish != SimTime::max())
+            schedule(finish, EventKind::transferInjected, idx);
+        return;
+    }
+    if (scenMode_ && !local) {
+        // Flat-bus scenario pricing: the compiled stream is static,
+        // so the multipliers active at the transfer's start and
+        // every future stall window are known here and the final
+        // injection instant is computed analytically (degradations
+        // that begin mid-serialization are charged from the start —
+        // a coarser model than the link network's mid-flight
+        // re-sharing, by design of the flat path).
+        SimTime ser, lat;
+        flatScenCost(static_cast<int>(nodeOf(transfer.src)),
+                     static_cast<int>(nodeOf(transfer.dst)),
+                     transfer.bytes, begin, ser, lat);
+        const SimTime inject = applyFlatStalls(
+            static_cast<int>(nodeOf(transfer.src)),
+            static_cast<int>(nodeOf(transfer.dst)), begin,
+            begin + ser);
+        if (inject == SimTime::max())
+            return; // stalled with no recovery: never finishes
+        transfer.arriveTime = inject + lat;
+        schedule(inject, EventKind::transferInjected, idx);
+        schedule(transfer.arriveTime, EventKind::transferArrived,
+                 idx);
         return;
     }
     const SimTime ser = serializationTime(transfer.bytes, local);
@@ -1300,21 +1393,36 @@ Engine::handleNetInjected(std::uint32_t idx, SimTime t)
             return;
         }
         transfer.clear(tfInNet);
-        for (const auto &[flow, finish] :
-             network_.pendingReschedules())
-            schedule(finish, EventKind::transferInjected, flow);
-        network_.clearPendingReschedules();
+        drainNetReschedules();
 
-        const auto route = topo_.route(
+        // The effective route: a scenario reroute may have moved
+        // the pair off its compiled path, changing the hop count.
+        const auto route = network_.routeOf(
             static_cast<int>(nodeOf(transfer.src)),
             static_cast<int>(nodeOf(transfer.dst)));
-        SimTime arrive = t + latencyRemote_;
+        SimTime flight = latencyRemote_;
         if (route.size() > 1) {
-            arrive += hopLatency_ *
+            flight += hopLatency_ *
                 static_cast<std::int64_t>(route.size() - 1);
         }
-        transfer.arriveTime = arrive;
-        schedule(arrive, EventKind::transferArrived, idx);
+        if (scenMode_) {
+            // Degraded latency: the whole flight is scaled by the
+            // worst multiplier on the route at arrival pricing.
+            double scale = 1.0;
+            for (const std::uint32_t link : route) {
+                if (linkLatScale_[link] > scale)
+                    scale = linkLatScale_[link];
+            }
+            if (scale != 1.0) {
+                flight = SimTime::fromNs(
+                    static_cast<std::int64_t>(std::llround(
+                        static_cast<double>(flight.ns()) *
+                        scale)));
+            }
+        }
+        transfer.arriveTime = t + flight;
+        schedule(transfer.arriveTime, EventKind::transferArrived,
+                 idx);
     }
     finishInjection(idx, t);
 }
@@ -1646,6 +1754,323 @@ Engine::recordCommEvent(std::uint32_t idx, SimTime recv_complete)
     timeline_.addComm(event);
 }
 
+/**
+ * A compiled scenario event fires. The handler arms the next event
+ * of the stream first, so exactly one scenario event is pending at
+ * any instant, then applies this one to whichever cost path the
+ * replay runs on: on the link network by scaling link capacities
+ * (and rerouting around dead links), on the flat bus by flipping
+ * the active flags the analytic pricing in startTransfer reads.
+ */
+void
+Engine::handleScenarioEvent(std::uint32_t i, SimTime t)
+{
+    if (i + 1 < scenario_.eventCount()) {
+        schedule(scenario_.event(i + 1).time, EventKind::scenario,
+                 i + 1);
+    }
+    const scen::ScenarioEvent &ev = scenario_.event(i);
+    switch (ev.kind) {
+      case scen::ScenEventKind::degrade:
+        scenActive_[i] = 1;
+        if (netMode_) {
+            applyScenLinkScales(i);
+            network_.applyScales(t);
+            drainNetReschedules();
+        }
+        break;
+
+      case scen::ScenEventKind::recover: {
+        const std::uint32_t m = scenario_.matchOf(i);
+        const scen::ScenarioEvent &undone = scenario_.event(m);
+        scenActive_[m] = 0;
+        if (netMode_) {
+            applyScenLinkScales(m);
+            network_.applyScales(t);
+            if (undone.kind == scen::ScenEventKind::fail &&
+                undone.semantics ==
+                    scen::FailSemantics::reroute) {
+                // Restored links can only add paths back; pairs
+                // whose compiled route is alive again drop their
+                // detours.
+                const auto report =
+                    network_.rerouteDeadLinks(t);
+                ovlAssert(report.ok,
+                          "recovery cannot remove paths");
+            }
+            drainNetReschedules();
+        }
+        break;
+      }
+
+      case scen::ScenEventKind::fail:
+        if (ev.semantics == scen::FailSemantics::failStop) {
+            // Nothing left to kill once every rank finished; the
+            // stream keeps chaining for any later background
+            // events.
+            if (doneRanks_ < nranks_)
+                reportFailStop(i, t);
+            break;
+        }
+        scenActive_[i] = 1;
+        if (netMode_) {
+            applyScenLinkScales(i);
+            network_.applyScales(t);
+            if (ev.semantics == scen::FailSemantics::reroute) {
+                const auto report =
+                    network_.rerouteDeadLinks(t);
+                if (!report.ok) {
+                    fatal("scenario event `", ev.describe(),
+                          "`: no surviving route from node ",
+                          report.src, " to node ", report.dst,
+                          " (the topology has no path diversity "
+                          "around the dead links)");
+                }
+            }
+            drainNetReschedules();
+        }
+        break;
+
+      case scen::ScenEventKind::background:
+        startBackgroundFlow(i, t);
+        break;
+    }
+}
+
+/**
+ * Recompute the capacity and latency scales of every link named by
+ * scenario event `i` from the full set of currently active events:
+ * concurrent degrades multiply, any active failure pins the
+ * capacity to zero. Changes are staged in the network and committed
+ * by the caller's applyScales().
+ */
+void
+Engine::applyScenLinkScales(std::size_t i)
+{
+    for (const std::uint32_t link : scenario_.linksOf(i)) {
+        double bw = 1.0;
+        double lat = 1.0;
+        for (std::size_t j = 0; j < scenario_.eventCount(); ++j) {
+            if (!scenActive_[j] ||
+                !scenario_.linkSetContains(j, link))
+                continue;
+            const scen::ScenarioEvent &ej = scenario_.event(j);
+            if (ej.kind == scen::ScenEventKind::degrade) {
+                bw *= ej.bandwidthFactor;
+                lat *= ej.latencyFactor;
+            } else {
+                bw = 0.0; // active stall/reroute failure
+            }
+        }
+        network_.setLinkScale(link, bw);
+        linkLatScale_[link] = lat;
+    }
+}
+
+void
+Engine::drainNetReschedules()
+{
+    for (const auto &[flow, finish] :
+         network_.pendingReschedules())
+        scheduleNetFinish(flow, finish);
+    network_.clearPendingReschedules();
+}
+
+/** Map a LinkNetwork flow id back to its finish event kind. */
+void
+Engine::scheduleNetFinish(std::uint32_t flow, SimTime t)
+{
+    if (flow >= bgIdBase) {
+        schedule(t, EventKind::backgroundFinish, flow - bgIdBase);
+    } else {
+        schedule(t, EventKind::transferInjected, flow);
+    }
+}
+
+/**
+ * Start the background flow of scenario event `i`: traffic that
+ * occupies the interconnect without belonging to the app. On the
+ * link network it is an ordinary flow (offset id, so it shares
+ * links with app transfers through the same bottleneck machinery);
+ * on the flat bus it holds one bus and the endpoints' links for its
+ * serialization, possibly driving the free counts negative — app
+ * transfers then wait until the counts recover.
+ */
+void
+Engine::startBackgroundFlow(std::uint32_t i, SimTime t)
+{
+    const scen::ScenarioEvent &ev = scenario_.event(i);
+    scenActive_[i] = 1;
+    if (netMode_) {
+        const SimTime finish = network_.start(
+            bgIdBase + i, ev.nodeA, ev.nodeB, ev.bytes, t);
+        if (finish != SimTime::max())
+            schedule(finish, EventKind::backgroundFinish, i);
+        return;
+    }
+    if (busesLimited())
+        --busFree_;
+    if (outLimited())
+        --outFree_[static_cast<std::size_t>(ev.nodeA)];
+    if (inLimited())
+        --inFree_[static_cast<std::size_t>(ev.nodeB)];
+    SimTime ser, lat;
+    flatScenCost(ev.nodeA, ev.nodeB, ev.bytes, t, ser, lat);
+    const SimTime finish =
+        applyFlatStalls(ev.nodeA, ev.nodeB, t, t + ser);
+    if (finish == SimTime::max())
+        return; // stalled forever; the resources stay held
+    schedule(finish, EventKind::backgroundFinish, i);
+}
+
+void
+Engine::handleBackgroundFinish(std::uint32_t i, SimTime t)
+{
+    if (!scenActive_[i])
+        return; // stale event after completion
+    if (netMode_) {
+        const auto check =
+            network_.onFinishEvent(bgIdBase + i, t);
+        if (!check.done) {
+            if (check.reschedule) {
+                schedule(check.retry,
+                         EventKind::backgroundFinish, i);
+            }
+            return;
+        }
+        scenActive_[i] = 0;
+        drainNetReschedules();
+        return;
+    }
+    scenActive_[i] = 0;
+    const scen::ScenarioEvent &ev = scenario_.event(i);
+    if (busesLimited())
+        ++busFree_;
+    if (outLimited())
+        ++outFree_[static_cast<std::size_t>(ev.nodeA)];
+    if (inLimited())
+        ++inFree_[static_cast<std::size_t>(ev.nodeB)];
+    resourcesFreed_ = true;
+    if (waitHead_ != npos32)
+        tryStartQueued(t); // also clears resourcesFreed_
+    else
+        resourcesFreed_ = false;
+}
+
+/**
+ * A fail-stop event fired with ranks unfinished: terminate the
+ * replay with the structured diagnosis — the failure-semantics
+ * mirror of reportDeadlock.
+ */
+void
+Engine::reportFailStop(std::uint32_t i, SimTime t)
+{
+    scen::FailureDiagnosis diag;
+    diag.event = scenario_.event(i).describe();
+    diag.time = t;
+    for (const auto &ctx : ranks_) {
+        if (ctx.done)
+            continue;
+        scen::BlockedRank blocked;
+        blocked.rank = ctx.rank;
+        blocked.state = ctx.blocked
+            ? rankStateName(ctx.blockState)
+            : "running";
+        blocked.pc = static_cast<std::size_t>(ctx.pc);
+        blocked.end = static_cast<std::size_t>(ctx.end);
+        diag.blockedRanks.push_back(std::move(blocked));
+    }
+    throw scen::FailureError(std::move(diag));
+}
+
+/**
+ * Flat-bus scenario pricing of a remote src -> dst node transfer
+ * starting at `begin`: serialization and flight latency under the
+ * product of the multipliers of every degrade event active at that
+ * instant.
+ */
+void
+Engine::flatScenCost(int src, int dst, Bytes bytes, SimTime begin,
+                     SimTime &ser, SimTime &lat) const
+{
+    double bw = 1.0;
+    double latm = 1.0;
+    for (std::size_t i = 0; i < scenario_.eventCount(); ++i) {
+        const scen::ScenarioEvent &ev = scenario_.event(i);
+        if (ev.kind != scen::ScenEventKind::degrade)
+            continue;
+        if (!(ev.time <= begin &&
+              begin < scenario_.recoveryTimeOf(i)))
+            continue;
+        if (!ev.matchesPair(src, dst))
+            continue;
+        bw *= ev.bandwidthFactor;
+        latm *= ev.latencyFactor;
+    }
+    const double ser_ns = static_cast<double>(bytes) * 1e3 /
+        (platform_.bandwidthMBps * bw);
+    ser = SimTime::fromNs(
+        static_cast<std::int64_t>(std::llround(ser_ns)));
+    lat = latm == 1.0
+        ? latencyRemote_
+        : SimTime::fromNs(static_cast<std::int64_t>(std::llround(
+              static_cast<double>(latencyRemote_.ns()) * latm)));
+}
+
+/**
+ * Extend a flat-bus serialization ending at `finish` across every
+ * stall window that covers the src -> dst pair: while a window is
+ * open the payload makes no progress, so each window starting
+ * before the (already extended) finish pushes it out by the
+ * window's remaining length. Windows are visited in start order
+ * (the stream is time-sorted) and overlapping ones are merged so
+ * concurrent stalls do not double-charge. Returns SimTime::max()
+ * for a transfer caught by a stall that never recovers.
+ */
+SimTime
+Engine::applyFlatStalls(int src, int dst, SimTime begin,
+                        SimTime finish) const
+{
+    bool have = false;
+    SimTime winStart, winEnd;
+    const auto apply = [&]() {
+        if (finish == SimTime::max() || winEnd <= begin)
+            return;
+        const SimTime eff =
+            winStart > begin ? winStart : begin;
+        if (eff >= finish)
+            return;
+        if (winEnd == SimTime::max()) {
+            finish = SimTime::max();
+            return;
+        }
+        finish += winEnd - eff;
+    };
+    for (std::size_t i = 0; i < scenario_.eventCount(); ++i) {
+        const scen::ScenarioEvent &ev = scenario_.event(i);
+        if (ev.kind != scen::ScenEventKind::fail ||
+            ev.semantics != scen::FailSemantics::stall)
+            continue;
+        if (!ev.matchesPair(src, dst))
+            continue;
+        const SimTime s = ev.time;
+        const SimTime r = scenario_.recoveryTimeOf(i);
+        if (have && s <= winEnd) {
+            if (r > winEnd)
+                winEnd = r;
+            continue;
+        }
+        if (have)
+            apply();
+        winStart = s;
+        winEnd = r;
+        have = true;
+    }
+    if (have)
+        apply();
+    return finish;
+}
+
 void
 Engine::reportDeadlock() const
 {
@@ -1660,6 +2085,50 @@ Engine::reportDeadlock() const
             rankStateName(ctx.blockState),
             static_cast<std::size_t>(ctx.pc),
             static_cast<std::size_t>(ctx.end), ctx.awaitingCount);
+        // A rank wedged inside a lowered collective names the
+        // schedule step its cursor is parked on — "blocked in a
+        // collective" alone does not say which transfer of which
+        // operation never completed.
+        if (!algorithmic_ || !ctx.blocked ||
+            ctx.blockState != RankState::collective)
+            continue;
+        const auto ri = static_cast<std::size_t>(ctx.rank);
+        for (std::uint32_t c = 0;
+             c < static_cast<std::uint32_t>(barriers_.size());
+             ++c) {
+            const std::uint32_t exec = barriers_[c].exec;
+            if (exec == npos32)
+                continue;
+            const CollExec &ex = collExecs_[exec];
+            const std::uint8_t st = ex.rankState[ri];
+            if (st != collWaitInject && st != collWaitRecv)
+                continue;
+            const auto steps = collSched_[c]->stepsOf(ctx.rank);
+            const coll::Step &step = steps[ex.cursor[ri]];
+            detail += strformat(
+                " collective=%s#%u step=%u/%zu (%s rank %d)",
+                trace::collOpName(
+                    program_->collectives()[c].op),
+                c, ex.cursor[ri], steps.size(),
+                st == collWaitInject ? "send to" : "recv from",
+                step.peer);
+            break;
+        }
+    }
+    if (scenMode_) {
+        // Frozen traffic with no recovery in the stream is the
+        // likely culprit; say so.
+        for (std::size_t i = 0; i < scenario_.eventCount(); ++i) {
+            const scen::ScenarioEvent &ev = scenario_.event(i);
+            if (scenActive_[i] &&
+                ev.kind == scen::ScenEventKind::fail &&
+                ev.semantics == scen::FailSemantics::stall &&
+                scenario_.matchOf(i) == scen::CompiledScenario::npos) {
+                detail += strformat(
+                    "\n  note: scenario event `%s` never recovers",
+                    ev.describe().c_str());
+            }
+        }
     }
     fatal("replay deadlocked with ", nranks_ - doneRanks_,
           " rank(s) unfinished:", detail);

@@ -67,6 +67,7 @@ PlatformConfig::validate() const
     }
     coll::validateOverrides(collectiveAlgorithms);
     topology.validate();
+    scenario.validate();
 }
 
 SimTime

@@ -17,6 +17,7 @@
 
 #include "coll/coll.hh"
 #include "net/topology.hh"
+#include "scen/scenario.hh"
 #include "trace/record.hh"
 #include "util/types.hh"
 
@@ -132,6 +133,15 @@ struct PlatformConfig
      * base link capacity unless the topology pins its own.
      */
     net::TopologyConfig topology;
+
+    /**
+     * Dynamic platform scenario (src/scen/): timestamped link
+     * degradations, failures and background flows injected into the
+     * replay. Empty (the default) keeps the engine's static-platform
+     * paths bit-identical to platforms that predate the field.
+     * Referenced from platform files via `scenario_file = ...`.
+     */
+    scen::ScenarioConfig scenario;
 
     /** Effective MIPS rate given a trace's recorded rate. */
     double

@@ -1,10 +1,12 @@
 #include "platform_file.hh"
 
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "coll/coll.hh"
 #include "net/topology.hh"
+#include "scen/scenario.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -23,6 +25,7 @@ const std::string collAlgoPrefix = "collective_algorithm_";
  */
 void
 parseCollectiveAlgorithm(PlatformConfig &config,
+                         const std::string &source,
                          std::size_t line_no,
                          const std::string &key,
                          const std::string &value)
@@ -32,7 +35,7 @@ parseCollectiveAlgorithm(PlatformConfig &config,
     try {
         op = trace::collOpFromName(op_name);
     } catch (const FatalError &) {
-        fatal("platform config line ", line_no,
+        fatal(source, " line ", line_no,
               ": unknown collective op '", op_name, "' in key '",
               key,
               "' (expected one of: barrier broadcast reduce "
@@ -41,7 +44,7 @@ parseCollectiveAlgorithm(PlatformConfig &config,
     const coll::Algorithm algorithm =
         coll::algorithmFromName(value);
     if (!coll::algorithmSupports(op, algorithm)) {
-        fatal("platform config line ", line_no, ": algorithm '",
+        fatal(source, " line ", line_no, ": algorithm '",
               value, "' cannot lower ", trace::collOpName(op),
               " collectives");
     }
@@ -50,13 +53,14 @@ parseCollectiveAlgorithm(PlatformConfig &config,
 
 /** Parse torus dimensions of the form "4x4x2". */
 std::vector<int>
-parseTorusDims(std::size_t line_no, const std::string &value)
+parseTorusDims(const std::string &source, std::size_t line_no,
+               const std::string &value)
 {
     std::vector<int> dims;
     for (const auto &field : split(value, 'x')) {
         const auto dim = parseInt(trim(field));
         if (dim < 1) {
-            fatal("platform config line ", line_no,
+            fatal(source, " line ", line_no,
                   ": torus dimensions must be positive, got '",
                   value, "'");
         }
@@ -80,11 +84,15 @@ torusDimsToString(const std::vector<int> &dims)
 } // namespace
 
 PlatformConfig
-readPlatformConfig(std::istream &is)
+readPlatformConfig(std::istream &is, const std::string &source)
 {
     PlatformConfig config;
     std::string line;
     std::size_t line_no = 0;
+    // First-seen line of every key: a platform describes one
+    // machine, so a repeated key is a typo (and silent
+    // last-one-wins made such typos expensive to spot).
+    std::map<std::string, std::size_t> seen;
 
     while (std::getline(is, line)) {
         ++line_no;
@@ -93,11 +101,17 @@ readPlatformConfig(std::istream &is)
             continue;
         const auto eq = text.find('=');
         if (eq == std::string::npos) {
-            fatal("platform config line ", line_no,
+            fatal(source, " line ", line_no,
                   ": expected 'key = value', got '", text, "'");
         }
         const std::string key = trim(text.substr(0, eq));
         const std::string value = trim(text.substr(eq + 1));
+        const auto [first, fresh] = seen.emplace(key, line_no);
+        if (!fresh) {
+            fatal(source, " line ", line_no, ": duplicate key '",
+                  key, "' (first set on line ", first->second,
+                  ")");
+        }
 
         if (key == "name") {
             config.name = value;
@@ -142,7 +156,8 @@ readPlatformConfig(std::istream &is)
             config.collectiveModel =
                 coll::collectiveModelFromName(value);
         } else if (key.rfind(collAlgoPrefix, 0) == 0) {
-            parseCollectiveAlgorithm(config, line_no, key, value);
+            parseCollectiveAlgorithm(config, source, line_no, key,
+                                     value);
         } else if (key == "topology") {
             // Unknown names fail here with the full list of kinds.
             config.topology.kind =
@@ -154,7 +169,7 @@ readPlatformConfig(std::istream &is)
             config.topology.fatTreeTaper = parseDouble(value);
         } else if (key == "torus_dims") {
             config.topology.torusDims =
-                parseTorusDims(line_no, value);
+                parseTorusDims(source, line_no, value);
         } else if (key == "torus_wrap") {
             config.topology.torusWrap = parseBool(value);
         } else if (key == "dragonfly_groups") {
@@ -171,15 +186,25 @@ readPlatformConfig(std::istream &is)
             // omitting the key, so an explicit zero is nonsense.
             const double mbps = parseDouble(value);
             if (mbps <= 0.0) {
-                fatal("platform config line ", line_no,
+                fatal(source, " line ", line_no,
                       ": link_bandwidth_mbps must be positive "
                       "(omit the key to inherit bandwidth_mbps)");
             }
             config.topology.linkBandwidthMBps = mbps;
         } else if (key == "hop_latency_us") {
             config.topology.hopLatencyUs = parseDouble(value);
+        } else if (key == "scenario_file") {
+            // The scenario parser names the referenced file in its
+            // own errors; point at the referencing line too so a
+            // bad path is traceable from the platform side.
+            try {
+                config.scenario = scen::readScenarioFile(value);
+            } catch (const FatalError &err) {
+                fatal(source, " line ", line_no, ": ",
+                      err.what());
+            }
         } else {
-            fatal("platform config line ", line_no,
+            fatal(source, " line ", line_no,
                   ": unknown key '", key, "'");
         }
     }
@@ -193,7 +218,7 @@ readPlatformConfigFile(const std::string &path)
     std::ifstream is(path);
     if (!is)
         fatal("cannot open platform config '", path, "'");
-    return readPlatformConfig(is);
+    return readPlatformConfig(is, path);
 }
 
 void
@@ -266,6 +291,12 @@ writePlatformConfig(const PlatformConfig &config,
     }
     os << "hop_latency_us = "
        << strformat("%.17g", topo.hopLatencyUs) << "\n";
+    // A scenario only round-trips when it came from a file; emit
+    // programmatic configs with writeScenario() first.
+    if (!config.scenario.sourcePath.empty()) {
+        os << "scenario_file = " << config.scenario.sourcePath
+           << "\n";
+    }
 }
 
 void

@@ -26,8 +26,13 @@
 
 namespace ovlsim::sim {
 
-/** Parse a platform config from a stream; unknown keys are fatal. */
-PlatformConfig readPlatformConfig(std::istream &is);
+/**
+ * Parse a platform config from a stream. Unknown and duplicate keys
+ * are fatal; `source` names the stream in every parse error (file
+ * name + line number when parsing a file).
+ */
+PlatformConfig readPlatformConfig(
+    std::istream &is, const std::string &source = "platform config");
 
 /** Parse a platform config file. */
 PlatformConfig readPlatformConfigFile(const std::string &path);

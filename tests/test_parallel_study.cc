@@ -16,7 +16,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <thread>
 #include <vector>
 
 #include "core/analysis.hh"
@@ -105,6 +107,69 @@ TEST(ThreadPoolTest, PropagatesTheFirstException)
         std::atomic<int> ran{0};
         pool.parallelFor(8, [&](std::size_t, int) { ++ran; });
         EXPECT_EQ(ran.load(), 8);
+    }
+}
+
+TEST(ThreadPoolTest, WorkerLaneExceptionRethrowsOnTheCaller)
+{
+    // An exception on a lane other than the caller's must cross the
+    // thread boundary: caught where it ran, rethrown from
+    // parallelFor after every lane drains — never a deadlock on the
+    // done_ wait, never a worker left inside a dead job.
+    ThreadPool pool(4);
+    ASSERT_GE(pool.size(), 2);
+    for (int round = 0; round < 3; ++round) {
+        std::atomic<bool> workerThrew{false};
+        const auto deadline = std::chrono::steady_clock::now() +
+            std::chrono::seconds(30);
+        try {
+            pool.parallelFor(256, [&](std::size_t, int lane) {
+                if (lane != 0) {
+                    workerThrew.store(true);
+                    fatal("boom from a worker lane");
+                }
+                // The caller parks on its own task until a worker
+                // has provably thrown, so the rethrow demonstrably
+                // crosses lanes while this lane is still claiming
+                // jobs. The deadline keeps a regression from
+                // hanging the suite instead of failing it.
+                while (!workerThrew.load() &&
+                       std::chrono::steady_clock::now() < deadline)
+                    std::this_thread::yield();
+            });
+            FAIL() << "the worker exception was not rethrown";
+        } catch (const FatalError &err) {
+            EXPECT_NE(
+                std::string(err.what()).find("worker lane"),
+                std::string::npos)
+                << err.what();
+        }
+        EXPECT_TRUE(workerThrew.load()) << "round " << round;
+    }
+}
+
+TEST(ThreadPoolTest, FailedJobsLeakNoLanes)
+{
+    // Back-to-back failing jobs interleaved with clean ones: every
+    // clean job must still cover all tasks exactly once, proving
+    // the failed rounds left no lane wedged and no counter skewed.
+    ThreadPool pool(4);
+    for (int round = 0; round < 5; ++round) {
+        EXPECT_THROW(
+            pool.parallelFor(512,
+                             [&](std::size_t task, int) {
+                                 if (task % 97 == 13)
+                                     fatal("boom on ", task);
+                             }),
+            FatalError);
+        constexpr std::size_t count = 128;
+        std::vector<std::atomic<int>> hits(count);
+        pool.parallelFor(count, [&](std::size_t task, int) {
+            hits[task].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(hits[i].load(), 1)
+                << "round " << round << " task " << i;
     }
 }
 
