@@ -21,18 +21,23 @@
  *    collectives lowered into point-to-point schedules, src/coll/),
  *  - M7: dynamic-scenario replay throughput (events per second
  *    replaying sweep3d-x8 on the tapered fat tree while a scenario
- *    degrades and recovers the whole fabric mid-run, src/scen/).
+ *    degrades and recovers the whole fabric mid-run, src/scen/),
+ *  - M8: resilient replay throughput (events per second replaying
+ *    sweep3d-x8 on the tapered fat tree under generated fail-stop
+ *    faults with checkpoint/restart, so every run pays checkpoint
+ *    freezes and at least one rollback, src/res/).
  *
  * Besides the google-benchmark suite, `--json[=PATH]` runs the M1
  * replay-engine configurations standalone plus the M2 compile, M3
- * transform, M4 sweep, M5 topology, M6 collective and M7 scenario
- * configurations, and appends the largest M1 figure (events/sec,
- * ns/event, peak RSS), the M2 figure (records/sec), the M3 figure
- * (transform records/sec), the M4 figure (sweep points/sec at
- * `--threads` workers, default all cores), the M5 figure (topology
- * events/sec), the M6 figure (collective events/sec) and the M7
- * figure (scenario events/sec) to the perf trajectory file
- * (default BENCH_engine.json), giving every PR seven comparable
+ * transform, M4 sweep, M5 topology, M6 collective, M7 scenario and
+ * M8 resilience configurations, and appends the largest M1 figure
+ * (events/sec, ns/event, peak RSS), the M2 figure (records/sec),
+ * the M3 figure (transform records/sec), the M4 figure (sweep
+ * points/sec at `--threads` workers, default all cores), the M5
+ * figure (topology events/sec), the M6 figure (collective
+ * events/sec), the M7 figure (scenario events/sec) and the M8
+ * figure (resilience events/sec) to the perf trajectory file
+ * (default BENCH_engine.json), giving every PR eight comparable
  * data points. See ROADMAP.md "Performance methodology".
  */
 
@@ -55,6 +60,7 @@
 
 #include "bench/bench_common.hh"
 #include "core/transform.hh"
+#include "res/fault_model.hh"
 #include "trace/trace_io.hh"
 
 using namespace ovlsim;
@@ -743,6 +749,121 @@ scenPointToJson(const ScenJsonPoint &point)
 }
 
 /**
+ * The M8 configuration: the M7 workload and fabric under the
+ * resilience engine (src/res/) — a seeded per-node fail-stop fault
+ * model expanded into a scenario, a checkpoint/restart cost model
+ * on the platform, and at least one rollback per replay. Every run
+ * pays checkpoint freezes (heap shift + machine snapshot) and a
+ * restart (cancel in-flight flows, restore the snapshot, rebuild
+ * the heap), so the figure prices what surviving failures costs
+ * the engine next to M7's terminate-on-failure scenario seam.
+ */
+struct ResJsonPoint
+{
+    std::string config;
+    std::size_t records = 0;
+    std::uint64_t eventsPerRun = 0;
+    std::uint64_t restartsPerRun = 0;
+    std::uint64_t runs = 0;
+    double eventsPerSec = 0.0;
+    double nsPerEvent = 0.0;
+    long peakRssKb = 0;
+};
+
+ResJsonPoint
+measureResConfig(double min_seconds)
+{
+    const auto bundle = traceApp("sweep3d", 8);
+    auto platform = sim::platforms::defaultCluster();
+    platform.bandwidthMBps = 4096.0;
+    platform.topology = net::topologies::taperedFatTree(4, 0.5);
+
+    const auto program = sim::compileShared(bundle.traces);
+    sim::ReplaySession session;
+    const SimTime nominal =
+        session.run(*program, platform).totalTime;
+
+    // Checkpoint five times per nominal run; a per-node MTBF equal
+    // to the run length makes an 8-node machine essentially certain
+    // to fail at least once, so the rollback path is always paid.
+    platform.checkpointIntervalUs = nominal.toUs() / 5.0;
+    platform.checkpointCostUs = nominal.toUs() / 200.0;
+    platform.restartCostUs = nominal.toUs() / 50.0;
+    res::FaultModel model;
+    for (int n = 0; n < 8; ++n) {
+        res::FaultProcess proc;
+        proc.target = scen::ScenTarget::node;
+        proc.nodeA = n;
+        proc.effect = res::FaultEffect::failStop;
+        proc.mtbfUs = nominal.toUs();
+        model.processes.push_back(proc);
+    }
+    platform.scenario =
+        res::generateScenario(model, 1, nominal * 4);
+
+    const auto probe = session.run(*program, platform);
+    if (probe.restarts == 0)
+        std::abort(); // the rollback path must be on the clock
+
+    std::uint64_t events = 0;
+    std::uint64_t runs = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        const auto result = session.run(*program, platform);
+        events += result.eventsProcessed;
+        ++runs;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+
+    ResJsonPoint point;
+    point.config =
+        "sweep3d-x8/fat-tree-taper2/fail-stop-ckpt/bw4096";
+    point.records = bundle.traces.totalRecords();
+    point.eventsPerRun = probe.eventsProcessed;
+    point.restartsPerRun = probe.restarts;
+    point.runs = runs;
+    point.eventsPerSec = static_cast<double>(events) / elapsed;
+    point.nsPerEvent =
+        elapsed * 1e9 / static_cast<double>(events);
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    point.peakRssKb = usage.ru_maxrss;
+    return point;
+}
+
+std::string
+resPointToJson(const ResJsonPoint &point)
+{
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm_utc{}; gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    return strformat(
+        "{\n"
+        "    \"bench\": \"bench_micro.resilienceReplay\",\n"
+        "    \"config\": \"%s\",\n"
+        "    \"records\": %zu,\n"
+        "    \"events_per_run\": %llu,\n"
+        "    \"restarts_per_run\": %llu,\n"
+        "    \"runs\": %llu,\n"
+        "    \"res_events_per_sec\": %.0f,\n"
+        "    \"ns_per_event\": %.2f,\n"
+        "    \"peak_rss_kb\": %ld,\n"
+        "    \"timestamp\": \"%s\"\n"
+        "  }",
+        point.config.c_str(), point.records,
+        static_cast<unsigned long long>(point.eventsPerRun),
+        static_cast<unsigned long long>(point.restartsPerRun),
+        static_cast<unsigned long long>(point.runs),
+        point.eventsPerSec, point.nsPerEvent, point.peakRssKb,
+        stamp);
+}
+
+/**
  * The M4 configuration: one R1-style bandwidth sweep of the sweep3d
  * proxy (original + the two standard variants per grid point),
  * repeated until the clock budget runs out. The figure of merit is
@@ -961,6 +1082,17 @@ runJsonMode(const std::string &path, int threads)
         static_cast<unsigned long long>(scen.runs),
         static_cast<unsigned long long>(scen.eventsPerRun),
         scen.peakRssKb);
+    const ResJsonPoint res = measureResConfig(1.5);
+    std::printf(
+        "%-22s %9.2f M events/s  %6.2f ns/event  "
+        "(%llu runs x %llu events, %llu restarts/run, rss %ld "
+        "KB)\n",
+        res.config.c_str(), res.eventsPerSec / 1e6,
+        res.nsPerEvent,
+        static_cast<unsigned long long>(res.runs),
+        static_cast<unsigned long long>(res.eventsPerRun),
+        static_cast<unsigned long long>(res.restartsPerRun),
+        res.peakRssKb);
     appendToTrajectory(path, pointToJson(largest));
     appendToTrajectory(path, compilePointToJson(compile));
     appendToTrajectory(path, transformPointToJson(transform));
@@ -968,13 +1100,14 @@ runJsonMode(const std::string &path, int threads)
     appendToTrajectory(path, topoPointToJson(topo));
     appendToTrajectory(path, collPointToJson(coll));
     appendToTrajectory(path, scenPointToJson(scen));
+    appendToTrajectory(path, resPointToJson(res));
     std::printf(
-        "trajectory points (%s, %s, %s, %s, %s, %s, %s) appended "
-        "to %s\n",
+        "trajectory points (%s, %s, %s, %s, %s, %s, %s, %s) "
+        "appended to %s\n",
         largest.config.c_str(), compile.config.c_str(),
         transform.config.c_str(), sweep.config.c_str(),
         topo.config.c_str(), coll.config.c_str(),
-        scen.config.c_str(), path.c_str());
+        scen.config.c_str(), res.config.c_str(), path.c_str());
     return 0;
 }
 

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The resilience crossover: how unreliable can the machine get
+ * before communication/computation overlap stops paying?
+ *
+ * Overlap hides communication behind computation, but a fail-stop
+ * fault rolls the replay back to its last coordinated checkpoint —
+ * and the rework a restart replays is governed by wall progress,
+ * not by how cleverly that progress overlapped. As the per-node
+ * MTBF shrinks, every variant pays more rework and checkpoint
+ * freezes; this study sweeps a failure-rate grid x seeds
+ * (core::resilienceSweep) under a checkpoint/restart cost model
+ * (src/res/) and tabulates where the overlapped variants' edge
+ * over the original erodes.
+ *
+ * Per MTBF row: mean and p95 completion over seeds, the fraction
+ * of seeds that died (always 0 with checkpointing unless the
+ * restart budget blows), and the real/ideal overlap speedups on
+ * the means. The same generated fault scenario is applied to the
+ * original and every variant of a (rate, seed) cell, so rows
+ * compare like with like.
+ *
+ *   ./resilience_study --app sweep3d [--chunks 16]
+ *                      [--mtbf-lo 2] [--mtbf-hi 200]
+ *                      [--per-decade 3] [--seeds 20]
+ *                      [--interval 0] [--ckpt-cost 0]
+ *                      [--restart-cost 0] [--threads N]
+ *                      [--csv out.csv]
+ *
+ * Interval/cost/restart are microseconds; 0 auto-scales them to
+ * the app's nominal run (interval = nominal/6, cost = interval/50,
+ * restart = interval/10). --mtbf-lo/--mtbf-hi are multiples of the
+ * nominal run, so the grid tracks the app instead of hardcoding
+ * microseconds: a 2x-nominal per-node MTBF is a brutal machine, a
+ * 200x-nominal one is merely flaky.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "apps/app.hh"
+#include "bench/bench_common.hh"
+#include "core/analysis.hh"
+#include "util/options.hh"
+
+using namespace ovlsim;
+
+namespace {
+
+double
+meanSpeedup(const core::ResiliencePoint &point, std::size_t variant)
+{
+    const double original =
+        static_cast<double>(point.cells[0].meanTime.ns());
+    const double overlapped = static_cast<double>(
+        point.cells[variant + 1].meanTime.ns());
+    return overlapped > 0.0 ? original / overlapped : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    options.declare("app", "sweep3d",
+                    "application: nas-bt nas-cg pop alya specfem "
+                    "sweep3d");
+    options.declare("chunks", "16", "chunks per message");
+    options.declare("mtbf-lo", "2",
+                    "lowest per-node MTBF, multiples of the "
+                    "nominal run");
+    options.declare("mtbf-hi", "200",
+                    "highest per-node MTBF, multiples of the "
+                    "nominal run");
+    options.declare("per-decade", "3", "grid points per decade");
+    options.declare("seeds", "20", "fault scenarios per grid point");
+    options.declare("seed", "1", "campaign base seed");
+    options.declare("interval", "0",
+                    "checkpoint interval, us (0 = nominal/6)");
+    options.declare("ckpt-cost", "0",
+                    "checkpoint freeze cost, us (0 = interval/50)");
+    options.declare("restart-cost", "0",
+                    "restart cost, us (0 = interval/10)");
+    options.declare("threads", "0",
+                    "worker threads (0 = all hardware cores)");
+    options.declare("csv", "", "optional CSV output path");
+    options.parse(argc, argv);
+
+    const auto &app = apps::findApp(options.getString("app"));
+    std::printf("%s: %s\n", app.name().c_str(),
+                app.description().c_str());
+
+    const auto bundle = bench::traceApp(app.name());
+    auto base = sim::platforms::topologyCluster(
+        net::topologies::taperedFatTree(4, 0.5));
+    const auto variants = core::standardVariants(
+        static_cast<std::size_t>(options.getInt("chunks")));
+    const int threads = ThreadPool::resolveThreads(
+        static_cast<int>(options.getInt("threads")));
+
+    // Scale the cost model and the MTBF grid to this app's nominal
+    // run on this fabric.
+    const SimTime nominal =
+        sim::simulate(bundle.traces, base).totalTime;
+    double interval_us = options.getDouble("interval");
+    if (interval_us <= 0.0)
+        interval_us = nominal.toUs() / 6.0;
+    double ckpt_cost_us = options.getDouble("ckpt-cost");
+    if (ckpt_cost_us <= 0.0)
+        ckpt_cost_us = interval_us / 50.0;
+    double restart_cost_us = options.getDouble("restart-cost");
+    if (restart_cost_us <= 0.0)
+        restart_cost_us = interval_us / 10.0;
+    base.checkpointIntervalUs = interval_us;
+    base.checkpointCostUs = ckpt_cost_us;
+    base.restartCostUs = restart_cost_us;
+    std::printf("nominal run on %s: %.1f us; checkpoint every "
+                "%.1f us costing %.2f us, restart %.2f us\n",
+                base.name.c_str(), nominal.toUs(), interval_us,
+                ckpt_cost_us, restart_cost_us);
+
+    // Log-spaced per-node MTBF grid (the log-grid helper is not
+    // bandwidth-specific), descending so the table reads from
+    // reliable to brutal.
+    auto grid = core::logBandwidthGrid(
+        options.getDouble("mtbf-lo") * nominal.toUs(),
+        options.getDouble("mtbf-hi") * nominal.toUs(),
+        static_cast<int>(options.getInt("per-decade")));
+    std::reverse(grid.begin(), grid.end());
+
+    const auto campaign = core::resilienceSweep(
+        bundle, base, grid, variants,
+        static_cast<std::uint32_t>(options.getInt("seeds")),
+        static_cast<std::uint64_t>(options.getInt("seed")),
+        threads);
+
+    TablePrinter table({"MTBF/node", "xnominal", "mean orig",
+                        "p95 orig", "failed%", "real speedup",
+                        "ideal speedup"});
+    for (const auto &point : campaign.points) {
+        const auto &orig = point.cells[0];
+        table.addRow(
+            {strformat("%.0f us", point.mtbfUs),
+             strformat("%.1f", point.mtbfUs / nominal.toUs()),
+             humanTime(orig.meanTime), humanTime(orig.p95Time),
+             strformat("%.0f", orig.failedFraction * 100.0),
+             strformat("%+.1f%%", (meanSpeedup(point, 0) - 1.0) *
+                                      100.0),
+             strformat("%+.1f%%", (meanSpeedup(point, 1) - 1.0) *
+                                      100.0)});
+    }
+    table.print(std::cout);
+
+    // The crossover: walking from reliable to brutal, where does
+    // the real overlapped variant first stop beating the original?
+    bool crossed = false;
+    for (std::size_t p = 0; p < campaign.points.size(); ++p) {
+        if (meanSpeedup(campaign.points[p], 0) <= 1.0) {
+            std::printf("\noverlap (real) stops paying at a "
+                        "per-node MTBF of ~%.0f us (%.1fx the "
+                        "nominal run)\n",
+                        campaign.points[p].mtbfUs,
+                        campaign.points[p].mtbfUs / nominal.toUs());
+            crossed = true;
+            break;
+        }
+    }
+    if (!crossed)
+        std::printf("\noverlap (real) still pays at the most "
+                    "brutal point of the grid (MTBF %.1fx the "
+                    "nominal run)\n",
+                    campaign.points.back().mtbfUs / nominal.toUs());
+
+    if (!options.getString("csv").empty()) {
+        CsvWriter csv(options.getString("csv"),
+                      {"mtbf_us", "variant", "mean_us", "p95_us",
+                       "failed_fraction"});
+        for (const auto &point : campaign.points) {
+            for (std::size_t c = 0; c < point.cells.size(); ++c) {
+                const auto &cell = point.cells[c];
+                csv.addRow(
+                    {strformat("%.4f", point.mtbfUs),
+                     c == 0 ? "original"
+                            : campaign.variants[c - 1].name,
+                     strformat("%.3f", cell.meanTime.toUs()),
+                     strformat("%.3f", cell.p95Time.toUs()),
+                     strformat("%.4f", cell.failedFraction)});
+            }
+        }
+        std::printf("CSV written to %s\n",
+                    options.getString("csv").c_str());
+    }
+    return 0;
+}

@@ -8,8 +8,10 @@
 #   3. UBSAN:   OVLSIM_UBSAN build, full ctest suite (signed
 #               overflow and friends in the event/cost arithmetic)
 #   4. TSAN:    OVLSIM_TSAN build, `ctest -L parallel` (the thread
-#               pool, parallel sweeps, scenario determinism) and
+#               pool, parallel sweeps, scenario determinism),
 #               `ctest -L coll` (the algorithmic collective engine)
+#               and `ctest -L res` (resilience campaigns fanning
+#               seeded fault scenarios over the pool)
 #
 # Usage:
 #   scripts/dev_check.sh            # run all four stages
@@ -54,9 +56,10 @@ echo "== dev_check: stage 3/4 UBSAN =="
 stage ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_UBSAN=ON
 (cd "$PREFIX-ubsan" && ctest --output-on-failure -j "$JOBS")
 
-echo "== dev_check: stage 4/4 TSAN (parallel + coll labels) =="
+echo "== dev_check: stage 4/4 TSAN (parallel + coll + res labels) =="
 stage tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_TSAN=ON
 (cd "$PREFIX-tsan" && ctest --output-on-failure -L parallel)
 (cd "$PREFIX-tsan" && ctest --output-on-failure -L coll)
+(cd "$PREFIX-tsan" && ctest --output-on-failure -L res)
 
 echo "dev_check: PASS (tier-1 + ASAN + UBSAN + TSAN subsets)"

@@ -1,7 +1,10 @@
 #include "analysis.hh"
 
+#include <algorithm>
 #include <cmath>
 
+#include "res/fault_model.hh"
+#include "util/counter_rng.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -185,6 +188,170 @@ degradedSweep(const tracer::TraceBundle &bundle,
         platform.name = base.name + "/" + spec.name;
         result.sweeps.push_back(bandwidthSweep(
             bundle, platform, bandwidths, variants, threads));
+    }
+    return result;
+}
+
+namespace {
+
+/** Fold one cell's per-seed outcomes into its aggregates. */
+void
+aggregateCell(ResilienceCell &cell)
+{
+    std::vector<SimTime> alive;
+    alive.reserve(cell.seedTimes.size());
+    for (const SimTime t : cell.seedTimes) {
+        if (t != SimTime::max())
+            alive.push_back(t);
+    }
+    cell.failedFraction =
+        static_cast<double>(cell.seedTimes.size() - alive.size()) /
+        static_cast<double>(cell.seedTimes.size());
+    if (alive.empty()) {
+        cell.meanTime = SimTime::zero();
+        cell.p95Time = SimTime::zero();
+        return;
+    }
+    // Integer arithmetic end to end (ns sums fit: 2^63 ns is ~292
+    // years of simulated time) so the aggregates are bit-identical
+    // across hosts and thread counts.
+    std::int64_t sum = 0;
+    for (const SimTime t : alive)
+        sum += t.ns();
+    cell.meanTime = SimTime::fromNs(
+        sum / static_cast<std::int64_t>(alive.size()));
+    std::sort(alive.begin(), alive.end());
+    // Nearest-rank percentile: ceil(0.95 n) as (19n + 19) / 20.
+    const std::size_t n = alive.size();
+    const std::size_t rank = (19 * n + 19) / 20;
+    cell.p95Time = alive[rank - 1];
+}
+
+} // namespace
+
+ResilienceResult
+resilienceSweep(const tracer::TraceBundle &bundle,
+                const sim::PlatformConfig &base,
+                const std::vector<double> &mtbf_grid_us,
+                const std::vector<VariantSpec> &variants,
+                std::uint32_t seed_count, std::uint64_t seed,
+                int threads)
+{
+    ovlAssert(seed_count > 0,
+              "resilienceSweep: need at least one seed");
+    for (const double mtbf : mtbf_grid_us) {
+        ovlAssert(mtbf > 0.0,
+                  "resilienceSweep: MTBF must be positive");
+    }
+
+    ResilienceResult result;
+    result.variants = variants;
+    result.seedCount = seed_count;
+
+    const std::size_t jobs = mtbf_grid_us.size() * seed_count;
+    int lanes = ThreadPool::resolveThreads(threads);
+    if (jobs > 0 && static_cast<std::size_t>(lanes) > jobs)
+        lanes = static_cast<int>(jobs);
+    ThreadPool pool(lanes);
+
+    // Programs compile once into shared immutable replay programs,
+    // exactly like bandwidthSweep; every (rate, seed, variant) job
+    // replays from them.
+    std::vector<std::shared_ptr<const sim::ReplayProgram>> programs(
+        variants.size() + 1);
+    pool.parallelFor(
+        programs.size(), [&](std::size_t v, int) {
+            if (v == 0) {
+                programs[0] = sim::compileShared(bundle.traces);
+                return;
+            }
+            const auto built = buildOverlappedTrace(
+                bundle.traces, bundle.overlap,
+                variants[v - 1].config);
+            programs[v] = sim::compileShared(built.traces);
+        });
+
+    // Failure-free pre-pass: nominal completion under the base
+    // platform (checkpoint overhead included, faults excluded) sets
+    // the fault horizon. Processes stop faulting at 4x the slowest
+    // nominal run, so heavily reworked replays finish on a
+    // fault-free tail instead of restarting forever.
+    sim::PlatformConfig nominal = base;
+    nominal.scenario = scen::ScenarioConfig{};
+    nominal.faultModelFile.clear();
+    std::vector<sim::ReplaySession> sessions(
+        static_cast<std::size_t>(pool.size()));
+    std::vector<SimTime> nominalTimes(programs.size());
+    pool.parallelFor(
+        programs.size(), [&](std::size_t v, int lane) {
+            nominalTimes[v] =
+                sessions[static_cast<std::size_t>(lane)]
+                    .run(*programs[v], nominal)
+                    .totalTime;
+        });
+    SimTime slowest;
+    for (const SimTime t : nominalTimes) {
+        if (t > slowest)
+            slowest = t;
+    }
+    result.horizon = slowest * 4;
+
+    const int nodes = (programs[0]->ranks() + base.cpusPerNode - 1) /
+        base.cpusPerNode;
+
+    result.points.resize(mtbf_grid_us.size());
+    for (std::size_t i = 0; i < mtbf_grid_us.size(); ++i) {
+        ResiliencePoint &point = result.points[i];
+        point.mtbfUs = mtbf_grid_us[i];
+        point.cells.resize(programs.size());
+        for (ResilienceCell &cell : point.cells) {
+            cell.seedTimes.assign(seed_count, SimTime::max());
+        }
+    }
+
+    // One (rate, seed) job per row: the generated scenario is
+    // shared across the row's variants, so cells compare under
+    // identical fault sequences. Every job writes only its own
+    // seedTimes slots and the scenario expansion is a pure function
+    // of (seed, i, s) through the counter RNG, so the sweep is
+    // bit-identical to the sequential loop at any thread count.
+    pool.parallelFor(jobs, [&](std::size_t job, int lane) {
+        const std::size_t i = job / seed_count;
+        const std::size_t s = job % seed_count;
+
+        res::FaultModel model;
+        model.processes.reserve(static_cast<std::size_t>(nodes));
+        for (int n = 0; n < nodes; ++n) {
+            res::FaultProcess proc;
+            proc.target = scen::ScenTarget::node;
+            proc.nodeA = n;
+            proc.effect = res::FaultEffect::failStop;
+            proc.mtbfUs = mtbf_grid_us[i];
+            model.processes.push_back(std::move(proc));
+        }
+        const std::uint64_t row_seed =
+            CounterRng(seed, static_cast<std::uint64_t>(i)).at(s);
+        sim::PlatformConfig platform = nominal;
+        platform.scenario =
+            res::generateScenario(model, row_seed, result.horizon);
+
+        auto &session = sessions[static_cast<std::size_t>(lane)];
+        ResiliencePoint &point = result.points[i];
+        for (std::size_t v = 0; v < programs.size(); ++v) {
+            try {
+                point.cells[v].seedTimes[s] =
+                    session.run(*programs[v], platform).totalTime;
+            } catch (const scen::FailureError &) {
+                // A dead run is campaign data, not an error: the
+                // platform fails faster than this configuration
+                // recovers. The slot keeps its max() sentinel.
+            }
+        }
+    });
+
+    for (ResiliencePoint &point : result.points) {
+        for (ResilienceCell &cell : point.cells)
+            aggregateCell(cell);
     }
     return result;
 }

@@ -159,6 +159,72 @@ degradedSweep(const tracer::TraceBundle &bundle,
               const std::vector<ScenarioSpec> &scenarios,
               int threads = 1);
 
+/** Aggregates of one (failure rate x variant) campaign cell. */
+struct ResilienceCell
+{
+    /**
+     * Completion time per seed, parallel to the campaign's seed
+     * indices; SimTime::max() marks a failed run (a fail-stop with
+     * checkpointing disabled, or a restart budget exhausted).
+     */
+    std::vector<SimTime> seedTimes;
+    /** Mean over surviving seeds (integer-ns mean; zero when every
+     * seed failed). */
+    SimTime meanTime;
+    /** Nearest-rank 95th percentile over surviving seeds. */
+    SimTime p95Time;
+    /** Fraction of seeds whose replay never finished. */
+    double failedFraction = 0.0;
+};
+
+/** One failure-rate sample of a resilience campaign. */
+struct ResiliencePoint
+{
+    /** Per-node mean time between fail-stop faults (us). */
+    double mtbfUs = 0.0;
+    /** Cell 0 is the original; then parallel to variants. */
+    std::vector<ResilienceCell> cells;
+};
+
+/** Resilience campaign outcome. */
+struct ResilienceResult
+{
+    std::vector<VariantSpec> variants;
+    std::uint32_t seedCount = 0;
+    /** Fault horizon applied to every generated scenario. */
+    SimTime horizon;
+    std::vector<ResiliencePoint> points;
+};
+
+/**
+ * The resilience campaign: replay the original and every overlapped
+ * variant across a failure-rate grid x `seed_count` seeds, under
+ * `base`'s checkpoint/restart cost model (src/res/). For each grid
+ * point one per-node fail-stop exponential process at that MTBF is
+ * expanded (res::generateScenario) per seed — the same generated
+ * scenario is applied to the original and every variant of the
+ * (rate, seed) row, so cells compare under identical fault
+ * sequences. A failure-free pre-pass sets the fault horizon at 4x
+ * the slowest nominal run, so heavily reworked replays finish on a
+ * fault-free tail instead of diverging; runs that still die (no
+ * checkpointing, or restart budget exhausted) are reported as data
+ * in failedFraction rather than thrown.
+ *
+ * Deterministic by construction: scenario expansion is a pure
+ * function of (seed, grid index, seed index) through the
+ * counter-based RNG, every (rate, seed) job writes only its own
+ * slots, and the aggregates use integer arithmetic — the result is
+ * bit-identical to the sequential path at any thread count
+ * (`threads` as in bandwidthSweep).
+ */
+ResilienceResult
+resilienceSweep(const tracer::TraceBundle &bundle,
+                const sim::PlatformConfig &base,
+                const std::vector<double> &mtbf_grid_us,
+                const std::vector<VariantSpec> &variants,
+                std::uint32_t seed_count, std::uint64_t seed = 1,
+                int threads = 1);
+
 /** One topology's analytic-vs-algorithmic outcome. */
 struct CollectiveSweepResult
 {

@@ -228,6 +228,73 @@ LinkNetwork::onFinishEvent(std::uint32_t id, SimTime now)
     return check;
 }
 
+void
+LinkNetwork::shiftFlowClocks(SimTime delta)
+{
+    for (Flow &flow : flows_) {
+        flow.lastUpdate = flow.lastUpdate + delta;
+        if (flow.armed != SimTime::max())
+            flow.armed = flow.armed + delta;
+    }
+}
+
+void
+LinkNetwork::cancel(std::uint32_t id, SimTime now)
+{
+    std::size_t slot = flows_.size();
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+        if (flows_[i].id == id) {
+            slot = i;
+            break;
+        }
+    }
+    ovlAssert(slot < flows_.size(),
+              "LinkNetwork: cancel for unknown flow");
+    // Identical bookkeeping to a completion, minus the "bytes hit
+    // zero" part: settle everyone under the old rates, free the
+    // aborted flow's links, redistribute the shares.
+    const Flow dead = flows_[slot];
+    advanceAll(now);
+    flows_.erase(flows_.begin() + static_cast<std::ptrdiff_t>(slot));
+    for (const std::uint32_t link : routeOf(dead.src, dead.dst)) {
+        ovlAssert(linkLoad_[link] > 0,
+                  "LinkNetwork: link occupancy underflow");
+        --linkLoad_[link];
+    }
+    markTouched(dead.src, dead.dst);
+    for (Flow &flow : flows_) {
+        if (!touches(flow))
+            continue;
+        const double rate = bottleneckRate(flow);
+        if (rate == flow.rate)
+            continue;
+        flow.rate = rate;
+        const SimTime finish = finishTime(flow, now);
+        if (finish < flow.armed) {
+            flow.armed = finish;
+            reschedules_.emplace_back(flow.id, finish);
+        }
+    }
+}
+
+void
+LinkNetwork::cancelAll(SimTime now)
+{
+    // Free links in admission order; no rate recompute is needed
+    // since no survivors remain.
+    advanceAll(now);
+    for (const Flow &flow : flows_) {
+        for (const std::uint32_t link :
+             routeOf(flow.src, flow.dst)) {
+            ovlAssert(linkLoad_[link] > 0,
+                      "LinkNetwork: link occupancy underflow");
+            --linkLoad_[link];
+        }
+    }
+    flows_.clear();
+    reschedules_.clear();
+}
+
 std::uint64_t
 LinkNetwork::totalLoad() const
 {

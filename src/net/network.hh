@@ -158,6 +158,30 @@ class LinkNetwork
         return topo_->route(src, dst);
     }
 
+    /**
+     * Resilience seam: slide every in-flight flow's clock forward
+     * by `delta` without progressing any bytes. The checkpoint
+     * freeze stops simulated time for the whole machine while the
+     * checkpoint is written; the driver shifts its pending events
+     * by the same delta, so each flow's armed event still matches
+     * its (unchanged) remaining bytes and rate.
+     */
+    void shiftFlowClocks(SimTime delta);
+
+    /**
+     * Resilience seam: abort in-flight flow `id` at `now` without
+     * completing it (a fail-stop rollback cancels the transfer).
+     * Frees the flow's links exactly like a completion — so
+     * totalLoad() drops by the effective route length and the
+     * occupancy invariant is conserved — then recomputes the
+     * survivors' rates; speedups appear in pendingReschedules().
+     */
+    void cancel(std::uint32_t id, SimTime now);
+
+    /** Cancel every in-flight flow (rollback of a whole replay
+     * region). Afterwards activeFlows() and totalLoad() are 0. */
+    void cancelAll(SimTime now);
+
     /** First unroutable pair when rerouteDeadLinks() fails. */
     struct RerouteReport
     {

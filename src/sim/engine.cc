@@ -40,6 +40,8 @@ enum class EventKind : std::uint32_t {
     scenario = 4,
     /** A background flow finished (target = its event index). */
     backgroundFinish = 5,
+    /** A coordinated checkpoint fires (resilience seam). */
+    checkpoint = 6,
 };
 
 /**
@@ -336,10 +338,18 @@ class Engine
     void startBackgroundFlow(std::uint32_t i, SimTime t);
     void handleBackgroundFinish(std::uint32_t i, SimTime t);
     [[noreturn]] void reportFailStop(std::uint32_t i, SimTime t);
+    scen::FailureDiagnosis failStopDiagnosis(std::uint32_t i,
+                                             SimTime t) const;
     void flatScenCost(int src, int dst, Bytes bytes, SimTime begin,
                       SimTime &ser, SimTime &lat) const;
     SimTime applyFlatStalls(int src, int dst, SimTime begin,
                             SimTime finish) const;
+
+    /** Checkpoint/restart seam (see handleCheckpoint). */
+    void handleCheckpoint(SimTime t);
+    void freezeMachine(SimTime cost);
+    void takeSnapshot(SimTime anchor);
+    void restartFromCheckpoint(std::uint32_t i, SimTime t);
 
     bool
     busesLimited() const
@@ -437,6 +447,60 @@ class Engine
     scen::CompiledScenario scenario_;
     std::vector<std::uint8_t> scenActive_;
     std::vector<double> linkLatScale_;
+
+    /**
+     * Checkpoint/restart seam (src/res/), next to scenMode_. False
+     * keeps fail-stop semantics — and everything else —
+     * bit-identical to the checkpoint-free engine; true arms a
+     * coordinated-checkpoint chain whose handler freezes the whole
+     * machine for ckptCost_ per checkpoint and snapshots it, and
+     * reroutes fail-stop scenario events from FailureError into a
+     * rollback to the last snapshot plus restartCost_. Features
+     * whose state the snapshot does not cover (timeline capture,
+     * algorithmic collectives, non-fail-stop scenario events) are
+     * rejected at run() start.
+     */
+    bool ckptMode_ = false;
+    SimTime ckptInterval_;
+    SimTime ckptCost_;
+    SimTime restartCost_;
+    std::uint64_t checkpointsTaken_ = 0;
+    std::uint64_t restarts_ = 0;
+    /** Rollback loop guard: a fault process whose MTBF is shorter
+     * than the rework it causes never finishes; surface that as a
+     * FailureError instead of simulating forever. */
+    static constexpr std::uint64_t restartLimit = 10000;
+
+    /**
+     * Machine image captured between two events at the last
+     * checkpoint (and once at t = 0 before the event loop, so a
+     * failure before the first checkpoint restarts from scratch).
+     * Every member mirrors its engine counterpart; pure caches
+     * (memoized conversions, compiled routes/schedules) and state
+     * the ckptMode_ restrictions keep empty (txMeta_, timeline_,
+     * CollExec pools, scenActive_) are deliberately absent.
+     */
+    struct Snapshot
+    {
+        SimTime anchor;
+        DaryHeap<Event, 4, std::greater<Event>> events;
+        std::uint32_t nextSeq = 0;
+        std::vector<RankCtx> ranks;
+        std::vector<Transfer> transfers;
+        std::vector<RecvPost> recvPool;
+        std::uint32_t recvPoolFree = npos32;
+        std::uint32_t waitHead = npos32;
+        std::uint32_t waitTail = npos32;
+        bool resourcesFreed = false;
+        FlatMap<ChannelKey, ChannelQueue> channels;
+        std::vector<Barrier> barriers;
+        int busFree = 0;
+        std::vector<int> outFree;
+        std::vector<int> inFree;
+        int doneRanks = 0;
+        net::LinkNetwork network;
+    };
+    Snapshot snapshot_;
 
     /**
      * LinkNetwork flow-id offset of background flows. Transfer
@@ -602,6 +666,8 @@ Engine::reset()
          i < static_cast<std::uint32_t>(collExecs_.size()); ++i)
         collExecFree_.push_back(i);
     doneRanks_ = 0;
+    checkpointsTaken_ = 0;
+    restarts_ = 0;
     lastBurstInstr_ = 0;
     lastBurstDur_ = SimTime::zero();
     lastSerBytes_[0] = lastSerBytes_[1] = 0;
@@ -689,6 +755,43 @@ Engine::run(const ReplayProgram &program,
             coll_sends += sched->sendCount();
     }
 
+    // Checkpoint/restart seam: snapshots capture the whole machine
+    // between events, so every feature whose state the snapshot
+    // does not cover is rejected up front instead of being silently
+    // mis-restored after a rollback.
+    ckptMode_ = platform_.checkpointing();
+    if (ckptMode_) {
+        ckptInterval_ =
+            SimTime::fromUs(platform_.checkpointIntervalUs);
+        ckptCost_ = SimTime::fromUs(platform_.checkpointCostUs);
+        restartCost_ = SimTime::fromUs(platform_.restartCostUs);
+        if (ckptInterval_.ns() <= 0) {
+            fatal("platform: checkpoint_interval_us is positive "
+                  "but rounds to zero nanoseconds");
+        }
+        if (capture_) {
+            fatal("platform: checkpointing cannot capture a "
+                  "timeline (rolled-back intervals and re-executed "
+                  "messages would corrupt it)");
+        }
+        if (algorithmic_) {
+            fatal("platform: checkpointing does not support the "
+                  "algorithmic collective model yet (in-flight "
+                  "schedule executions are not snapshotted); use "
+                  "collective_model = analytic");
+        }
+        for (std::size_t i = 0; i < scenario_.eventCount(); ++i) {
+            const scen::ScenarioEvent &ev = scenario_.event(i);
+            if (ev.kind != scen::ScenEventKind::fail ||
+                ev.semantics != scen::FailSemantics::failStop) {
+                fatal("platform: checkpointing supports fail-stop "
+                      "scenario events only; `", ev.describe(),
+                      "` would need its active effect snapshotted "
+                      "across rollbacks");
+            }
+        }
+    }
+
     // The compiler counted the sends, so the transfer arena (one
     // entry per transfer ever posted, indices stable) can be sized
     // exactly: no growth mid-replay (collective schedule steps
@@ -729,6 +832,14 @@ Engine::run(const ReplayProgram &program,
     if (scenMode_)
         schedule(scenario_.event(0).time, EventKind::scenario, 0);
 
+    // Arm the coordinated-checkpoint chain and capture the pristine
+    // t = 0 image a failure before the first checkpoint rolls back
+    // to (a from-scratch restart).
+    if (ckptMode_) {
+        schedule(ckptInterval_, EventKind::checkpoint, 0);
+        takeSnapshot(SimTime::zero());
+    }
+
     while (!events_.empty()) {
         const Event ev = events_.top();
         events_.pop();
@@ -753,6 +864,9 @@ Engine::run(const ReplayProgram &program,
           case EventKind::backgroundFinish:
             handleBackgroundFinish(ev.target(), ev.time);
             break;
+          case EventKind::checkpoint:
+            handleCheckpoint(ev.time);
+            break;
         }
     }
 
@@ -769,6 +883,8 @@ Engine::run(const ReplayProgram &program,
     }
     result.eventsProcessed = processed_;
     result.transfers = transfers_.size();
+    result.checkpoints = checkpointsTaken_;
+    result.restarts = restarts_;
     result.timeline = std::move(timeline_);
     return result;
 }
@@ -1765,6 +1881,28 @@ Engine::recordCommEvent(std::uint32_t idx, SimTime recv_complete)
 void
 Engine::handleScenarioEvent(std::uint32_t i, SimTime t)
 {
+    if (ckptMode_) {
+        // Checkpointed replays interpret the compiled stream as
+        // machine-progress time: the freeze of every checkpoint
+        // shifted this event along with the rest of the machine, so
+        // its successor is armed by the compiled inter-event gap
+        // from the instant this one actually fired — identical to
+        // the absolute times below when nothing froze. run()
+        // restricted the stream to fail-stop events, so this either
+        // rolls the machine back (the restart re-arms the successor
+        // relative to the restart instant) or — with every rank
+        // already finished — is a no-op that lets the heap drain.
+        if (doneRanks_ < nranks_) {
+            restartFromCheckpoint(i, t);
+            return;
+        }
+        if (i + 1 < scenario_.eventCount()) {
+            schedule(t + (scenario_.event(i + 1).time -
+                          scenario_.event(i).time),
+                     EventKind::scenario, i + 1);
+        }
+        return;
+    }
     if (i + 1 < scenario_.eventCount()) {
         schedule(scenario_.event(i + 1).time, EventKind::scenario,
                  i + 1);
@@ -1957,13 +2095,9 @@ Engine::handleBackgroundFinish(std::uint32_t i, SimTime t)
         resourcesFreed_ = false;
 }
 
-/**
- * A fail-stop event fired with ranks unfinished: terminate the
- * replay with the structured diagnosis — the failure-semantics
- * mirror of reportDeadlock.
- */
-void
-Engine::reportFailStop(std::uint32_t i, SimTime t)
+/** Structured where-was-everyone report of a fail-stop at `t`. */
+scen::FailureDiagnosis
+Engine::failStopDiagnosis(std::uint32_t i, SimTime t) const
 {
     scen::FailureDiagnosis diag;
     diag.event = scenario_.event(i).describe();
@@ -1980,7 +2114,194 @@ Engine::reportFailStop(std::uint32_t i, SimTime t)
         blocked.end = static_cast<std::size_t>(ctx.end);
         diag.blockedRanks.push_back(std::move(blocked));
     }
-    throw scen::FailureError(std::move(diag));
+    return diag;
+}
+
+/**
+ * A fail-stop event fired with ranks unfinished: terminate the
+ * replay with the structured diagnosis — the failure-semantics
+ * mirror of reportDeadlock.
+ */
+void
+Engine::reportFailStop(std::uint32_t i, SimTime t)
+{
+    throw scen::FailureError(failStopDiagnosis(i, t));
+}
+
+/**
+ * A coordinated checkpoint fires at `t`: every rank stops, the
+ * machine image is written out over ckptCost_, and execution
+ * resumes shifted by exactly that cost. The freeze is a uniform
+ * shift of every pending instant — heap events and link-network
+ * flow clocks — which preserves their relative order, so the
+ * post-freeze replay is the un-frozen replay delayed by the cost.
+ * Rank-local clocks are left alone: a blocked rank's wake event
+ * moved, so the freeze lands in its blocked-time accounting, and a
+ * self-resuming rank wakes at the shifted instant (wakeRank only
+ * moves clocks forward). The snapshot is taken after the shift,
+ * anchored at t + ckptCost_ — the instant the written image is
+ * consistent and restartable.
+ */
+void
+Engine::handleCheckpoint(SimTime t)
+{
+    // The application finished (only drain events remain): stop
+    // chaining and let the heap empty.
+    if (doneRanks_ >= nranks_)
+        return;
+    ++checkpointsTaken_;
+    freezeMachine(ckptCost_);
+    takeSnapshot(t + ckptCost_);
+    schedule(t + ckptCost_ + ckptInterval_, EventKind::checkpoint,
+             0);
+}
+
+void
+Engine::freezeMachine(SimTime cost)
+{
+    if (cost.ns() == 0)
+        return;
+    // A uniform shift keeps every pair of heap keys ordered as
+    // before, which is exactly the contract DaryHeap::operator[]
+    // mutation demands. Stored per-transfer instants need no shift:
+    // future ones (the arriveTime of an in-flight transfer) are
+    // overwritten from the shifted event when it fires, and past
+    // ones must stay where history put them.
+    for (std::size_t k = 0; k < events_.size(); ++k)
+        events_[k].time += cost;
+    if (netMode_)
+        network_.shiftFlowClocks(cost);
+}
+
+/**
+ * Capture the whole machine between two events. Containers are
+ * copied into the retained snapshot arenas, so steady-state
+ * checkpoints only allocate while the machine grows past its
+ * high-water mark.
+ */
+void
+Engine::takeSnapshot(SimTime anchor)
+{
+    ovlAssert(broadcastPending_ == 0,
+              "checkpoint inside a release broadcast");
+    Snapshot &s = snapshot_;
+    s.anchor = anchor;
+    s.events = events_;
+    s.nextSeq = nextSeq_;
+    s.ranks = ranks_;
+    s.transfers.assign(transfers_.begin(), transfers_.end());
+    s.recvPool.assign(recvPool_.begin(), recvPool_.end());
+    s.recvPoolFree = recvPoolFree_;
+    s.waitHead = waitHead_;
+    s.waitTail = waitTail_;
+    s.resourcesFreed = resourcesFreed_;
+    s.channels = channels_;
+    s.barriers.assign(barriers_.begin(), barriers_.end());
+    s.busFree = busFree_;
+    s.outFree = outFree_;
+    s.inFree = inFree_;
+    s.doneRanks = doneRanks_;
+    if (netMode_)
+        s.network = network_;
+}
+
+/**
+ * Fail-stop event `i` fired at `t` with checkpointing enabled:
+ * roll the machine back to the last checkpoint instead of killing
+ * the replay. The restored image re-enters simulated time at
+ * t + restartCost_: every pending instant in the snapshot shifts
+ * forward by delta = (t + restartCost_) - anchor — non-negative,
+ * since the failure fired after the snapshot it rolls back to — so
+ * the replayed tail is the checkpointed tail delayed by exactly
+ * the work since the checkpoint plus the restart cost (the
+ * closed-form accounting the resilience tests pin). In-flight
+ * traffic caught by the failure is torn down first and the link
+ * occupancy invariant asserted back to zero before the snapshot's
+ * own flows are reinstated.
+ *
+ * Per-rank accounting keeps the counters as of the checkpoint
+ * (work is charged once) while totalTime absorbs the rework;
+ * processed_ keeps counting across restarts — rolled-back events
+ * were still simulated work, and the runaway guard must see them.
+ */
+void
+Engine::restartFromCheckpoint(std::uint32_t i, SimTime t)
+{
+    ++restarts_;
+    if (restarts_ > restartLimit) {
+        scen::FailureDiagnosis diag = failStopDiagnosis(i, t);
+        diag.event = "restart limit (" +
+            std::to_string(restartLimit) +
+            ") exceeded; the platform fails faster than it "
+            "recovers; last failure: " + diag.event;
+        throw scen::FailureError(std::move(diag));
+    }
+    ovlAssert(broadcastPending_ == 0,
+              "restart inside a release broadcast");
+    const Snapshot &s = snapshot_;
+    const SimTime restore_at = t + restartCost_;
+    ovlAssert(restore_at >= s.anchor,
+              "fail-stop fired before the checkpoint it rolls "
+              "back to");
+    const SimTime delta = restore_at - s.anchor;
+
+    if (netMode_) {
+        // Cancel what the failure caught mid-flight; occupancy must
+        // return to zero before the snapshot's flows take over.
+        network_.cancelAll(t);
+        ovlAssert(network_.totalLoad() == 0,
+                  "cancelled in-flight flows left link occupancy "
+                  "behind");
+        network_.clearPendingReschedules();
+        network_ = s.network;
+        network_.shiftFlowClocks(delta);
+    }
+
+    // Rebuild the heap from the snapshot: the scenario and
+    // checkpoint chains are re-armed below (their pending links in
+    // the snapshot are dropped), everything else shifts into the
+    // restarted time frame. The vectors shrink back onto their
+    // reserved arenas — restores never reallocate.
+    events_.clear();
+    for (std::size_t k = 0; k < s.events.size(); ++k) {
+        Event ev = s.events[k];
+        const EventKind kind = ev.kind();
+        if (kind == EventKind::scenario ||
+            kind == EventKind::checkpoint)
+            continue;
+        ev.time += delta;
+        events_.push(ev);
+    }
+    nextSeq_ = s.nextSeq;
+    ranks_ = s.ranks;
+    transfers_.resize(s.transfers.size());
+    std::copy(s.transfers.begin(), s.transfers.end(),
+              transfers_.begin());
+    recvPool_.resize(s.recvPool.size());
+    std::copy(s.recvPool.begin(), s.recvPool.end(),
+              recvPool_.begin());
+    recvPoolFree_ = s.recvPoolFree;
+    waitHead_ = s.waitHead;
+    waitTail_ = s.waitTail;
+    resourcesFreed_ = s.resourcesFreed;
+    channels_ = s.channels;
+    barriers_.assign(s.barriers.begin(), s.barriers.end());
+    busFree_ = s.busFree;
+    outFree_ = s.outFree;
+    inFree_ = s.inFree;
+    doneRanks_ = s.doneRanks;
+
+    // The failure itself was consumed: the stream resumes at its
+    // successor, one compiled inter-event gap downstream of the
+    // restart instant (see handleScenarioEvent for why checkpointed
+    // streams chain by gap), and the checkpoint chain restarts a
+    // full interval out.
+    if (i + 1 < scenario_.eventCount()) {
+        const SimTime gap =
+            scenario_.event(i + 1).time - scenario_.event(i).time;
+        schedule(restore_at + gap, EventKind::scenario, i + 1);
+    }
+    schedule(restore_at + ckptInterval_, EventKind::checkpoint, 0);
 }
 
 /**

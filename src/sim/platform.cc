@@ -65,6 +65,14 @@ PlatformConfig::validate() const
               "collective_bandwidth_factor apply only to the "
               "analytic model (collective_model = analytic)");
     }
+    if (!std::isfinite(checkpointIntervalUs) ||
+        !std::isfinite(checkpointCostUs) ||
+        !std::isfinite(restartCostUs) ||
+        checkpointIntervalUs < 0.0 || checkpointCostUs < 0.0 ||
+        restartCostUs < 0.0) {
+        fatal("platform: checkpoint interval/cost and restart cost "
+              "must be finite and non-negative");
+    }
     coll::validateOverrides(collectiveAlgorithms);
     topology.validate();
     scenario.validate();

@@ -139,9 +139,41 @@ struct PlatformConfig
      * degradations, failures and background flows injected into the
      * replay. Empty (the default) keeps the engine's static-platform
      * paths bit-identical to platforms that predate the field.
-     * Referenced from platform files via `scenario_file = ...`.
+     * Referenced from platform files via `scenario_file = ...`, or
+     * expanded from a stochastic fault model (src/res/) via
+     * `fault_model_file = ...`.
      */
     scen::ScenarioConfig scenario;
+
+    /** Where the scenario was expanded from when it came out of a
+     * fault model (round-trips the `fault_model_file` key). */
+    std::string faultModelFile;
+
+    /**
+     * Checkpoint/restart cost model (src/res/). With a positive
+     * interval, every rank takes a coordinated checkpoint every
+     * `checkpointIntervalUs` of simulated time, freezing the whole
+     * machine for `checkpointCostUs`; a fail-stop scenario event
+     * then no longer terminates the replay but rolls every rank
+     * back to the last checkpoint, charges `restartCostUs`, and
+     * replays forward. Zero interval (the default) keeps fail-stop
+     * semantics — and everything else — bit-identical to platforms
+     * that predate these fields.
+     */
+    double checkpointIntervalUs = 0.0;
+
+    /** Machine-wide freeze charged per checkpoint taken. */
+    double checkpointCostUs = 0.0;
+
+    /** Rollback/rejuvenation delay charged per restart. */
+    double restartCostUs = 0.0;
+
+    /** Checkpointing enabled? */
+    bool
+    checkpointing() const
+    {
+        return checkpointIntervalUs > 0.0;
+    }
 
     /** Effective MIPS rate given a trace's recorded rate. */
     double

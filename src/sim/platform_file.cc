@@ -1,11 +1,13 @@
 #include "platform_file.hh"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
 
 #include "coll/coll.hh"
 #include "net/topology.hh"
+#include "res/fault_model.hh"
 #include "scen/scenario.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -13,6 +15,64 @@
 namespace ovlsim::sim {
 
 namespace {
+
+/**
+ * Domain-checked numeric parsing: every numeric platform key
+ * rejects NaN/inf and out-of-domain signs right here, with the
+ * file, line and key in the error — out-of-domain values must
+ * never flow into the engine and surface as a confusing cost or
+ * assertion later.
+ */
+double
+parseFiniteDouble(const std::string &source, std::size_t line_no,
+                  const std::string &key, const std::string &value)
+{
+    const double v = parseDouble(value);
+    if (std::isnan(v) || !std::isfinite(v)) {
+        fatal(source, " line ", line_no, ": key '", key,
+              "' must be a finite number, got '", value, "'");
+    }
+    return v;
+}
+
+double
+parseNonNegativeDouble(const std::string &source,
+                       std::size_t line_no, const std::string &key,
+                       const std::string &value)
+{
+    const double v = parseFiniteDouble(source, line_no, key, value);
+    if (v < 0.0) {
+        fatal(source, " line ", line_no, ": key '", key,
+              "' must be non-negative, got '", value, "'");
+    }
+    return v;
+}
+
+double
+parsePositiveDouble(const std::string &source, std::size_t line_no,
+                    const std::string &key,
+                    const std::string &value)
+{
+    const double v = parseFiniteDouble(source, line_no, key, value);
+    if (v <= 0.0) {
+        fatal(source, " line ", line_no, ": key '", key,
+              "' must be positive, got '", value, "'");
+    }
+    return v;
+}
+
+std::int64_t
+parseNonNegativeInt(const std::string &source, std::size_t line_no,
+                    const std::string &key,
+                    const std::string &value)
+{
+    const std::int64_t v = parseInt(value);
+    if (v < 0) {
+        fatal(source, " line ", line_no, ": key '", key,
+              "' must be non-negative, got '", value, "'");
+    }
+    return v;
+}
 
 /** Key prefix of the per-op collective algorithm pins. */
 const std::string collAlgoPrefix = "collective_algorithm_";
@@ -116,41 +176,50 @@ readPlatformConfig(std::istream &is, const std::string &source)
         if (key == "name") {
             config.name = value;
         } else if (key == "mips") {
-            config.mipsOverride = parseDouble(value);
+            // Zero means "use the trace's recorded rate".
+            config.mipsOverride =
+                parseNonNegativeDouble(source, line_no, key, value);
         } else if (key == "cpu_ratio") {
-            config.cpuRatio = parseDouble(value);
+            config.cpuRatio =
+                parsePositiveDouble(source, line_no, key, value);
         } else if (key == "cpus_per_node") {
-            config.cpusPerNode =
-                static_cast<int>(parseInt(value));
+            config.cpusPerNode = static_cast<int>(
+                parseNonNegativeInt(source, line_no, key, value));
         } else if (key == "bandwidth_mbps") {
-            config.bandwidthMBps = parseDouble(value);
+            config.bandwidthMBps =
+                parsePositiveDouble(source, line_no, key, value);
         } else if (key == "latency_us") {
-            config.latencyUs = parseDouble(value);
+            config.latencyUs =
+                parseNonNegativeDouble(source, line_no, key, value);
         } else if (key == "local_bandwidth_mbps") {
-            config.localBandwidthMBps = parseDouble(value);
+            config.localBandwidthMBps =
+                parsePositiveDouble(source, line_no, key, value);
         } else if (key == "local_latency_us") {
-            config.localLatencyUs = parseDouble(value);
+            config.localLatencyUs =
+                parseNonNegativeDouble(source, line_no, key, value);
         } else if (key == "buses") {
-            config.buses = static_cast<int>(parseInt(value));
+            config.buses = static_cast<int>(
+                parseNonNegativeInt(source, line_no, key, value));
         } else if (key == "out_links_per_node") {
-            config.outLinksPerNode =
-                static_cast<int>(parseInt(value));
+            config.outLinksPerNode = static_cast<int>(
+                parseNonNegativeInt(source, line_no, key, value));
         } else if (key == "in_links_per_node") {
-            config.inLinksPerNode =
-                static_cast<int>(parseInt(value));
+            config.inLinksPerNode = static_cast<int>(
+                parseNonNegativeInt(source, line_no, key, value));
         } else if (key == "eager_threshold") {
-            config.eagerThreshold =
-                static_cast<Bytes>(parseInt(value));
+            config.eagerThreshold = static_cast<Bytes>(
+                parseNonNegativeInt(source, line_no, key, value));
         } else if (key == "force_eager_isend") {
             config.forceEagerIsend = parseBool(value);
         } else if (key == "rendezvous_overhead_us") {
-            config.rendezvousOverheadUs = parseDouble(value);
+            config.rendezvousOverheadUs =
+                parseNonNegativeDouble(source, line_no, key, value);
         } else if (key == "collective_latency_factor") {
             config.collectives.latencyFactor =
-                parseDouble(value);
+                parseNonNegativeDouble(source, line_no, key, value);
         } else if (key == "collective_bandwidth_factor") {
             config.collectives.bandwidthFactor =
-                parseDouble(value);
+                parseNonNegativeDouble(source, line_no, key, value);
         } else if (key == "collective_model") {
             // Unknown names fail here with the valid models.
             config.collectiveModel =
@@ -163,10 +232,11 @@ readPlatformConfig(std::istream &is, const std::string &source)
             config.topology.kind =
                 net::topologyKindFromName(value);
         } else if (key == "fat_tree_radix") {
-            config.topology.fatTreeRadix =
-                static_cast<int>(parseInt(value));
+            config.topology.fatTreeRadix = static_cast<int>(
+                parseNonNegativeInt(source, line_no, key, value));
         } else if (key == "fat_tree_taper") {
-            config.topology.fatTreeTaper = parseDouble(value);
+            config.topology.fatTreeTaper =
+                parseNonNegativeDouble(source, line_no, key, value);
         } else if (key == "torus_dims") {
             config.topology.torusDims =
                 parseTorusDims(source, line_no, value);
@@ -192,8 +262,15 @@ readPlatformConfig(std::istream &is, const std::string &source)
             }
             config.topology.linkBandwidthMBps = mbps;
         } else if (key == "hop_latency_us") {
-            config.topology.hopLatencyUs = parseDouble(value);
+            config.topology.hopLatencyUs =
+                parseNonNegativeDouble(source, line_no, key, value);
         } else if (key == "scenario_file") {
+            if (seen.count("fault_model_file")) {
+                fatal(source, " line ", line_no,
+                      ": scenario_file and fault_model_file are "
+                      "mutually exclusive (both define the "
+                      "scenario)");
+            }
             // The scenario parser names the referenced file in its
             // own errors; point at the referencing line too so a
             // bad path is traceable from the platform side.
@@ -203,6 +280,33 @@ readPlatformConfig(std::istream &is, const std::string &source)
                 fatal(source, " line ", line_no, ": ",
                       err.what());
             }
+        } else if (key == "fault_model_file") {
+            if (seen.count("scenario_file")) {
+                fatal(source, " line ", line_no,
+                      ": scenario_file and fault_model_file are "
+                      "mutually exclusive (both define the "
+                      "scenario)");
+            }
+            // Expand the stochastic model into a concrete scenario
+            // right here, with the model's own seed and horizon:
+            // the engine only ever sees an ordinary event list.
+            try {
+                config.scenario = res::generateScenario(
+                    res::readFaultModelFile(value));
+            } catch (const FatalError &err) {
+                fatal(source, " line ", line_no, ": ",
+                      err.what());
+            }
+            config.faultModelFile = value;
+        } else if (key == "checkpoint_interval_us") {
+            config.checkpointIntervalUs =
+                parseNonNegativeDouble(source, line_no, key, value);
+        } else if (key == "checkpoint_cost_us") {
+            config.checkpointCostUs =
+                parseNonNegativeDouble(source, line_no, key, value);
+        } else if (key == "restart_cost_us") {
+            config.restartCostUs =
+                parseNonNegativeDouble(source, line_no, key, value);
         } else {
             fatal(source, " line ", line_no,
                   ": unknown key '", key, "'");
@@ -291,9 +395,19 @@ writePlatformConfig(const PlatformConfig &config,
     }
     os << "hop_latency_us = "
        << strformat("%.17g", topo.hopLatencyUs) << "\n";
-    // A scenario only round-trips when it came from a file; emit
-    // programmatic configs with writeScenario() first.
-    if (!config.scenario.sourcePath.empty()) {
+    os << "checkpoint_interval_us = "
+       << strformat("%.17g", config.checkpointIntervalUs) << "\n";
+    os << "checkpoint_cost_us = "
+       << strformat("%.17g", config.checkpointCostUs) << "\n";
+    os << "restart_cost_us = "
+       << strformat("%.17g", config.restartCostUs) << "\n";
+    // A scenario only round-trips when it came from a file (or was
+    // expanded from a fault model file); emit programmatic configs
+    // with writeScenario() first.
+    if (!config.faultModelFile.empty()) {
+        os << "fault_model_file = " << config.faultModelFile
+           << "\n";
+    } else if (!config.scenario.sourcePath.empty()) {
         os << "scenario_file = " << config.scenario.sourcePath
            << "\n";
     }

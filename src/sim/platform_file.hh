@@ -14,6 +14,32 @@
  *   buses = 8
  *   cpus_per_node = 4
  *   eager_threshold = 32768
+ *
+ * Every numeric key is domain-checked at parse time (NaN, inf and
+ * out-of-domain signs are fatal, naming file, line and key).
+ *
+ * Dynamic-platform keys:
+ *
+ *   # a fixed timestamped event list (src/scen/)...
+ *   scenario_file = degrade.scen
+ *   # ...or a stochastic fault model expanded with its own seed
+ *   # and horizon into such a list at parse time (src/res/).
+ *   # Mutually exclusive with scenario_file.
+ *   fault_model_file = flaky.fm
+ *
+ * Checkpoint/restart cost model (src/res/, engine restart seam):
+ *
+ *   # coordinated checkpoint every 50 ms of simulated time...
+ *   checkpoint_interval_us = 50000
+ *   # ...freezing the machine for 2 ms per checkpoint taken
+ *   checkpoint_cost_us = 2000
+ *   # rollback/rejuvenation delay charged per fail-stop restart
+ *   restart_cost_us = 5000
+ *
+ * With a positive checkpoint_interval_us a fail-stop scenario event
+ * rolls the replay back to its last checkpoint instead of
+ * terminating it; zero (the default) keeps PR-6 fail-stop
+ * semantics bit-identical.
  */
 
 #ifndef OVLSIM_SIM_PLATFORM_FILE_HH

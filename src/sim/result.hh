@@ -47,6 +47,13 @@ struct SimResult
     std::vector<RankResult> perRank;
     std::uint64_t eventsProcessed = 0;
     std::uint64_t transfers = 0;
+    /**
+     * Coordinated checkpoints taken and fail-stop rollbacks
+     * survived (resilience seam, src/res/); both zero unless the
+     * platform enables checkpointing.
+     */
+    std::uint64_t checkpoints = 0;
+    std::uint64_t restarts = 0;
     /** Populated only when the platform enables timeline capture. */
     Timeline timeline;
 

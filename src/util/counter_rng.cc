@@ -1,0 +1,13 @@
+#include "counter_rng.hh"
+
+#include <cmath>
+
+namespace ovlsim {
+
+double
+CounterRng::nextExponential(double mean)
+{
+    return -mean * std::log1p(-nextDouble());
+}
+
+} // namespace ovlsim

@@ -337,6 +337,67 @@ TEST(LinkNetworkTest, SharedBottleneckHalvesTheRate)
         EXPECT_EQ(finish.ns(), 4096) << "flow " << id;
 }
 
+TEST(LinkNetworkTest, CancelFreesOccupancyAndSpeedsSurvivors)
+{
+    // Two equal flows share the tapered bottleneck at 0.5 B/ns
+    // each. Cancelling one at 2048 ns (resilience rollback seam)
+    // must free exactly its route's occupancy and hand the survivor
+    // the full link: 3072 bytes remain at 1 B/ns, finish at 5120.
+    TopologyConfig tapered = net::topologies::taperedFatTree(2);
+    const auto topo = net::compileTopology(tapered, 4);
+    LinkNetwork net;
+    net.configure(&topo, 1000.0);
+    net.start(0, 0, 2, 4096, SimTime::zero());
+    net.start(1, 1, 3, 4096, SimTime::zero());
+    const std::uint64_t both =
+        topo.route(0, 2).size() + topo.route(1, 3).size();
+    EXPECT_EQ(net.totalLoad(), both);
+
+    net.cancel(1, SimTime::fromNs(2048));
+    EXPECT_EQ(net.activeFlows(), 1u);
+    EXPECT_EQ(net.totalLoad(), topo.route(0, 2).size());
+    // The survivor's stale armed event (4096, from its 1 B/ns
+    // admission) already covers the speedup, so no reschedule is
+    // emitted; firing it reports the corrected finish instead.
+    EXPECT_TRUE(net.pendingReschedules().empty());
+    const auto early = net.onFinishEvent(0, SimTime::fromNs(4096));
+    EXPECT_FALSE(early.done);
+    ASSERT_TRUE(early.reschedule);
+    EXPECT_EQ(early.retry.ns(), 5120);
+
+    const auto check =
+        net.onFinishEvent(0, SimTime::fromNs(5120));
+    EXPECT_TRUE(check.done);
+    EXPECT_EQ(net.totalLoad(), 0u);
+}
+
+TEST(LinkNetworkTest, CancelAllDrainsTheNetwork)
+{
+    // A whole-replay rollback cancels everything in flight; the
+    // network must come back drained and immediately reusable.
+    const auto topo = net::compileTopology(
+        net::topologies::fatTree(2), 8);
+    LinkNetwork net;
+    net.configure(&topo, 1000.0);
+    net.start(0, 0, 7, 64 * 1024, SimTime::zero());
+    net.start(1, 1, 6, 32 * 1024, SimTime::fromNs(100));
+    net.start(2, 4, 3, 16 * 1024, SimTime::fromNs(200));
+    EXPECT_EQ(net.activeFlows(), 3u);
+
+    net.cancelAll(SimTime::fromNs(300));
+    EXPECT_EQ(net.activeFlows(), 0u);
+    EXPECT_EQ(net.totalLoad(), 0u);
+    EXPECT_TRUE(net.pendingReschedules().empty());
+
+    // Reuse after the rollback behaves like a fresh network.
+    const SimTime finish =
+        net.start(3, 0, 3, 4096, SimTime::fromNs(400));
+    EXPECT_EQ(finish.ns(), 400 + 4096);
+    const auto check = net.onFinishEvent(3, finish);
+    EXPECT_TRUE(check.done);
+    EXPECT_EQ(net.totalLoad(), 0u);
+}
+
 TEST(LinkNetworkTest, LateArrivalSlowsAndCompletionSpeedsUp)
 {
     // One flow runs alone for 2048 ns, shares the fabric with a

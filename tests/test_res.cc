@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Resilience engine: the counter-based RNG, stochastic fault
+ * models, the checkpoint/restart cost model and the failure-rate
+ * campaign driver.
+ *
+ * Key contracts pinned here:
+ *  - CounterRng draw N is a pure hash of (key, stream, N): random
+ *    access equals sequential draws and substreams are independent
+ *    of caller order,
+ *  - generateScenario is a pure function of (model, seed, horizon)
+ *    and fail-stop processes emit exactly one fault,
+ *  - closed-form restart accounting: with interval I, cost C and
+ *    restart cost R, one fail-stop at t costs exactly the work
+ *    since the last checkpoint plus R on top of the failure-free
+ *    checkpointed time (132 us and 142 us pins below, worked out
+ *    by hand on the integer clock),
+ *  - a zero checkpoint interval keeps PR-6 fail-stop semantics
+ *    (FailureError) and leaves failure-free replays bit-identical,
+ *  - checkpointed replays with in-flight routed transfers roll
+ *    back, conserve link occupancy (engine-internal assert) and
+ *    stay bit-identical across runs,
+ *  - a platform that fails faster than it recovers exhausts the
+ *    restart budget and surfaces as a FailureError, not a hang,
+ *  - resilienceSweep grids are bit-identical across thread counts
+ *    and report dead runs as data (failedFraction), never throws,
+ *  - FailureError propagates through simulateBatch and
+ *    bandwidthSweep without wedging the thread pool (satellite:
+ *    failure propagation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hh"
+#include "helpers.hh"
+#include "net/topology.hh"
+#include "res/fault_model.hh"
+#include "scen/scenario.hh"
+#include "sim/engine.hh"
+#include "sim/platform_file.hh"
+#include "util/counter_rng.hh"
+
+namespace ovlsim {
+namespace {
+
+using scen::FailSemantics;
+using scen::ScenarioEvent;
+using scen::ScenEventKind;
+using scen::ScenTarget;
+using testing::expectIdentical;
+
+/** One rank computing a single `instr` burst (100'000 instructions
+ * at the tracer's default 1000 MIPS = exactly 100 us). */
+tracer::TraceBundle
+singleBurst(Instr instr)
+{
+    return testing::traceOf(
+        1, [instr](vm::VmContext &ctx) { ctx.compute(instr); });
+}
+
+/** Default cluster with the checkpoint/restart cost model set. */
+sim::PlatformConfig
+ckptPlatform(double interval_us, double cost_us, double restart_us)
+{
+    auto platform = sim::platforms::defaultCluster();
+    platform.checkpointIntervalUs = interval_us;
+    platform.checkpointCostUs = cost_us;
+    platform.restartCostUs = restart_us;
+    return platform;
+}
+
+ScenarioEvent
+nodeFail(double us, int node)
+{
+    ScenarioEvent ev;
+    ev.time = SimTime::fromUs(us);
+    ev.kind = ScenEventKind::fail;
+    ev.target = ScenTarget::node;
+    ev.nodeA = node;
+    ev.semantics = FailSemantics::failStop;
+    return ev;
+}
+
+// ---------------------------------------------------------------
+// Counter-based RNG.
+// ---------------------------------------------------------------
+
+TEST(CounterRngTest, RandomAccessMatchesSequentialDraws)
+{
+    CounterRng rng(42, 7);
+    const CounterRng probe(42, 7);
+    for (std::uint64_t n = 0; n < 64; ++n)
+        EXPECT_EQ(rng.next(), probe.at(n)) << "draw " << n;
+
+    // A fresh instance with the same address replays the sequence.
+    CounterRng again(42, 7);
+    EXPECT_EQ(again.next(), probe.at(0));
+}
+
+TEST(CounterRngTest, StreamsAndSubstreamsAreIndependentOfOrder)
+{
+    // Drawing from one stream never disturbs another, so the values
+    // a consumer sees cannot depend on which lane expanded first.
+    CounterRng a(1, 0);
+    CounterRng b(1, 1);
+    const std::uint64_t b0 = CounterRng(1, 1).at(0);
+    for (int i = 0; i < 10; ++i)
+        a.next();
+    EXPECT_EQ(b.next(), b0);
+
+    // substream() is a pure derivation and distinct from the parent.
+    const CounterRng parent(9, 3);
+    EXPECT_EQ(parent.substream(5).at(0), parent.substream(5).at(0));
+    EXPECT_NE(parent.substream(5).at(0), parent.substream(6).at(0));
+    EXPECT_NE(parent.substream(5).at(0), parent.at(0));
+}
+
+TEST(CounterRngTest, ExponentialDrawsArePositiveWithTheRightMean)
+{
+    CounterRng rng(2026, 0);
+    const double mean = 500.0;
+    double sum = 0.0;
+    const int draws = 1 << 14;
+    for (int i = 0; i < draws; ++i) {
+        const double x = rng.nextExponential(mean);
+        ASSERT_GT(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / draws, mean, mean * 0.05);
+}
+
+// ---------------------------------------------------------------
+// Stochastic fault models.
+// ---------------------------------------------------------------
+
+res::FaultModel
+mixedModel()
+{
+    res::FaultModel model;
+    res::FaultProcess node_fail;
+    node_fail.target = ScenTarget::node;
+    node_fail.nodeA = 0;
+    node_fail.effect = res::FaultEffect::failStop;
+    node_fail.mtbfUs = 400.0;
+    model.processes.push_back(node_fail);
+
+    res::FaultProcess link_degrade;
+    link_degrade.target = ScenTarget::link;
+    link_degrade.nodeA = 1;
+    link_degrade.nodeB = 2;
+    link_degrade.effect = res::FaultEffect::degrade;
+    link_degrade.degradeFactor = 0.25;
+    link_degrade.mtbfUs = 300.0;
+    link_degrade.mttrUs = 50.0;
+    model.processes.push_back(link_degrade);
+    return model;
+}
+
+TEST(FaultModelTest, GenerateScenarioIsAPureFunction)
+{
+    const auto model = mixedModel();
+    const SimTime horizon = SimTime::fromUs(5000.0);
+    const auto a = res::generateScenario(model, 11, horizon);
+    const auto b = res::generateScenario(model, 11, horizon);
+    EXPECT_TRUE(a.events == b.events);
+    ASSERT_FALSE(a.events.empty());
+
+    const auto other = res::generateScenario(model, 12, horizon);
+    EXPECT_FALSE(a.events == other.events);
+}
+
+TEST(FaultModelTest, FailStopProcessesEmitExactlyOneFault)
+{
+    res::FaultModel model;
+    res::FaultProcess proc;
+    proc.target = ScenTarget::node;
+    proc.nodeA = 3;
+    proc.effect = res::FaultEffect::failStop;
+    proc.mtbfUs = 100.0; // Dozens of renewals fit the horizon.
+    model.processes.push_back(proc);
+
+    const auto config =
+        res::generateScenario(model, 5, SimTime::fromUs(10000.0));
+    ASSERT_EQ(config.events.size(), 1u);
+    EXPECT_EQ(config.events[0].kind, ScenEventKind::fail);
+    EXPECT_EQ(config.events[0].semantics, FailSemantics::failStop);
+    EXPECT_EQ(config.events[0].nodeA, 3);
+}
+
+TEST(FaultModelTest, ModelFileRoundTrips)
+{
+    auto model = mixedModel();
+    model.seed = 77;
+    model.horizonUs = 12345.0;
+
+    std::ostringstream out;
+    res::writeFaultModel(model, out);
+    std::istringstream in(out.str());
+    const auto parsed = res::readFaultModel(in);
+    EXPECT_TRUE(parsed == model);
+}
+
+// ---------------------------------------------------------------
+// Checkpoint/restart cost model: closed-form pins.
+//
+// All pins use a single rank computing one 100 us burst at 1000
+// MIPS, interval I = 60 us (or 30), cost C = 5 us, restart R = 7 us,
+// worked out by hand on the integer-ns clock.
+// ---------------------------------------------------------------
+
+TEST(CheckpointRestartTest, FailureFreeRunChargesOneFreezePerCheckpoint)
+{
+    // I = 30, C = 5 over a 100 us burst: checkpoints at machine
+    // progress 30, 60 and 90 each freeze the machine for 5 us, so
+    // the rank finishes at exactly 100 + 3 * 5 = 115 us.
+    const auto bundle = singleBurst(100'000);
+    const auto result =
+        sim::simulate(bundle.traces, ckptPlatform(30.0, 5.0, 7.0));
+    EXPECT_EQ(result.totalTime.ns(), SimTime::fromUs(115.0).ns());
+    EXPECT_EQ(result.checkpoints, 3u);
+    EXPECT_EQ(result.restarts, 0u);
+}
+
+TEST(CheckpointRestartTest, RestartReplaysWorkSinceTheLastCheckpoint)
+{
+    // I = 60, C = 5, R = 7, fail-stop at machine progress 80.
+    // Failure-free checkpointed time is 100 + C = 105 us (one
+    // checkpoint fits the run). The failure at 80 rolls back to the
+    // checkpoint cut at 60, so the replay pays the 20 us of work
+    // since it plus R: 105 + 20 + 7 = 132 us.
+    auto platform = ckptPlatform(60.0, 5.0, 7.0);
+    platform.scenario.events.push_back(nodeFail(80.0, 0));
+    const auto bundle = singleBurst(100'000);
+
+    const auto free_run =
+        sim::simulate(bundle.traces, ckptPlatform(60.0, 5.0, 7.0));
+    EXPECT_EQ(free_run.totalTime.ns(), SimTime::fromUs(105.0).ns());
+    EXPECT_EQ(free_run.checkpoints, 1u);
+
+    const auto result = sim::simulate(bundle.traces, platform);
+    EXPECT_EQ(result.totalTime.ns(), SimTime::fromUs(132.0).ns());
+    EXPECT_EQ(result.checkpoints, 1u);
+    EXPECT_EQ(result.restarts, 1u);
+    // Work is charged once from the surviving run's perspective.
+    ASSERT_EQ(result.perRank.size(), 1u);
+    EXPECT_EQ(result.perRank[0].computeTime.ns(),
+              SimTime::fromUs(100.0).ns());
+}
+
+TEST(CheckpointRestartTest, FailureBeforeTheFirstCheckpointRestartsFromZero)
+{
+    // The same machine failing at 30 us — before any checkpoint —
+    // rolls back to time zero: 30 us wasted + R = 7, restart at 37,
+    // the full burst replays and the (re-armed) checkpoint at 97
+    // freezes 5 us: 37 + 100 + 5 = 142 us.
+    auto platform = ckptPlatform(60.0, 5.0, 7.0);
+    platform.scenario.events.push_back(nodeFail(30.0, 0));
+    const auto bundle = singleBurst(100'000);
+
+    const auto result = sim::simulate(bundle.traces, platform);
+    EXPECT_EQ(result.totalTime.ns(), SimTime::fromUs(142.0).ns());
+    EXPECT_EQ(result.checkpoints, 1u);
+    EXPECT_EQ(result.restarts, 1u);
+}
+
+// ---------------------------------------------------------------
+// Bit-identity seams around the cost model.
+// ---------------------------------------------------------------
+
+TEST(CheckpointRestartTest, ZeroIntervalKeepsFailStopSemantics)
+{
+    // Cost/restart values without a positive interval change
+    // nothing: fail-stop still terminates with the PR-6 diagnosis.
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(256 * 1024, 400'000));
+    auto platform = testing::platformAt(256.0);
+    platform.checkpointCostUs = 5.0;
+    platform.restartCostUs = 7.0;
+    platform.scenario.events.push_back(nodeFail(10.0, 0));
+    try {
+        sim::simulate(bundle.traces, platform);
+        FAIL() << "fail-stop without checkpointing must throw";
+    } catch (const scen::FailureError &err) {
+        EXPECT_EQ(err.diagnosis().time.ns(),
+                  SimTime::fromUs(10.0).ns());
+        EXPECT_NE(err.diagnosis().event.find("fail"),
+                  std::string::npos);
+    }
+}
+
+TEST(CheckpointRestartTest, IdleCostFieldsLeaveReplaysBitIdentical)
+{
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 400'000, 3));
+    const auto base = testing::platformAt(512.0);
+    auto idle = base;
+    idle.checkpointCostUs = 5.0;
+    idle.restartCostUs = 7.0;
+    expectIdentical(sim::simulate(bundle.traces, base),
+                    sim::simulate(bundle.traces, idle));
+}
+
+TEST(CheckpointRestartTest, UnfiredCheckpointLeavesRankTimesUntouched)
+{
+    // An interval beyond the completion time takes no checkpoint
+    // and perturbs no rank observable (the pending checkpoint event
+    // itself is the only extra event processed).
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 400'000, 3));
+    const auto base = testing::platformAt(512.0);
+    auto late = base;
+    late.checkpointIntervalUs = 1e9;
+
+    const auto a = sim::simulate(bundle.traces, base);
+    const auto b = sim::simulate(bundle.traces, late);
+    EXPECT_EQ(b.checkpoints, 0u);
+    EXPECT_EQ(a.totalTime.ns(), b.totalTime.ns());
+    ASSERT_EQ(a.perRank.size(), b.perRank.size());
+    for (std::size_t r = 0; r < a.perRank.size(); ++r) {
+        EXPECT_EQ(a.perRank[r].endTime.ns(),
+                  b.perRank[r].endTime.ns());
+        EXPECT_EQ(a.perRank[r].computeTime.ns(),
+                  b.perRank[r].computeTime.ns());
+        EXPECT_EQ(a.perRank[r].bytesSent, b.perRank[r].bytesSent);
+    }
+}
+
+// ---------------------------------------------------------------
+// Rollback with communication in flight.
+// ---------------------------------------------------------------
+
+TEST(CheckpointRestartTest, RoutedInFlightTransfersRollBackDeterministically)
+{
+    // 512 KB ring payloads serialize for ~1 ms on the tapered tree,
+    // so the fail-stop at 500 us lands with transfers in flight;
+    // the rollback cancels them (the engine asserts the LinkNetwork
+    // drains to zero occupancy) and the replay still completes.
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(512 * 1024, 400'000, 2));
+    auto platform = sim::platforms::topologyCluster(
+        net::topologies::taperedFatTree(2));
+    platform.checkpointIntervalUs = 200.0;
+    platform.checkpointCostUs = 10.0;
+    platform.restartCostUs = 20.0;
+
+    const auto nominal = sim::simulate(bundle.traces, platform);
+    EXPECT_EQ(nominal.restarts, 0u);
+
+    platform.scenario.events.push_back(nodeFail(500.0, 1));
+    const auto a = sim::simulate(bundle.traces, platform);
+    EXPECT_GE(a.restarts, 1u);
+    EXPECT_GT(a.totalTime.ns(), nominal.totalTime.ns());
+
+    // Restarted replays stay deterministic run to run.
+    const auto b = sim::simulate(bundle.traces, platform);
+    expectIdentical(a, b);
+}
+
+TEST(CheckpointRestartTest, FlatBusRollbackIsDeterministicToo)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(1'000'000, 400'000));
+    auto platform = ckptPlatform(150.0, 5.0, 10.0);
+    platform.bandwidthMBps = 100.0; // 10 ms serialization.
+    platform.scenario.events.push_back(nodeFail(400.0, 1));
+
+    const auto a = sim::simulate(bundle.traces, platform);
+    EXPECT_GE(a.restarts, 1u);
+    const auto b = sim::simulate(bundle.traces, platform);
+    expectIdentical(a, b);
+}
+
+// ---------------------------------------------------------------
+// Guard rails.
+// ---------------------------------------------------------------
+
+TEST(CheckpointRestartTest, RestartBudgetExhaustionIsAFailureNotAHang)
+{
+    // Failures every microsecond against a 100 us burst: the
+    // machine fails faster than it recovers and the replay must
+    // surface the restart budget, not spin forever.
+    auto platform = ckptPlatform(60.0, 5.0, 7.0);
+    for (int i = 0; i <= 10000; ++i)
+        platform.scenario.events.push_back(
+            nodeFail(1.0 + static_cast<double>(i), 0));
+    const auto bundle = singleBurst(100'000);
+    try {
+        sim::simulate(bundle.traces, platform);
+        FAIL() << "restart budget exhaustion must throw";
+    } catch (const scen::FailureError &err) {
+        EXPECT_NE(err.diagnosis().event.find("restart limit"),
+                  std::string::npos);
+    }
+}
+
+TEST(CheckpointRestartTest, UnsupportedModeCombinationsAreFatal)
+{
+    const auto bundle = singleBurst(100'000);
+
+    // Timeline capture cannot survive a rollback.
+    auto capture = ckptPlatform(60.0, 5.0, 7.0);
+    capture.captureTimeline = true;
+    EXPECT_THROW(sim::simulate(bundle.traces, capture), FatalError);
+
+    // Algorithmic collectives carry live schedules across events
+    // (the restriction binds only when the trace has collectives).
+    const auto coll_bundle =
+        testing::traceOf(4, [](vm::VmContext &ctx) {
+            ctx.compute(50'000);
+            ctx.barrier();
+        });
+    auto algo = ckptPlatform(60.0, 5.0, 7.0);
+    algo.collectiveModel = coll::CollectiveModel::algorithmic;
+    EXPECT_THROW(sim::simulate(coll_bundle.traces, algo),
+                 FatalError);
+
+    // Non-fail-stop scenario events would need their active effect
+    // snapshotted.
+    auto degrade = ckptPlatform(60.0, 5.0, 7.0);
+    ScenarioEvent ev;
+    ev.kind = ScenEventKind::degrade;
+    ev.target = ScenTarget::all;
+    ev.time = SimTime::fromUs(1.0);
+    ev.bandwidthFactor = 0.5;
+    degrade.scenario.events.push_back(ev);
+    EXPECT_THROW(sim::simulate(bundle.traces, degrade), FatalError);
+
+    // An interval that rounds to zero nanoseconds cannot schedule.
+    auto tiny = ckptPlatform(1e-6, 5.0, 7.0);
+    EXPECT_THROW(sim::simulate(bundle.traces, tiny), FatalError);
+}
+
+// ---------------------------------------------------------------
+// Failure propagation through the campaign drivers (satellite).
+// ---------------------------------------------------------------
+
+TEST(FailurePropagationTest, SimulateBatchRethrowsFailureError)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(256 * 1024, 400'000));
+    auto healthy = testing::platformAt(256.0);
+    auto doomed = healthy;
+    doomed.scenario.events.push_back(nodeFail(10.0, 0));
+
+    std::vector<sim::SimJob> jobs;
+    jobs.emplace_back(&bundle.traces, healthy);
+    jobs.emplace_back(&bundle.traces, doomed);
+    jobs.emplace_back(&bundle.traces, healthy);
+    jobs.emplace_back(&bundle.traces, healthy);
+    EXPECT_THROW(sim::simulateBatch(jobs, 2), scen::FailureError);
+}
+
+TEST(FailurePropagationTest, BandwidthSweepRethrowsFailureError)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(256 * 1024, 400'000));
+    auto doomed = testing::platformAt(256.0);
+    doomed.scenario.events.push_back(nodeFail(10.0, 0));
+    EXPECT_THROW(core::bandwidthSweep(bundle, doomed, {256.0, 512.0},
+                                      core::standardVariants(), 2),
+                 scen::FailureError);
+}
+
+// ---------------------------------------------------------------
+// The resilience campaign driver.
+// ---------------------------------------------------------------
+
+void
+expectSameResilienceResult(const core::ResilienceResult &a,
+                           const core::ResilienceResult &b)
+{
+    EXPECT_EQ(a.seedCount, b.seedCount);
+    EXPECT_EQ(a.horizon.ns(), b.horizon.ns());
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t p = 0; p < a.points.size(); ++p) {
+        EXPECT_EQ(a.points[p].mtbfUs, b.points[p].mtbfUs);
+        ASSERT_EQ(a.points[p].cells.size(), b.points[p].cells.size());
+        for (std::size_t c = 0; c < a.points[p].cells.size(); ++c) {
+            const auto &ca = a.points[p].cells[c];
+            const auto &cb = b.points[p].cells[c];
+            EXPECT_EQ(ca.meanTime.ns(), cb.meanTime.ns())
+                << "point " << p << " cell " << c;
+            EXPECT_EQ(ca.p95Time.ns(), cb.p95Time.ns())
+                << "point " << p << " cell " << c;
+            EXPECT_EQ(ca.failedFraction, cb.failedFraction)
+                << "point " << p << " cell " << c;
+            ASSERT_EQ(ca.seedTimes.size(), cb.seedTimes.size());
+            for (std::size_t s = 0; s < ca.seedTimes.size(); ++s)
+                EXPECT_EQ(ca.seedTimes[s].ns(), cb.seedTimes[s].ns())
+                    << "point " << p << " cell " << c << " seed "
+                    << s;
+        }
+    }
+}
+
+TEST(ResilienceSweepTest, GridIsBitIdenticalAcrossThreadCounts)
+{
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 400'000, 3));
+    auto base = testing::platformAt(512.0);
+    base.checkpointIntervalUs = 300.0;
+    base.checkpointCostUs = 5.0;
+    base.restartCostUs = 10.0;
+
+    const std::vector<double> grid = {8000.0, 1000.0};
+    const auto variants = core::standardVariants();
+    const auto serial =
+        core::resilienceSweep(bundle, base, grid, variants, 4, 1, 1);
+    for (const int threads : {2, 8}) {
+        const auto parallel = core::resilienceSweep(
+            bundle, base, grid, variants, 4, 1, threads);
+        expectSameResilienceResult(serial, parallel);
+    }
+
+    // Shape: cell 0 is the original, then one per variant, and
+    // every checkpointed cell survives its faults.
+    ASSERT_EQ(serial.points.size(), grid.size());
+    for (const auto &point : serial.points) {
+        ASSERT_EQ(point.cells.size(), variants.size() + 1);
+        for (const auto &cell : point.cells) {
+            EXPECT_EQ(cell.failedFraction, 0.0);
+            EXPECT_GT(cell.meanTime.ns(), 0);
+            EXPECT_GE(cell.p95Time.ns(), cell.meanTime.ns());
+        }
+    }
+}
+
+TEST(ResilienceSweepTest, DeadRunsAreReportedAsDataNotThrown)
+{
+    // Without checkpointing a fail-stop kills the run; at a per-node
+    // MTBF far below the runtime every seed draws at least one fault
+    // inside the horizon, so the whole cell dies — as data.
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 400'000, 3));
+    const auto base = testing::platformAt(512.0);
+
+    const auto result =
+        core::resilienceSweep(bundle, base, {50.0}, {}, 4, 1, 2);
+    ASSERT_EQ(result.points.size(), 1u);
+    ASSERT_EQ(result.points[0].cells.size(), 1u);
+    const auto &cell = result.points[0].cells[0];
+    EXPECT_EQ(cell.failedFraction, 1.0);
+    EXPECT_EQ(cell.meanTime.ns(), 0);
+    for (const SimTime t : cell.seedTimes)
+        EXPECT_EQ(t.ns(), SimTime::max().ns());
+}
+
+// ---------------------------------------------------------------
+// Platform-file keys (satellite: domain-checked parsing).
+// ---------------------------------------------------------------
+
+TEST(ResPlatformFileTest, CheckpointKeysRoundTripAndAreDomainChecked)
+{
+    auto platform = ckptPlatform(50000.0, 2000.0, 5000.0);
+    std::ostringstream out;
+    sim::writePlatformConfig(platform, out);
+    std::istringstream in(out.str());
+    const auto parsed = sim::readPlatformConfig(in);
+    EXPECT_EQ(parsed.checkpointIntervalUs,
+              platform.checkpointIntervalUs);
+    EXPECT_EQ(parsed.checkpointCostUs, platform.checkpointCostUs);
+    EXPECT_EQ(parsed.restartCostUs, platform.restartCostUs);
+
+    for (const char *bad :
+         {"checkpoint_interval_us = -1",
+          "checkpoint_cost_us = nan",
+          "restart_cost_us = -inf",
+          "bandwidth_mbps = -5"}) {
+        std::istringstream stream(bad);
+        EXPECT_THROW(sim::readPlatformConfig(stream), FatalError)
+            << bad;
+    }
+}
+
+} // namespace
+} // namespace ovlsim

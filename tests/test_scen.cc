@@ -38,6 +38,7 @@
 #include "scen/scenario.hh"
 #include "sim/engine.hh"
 #include "sim/platform_file.hh"
+#include "util/counter_rng.hh"
 
 namespace ovlsim {
 namespace {
@@ -141,6 +142,83 @@ TEST(ScenParserTest, RoundTripPreservesEvents)
     scen::writeScenario(config, text);
     const ScenarioConfig back = scen::readScenario(text);
     EXPECT_EQ(back.events, config.events);
+}
+
+/**
+ * Fuzzed write -> read round trip: 200 random scenarios drawn from
+ * a counter-based RNG (one substream per iteration, so a failure
+ * reproduces from its iteration index alone) must re-read to the
+ * exact event list — arbitrary ns-clock times, full-precision
+ * degrade factors and every target/kind/semantics combination.
+ */
+TEST(ScenParserTest, FuzzedRoundTripPreservesEvents)
+{
+    const CounterRng root(0x5eed, 0);
+    for (std::uint64_t iter = 0; iter < 200; ++iter) {
+        CounterRng rng = root.substream(iter);
+        ScenarioConfig config;
+        const int count = static_cast<int>(rng.nextBelow(8)) + 1;
+        for (int i = 0; i < count; ++i) {
+            ScenarioEvent ev;
+            ev.time = SimTime::fromNs(static_cast<std::int64_t>(
+                rng.nextBelow(1'000'000'000)));
+            switch (rng.nextBelow(4)) {
+              case 0:
+                ev.target = ScenTarget::all;
+                break;
+              case 1:
+                ev.target = ScenTarget::node;
+                ev.nodeA = static_cast<int>(rng.nextBelow(64));
+                break;
+              case 2:
+                ev.target = ScenTarget::route;
+                break;
+              default:
+                ev.target = ScenTarget::link;
+                break;
+            }
+            if (ev.target == ScenTarget::route ||
+                ev.target == ScenTarget::link) {
+                ev.nodeA = static_cast<int>(rng.nextBelow(64));
+                do {
+                    ev.nodeB = static_cast<int>(rng.nextBelow(64));
+                } while (ev.nodeB == ev.nodeA);
+            }
+            switch (rng.nextBelow(4)) {
+              case 0:
+                ev.kind = ScenEventKind::degrade;
+                ev.bandwidthFactor = rng.nextDouble(1e-6, 4.0);
+                ev.latencyFactor = rng.nextDouble(1e-6, 4.0);
+                break;
+              case 1:
+                ev.kind = ScenEventKind::recover;
+                break;
+              case 2:
+                ev.kind = ScenEventKind::fail;
+                ev.semantics = static_cast<FailSemantics>(
+                    rng.nextBelow(3));
+                break;
+              default:
+                // Background flows are always route-scoped pairs.
+                ev.kind = ScenEventKind::background;
+                ev.target = ScenTarget::route;
+                ev.nodeA = static_cast<int>(rng.nextBelow(64));
+                do {
+                    ev.nodeB = static_cast<int>(rng.nextBelow(64));
+                } while (ev.nodeB == ev.nodeA);
+                ev.bytes =
+                    static_cast<Bytes>(rng.nextBelow(1 << 24)) + 1;
+                break;
+            }
+            config.events.push_back(ev);
+        }
+        config.validate();
+
+        std::stringstream text;
+        scen::writeScenario(config, text);
+        const ScenarioConfig back = scen::readScenario(text);
+        EXPECT_EQ(back.events, config.events) << "iteration " << iter;
+    }
 }
 
 TEST(ScenParserTest, ErrorsNameSourceAndLine)
