@@ -20,19 +20,33 @@
  * original and every variant of a (rate, seed) cell, so rows
  * compare like with like.
  *
+ * Failed cells are followed by the engine's forensic report — which
+ * fault event killed the run and which ranks it left unfinished
+ * (the structured FailureDiagnosis each campaign cell now carries).
+ *
+ * A second table compares checkpointing protocols: single-level
+ * vs. hierarchical two-level checkpoint/restart swept over an
+ * interval grid at one failure rate (core::protocolSweep), with the
+ * swept optimal interval printed next to Daly's analytic optimum
+ * tau* = sqrt(2 C M) - C.
+ *
  *   ./resilience_study --app sweep3d [--chunks 16]
  *                      [--mtbf-lo 2] [--mtbf-hi 200]
  *                      [--per-decade 3] [--seeds 20]
  *                      [--interval 0] [--ckpt-cost 0]
- *                      [--restart-cost 0] [--threads N]
+ *                      [--restart-cost 0] [--proto-mtbf 10]
+ *                      [--machine-mtbf 40] [--threads N]
  *                      [--csv out.csv]
  *
  * Interval/cost/restart are microseconds; 0 auto-scales them to
  * the app's nominal run (interval = nominal/6, cost = interval/50,
- * restart = interval/10). --mtbf-lo/--mtbf-hi are multiples of the
- * nominal run, so the grid tracks the app instead of hardcoding
- * microseconds: a 2x-nominal per-node MTBF is a brutal machine, a
- * 200x-nominal one is merely flaky.
+ * restart = interval/10). --mtbf-lo/--mtbf-hi (the campaign grid),
+ * --proto-mtbf (the protocol table's per-node MTBF) and
+ * --machine-mtbf (the machine-wide crash rate exercising the
+ * two-level protocol's global restores; 0 disables it) are
+ * multiples of the nominal run, so every knob tracks the app
+ * instead of hardcoding microseconds: a 2x-nominal per-node MTBF
+ * is a brutal machine, a 200x-nominal one is merely flaky.
  */
 
 #include <cstdio>
@@ -83,6 +97,12 @@ main(int argc, char **argv)
                     "checkpoint freeze cost, us (0 = interval/50)");
     options.declare("restart-cost", "0",
                     "restart cost, us (0 = interval/10)");
+    options.declare("proto-mtbf", "10",
+                    "protocol table's per-node MTBF, multiples of "
+                    "the nominal run");
+    options.declare("machine-mtbf", "40",
+                    "machine-wide crash MTBF, multiples of the "
+                    "nominal run (0 = no machine-wide faults)");
     options.declare("threads", "0",
                     "worker threads (0 = all hardware cores)");
     options.declare("csv", "", "optional CSV output path");
@@ -172,6 +192,79 @@ main(int argc, char **argv)
                     "brutal point of the grid (MTBF %.1fx the "
                     "nominal run)\n",
                     campaign.points.back().mtbfUs / nominal.toUs());
+
+    // Failed cells carry the engine's forensic report: which fault
+    // event killed the run and which ranks it left unfinished. One
+    // exemplar seed per failed cell keeps the report readable.
+    bool anyFailed = false;
+    for (const auto &point : campaign.points) {
+        for (std::size_t c = 0; c < point.cells.size(); ++c) {
+            const auto &cell = point.cells[c];
+            if (cell.failedFraction <= 0.0)
+                continue;
+            for (std::size_t s = 0; s < cell.seedTimes.size(); ++s) {
+                if (cell.seedTimes[s] != SimTime::max())
+                    continue;
+                if (!anyFailed)
+                    std::printf("\nfailed cells (one exemplar seed "
+                                "each):\n");
+                anyFailed = true;
+                std::printf(
+                    "  MTBF %.0f us, %s, seed %zu: %s\n",
+                    point.mtbfUs,
+                    c == 0 ? "original"
+                           : campaign.variants[c - 1].name.c_str(),
+                    s, cell.seedDiagnoses[s].toString().c_str());
+                break;
+            }
+        }
+    }
+
+    // Protocol comparison: single-level vs. hierarchical two-level
+    // checkpointing over an interval grid at one failure rate. The
+    // two-level protocol takes a cheap local snapshot every swept
+    // interval and an expensive global one every fourth, and only
+    // the global one survives a machine-wide crash.
+    const double proto_mtbf_us =
+        options.getDouble("proto-mtbf") * nominal.toUs();
+    const double machine_mtbf_us =
+        options.getDouble("machine-mtbf") * nominal.toUs();
+    auto intervalGrid = core::logBandwidthGrid(
+        interval_us / 8.0, interval_us * 8.0, 4);
+    const std::vector<core::CheckpointProtocol> protocols{
+        {"single-level", ckpt_cost_us, restart_cost_us, 0.0, 0.0,
+         0.0},
+        {"two-level", ckpt_cost_us, restart_cost_us, 4.0,
+         4.0 * ckpt_cost_us, 4.0 * restart_cost_us},
+    };
+    const auto proto = core::protocolSweep(
+        bundle, base, proto_mtbf_us, intervalGrid, protocols,
+        static_cast<std::uint32_t>(options.getInt("seeds")),
+        static_cast<std::uint64_t>(options.getInt("seed")),
+        machine_mtbf_us, threads);
+
+    std::printf("\nprotocol comparison at per-node MTBF %.0f us"
+                " (machine-wide %.0f us):\n",
+                proto.mtbfUs, proto.machineMtbfUs);
+    TablePrinter ptable({"protocol", "best interval", "Daly tau*",
+                         "mean @best", "failed%"});
+    for (const auto &row : proto.rows) {
+        SimTime bestMean;
+        double bestFailed = 0.0;
+        for (const auto &cell : row.cells) {
+            if (cell.intervalUs == row.bestIntervalUs) {
+                bestMean = cell.cell.meanTime;
+                bestFailed = cell.cell.failedFraction;
+            }
+        }
+        ptable.addRow(
+            {row.protocol.name,
+             strformat("%.1f us", row.bestIntervalUs),
+             strformat("%.1f us", row.dalyIntervalUs),
+             humanTime(bestMean),
+             strformat("%.0f", bestFailed * 100.0)});
+    }
+    ptable.print(std::cout);
 
     if (!options.getString("csv").empty()) {
         CsvWriter csv(options.getString("csv"),

@@ -4,9 +4,14 @@
 # sanitizer toggles never contaminate the normal configuration.
 #
 #   1. tier-1:  default Release-ish build, full ctest suite
-#   2. ASAN:    OVLSIM_ASAN build, full ctest suite
+#   2. ASAN:    OVLSIM_ASAN build, full ctest suite, then an
+#               explicit serial `ctest -L res` pass (the rollback
+#               arenas and snapshot splices are where lifetime bugs
+#               would live)
 #   3. UBSAN:   OVLSIM_UBSAN build, full ctest suite (signed
-#               overflow and friends in the event/cost arithmetic)
+#               overflow and friends in the event/cost arithmetic),
+#               then the same serial `ctest -L res` pass (rollback
+#               deltas are where time arithmetic would overflow)
 #   4. TSAN:    OVLSIM_TSAN build, `ctest -L parallel` (the thread
 #               pool, parallel sweeps, scenario determinism),
 #               `ctest -L coll` (the algorithmic collective engine)
@@ -48,13 +53,15 @@ if [[ "$FAST" == 1 ]]; then
     exit 0
 fi
 
-echo "== dev_check: stage 2/4 ASAN =="
+echo "== dev_check: stage 2/4 ASAN (full + res label) =="
 stage asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_ASAN=ON
 (cd "$PREFIX-asan" && ctest --output-on-failure -j "$JOBS")
+(cd "$PREFIX-asan" && ctest --output-on-failure -L res)
 
-echo "== dev_check: stage 3/4 UBSAN =="
+echo "== dev_check: stage 3/4 UBSAN (full + res label) =="
 stage ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_UBSAN=ON
 (cd "$PREFIX-ubsan" && ctest --output-on-failure -j "$JOBS")
+(cd "$PREFIX-ubsan" && ctest --output-on-failure -L res)
 
 echo "== dev_check: stage 4/4 TSAN (parallel + coll + res labels) =="
 stage tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_TSAN=ON

@@ -306,6 +306,8 @@ resilienceSweep(const tracer::TraceBundle &bundle,
         point.cells.resize(programs.size());
         for (ResilienceCell &cell : point.cells) {
             cell.seedTimes.assign(seed_count, SimTime::max());
+            cell.seedDiagnoses.assign(seed_count,
+                                      scen::FailureDiagnosis{});
         }
     }
 
@@ -341,10 +343,14 @@ resilienceSweep(const tracer::TraceBundle &bundle,
             try {
                 point.cells[v].seedTimes[s] =
                     session.run(*programs[v], platform).totalTime;
-            } catch (const scen::FailureError &) {
+            } catch (const scen::FailureError &err) {
                 // A dead run is campaign data, not an error: the
                 // platform fails faster than this configuration
-                // recovers. The slot keeps its max() sentinel.
+                // recovers. The slot keeps its max() sentinel and
+                // the structured diagnosis (which event killed the
+                // run, which ranks were left unfinished) rides
+                // along for the campaign report.
+                point.cells[v].seedDiagnoses[s] = err.diagnosis();
             }
         }
     });
@@ -352,6 +358,169 @@ resilienceSweep(const tracer::TraceBundle &bundle,
     for (ResiliencePoint &point : result.points) {
         for (ResilienceCell &cell : point.cells)
             aggregateCell(cell);
+    }
+    return result;
+}
+
+ProtocolSweepResult
+protocolSweep(const tracer::TraceBundle &bundle,
+              const sim::PlatformConfig &base, double mtbf_us,
+              const std::vector<double> &interval_grid_us,
+              const std::vector<CheckpointProtocol> &protocols,
+              std::uint32_t seed_count, std::uint64_t seed,
+              double machine_mtbf_us, int threads)
+{
+    ovlAssert(seed_count > 0,
+              "protocolSweep: need at least one seed");
+    ovlAssert(mtbf_us > 0.0,
+              "protocolSweep: MTBF must be positive");
+    ovlAssert(!protocols.empty(),
+              "protocolSweep: need at least one protocol");
+    ovlAssert(!interval_grid_us.empty(),
+              "protocolSweep: need at least one interval");
+    for (const double interval : interval_grid_us) {
+        ovlAssert(interval > 0.0,
+                  "protocolSweep: intervals must be positive");
+    }
+
+    ProtocolSweepResult result;
+    result.mtbfUs = mtbf_us;
+    result.machineMtbfUs = machine_mtbf_us;
+    result.seedCount = seed_count;
+    result.intervalGridUs = interval_grid_us;
+
+    const std::size_t jobs =
+        protocols.size() * interval_grid_us.size() * seed_count;
+    int lanes = ThreadPool::resolveThreads(threads);
+    if (static_cast<std::size_t>(lanes) > jobs)
+        lanes = static_cast<int>(jobs);
+    ThreadPool pool(lanes);
+
+    // Protocols compare checkpointing cost models over one fixed
+    // workload, so only the original program replays — overlap
+    // variants are resilienceSweep's axis, not this sweep's.
+    const auto program = sim::compileShared(bundle.traces);
+
+    // Failure-free, checkpoint-free pre-pass sets the fault horizon
+    // at 4x the nominal run, as in resilienceSweep. Checkpointing is
+    // stripped too because the interval is this sweep's axis; the
+    // 4x headroom dwarfs any protocol's freeze overhead.
+    sim::PlatformConfig nominal = base;
+    nominal.scenario = scen::ScenarioConfig{};
+    nominal.faultModelFile.clear();
+    nominal.checkpointIntervalUs = 0.0;
+    nominal.checkpointCostUs = 0.0;
+    nominal.restartCostUs = 0.0;
+    nominal.checkpointGlobalIntervalUs = 0.0;
+    nominal.checkpointGlobalCostUs = 0.0;
+    nominal.restartGlobalCostUs = 0.0;
+    std::vector<sim::ReplaySession> sessions(
+        static_cast<std::size_t>(pool.size()));
+    result.horizon =
+        sessions[0].run(*program, nominal).totalTime * 4;
+
+    const int nodes = (program->ranks() + base.cpusPerNode - 1) /
+        base.cpusPerNode;
+
+    // Daly's M is the machine's mean time between *any* failure:
+    // independent exponential processes superpose, so the system
+    // rate is the per-node rate times the node count plus the
+    // machine-wide rate.
+    double failure_rate = static_cast<double>(nodes) / mtbf_us;
+    if (machine_mtbf_us > 0.0)
+        failure_rate += 1.0 / machine_mtbf_us;
+    const double system_mtbf_us = 1.0 / failure_rate;
+
+    result.rows.resize(protocols.size());
+    for (std::size_t p = 0; p < protocols.size(); ++p) {
+        ProtocolSweepRow &row = result.rows[p];
+        row.protocol = protocols[p];
+        row.dalyIntervalUs = res::dalyInterval(
+            system_mtbf_us, protocols[p].checkpointCostUs);
+        row.cells.resize(interval_grid_us.size());
+        for (std::size_t k = 0; k < interval_grid_us.size(); ++k) {
+            ProtocolCell &cell = row.cells[k];
+            cell.intervalUs = interval_grid_us[k];
+            cell.cell.seedTimes.assign(seed_count, SimTime::max());
+            cell.cell.seedDiagnoses.assign(
+                seed_count, scen::FailureDiagnosis{});
+        }
+    }
+
+    // One job per (protocol, interval, seed) cell slot. The fault
+    // scenario is a pure function of the seed index alone — every
+    // protocol and interval of seed s replays the exact same fault
+    // sequence, so the comparison isolates the cost model. Each job
+    // writes only its own slots; bit-identical at any thread count.
+    const std::size_t perProtocol =
+        interval_grid_us.size() * seed_count;
+    pool.parallelFor(jobs, [&](std::size_t job, int lane) {
+        const std::size_t p = job / perProtocol;
+        const std::size_t k = (job % perProtocol) / seed_count;
+        const std::size_t s = job % seed_count;
+        const CheckpointProtocol &proto = protocols[p];
+        const double interval = interval_grid_us[k];
+
+        res::FaultModel model;
+        model.processes.reserve(
+            static_cast<std::size_t>(nodes) +
+            (machine_mtbf_us > 0.0 ? 1u : 0u));
+        for (int n = 0; n < nodes; ++n) {
+            res::FaultProcess proc;
+            proc.target = scen::ScenTarget::node;
+            proc.nodeA = n;
+            proc.effect = res::FaultEffect::failStop;
+            proc.mtbfUs = mtbf_us;
+            model.processes.push_back(std::move(proc));
+        }
+        if (machine_mtbf_us > 0.0) {
+            // Machine-wide crashes restore from the global snapshot
+            // under two-level protocols and from the local one
+            // otherwise — the hierarchy's payoff shows up as data.
+            res::FaultProcess proc;
+            proc.target = scen::ScenTarget::all;
+            proc.effect = res::FaultEffect::failStop;
+            proc.mtbfUs = machine_mtbf_us;
+            model.processes.push_back(std::move(proc));
+        }
+        const std::uint64_t row_seed = CounterRng(seed, 0).at(s);
+
+        sim::PlatformConfig platform = nominal;
+        platform.scenario =
+            res::generateScenario(model, row_seed, result.horizon);
+        platform.checkpointIntervalUs = interval;
+        platform.checkpointCostUs = proto.checkpointCostUs;
+        platform.restartCostUs = proto.restartCostUs;
+        if (proto.globalIntervalFactor > 0.0) {
+            platform.checkpointGlobalIntervalUs =
+                proto.globalIntervalFactor * interval;
+            platform.checkpointGlobalCostUs =
+                proto.checkpointGlobalCostUs;
+            platform.restartGlobalCostUs = proto.restartGlobalCostUs;
+        }
+
+        ResilienceCell &cell = result.rows[p].cells[k].cell;
+        auto &session = sessions[static_cast<std::size_t>(lane)];
+        try {
+            cell.seedTimes[s] =
+                session.run(*program, platform).totalTime;
+        } catch (const scen::FailureError &err) {
+            cell.seedDiagnoses[s] = err.diagnosis();
+        }
+    });
+
+    for (ProtocolSweepRow &row : result.rows) {
+        SimTime best = SimTime::max();
+        for (ProtocolCell &cell : row.cells) {
+            aggregateCell(cell.cell);
+            // Argmin of the mean over surviving seeds; cells where
+            // every seed died don't compete.
+            if (cell.cell.failedFraction < 1.0 &&
+                cell.cell.meanTime < best) {
+                best = cell.cell.meanTime;
+                row.bestIntervalUs = cell.intervalUs;
+            }
+        }
     }
     return result;
 }

@@ -168,6 +168,15 @@ struct ResilienceCell
      * checkpointing disabled, or a restart budget exhausted).
      */
     std::vector<SimTime> seedTimes;
+    /**
+     * Structured why-it-died reports, parallel to seedTimes: the
+     * FailureDiagnosis of every failed seed (which event fired,
+     * when, and the ranks left unfinished), default-constructed
+     * (empty `event`) for seeds that completed. Campaign tables
+     * print these next to failedFraction instead of discarding the
+     * forensic detail the engine already assembled.
+     */
+    std::vector<scen::FailureDiagnosis> seedDiagnoses;
     /** Mean over surviving seeds (integer-ns mean; zero when every
      * seed failed). */
     SimTime meanTime;
@@ -224,6 +233,102 @@ resilienceSweep(const tracer::TraceBundle &bundle,
                 const std::vector<VariantSpec> &variants,
                 std::uint32_t seed_count, std::uint64_t seed = 1,
                 int threads = 1);
+
+/**
+ * One checkpointing protocol to compare in protocolSweep(): a named
+ * cost model laid over the swept checkpoint interval. A protocol
+ * with globalIntervalFactor == 0 is classic single-level
+ * checkpoint/restart; a positive factor enables the two-level
+ * hierarchy with the global interval riding at `factor x` the swept
+ * local interval (e.g. factor 4 = every fourth local checkpoint is
+ * also flushed to the global store).
+ */
+struct CheckpointProtocol
+{
+    std::string name;
+    /** Per-local-checkpoint freeze cost (platform
+     * checkpoint_cost_us). */
+    double checkpointCostUs = 0.0;
+    /** Rollback-to-local-snapshot cost (restart_cost_us). */
+    double restartCostUs = 0.0;
+    /** Global interval as a multiple of the swept local interval;
+     * 0 disables the second level. */
+    double globalIntervalFactor = 0.0;
+    /** Extra freeze cost of a global checkpoint
+     * (checkpoint_global_cost_us). */
+    double checkpointGlobalCostUs = 0.0;
+    /** Rollback-to-global-snapshot cost (restart_global_cost_us). */
+    double restartGlobalCostUs = 0.0;
+};
+
+/** One (protocol x interval) cell of a protocol sweep. */
+struct ProtocolCell
+{
+    /** Swept local checkpoint interval (us). */
+    double intervalUs = 0.0;
+    ResilienceCell cell;
+};
+
+/** One protocol's row across the interval grid. */
+struct ProtocolSweepRow
+{
+    CheckpointProtocol protocol;
+    /** Parallel to the interval grid. */
+    std::vector<ProtocolCell> cells;
+    /** Interval minimising mean completion time over surviving
+     * seeds (argmin over the grid; cells where every seed died are
+     * skipped). 0 when no cell survived. */
+    double bestIntervalUs = 0.0;
+    /** res::dalyInterval(M, checkpointCostUs) with M the *system*
+     * MTBF — failure rates of the per-node processes and the
+     * machine-wide one summed — which is the mean Daly's formula is
+     * stated over. The analytic first-order optimum to print next
+     * to the swept one. */
+    double dalyIntervalUs = 0.0;
+};
+
+/** Protocol-comparison campaign outcome. */
+struct ProtocolSweepResult
+{
+    /** Per-node fail-stop MTBF driving every cell (us). */
+    double mtbfUs = 0.0;
+    /** Machine-wide fail-stop MTBF (0 = no machine-wide process). */
+    double machineMtbfUs = 0.0;
+    std::uint32_t seedCount = 0;
+    /** Fault horizon applied to every generated scenario. */
+    SimTime horizon;
+    /** Swept local checkpoint intervals (us). */
+    std::vector<double> intervalGridUs;
+    std::vector<ProtocolSweepRow> rows;
+};
+
+/**
+ * The protocol-comparison campaign: replay the original program
+ * under every (protocol, checkpoint interval, seed) combination at
+ * a fixed failure rate and report mean completion time per cell,
+ * the swept optimal interval per protocol, and Daly's analytic
+ * prediction next to it. Faults are one per-node fail-stop
+ * exponential process at `mtbf_us` per node, plus — when
+ * `machine_mtbf_us` > 0 — one machine-wide (`process all`)
+ * fail-stop process, which two-level protocols recover from their
+ * global snapshot and single-level protocols from their local one,
+ * so the hierarchy's cost/benefit shows up as data. The same
+ * generated scenario is applied to every (protocol, interval) cell
+ * of a seed, so protocols compare under identical fault sequences.
+ * A failure-free pre-pass sets the horizon at 4x the nominal run,
+ * as in resilienceSweep, and cells that die (budget exhausted) are
+ * reported in failedFraction/seedDiagnoses rather than thrown.
+ *
+ * Deterministic by construction, bit-identical at any thread count
+ * (`threads` as in bandwidthSweep).
+ */
+ProtocolSweepResult
+protocolSweep(const tracer::TraceBundle &bundle,
+              const sim::PlatformConfig &base, double mtbf_us,
+              const std::vector<double> &interval_grid_us,
+              const std::vector<CheckpointProtocol> &protocols,
+              std::uint32_t seed_count, std::uint64_t seed = 1,
+              double machine_mtbf_us = 0.0, int threads = 1);
 
 /** One topology's analytic-vs-algorithmic outcome. */
 struct CollectiveSweepResult

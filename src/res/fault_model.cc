@@ -23,12 +23,28 @@ faultEffectName(FaultEffect effect)
     return "unknown";
 }
 
+namespace {
+
+/** Scope word(s) of a process in the model-file spelling. */
+std::string
+scopeString(const FaultProcess &proc)
+{
+    switch (proc.target) {
+      case scen::ScenTarget::all:
+        return "all";
+      case scen::ScenTarget::node:
+        return strformat("node %d", proc.nodeA);
+      default:
+        return strformat("link %d %d", proc.nodeA, proc.nodeB);
+    }
+}
+
+} // namespace
+
 std::string
 FaultProcess::describe() const
 {
-    const std::string scope = target == scen::ScenTarget::node
-        ? strformat("node %d", nodeA)
-        : strformat("link %d %d", nodeA, nodeB);
+    const std::string scope = scopeString(*this);
     if (usesTrace()) {
         return strformat("process %s trace %s", scope.c_str(),
                          tracePath.c_str());
@@ -52,11 +68,18 @@ FaultModel::validate() const
               "non-negative");
     for (const FaultProcess &proc : processes) {
         if (proc.target != scen::ScenTarget::node &&
-            proc.target != scen::ScenTarget::link) {
-            fatal("fault model: processes target a node or a link "
-                  "(", proc.describe(), ")");
+            proc.target != scen::ScenTarget::link &&
+            proc.target != scen::ScenTarget::all) {
+            fatal("fault model: processes target a node, a link or "
+                  "the whole machine (", proc.describe(), ")");
         }
-        if (proc.nodeA < 0) {
+        if (proc.target == scen::ScenTarget::all &&
+            (proc.effect != FaultEffect::failStop ||
+             proc.usesTrace())) {
+            fatal("fault model: machine-wide processes are "
+                  "fail-stop only (", proc.describe(), ")");
+        }
+        if (proc.target != scen::ScenTarget::all && proc.nodeA < 0) {
             fatal("fault model: process names no target node (",
                   proc.describe(), ")");
         }
@@ -159,7 +182,9 @@ recoverEvent(const FaultProcess &proc, SimTime time)
  * the end of the previous repair; repairs take exponential MTTR.
  * Faults past the horizon are cut; the matching repair of an
  * in-horizon fault always lands so no generated stall outlives the
- * scenario unrecovered.
+ * scenario unrecovered. Fail-stop processes have no repair event —
+ * each renewal is a fresh crash (a rollback, under checkpointing) —
+ * so their clock advances by the MTBF gap alone.
  */
 void
 expandExponential(const FaultProcess &proc, CounterRng rng,
@@ -176,7 +201,7 @@ expandExponential(const FaultProcess &proc, CounterRng rng,
         out.push_back(
             faultEvent(proc, SimTime::fromUs(t_us)));
         if (proc.effect == FaultEffect::failStop)
-            return; // nothing survives to fail twice
+            continue;
         t_us += rng.nextExponential(proc.mttrUs);
         out.push_back(
             recoverEvent(proc, SimTime::fromUs(t_us)));
@@ -281,6 +306,25 @@ generateScenario(const FaultModel &model)
 {
     return generateScenario(model, model.seed,
                             SimTime::fromUs(model.horizonUs));
+}
+
+double
+dalyInterval(double mtbf_us, double checkpoint_cost_us)
+{
+    if (!(mtbf_us > 0.0) || !std::isfinite(mtbf_us))
+        fatal("dalyInterval: mtbf_us must be positive");
+    if (!(checkpoint_cost_us >= 0.0) ||
+        !std::isfinite(checkpoint_cost_us)) {
+        fatal("dalyInterval: checkpoint cost must be finite and "
+              "non-negative");
+    }
+    const double root =
+        std::sqrt(2.0 * checkpoint_cost_us * mtbf_us);
+    // Past the validity bound (MTBF < C/2) the first-order formula
+    // goes negative; keep the positive degenerate branch rather
+    // than suggesting a nonsense interval.
+    return root > checkpoint_cost_us ? root - checkpoint_cost_us
+                                     : root;
 }
 
 namespace {
@@ -408,7 +452,9 @@ readFaultModel(std::istream &in, const std::string &source,
             };
             need(1, "target");
             const std::string &t = tokens[pos++];
-            if (t == "node") {
+            if (t == "all") {
+                proc.target = scen::ScenTarget::all;
+            } else if (t == "node") {
                 need(1, "node id");
                 proc.target = scen::ScenTarget::node;
                 proc.nodeA =
@@ -422,7 +468,7 @@ readFaultModel(std::istream &in, const std::string &source,
                     static_cast<int>(parseInt(tokens[pos++]));
             } else {
                 fatal("unknown process target '", t,
-                      "' (expected node or link)");
+                      "' (expected all, node or link)");
             }
             need(1, "effect");
             const std::string &effect = tokens[pos++];
@@ -485,10 +531,7 @@ writeFaultModel(const FaultModel &model, std::ostream &out)
                      static_cast<unsigned long long>(model.seed));
     out << strformat("horizon_us = %.17g\n", model.horizonUs);
     for (const FaultProcess &proc : model.processes) {
-        const std::string scope =
-            proc.target == scen::ScenTarget::node
-            ? strformat("node %d", proc.nodeA)
-            : strformat("link %d %d", proc.nodeA, proc.nodeB);
+        const std::string scope = scopeString(proc);
         if (proc.usesTrace()) {
             out << strformat("process %s trace %s\n", scope.c_str(),
                              proc.tracePath.c_str());

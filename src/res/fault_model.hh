@@ -34,6 +34,9 @@
  *     process node 2 stall mtbf_us 4000 mttr_us 150
  *     process link 0 7 degrade 0.25 mtbf_us 3000 mttr_us 500
  *     process link 1 2 trace link12.trace
+ *     # machine-wide crash (fail-stop only; drives the global
+ *     # restore level of two-level checkpointing)
+ *     process all fail-stop mtbf_us 50000
  */
 
 #ifndef OVLSIM_RES_FAULT_MODEL_HH
@@ -73,16 +76,18 @@ struct AvailabilityPoint
 };
 
 /**
- * One failure process over one node or one directed link. Either an
- * exponential MTBF/MTTR renewal process (trace empty) or a periodic
- * availability trace (trace set; mtbf/mttr/effect unused except
- * that value-0 intervals always stall — availability traces have no
- * fail-stop notion).
+ * One failure process over one node, one directed link, or the whole
+ * machine. Either an exponential MTBF/MTTR renewal process (trace
+ * empty) or a periodic availability trace (trace set; mtbf/mttr/
+ * effect unused except that value-0 intervals always stall —
+ * availability traces have no fail-stop notion).
  */
 struct FaultProcess
 {
-    /** node (nodeA's NIC links) or link (the nodeA->nodeB route's
-     * fabric links). */
+    /** node (nodeA's NIC links), link (the nodeA->nodeB route's
+     * fabric links), or all (machine-wide; fail-stop only — an
+     * `all` crash is what the global level of two-level
+     * checkpointing recovers from). */
     scen::ScenTarget target = scen::ScenTarget::node;
     int nodeA = -1;
     int nodeB = -1;
@@ -135,9 +140,11 @@ struct FaultModel
  * result is bit-identical on every host, thread and call order.
  * Repairs always land, even past the horizon, so generated stalls
  * and degrades never wedge a replay that outlives the horizon; only
- * new faults are cut off. Fail-stop processes emit their first
- * fault only (nothing survives it without checkpointing, and with
- * checkpointing the rollback re-times later faults anyway).
+ * new faults are cut off. Fail-stop processes emit every renewal up
+ * to the horizon — without checkpointing only the first one matters
+ * (it terminates the replay), but under checkpoint/restart each
+ * renewal triggers its own rollback, which is what Daly-style
+ * optimal-interval statistics are made of.
  */
 scen::ScenarioConfig generateScenario(const FaultModel &model,
                                       std::uint64_t seed,
@@ -145,6 +152,22 @@ scen::ScenarioConfig generateScenario(const FaultModel &model,
 
 /** Expansion with the model's own seed and horizon defaults. */
 scen::ScenarioConfig generateScenario(const FaultModel &model);
+
+/**
+ * Daly's first-order optimal checkpoint interval: the compute time
+ * between checkpoints that minimises expected runtime under
+ * exponential failures with mean `mtbf_us` and a per-checkpoint
+ * cost of `checkpoint_cost_us`,
+ *
+ *     tau* = sqrt(2 * C * M) - C      (valid for M >= C / 2).
+ *
+ * Below the validity bound the machine fails faster than it can
+ * checkpoint and the formula's guard returns the degenerate
+ * sqrt(2*C*M) instead of a negative interval. Used by the
+ * protocol-comparison sweep (core::protocolSweep) as the analytic
+ * prediction next to the swept optimum.
+ */
+double dalyInterval(double mtbf_us, double checkpoint_cost_us);
 
 /**
  * Parse the model format above. `source` names the stream in parse

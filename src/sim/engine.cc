@@ -346,7 +346,7 @@ class Engine
                             SimTime finish) const;
 
     /** Checkpoint/restart seam (see handleCheckpoint). */
-    void handleCheckpoint(SimTime t);
+    void handleCheckpoint(std::uint32_t level, SimTime t);
     void freezeMachine(SimTime cost);
     void takeSnapshot(SimTime anchor);
     void restartFromCheckpoint(std::uint32_t i, SimTime t);
@@ -449,6 +449,25 @@ class Engine
     std::vector<double> linkLatScale_;
 
     /**
+     * Scenario bookkeeping the checkpoint seam needs. The stream
+     * fires strictly in index order (each handler arms its
+     * successor), so scenNextIdx_ — the index of the next event to
+     * fire — says which events are history (i < scenNextIdx_) and
+     * which are pending. Under ckptMode_ pending events live in the
+     * heap at their compiled time plus scenShift_, the accumulated
+     * uniform shift of every freeze and rollback, so the flat-bus
+     * pricing can place pending stall/degrade windows in effective
+     * time. scenConsumed_ marks fail-stop events whose rollback was
+     * already paid; it deliberately survives rollbacks (it is not
+     * part of the snapshot) — a consumed failure replayed out of
+     * the restored heap re-fires as a no-op that just chains its
+     * successor, so one fault never charges two restarts.
+     */
+    std::uint32_t scenNextIdx_ = 0;
+    SimTime scenShift_;
+    std::vector<std::uint8_t> scenConsumed_;
+
+    /**
      * Checkpoint/restart seam (src/res/), next to scenMode_. False
      * keeps fail-stop semantics — and everything else —
      * bit-identical to the checkpoint-free engine; true arms a
@@ -464,21 +483,26 @@ class Engine
     SimTime ckptInterval_;
     SimTime ckptCost_;
     SimTime restartCost_;
+    /** Hierarchical second level: a slower, costlier global
+     * checkpoint chain whose image machine-wide (`all`) failures
+     * restore; narrower failures keep the cheap local level. */
+    bool ckptGlobalMode_ = false;
+    SimTime ckptGlobalInterval_;
+    SimTime ckptGlobalCost_;
+    SimTime restartGlobalCost_;
     std::uint64_t checkpointsTaken_ = 0;
     std::uint64_t restarts_ = 0;
-    /** Rollback loop guard: a fault process whose MTBF is shorter
-     * than the rework it causes never finishes; surface that as a
-     * FailureError instead of simulating forever. */
-    static constexpr std::uint64_t restartLimit = 10000;
 
     /**
      * Machine image captured between two events at the last
      * checkpoint (and once at t = 0 before the event loop, so a
      * failure before the first checkpoint restarts from scratch).
      * Every member mirrors its engine counterpart; pure caches
-     * (memoized conversions, compiled routes/schedules) and state
-     * the ckptMode_ restrictions keep empty (txMeta_, timeline_,
-     * CollExec pools, scenActive_) are deliberately absent.
+     * (memoized conversions, compiled routes/schedules), the
+     * timeline (rollbacks splice it instead — wasted work is
+     * recorded history, see restartFromCheckpoint) and the
+     * consumed-failure marks (which must survive rollbacks) are
+     * deliberately absent.
      */
     struct Snapshot
     {
@@ -499,8 +523,18 @@ class Engine
         std::vector<int> inFree;
         int doneRanks = 0;
         net::LinkNetwork network;
+        std::vector<std::uint8_t> scenActive;
+        std::vector<double> linkLatScale;
+        std::uint32_t scenNextIdx = 0;
+        SimTime scenShift;
+        std::vector<CollExec> collExecs;
+        std::vector<std::uint32_t> collExecFree;
     };
     Snapshot snapshot_;
+    /** Image of the last global-level checkpoint (two-level mode;
+     * refreshed by every global checkpoint, restored by `all`
+     * failures). */
+    Snapshot snapshotGlobal_;
 
     /**
      * LinkNetwork flow-id offset of background flows. Transfer
@@ -668,6 +702,9 @@ Engine::reset()
     doneRanks_ = 0;
     checkpointsTaken_ = 0;
     restarts_ = 0;
+    scenNextIdx_ = 0;
+    scenShift_ = SimTime::zero();
+    scenConsumed_.clear();
     lastBurstInstr_ = 0;
     lastBurstDur_ = SimTime::zero();
     lastSerBytes_[0] = lastSerBytes_[1] = 0;
@@ -756,9 +793,11 @@ Engine::run(const ReplayProgram &program,
     }
 
     // Checkpoint/restart seam: snapshots capture the whole machine
-    // between events, so every feature whose state the snapshot
-    // does not cover is rejected up front instead of being silently
-    // mis-restored after a rollback.
+    // between events — in-flight transfers and collective schedule
+    // cursors, link capacity modifiers and stalled/parked flows,
+    // background traffic, the scenario and checkpoint chains
+    // themselves — so any scenario/collective/capture combination
+    // replays under a positive interval.
     ckptMode_ = platform_.checkpointing();
     if (ckptMode_) {
         ckptInterval_ =
@@ -769,27 +808,22 @@ Engine::run(const ReplayProgram &program,
             fatal("platform: checkpoint_interval_us is positive "
                   "but rounds to zero nanoseconds");
         }
-        if (capture_) {
-            fatal("platform: checkpointing cannot capture a "
-                  "timeline (rolled-back intervals and re-executed "
-                  "messages would corrupt it)");
-        }
-        if (algorithmic_) {
-            fatal("platform: checkpointing does not support the "
-                  "algorithmic collective model yet (in-flight "
-                  "schedule executions are not snapshotted); use "
-                  "collective_model = analytic");
-        }
-        for (std::size_t i = 0; i < scenario_.eventCount(); ++i) {
-            const scen::ScenarioEvent &ev = scenario_.event(i);
-            if (ev.kind != scen::ScenEventKind::fail ||
-                ev.semantics != scen::FailSemantics::failStop) {
-                fatal("platform: checkpointing supports fail-stop "
-                      "scenario events only; `", ev.describe(),
-                      "` would need its active effect snapshotted "
-                      "across rollbacks");
+        ckptGlobalMode_ = platform_.twoLevelCheckpointing();
+        if (ckptGlobalMode_) {
+            ckptGlobalInterval_ = SimTime::fromUs(
+                platform_.checkpointGlobalIntervalUs);
+            ckptGlobalCost_ = SimTime::fromUs(
+                platform_.checkpointGlobalCostUs);
+            restartGlobalCost_ = SimTime::fromUs(
+                platform_.restartGlobalCostUs);
+            if (ckptGlobalInterval_.ns() <= 0) {
+                fatal("platform: checkpoint_global_interval_us is "
+                      "positive but rounds to zero nanoseconds");
             }
         }
+        scenConsumed_.assign(scenario_.eventCount(), 0);
+    } else {
+        ckptGlobalMode_ = false;
     }
 
     // The compiler counted the sends, so the transfer arena (one
@@ -832,12 +866,17 @@ Engine::run(const ReplayProgram &program,
     if (scenMode_)
         schedule(scenario_.event(0).time, EventKind::scenario, 0);
 
-    // Arm the coordinated-checkpoint chain and capture the pristine
-    // t = 0 image a failure before the first checkpoint rolls back
-    // to (a from-scratch restart).
+    // Arm the coordinated-checkpoint chain(s) and capture the
+    // pristine t = 0 image a failure before the first checkpoint
+    // rolls back to (a from-scratch restart). The event target
+    // encodes the level: 0 local, 1 global.
     if (ckptMode_) {
         schedule(ckptInterval_, EventKind::checkpoint, 0);
+        if (ckptGlobalMode_)
+            schedule(ckptGlobalInterval_, EventKind::checkpoint, 1);
         takeSnapshot(SimTime::zero());
+        if (ckptGlobalMode_)
+            snapshotGlobal_ = snapshot_;
     }
 
     while (!events_.empty()) {
@@ -865,7 +904,7 @@ Engine::run(const ReplayProgram &program,
             handleBackgroundFinish(ev.target(), ev.time);
             break;
           case EventKind::checkpoint:
-            handleCheckpoint(ev.time);
+            handleCheckpoint(ev.target(), ev.time);
             break;
         }
     }
@@ -1881,32 +1920,21 @@ Engine::recordCommEvent(std::uint32_t idx, SimTime recv_complete)
 void
 Engine::handleScenarioEvent(std::uint32_t i, SimTime t)
 {
-    if (ckptMode_) {
-        // Checkpointed replays interpret the compiled stream as
-        // machine-progress time: the freeze of every checkpoint
-        // shifted this event along with the rest of the machine, so
-        // its successor is armed by the compiled inter-event gap
-        // from the instant this one actually fired — identical to
-        // the absolute times below when nothing froze. run()
-        // restricted the stream to fail-stop events, so this either
-        // rolls the machine back (the restart re-arms the successor
-        // relative to the restart instant) or — with every rank
-        // already finished — is a no-op that lets the heap drain.
-        if (doneRanks_ < nranks_) {
-            restartFromCheckpoint(i, t);
-            return;
-        }
-        if (i + 1 < scenario_.eventCount()) {
-            schedule(t + (scenario_.event(i + 1).time -
-                          scenario_.event(i).time),
-                     EventKind::scenario, i + 1);
-        }
-        return;
-    }
+    // Checkpointed replays interpret the compiled stream as
+    // machine-progress time: the freeze of every checkpoint (and
+    // the delta of every rollback) shifted this event along with
+    // the rest of the machine, so its successor is armed by the
+    // compiled inter-event gap from the instant this one actually
+    // fired — identical to the absolute times of the plain path
+    // when nothing froze, and exactly compiled(i+1) + scenShift_.
     if (i + 1 < scenario_.eventCount()) {
-        schedule(scenario_.event(i + 1).time, EventKind::scenario,
-                 i + 1);
+        schedule(ckptMode_
+                     ? t + (scenario_.event(i + 1).time -
+                            scenario_.event(i).time)
+                     : scenario_.event(i + 1).time,
+                 EventKind::scenario, i + 1);
     }
+    scenNextIdx_ = i + 1;
     const scen::ScenarioEvent &ev = scenario_.event(i);
     switch (ev.kind) {
       case scen::ScenEventKind::degrade:
@@ -1946,8 +1974,18 @@ Engine::handleScenarioEvent(std::uint32_t i, SimTime t)
             // Nothing left to kill once every rank finished; the
             // stream keeps chaining for any later background
             // events.
-            if (doneRanks_ < nranks_)
+            if (doneRanks_ >= nranks_)
+                break;
+            if (!ckptMode_)
                 reportFailStop(i, t);
+            // A rollback replays the stream from the snapshot's
+            // cursor, so this failure fires again out of the
+            // restored heap; the consumed mark makes the re-fire a
+            // no-op (chain-only) instead of a second restart.
+            if (!scenConsumed_[i]) {
+                scenConsumed_[i] = 1;
+                restartFromCheckpoint(i, t);
+            }
             break;
         }
         scenActive_[i] = 1;
@@ -2143,17 +2181,30 @@ Engine::reportFailStop(std::uint32_t i, SimTime t)
  * consistent and restartable.
  */
 void
-Engine::handleCheckpoint(SimTime t)
+Engine::handleCheckpoint(std::uint32_t level, SimTime t)
 {
     // The application finished (only drain events remain): stop
     // chaining and let the heap empty.
     if (doneRanks_ >= nranks_)
         return;
     ++checkpointsTaken_;
-    freezeMachine(ckptCost_);
-    takeSnapshot(t + ckptCost_);
-    schedule(t + ckptCost_ + ckptInterval_, EventKind::checkpoint,
-             0);
+    const bool global = level == 1;
+    const SimTime cost = global ? ckptGlobalCost_ : ckptCost_;
+    freezeMachine(cost);
+    // Arm the successor BEFORE imaging the machine: the snapshot
+    // carries the whole heap, checkpoint chain included, so a
+    // restore finds its next checkpoint pending exactly one
+    // interval past the restart instant (anchor + interval + delta
+    // = restore_at + interval) without any re-arming.
+    schedule(t + cost +
+                 (global ? ckptGlobalInterval_ : ckptInterval_),
+             EventKind::checkpoint, level);
+    takeSnapshot(t + cost);
+    // A global checkpoint also refreshes the local image: the
+    // newest restartable image is always at least as recent at the
+    // cheap level as at the expensive one.
+    if (global)
+        snapshotGlobal_ = snapshot_;
 }
 
 void
@@ -2166,11 +2217,15 @@ Engine::freezeMachine(SimTime cost)
     // mutation demands. Stored per-transfer instants need no shift:
     // future ones (the arriveTime of an in-flight transfer) are
     // overwritten from the shifted event when it fires, and past
-    // ones must stay where history put them.
+    // ones must stay where history put them. The pending scenario
+    // event moved with the rest of the machine, so the accumulated
+    // compiled-to-effective shift grows by the same cost.
     for (std::size_t k = 0; k < events_.size(); ++k)
         events_[k].time += cost;
     if (netMode_)
         network_.shiftFlowClocks(cost);
+    if (scenMode_)
+        scenShift_ += cost;
 }
 
 /**
@@ -2203,47 +2258,104 @@ Engine::takeSnapshot(SimTime anchor)
     s.doneRanks = doneRanks_;
     if (netMode_)
         s.network = network_;
+    s.scenActive = scenActive_;
+    s.linkLatScale = linkLatScale_;
+    s.scenNextIdx = scenNextIdx_;
+    s.scenShift = scenShift_;
+    if (algorithmic_) {
+        s.collExecs.assign(collExecs_.begin(), collExecs_.end());
+        s.collExecFree = collExecFree_;
+    }
 }
 
 /**
  * Fail-stop event `i` fired at `t` with checkpointing enabled:
  * roll the machine back to the last checkpoint instead of killing
- * the replay. The restored image re-enters simulated time at
- * t + restartCost_: every pending instant in the snapshot shifts
- * forward by delta = (t + restartCost_) - anchor — non-negative,
- * since the failure fired after the snapshot it rolls back to — so
- * the replayed tail is the checkpointed tail delayed by exactly
- * the work since the checkpoint plus the restart cost (the
- * closed-form accounting the resilience tests pin). In-flight
- * traffic caught by the failure is torn down first and the link
- * occupancy invariant asserted back to zero before the snapshot's
- * own flows are reinstated.
+ * the replay — the local image normally, the global image (at its
+ * own restart cost) for machine-wide `all` failures under two-level
+ * checkpointing. The restored image re-enters simulated time at
+ * t + restart cost: every pending instant in the snapshot shifts
+ * forward by delta = (t + cost) - anchor — non-negative, since the
+ * failure fired after the snapshot it rolls back to — so the
+ * replayed tail is the checkpointed tail delayed by exactly the
+ * work since the checkpoint plus the restart cost (the closed-form
+ * accounting the resilience tests pin). In-flight traffic caught by
+ * the failure is torn down first and the link occupancy invariant
+ * asserted back to zero before the snapshot's own flows are
+ * reinstated.
+ *
+ * The heap is restored whole — scenario and checkpoint chains
+ * included, shifted like everything else. The snapshot's pending
+ * scenario cursor replays the stream from the checkpoint: degrades,
+ * stalls and background flows re-apply (a flow finishing after the
+ * restart pays the re-applied capacities), while already-consumed
+ * failures re-fire as chain-only no-ops (scenConsumed_). The
+ * restored pending checkpoint sits exactly one interval after the
+ * restart instant, because the snapshot was anchored at the instant
+ * its own successor was armed an interval out.
  *
  * Per-rank accounting keeps the counters as of the checkpoint
  * (work is charged once) while totalTime absorbs the rework;
  * processed_ keeps counting across restarts — rolled-back events
  * were still simulated work, and the runaway guard must see them.
+ * The timeline is deliberately NOT restored: capture records
+ * through failures, the splice below truncates ahead-recorded
+ * intervals at the cut and inserts a restart interval, so a Gantt
+ * of a rolled-back run shows the wasted segments as first-class
+ * history.
  */
 void
 Engine::restartFromCheckpoint(std::uint32_t i, SimTime t)
 {
     ++restarts_;
-    if (restarts_ > restartLimit) {
+    if (restarts_ > platform_.restartBudget) {
         scen::FailureDiagnosis diag = failStopDiagnosis(i, t);
-        diag.event = "restart limit (" +
-            std::to_string(restartLimit) +
-            ") exceeded; the platform fails faster than it "
-            "recovers; last failure: " + diag.event;
+        diag.event = strformat(
+            "restart_budget (%llu) exhausted: observed MTBF "
+            "~%.6g us against checkpoint_interval_us = %.17g; the "
+            "platform fails faster than it recovers; last "
+            "failure: ",
+            static_cast<unsigned long long>(
+                platform_.restartBudget),
+            t.toUs() / static_cast<double>(restarts_),
+            platform_.checkpointIntervalUs) + diag.event;
         throw scen::FailureError(std::move(diag));
     }
     ovlAssert(broadcastPending_ == 0,
               "restart inside a release broadcast");
-    const Snapshot &s = snapshot_;
-    const SimTime restore_at = t + restartCost_;
+    const bool global = ckptGlobalMode_ &&
+        scenario_.event(i).target == scen::ScenTarget::all;
+    const Snapshot &s = global ? snapshotGlobal_ : snapshot_;
+    const SimTime restore_at =
+        t + (global ? restartGlobalCost_ : restartCost_);
     ovlAssert(restore_at >= s.anchor,
               "fail-stop fired before the checkpoint it rolls "
               "back to");
     const SimTime delta = restore_at - s.anchor;
+
+    // Byte conservation across the rollback: restoring can only
+    // discard work, never invent traffic.
+    std::uint64_t bytes_before = 0;
+    std::uint64_t msgs_before = 0;
+    for (const auto &ctx : ranks_) {
+        bytes_before += ctx.result.bytesSent;
+        msgs_before += ctx.result.messagesSent;
+    }
+
+    // Splice the timeline at the cut while the pre-rollback rank
+    // states are still visible: ahead-recorded compute bursts are
+    // clipped to what actually executed, open blocked windows are
+    // closed at the failure instant (their tails past the cut are
+    // wasted work, recorded as such).
+    if (capture_) {
+        timeline_.truncateAt(t);
+        for (const auto &ctx : ranks_) {
+            if (!ctx.done && ctx.blocked && ctx.blockStart < t) {
+                timeline_.addInterval(ctx.rank, ctx.blockStart, t,
+                                      ctx.blockState);
+            }
+        }
+    }
 
     if (netMode_) {
         // Cancel what the failure caught mid-flight; occupancy must
@@ -2255,20 +2367,16 @@ Engine::restartFromCheckpoint(std::uint32_t i, SimTime t)
         network_.clearPendingReschedules();
         network_ = s.network;
         network_.shiftFlowClocks(delta);
+        ovlAssert(network_.totalLoad() == s.network.totalLoad(),
+                  "restore changed link occupancy");
     }
 
-    // Rebuild the heap from the snapshot: the scenario and
-    // checkpoint chains are re-armed below (their pending links in
-    // the snapshot are dropped), everything else shifts into the
+    // Rebuild the heap from the snapshot whole, shifted into the
     // restarted time frame. The vectors shrink back onto their
     // reserved arenas — restores never reallocate.
     events_.clear();
     for (std::size_t k = 0; k < s.events.size(); ++k) {
         Event ev = s.events[k];
-        const EventKind kind = ev.kind();
-        if (kind == EventKind::scenario ||
-            kind == EventKind::checkpoint)
-            continue;
         ev.time += delta;
         events_.push(ev);
     }
@@ -2277,6 +2385,8 @@ Engine::restartFromCheckpoint(std::uint32_t i, SimTime t)
     transfers_.resize(s.transfers.size());
     std::copy(s.transfers.begin(), s.transfers.end(),
               transfers_.begin());
+    if (capture_)
+        txMeta_.resize(s.transfers.size());
     recvPool_.resize(s.recvPool.size());
     std::copy(s.recvPool.begin(), s.recvPool.end(),
               recvPool_.begin());
@@ -2290,18 +2400,35 @@ Engine::restartFromCheckpoint(std::uint32_t i, SimTime t)
     outFree_ = s.outFree;
     inFree_ = s.inFree;
     doneRanks_ = s.doneRanks;
-
-    // The failure itself was consumed: the stream resumes at its
-    // successor, one compiled inter-event gap downstream of the
-    // restart instant (see handleScenarioEvent for why checkpointed
-    // streams chain by gap), and the checkpoint chain restarts a
-    // full interval out.
-    if (i + 1 < scenario_.eventCount()) {
-        const SimTime gap =
-            scenario_.event(i + 1).time - scenario_.event(i).time;
-        schedule(restore_at + gap, EventKind::scenario, i + 1);
+    scenActive_ = s.scenActive;
+    linkLatScale_ = s.linkLatScale;
+    scenNextIdx_ = s.scenNextIdx;
+    scenShift_ = s.scenShift + delta;
+    if (algorithmic_) {
+        collExecs_.assign(s.collExecs.begin(), s.collExecs.end());
+        collExecFree_ = s.collExecFree;
     }
-    schedule(restore_at + ckptInterval_, EventKind::checkpoint, 0);
+
+    std::uint64_t bytes_after = 0;
+    std::uint64_t msgs_after = 0;
+    for (const auto &ctx : ranks_) {
+        bytes_after += ctx.result.bytesSent;
+        msgs_after += ctx.result.messagesSent;
+    }
+    ovlAssert(bytes_after <= bytes_before &&
+                  msgs_after <= msgs_before,
+              "rollback increased sent traffic");
+
+    // The machine pays the restart: every rank alive in the
+    // restored image spends [t, restore_at] rolling back.
+    if (capture_) {
+        for (const auto &ctx : ranks_) {
+            if (!ctx.done) {
+                timeline_.addInterval(ctx.rank, t, restore_at,
+                                      RankState::restart);
+            }
+        }
+    }
 }
 
 /**
@@ -2320,9 +2447,27 @@ Engine::flatScenCost(int src, int dst, Bytes bytes, SimTime begin,
         const scen::ScenarioEvent &ev = scenario_.event(i);
         if (ev.kind != scen::ScenEventKind::degrade)
             continue;
-        if (!(ev.time <= begin &&
-              begin < scenario_.recoveryTimeOf(i)))
+        if (ckptMode_) {
+            // Effective-time window test: a fired degrade applies
+            // while its activity flag is up (its pending recovery
+            // is necessarily in the future); a pending one applies
+            // only at the boundary instant where its shifted
+            // compiled time has been reached but the event has not
+            // popped yet.
+            if (i < scenNextIdx_) {
+                if (!scenActive_[i])
+                    continue;
+            } else {
+                const SimTime rec = scenario_.recoveryTimeOf(i);
+                if (ev.time + scenShift_ > begin ||
+                    (rec != SimTime::max() &&
+                     begin >= rec + scenShift_))
+                    continue;
+            }
+        } else if (!(ev.time <= begin &&
+                     begin < scenario_.recoveryTimeOf(i))) {
             continue;
+        }
         if (!ev.matchesPair(src, dst))
             continue;
         bw *= ev.bandwidthFactor;
@@ -2374,8 +2519,28 @@ Engine::applyFlatStalls(int src, int dst, SimTime begin,
             continue;
         if (!ev.matchesPair(src, dst))
             continue;
-        const SimTime s = ev.time;
-        const SimTime r = scenario_.recoveryTimeOf(i);
+        SimTime s = ev.time;
+        SimTime r = scenario_.recoveryTimeOf(i);
+        if (ckptMode_) {
+            // Effective-time windows, mirroring flatScenCost: a
+            // fired-and-active stall reaches the present (only its
+            // remainder past `begin` matters, so `begin` is as good
+            // a start as the historical one), a fired-and-recovered
+            // one is spent, and a pending one sits at its shifted
+            // compiled instants. Index order still visits windows
+            // in non-decreasing start order: fired-active windows
+            // collapse to `begin` and pending ones keep the
+            // compiled time order under a uniform shift.
+            if (i < scenNextIdx_) {
+                if (!scenActive_[i])
+                    continue;
+                s = begin;
+            } else {
+                s = s + scenShift_;
+            }
+            if (r != SimTime::max())
+                r = r + scenShift_;
+        }
         if (have && s <= winEnd) {
             if (r > winEnd)
                 winEnd = r;

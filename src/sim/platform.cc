@@ -73,6 +73,23 @@ PlatformConfig::validate() const
         fatal("platform: checkpoint interval/cost and restart cost "
               "must be finite and non-negative");
     }
+    if (!std::isfinite(checkpointGlobalIntervalUs) ||
+        !std::isfinite(checkpointGlobalCostUs) ||
+        !std::isfinite(restartGlobalCostUs) ||
+        checkpointGlobalIntervalUs < 0.0 ||
+        checkpointGlobalCostUs < 0.0 ||
+        restartGlobalCostUs < 0.0) {
+        fatal("platform: global checkpoint interval/cost and global "
+              "restart cost must be finite and non-negative");
+    }
+    if (checkpointGlobalIntervalUs > 0.0 &&
+        checkpointIntervalUs <= 0.0) {
+        fatal("platform: checkpoint_global_interval_us requires a "
+              "positive checkpoint_interval_us (the global level "
+              "rides on the local checkpoint chain)");
+    }
+    if (restartBudget < 1)
+        fatal("platform: restart_budget must be >= 1");
     coll::validateOverrides(collectiveAlgorithms);
     topology.validate();
     scenario.validate();

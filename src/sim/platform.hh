@@ -168,11 +168,44 @@ struct PlatformConfig
     /** Rollback/rejuvenation delay charged per restart. */
     double restartCostUs = 0.0;
 
+    /**
+     * Hierarchical (two-level) checkpointing. With a positive global
+     * interval — which requires a positive `checkpointIntervalUs` —
+     * the machine additionally takes a *global* checkpoint every
+     * `checkpointGlobalIntervalUs` at `checkpointGlobalCostUs` per
+     * freeze. Machine-wide fail-stop events (scenario scope `all`)
+     * restore the last global checkpoint at `restartGlobalCostUs`;
+     * narrower failures keep restoring the cheaper local level. A
+     * global checkpoint also refreshes the local image (the newest
+     * image is always at least as recent at both levels).
+     */
+    double checkpointGlobalIntervalUs = 0.0;
+
+    /** Machine-wide freeze charged per global checkpoint taken. */
+    double checkpointGlobalCostUs = 0.0;
+
+    /** Rollback delay charged per restart from the global level. */
+    double restartGlobalCostUs = 0.0;
+
+    /**
+     * Maximum number of restarts a replay may pay before it is
+     * declared dead (the platform fails faster than it recovers).
+     * Exceeding it raises a FailureError naming this key.
+     */
+    std::uint64_t restartBudget = 10000;
+
     /** Checkpointing enabled? */
     bool
     checkpointing() const
     {
         return checkpointIntervalUs > 0.0;
+    }
+
+    /** Hierarchical two-level checkpointing enabled? */
+    bool
+    twoLevelCheckpointing() const
+    {
+        return checkpointing() && checkpointGlobalIntervalUs > 0.0;
     }
 
     /** Effective MIPS rate given a trace's recorded rate. */

@@ -307,6 +307,25 @@ readPlatformConfig(std::istream &is, const std::string &source)
         } else if (key == "restart_cost_us") {
             config.restartCostUs =
                 parseNonNegativeDouble(source, line_no, key, value);
+        } else if (key == "checkpoint_global_interval_us") {
+            config.checkpointGlobalIntervalUs =
+                parseNonNegativeDouble(source, line_no, key, value);
+        } else if (key == "checkpoint_global_cost_us") {
+            config.checkpointGlobalCostUs =
+                parseNonNegativeDouble(source, line_no, key, value);
+        } else if (key == "restart_global_cost_us") {
+            config.restartGlobalCostUs =
+                parseNonNegativeDouble(source, line_no, key, value);
+        } else if (key == "restart_budget") {
+            const std::int64_t budget =
+                parseNonNegativeInt(source, line_no, key, value);
+            if (budget < 1) {
+                fatal(source, " line ", line_no,
+                      ": key 'restart_budget' must be >= 1, got '",
+                      value, "'");
+            }
+            config.restartBudget =
+                static_cast<std::uint64_t>(budget);
         } else {
             fatal(source, " line ", line_no,
                   ": unknown key '", key, "'");
@@ -401,6 +420,15 @@ writePlatformConfig(const PlatformConfig &config,
        << strformat("%.17g", config.checkpointCostUs) << "\n";
     os << "restart_cost_us = "
        << strformat("%.17g", config.restartCostUs) << "\n";
+    os << "checkpoint_global_interval_us = "
+       << strformat("%.17g", config.checkpointGlobalIntervalUs)
+       << "\n";
+    os << "checkpoint_global_cost_us = "
+       << strformat("%.17g", config.checkpointGlobalCostUs)
+       << "\n";
+    os << "restart_global_cost_us = "
+       << strformat("%.17g", config.restartGlobalCostUs) << "\n";
+    os << "restart_budget = " << config.restartBudget << "\n";
     // A scenario only round-trips when it came from a file (or was
     // expanded from a fault model file); emit programmatic configs
     // with writeScenario() first.

@@ -14,6 +14,7 @@ rankStateName(RankState state)
       case RankState::waitBlocked: return "wait-blocked";
       case RankState::collective: return "collective";
       case RankState::idle: return "idle";
+      case RankState::restart: return "restart";
     }
     panic("rankStateName: bad state");
 }
@@ -28,6 +29,7 @@ rankStateCode(RankState state)
       case RankState::waitBlocked: return 'W';
       case RankState::collective: return 'C';
       case RankState::idle: return '.';
+      case RankState::restart: return 'X';
     }
     panic("rankStateCode: bad state");
 }
@@ -47,17 +49,25 @@ Timeline::addInterval(Rank r, SimTime begin, SimTime end,
                       RankState state)
 {
     ovlAssert(r >= 0 && r < ranks(), "timeline rank out of range");
-    if (end <= begin)
-        return;
     auto &list = perRank_[static_cast<std::size_t>(r)];
     if (list.count > 0) {
         Node &tail = node(list.tail);
+        // Never overlap the recorded past: a rollback splice leaves
+        // the tail at the restored cut, and the first wake after it
+        // reports a blocked window that started before the cut —
+        // only the remainder past the tail is new information.
+        if (begin < tail.interval.end)
+            begin = tail.interval.end;
+        if (end <= begin)
+            return;
         if (tail.interval.end == begin &&
             tail.interval.state == state) {
             tail.interval.end = end;
             return;
         }
     }
+    if (end <= begin)
+        return;
     const std::uint32_t idx = newNode();
     node(idx).interval = StateInterval{begin, end, state};
     if (list.count == 0)
@@ -66,6 +76,39 @@ Timeline::addInterval(Rank r, SimTime begin, SimTime end,
         node(list.tail).next = idx;
     list.tail = idx;
     ++list.count;
+}
+
+void
+Timeline::truncateAt(SimTime cut)
+{
+    for (auto &list : perRank_) {
+        if (list.count == 0)
+            continue;
+        if (node(list.head).interval.begin >= cut) {
+            // Nothing on this rank predates the cut. The orphaned
+            // nodes stay in the arena (append-only storage); only
+            // the list forgets them.
+            list.head = list.tail = nposNode;
+            list.count = 0;
+            continue;
+        }
+        // Walk to the last interval starting before the cut; begins
+        // are non-decreasing in append order, so everything after
+        // it is dropped and it alone may need clipping.
+        std::uint32_t idx = list.head;
+        std::uint32_t kept = 1;
+        while (node(idx).next != nposNode &&
+               node(node(idx).next).interval.begin < cut) {
+            idx = node(idx).next;
+            ++kept;
+        }
+        Node &last = node(idx);
+        if (last.interval.end > cut)
+            last.interval.end = cut;
+        last.next = nposNode;
+        list.tail = idx;
+        list.count = kept;
+    }
 }
 
 Timeline::IntervalRange

@@ -37,7 +37,14 @@ enum class RankState : std::uint8_t {
     waitBlocked,
     collective,
     idle,
+    /** Rolling back to a checkpoint and paying the restart cost
+     * (resilience seam, src/res/); everything recorded before such
+     * an interval since the checkpoint cut is wasted work. */
+    restart,
 };
+
+/** Number of RankState values (sizing per-state accumulators). */
+constexpr std::size_t rankStateCount = 7;
 
 /** Short display name for a state ("comp", "sendb", ...). */
 const char *rankStateName(RankState state);
@@ -159,10 +166,26 @@ class Timeline
 
     int ranks() const { return static_cast<int>(perRank_.size()); }
 
-    /** Append an interval; merges with the previous if contiguous
-     * and of equal state. */
+    /**
+     * Append an interval; merges with the previous if contiguous
+     * and of equal state. Intervals on one rank never overlap: a
+     * begin before the recorded tail is clamped forward to it (an
+     * interval whose span was already claimed — e.g. a blocked
+     * window straddling a rollback cut — contributes only its
+     * unclaimed remainder).
+     */
     void addInterval(Rank r, SimTime begin, SimTime end,
                      RankState state);
+
+    /**
+     * Drop everything recorded at or after `cut` and clip intervals
+     * straddling it (rollback splice, src/res/): intervals recorded
+     * ahead of time — compute bursts — shrink to the part the
+     * machine actually executed before the failure. Recorded
+     * history before the cut stays; the engine then appends the
+     * restart interval and records the replayed tail after it.
+     */
+    void truncateAt(SimTime cut);
 
     void addComm(CommEvent event) { comms_.push_back(event); }
 

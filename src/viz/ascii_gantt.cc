@@ -28,7 +28,7 @@ renderGantt(const sim::Timeline &timeline,
 
     for (Rank r = 0; r < timeline.ranks(); ++r) {
         // Accumulate, per column, the time spent in each state.
-        constexpr std::size_t nstates = 6;
+        constexpr std::size_t nstates = sim::rankStateCount;
         std::vector<std::array<double, nstates>> weight(
             options.width, std::array<double, nstates>{});
         for (const auto &iv : timeline.intervals(r)) {
@@ -74,7 +74,7 @@ renderGantt(const sim::Timeline &timeline,
     os << "time: 0 .. " << humanTime(span) << "\n";
     if (options.legend) {
         os << "legend: #=compute S=send-blocked R=recv-blocked "
-              "W=wait-blocked C=collective .=idle\n";
+              "W=wait-blocked C=collective X=restart .=idle\n";
     }
     return os.str();
 }

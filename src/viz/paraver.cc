@@ -23,6 +23,9 @@ paraverState(sim::RankState state)
       case sim::RankState::sendBlocked: return 6;
       case sim::RankState::collective: return 5;
       case sim::RankState::idle: return 0;
+      // Paraver has no canonical rollback state; 13 ("Others") is
+      // the conventional catch-all.
+      case sim::RankState::restart: return 13;
     }
     panic("paraverState: bad state");
 }

@@ -9,21 +9,36 @@
  *    access equals sequential draws and substreams are independent
  *    of caller order,
  *  - generateScenario is a pure function of (model, seed, horizon)
- *    and fail-stop processes emit exactly one fault,
+ *    and fail-stop processes emit every renewal up to the horizon,
  *  - closed-form restart accounting: with interval I, cost C and
  *    restart cost R, one fail-stop at t costs exactly the work
  *    since the last checkpoint plus R on top of the failure-free
  *    checkpointed time (132 us and 142 us pins below, worked out
- *    by hand on the integer clock),
+ *    by hand on the integer clock); two-level checkpointing
+ *    restores machine-wide failures from the global slot at the
+ *    global cost (125/137/156 us pins) and a flow finishing after
+ *    a restart pays exactly the re-applied degraded capacity,
+ *  - every PR-7 mode restriction is lifted: timeline capture,
+ *    algorithmic collectives and non-fail-stop scenario events all
+ *    replay to completion under a positive checkpoint interval,
+ *    with rollback splicing first-class restart intervals into the
+ *    captured timeline; only an interval that rounds to zero
+ *    simulated time remains fatal,
  *  - a zero checkpoint interval keeps PR-6 fail-stop semantics
  *    (FailureError) and leaves failure-free replays bit-identical,
  *  - checkpointed replays with in-flight routed transfers roll
  *    back, conserve link occupancy (engine-internal assert) and
- *    stay bit-identical across runs,
+ *    stay bit-identical across runs; a seeded fuzz harness pits
+ *    checkpointing against random fault streams and asserts the
+ *    same, 200 streams deep,
  *  - a platform that fails faster than it recovers exhausts the
- *    restart budget and surfaces as a FailureError, not a hang,
+ *    (platform-keyed) restart_budget and surfaces as a
+ *    FailureError naming the budget, not a hang,
  *  - resilienceSweep grids are bit-identical across thread counts
- *    and report dead runs as data (failedFraction), never throws,
+ *    and report dead runs as data (failedFraction plus a
+ *    structured FailureDiagnosis per dead seed), never throws;
+ *    protocolSweep's swept optimal interval lands within one grid
+ *    step of res::dalyInterval's analytic prediction,
  *  - FailureError propagates through simulateBatch and
  *    bandwidthSweep without wedging the thread pool (satellite:
  *    failure propagation).
@@ -44,6 +59,7 @@
 #include "sim/engine.hh"
 #include "sim/platform_file.hh"
 #include "util/counter_rng.hh"
+#include "viz/ascii_gantt.hh"
 
 namespace ovlsim {
 namespace {
@@ -174,8 +190,12 @@ TEST(FaultModelTest, GenerateScenarioIsAPureFunction)
     EXPECT_FALSE(a.events == other.events);
 }
 
-TEST(FaultModelTest, FailStopProcessesEmitExactlyOneFault)
+TEST(FaultModelTest, FailStopProcessesEmitEveryRenewalUpToTheHorizon)
 {
+    // Under checkpoint/restart every renewal is its own rollback,
+    // so the expansion keeps the whole stream (without
+    // checkpointing only the first event matters — it terminates
+    // the replay before the rest can fire).
     res::FaultModel model;
     res::FaultProcess proc;
     proc.target = ScenTarget::node;
@@ -184,12 +204,18 @@ TEST(FaultModelTest, FailStopProcessesEmitExactlyOneFault)
     proc.mtbfUs = 100.0; // Dozens of renewals fit the horizon.
     model.processes.push_back(proc);
 
-    const auto config =
-        res::generateScenario(model, 5, SimTime::fromUs(10000.0));
-    ASSERT_EQ(config.events.size(), 1u);
-    EXPECT_EQ(config.events[0].kind, ScenEventKind::fail);
-    EXPECT_EQ(config.events[0].semantics, FailSemantics::failStop);
-    EXPECT_EQ(config.events[0].nodeA, 3);
+    const SimTime horizon = SimTime::fromUs(10000.0);
+    const auto config = res::generateScenario(model, 5, horizon);
+    ASSERT_GT(config.events.size(), 10u);
+    SimTime prev;
+    for (const auto &ev : config.events) {
+        EXPECT_EQ(ev.kind, ScenEventKind::fail);
+        EXPECT_EQ(ev.semantics, FailSemantics::failStop);
+        EXPECT_EQ(ev.nodeA, 3);
+        EXPECT_LT(ev.time.ns(), horizon.ns());
+        EXPECT_GT(ev.time.ns(), prev.ns());
+        prev = ev.time;
+    }
 }
 
 TEST(FaultModelTest, ModelFileRoundTrips)
@@ -203,6 +229,50 @@ TEST(FaultModelTest, ModelFileRoundTrips)
     std::istringstream in(out.str());
     const auto parsed = res::readFaultModel(in);
     EXPECT_TRUE(parsed == model);
+}
+
+TEST(FaultModelTest, MachineWideProcessesAreFailStopOnlyAndRoundTrip)
+{
+    // `process all` is the machine-wide crash the global level of
+    // two-level checkpointing recovers from.
+    std::istringstream text("process all fail-stop mtbf_us 50000\n");
+    auto model = res::readFaultModel(text);
+    ASSERT_EQ(model.processes.size(), 1u);
+    EXPECT_EQ(model.processes[0].target, ScenTarget::all);
+    EXPECT_EQ(model.processes[0].effect, res::FaultEffect::failStop);
+    EXPECT_EQ(model.processes[0].mtbfUs, 50000.0);
+
+    std::ostringstream out;
+    res::writeFaultModel(model, out);
+    std::istringstream in(out.str());
+    EXPECT_TRUE(res::readFaultModel(in) == model);
+
+    const auto config =
+        res::generateScenario(model, 3, SimTime::fromUs(200000.0));
+    ASSERT_FALSE(config.events.empty());
+    EXPECT_EQ(config.events[0].target, ScenTarget::all);
+    EXPECT_EQ(config.events[0].semantics, FailSemantics::failStop);
+
+    // There is no machine-wide repair: stall/degrade (and traces)
+    // on `all` are nonsense and must say so.
+    auto bad = model;
+    bad.processes[0].effect = res::FaultEffect::stall;
+    bad.processes[0].mttrUs = 10.0;
+    EXPECT_THROW(bad.validate(), FatalError);
+}
+
+TEST(FaultModelTest, DalyIntervalMatchesTheClosedForm)
+{
+    // tau* = sqrt(2 C M) - C: sqrt(2 * 20 * 1000) = 200, minus the
+    // cost. Exact in double arithmetic.
+    EXPECT_DOUBLE_EQ(res::dalyInterval(1000.0, 20.0), 180.0);
+    EXPECT_DOUBLE_EQ(res::dalyInterval(50000.0, 0.0), 0.0);
+    // Below the validity bound (M < C/2) the guard returns the
+    // degenerate sqrt(2 C M) instead of a negative interval.
+    EXPECT_DOUBLE_EQ(res::dalyInterval(10.0, 100.0),
+                     std::sqrt(2000.0));
+    EXPECT_THROW(res::dalyInterval(0.0, 5.0), FatalError);
+    EXPECT_THROW(res::dalyInterval(100.0, -1.0), FatalError);
 }
 
 // ---------------------------------------------------------------
@@ -266,6 +336,165 @@ TEST(CheckpointRestartTest, FailureBeforeTheFirstCheckpointRestartsFromZero)
     EXPECT_EQ(result.totalTime.ns(), SimTime::fromUs(142.0).ns());
     EXPECT_EQ(result.checkpoints, 1u);
     EXPECT_EQ(result.restarts, 1u);
+}
+
+// ---------------------------------------------------------------
+// Hierarchical two-level checkpointing.
+//
+// Local I = 30 / C = 5 / R = 7, global I = 90 / C = 10 / R = 21
+// over the 100 us burst, worked out event by event on the integer
+// clock. Checkpoint chains: local freezes at wall 30, 65 and 110;
+// the global event (compiled 90, shifted by the two local freezes)
+// coincides with the local successor at wall 100 and wins the tie
+// (earlier heap sequence), freezing 10 and imaging both slots at
+// 110. Failure-free total: 100 + 5 + 5 + 10 + 5 = 125 us.
+// ---------------------------------------------------------------
+
+sim::PlatformConfig
+twoLevelPlatform()
+{
+    auto platform = ckptPlatform(30.0, 5.0, 7.0);
+    platform.checkpointGlobalIntervalUs = 90.0;
+    platform.checkpointGlobalCostUs = 10.0;
+    platform.restartGlobalCostUs = 21.0;
+    return platform;
+}
+
+ScenarioEvent
+machineFail(double us)
+{
+    ScenarioEvent ev;
+    ev.time = SimTime::fromUs(us);
+    ev.kind = ScenEventKind::fail;
+    ev.target = ScenTarget::all;
+    ev.semantics = FailSemantics::failStop;
+    return ev;
+}
+
+TEST(TwoLevelCheckpointTest, FailureFreeRunPaysBothFreezeChains)
+{
+    const auto bundle = singleBurst(100'000);
+    const auto result =
+        sim::simulate(bundle.traces, twoLevelPlatform());
+    EXPECT_EQ(result.totalTime.ns(), SimTime::fromUs(125.0).ns());
+    EXPECT_EQ(result.checkpoints, 4u);
+    EXPECT_EQ(result.restarts, 0u);
+}
+
+TEST(TwoLevelCheckpointTest, NodeFailureRestoresFromTheLocalSlot)
+{
+    // The fail compiled at 95 fires at wall 120 (after +25 us of
+    // freezes); the newest local image is the one cut at machine
+    // progress 90 (anchor 115). Wasted work 95 - 90 = 5 plus the
+    // local restart 7 on top of the failure-free 125: 137 us.
+    auto platform = twoLevelPlatform();
+    platform.scenario.events.push_back(nodeFail(95.0, 0));
+    const auto result =
+        sim::simulate(singleBurst(100'000).traces, platform);
+    EXPECT_EQ(result.totalTime.ns(), SimTime::fromUs(137.0).ns());
+    EXPECT_EQ(result.checkpoints, 4u);
+    EXPECT_EQ(result.restarts, 1u);
+}
+
+TEST(TwoLevelCheckpointTest, MachineWideFailureRestoresFromTheGlobalSlot)
+{
+    // The same failure instant machine-wide restores the *global*
+    // image — same progress cut (90) but an older anchor (110), the
+    // 21 us global restart, and one extra local freeze fits before
+    // the finish: 125 + 5 + 21 + 5 = 156 us.
+    auto platform = twoLevelPlatform();
+    platform.scenario.events.push_back(machineFail(95.0));
+    const auto result =
+        sim::simulate(singleBurst(100'000).traces, platform);
+    EXPECT_EQ(result.totalTime.ns(), SimTime::fromUs(156.0).ns());
+    EXPECT_EQ(result.checkpoints, 5u);
+    EXPECT_EQ(result.restarts, 1u);
+}
+
+// ---------------------------------------------------------------
+// Rollback-aware timeline capture.
+// ---------------------------------------------------------------
+
+TEST(CheckpointRestartTest, TimelineSpliceRecordsWasteAndRestart)
+{
+    // The 132 us scenario (I = 60, C = 5, R = 7, fail compiled at
+    // 80) with capture on: the fail fires at wall 85 (one freeze
+    // shifts it by 5), so the ahead-recorded [0, 100] compute burst
+    // is truncated at the cut and a first-class restart interval
+    // [85, 92] is spliced in.
+    auto platform = ckptPlatform(60.0, 5.0, 7.0);
+    platform.captureTimeline = true;
+    platform.scenario.events.push_back(nodeFail(80.0, 0));
+    const auto bundle = singleBurst(100'000);
+    const auto result = sim::simulate(bundle.traces, platform);
+    EXPECT_EQ(result.totalTime.ns(), SimTime::fromUs(132.0).ns());
+    EXPECT_EQ(result.restarts, 1u);
+
+    const auto &tl = result.timeline;
+    EXPECT_EQ(
+        tl.timeInState(0, sim::RankState::compute).ns(),
+        SimTime::fromUs(85.0).ns());
+    EXPECT_EQ(
+        tl.timeInState(0, sim::RankState::restart).ns(),
+        SimTime::fromUs(7.0).ns());
+    ASSERT_EQ(tl.intervals(0).size(), 2u);
+    auto it = tl.intervals(0).begin();
+    EXPECT_EQ(it->state, sim::RankState::compute);
+    EXPECT_EQ(it->begin.ns(), 0);
+    EXPECT_EQ(it->end.ns(), SimTime::fromUs(85.0).ns());
+    ++it;
+    EXPECT_EQ(it->state, sim::RankState::restart);
+    EXPECT_EQ(it->begin.ns(), SimTime::fromUs(85.0).ns());
+    EXPECT_EQ(it->end.ns(), SimTime::fromUs(92.0).ns());
+
+    // The Gantt renderer shows the restart as its own glyph.
+    const auto gantt = viz::renderGantt(tl);
+    EXPECT_NE(gantt.find('X'), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Degrade windows across a rollback (satellite: closed form).
+// ---------------------------------------------------------------
+
+TEST(CheckpointRestartTest, RestartedFlowPaysTheReappliedDegrade)
+{
+    // Flat bus at 100 MB/s, checkpoint cuts every 150 us at zero
+    // freeze cost, restart 50 us. A half-capacity degrade fires at
+    // 100 and never recovers; rank 0 computes 200 us and then sends
+    // 1 MB (20 ms at the degraded rate). The fail at 250 rolls back
+    // to the cut at 150 — *before* the send began — so the restored
+    // machine re-prices the transfer from scratch against the
+    // re-applied degrade (restored active-window flag). The whole
+    // replay is the degraded failure-free run shifted by exactly
+    // wasted work (250 - 150 = 100) plus the restart (50).
+    const auto bundle = testing::traceOf(
+        2, testing::producerConsumer(1'000'000, 200'000));
+    auto nominal_platform = testing::platformAt(100.0);
+    nominal_platform.checkpointIntervalUs = 150.0;
+    nominal_platform.checkpointCostUs = 0.0;
+    nominal_platform.restartCostUs = 50.0;
+    ScenarioEvent degrade;
+    degrade.kind = ScenEventKind::degrade;
+    degrade.target = ScenTarget::all;
+    degrade.time = SimTime::fromUs(100.0);
+    degrade.bandwidthFactor = 0.5;
+    nominal_platform.scenario.events.push_back(degrade);
+    const auto nominal =
+        sim::simulate(bundle.traces, nominal_platform);
+    EXPECT_EQ(nominal.restarts, 0u);
+
+    auto failing = nominal_platform;
+    failing.scenario.events.push_back(nodeFail(250.0, 1));
+    const auto result = sim::simulate(bundle.traces, failing);
+    EXPECT_EQ(result.restarts, 1u);
+    EXPECT_EQ(result.totalTime.ns(),
+              nominal.totalTime.ns() + SimTime::fromUs(150.0).ns());
+    ASSERT_EQ(result.perRank.size(), nominal.perRank.size());
+    for (std::size_t r = 0; r < result.perRank.size(); ++r) {
+        EXPECT_EQ(result.perRank[r].bytesSent,
+                  nominal.perRank[r].bytesSent)
+            << "rank " << r;
+    }
 }
 
 // ---------------------------------------------------------------
@@ -375,6 +604,172 @@ TEST(CheckpointRestartTest, FlatBusRollbackIsDeterministicToo)
     expectIdentical(a, b);
 }
 
+TEST(CheckpointRestartTest, EverythingOnPlatformReplaysDeterministically)
+{
+    // The acceptance combination: checkpointing + algorithmic
+    // collectives + degrade/recover + stall/recover + background
+    // traffic + timeline capture, with a fail-stop mid-run. Every
+    // one of these was a run-start fatal under PR 7.
+    const auto bundle =
+        testing::traceOf(4, [](vm::VmContext &ctx) {
+            ctx.compute(200'000);
+            ctx.barrier();
+            ctx.compute(1'000'000);
+            ctx.barrier();
+        });
+    auto platform = sim::platforms::topologyCluster(
+        net::topologies::taperedFatTree(2));
+    platform.checkpointIntervalUs = 150.0;
+    platform.checkpointCostUs = 5.0;
+    platform.restartCostUs = 15.0;
+    platform.collectiveModel = coll::CollectiveModel::algorithmic;
+    platform.captureTimeline = true;
+
+    auto &events = platform.scenario.events;
+    ScenarioEvent degrade;
+    degrade.kind = ScenEventKind::degrade;
+    degrade.target = ScenTarget::all;
+    degrade.time = SimTime::fromUs(100.0);
+    degrade.bandwidthFactor = 0.5;
+    events.push_back(degrade);
+    ScenarioEvent recover_degrade;
+    recover_degrade.kind = ScenEventKind::recover;
+    recover_degrade.target = ScenTarget::all;
+    recover_degrade.time = SimTime::fromUs(400.0);
+    events.push_back(recover_degrade);
+    ScenarioEvent background;
+    background.kind = ScenEventKind::background;
+    background.target = ScenTarget::route;
+    background.nodeA = 0;
+    background.nodeB = 3;
+    background.time = SimTime::fromUs(250.0);
+    background.bytes = 256 * 1024;
+    events.push_back(background);
+    ScenarioEvent stall;
+    stall.kind = ScenEventKind::fail;
+    stall.target = ScenTarget::node;
+    stall.nodeA = 2;
+    stall.time = SimTime::fromUs(500.0);
+    stall.semantics = FailSemantics::stall;
+    events.push_back(stall);
+    ScenarioEvent recover_stall;
+    recover_stall.kind = ScenEventKind::recover;
+    recover_stall.target = ScenTarget::node;
+    recover_stall.nodeA = 2;
+    recover_stall.time = SimTime::fromUs(550.0);
+    events.push_back(recover_stall);
+    events.push_back(nodeFail(700.0, 1));
+
+    const auto a = sim::simulate(bundle.traces, platform);
+    EXPECT_GE(a.restarts, 1u);
+    EXPECT_GE(a.checkpoints, 3u);
+    // Every surviving rank pays the spliced restart interval.
+    EXPECT_EQ(
+        a.timeline.timeInState(0, sim::RankState::restart).ns(),
+        static_cast<std::int64_t>(a.restarts) *
+            SimTime::fromUs(15.0).ns());
+    EXPECT_NE(viz::renderGantt(a.timeline).find('X'),
+              std::string::npos);
+
+    // Bit-identical across repeats (each simulate() call is its own
+    // session, so this is also the cross-session guarantee).
+    const auto b = sim::simulate(bundle.traces, platform);
+    expectIdentical(a, b);
+}
+
+// ---------------------------------------------------------------
+// Seeded fuzz: checkpoints against random fault streams.
+// ---------------------------------------------------------------
+
+TEST(CheckpointFuzzTest, RandomFaultStreamsReplayDeterministically)
+{
+    // 200 seeded rounds of random fault models (fail-stop, stall,
+    // degrade over nodes, links and the whole machine) expanded and
+    // replayed twice under random checkpoint cost models, on the
+    // flat bus and on a routed fabric alternately. The engine's
+    // always-on conservation asserts (occupancy drained to zero on
+    // cancel, restored occupancy equal to the snapshot's, sent
+    // bytes never increased by a rollback) fire on every rollback;
+    // the test adds the bit-identity contract on top.
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(16 * 1024, 50'000, 1));
+    const auto routed_base = sim::platforms::topologyCluster(
+        net::topologies::taperedFatTree(2));
+
+    for (std::uint64_t round = 0; round < 200; ++round) {
+        CounterRng rng(2026, round);
+        const bool routed = (round & 1) != 0;
+
+        res::FaultModel model;
+        const std::uint64_t nprocs = 1 + rng.next() % 3;
+        for (std::uint64_t p = 0; p < nprocs; ++p) {
+            // One process per node (index p): recover events match
+            // by scope, so a stall's repair on a node that another
+            // process fail-stops would ambiguously pair with the
+            // crash — a stream compileScenario rightly rejects.
+            res::FaultProcess proc;
+            switch (rng.next() % 4u) {
+              case 0:
+                proc.target = ScenTarget::node;
+                proc.nodeA = static_cast<int>(p);
+                proc.effect = res::FaultEffect::failStop;
+                break;
+              case 1:
+                proc.target = ScenTarget::node;
+                proc.nodeA = static_cast<int>(p);
+                proc.effect = res::FaultEffect::stall;
+                break;
+              case 2:
+                proc.target = ScenTarget::all;
+                proc.effect = res::FaultEffect::failStop;
+                break;
+              default:
+                // Node-scoped degrades hit the NIC links, which
+                // every topology has (some pairs on the tapered
+                // tree share a switch and own no fabric links, so a
+                // bare link scope would not always resolve).
+                proc.target = ScenTarget::node;
+                proc.nodeA = static_cast<int>(p);
+                proc.effect = res::FaultEffect::degrade;
+                proc.degradeFactor =
+                    0.25 + static_cast<double>(rng.next() % 50) /
+                               100.0;
+                break;
+            }
+            proc.mtbfUs =
+                100.0 + static_cast<double>(rng.next() % 2000);
+            if (proc.effect != res::FaultEffect::failStop)
+                proc.mttrUs =
+                    20.0 + static_cast<double>(rng.next() % 200);
+            model.processes.push_back(proc);
+        }
+
+        auto platform =
+            routed ? routed_base : testing::platformAt(256.0);
+        platform.checkpointIntervalUs =
+            50.0 + static_cast<double>(rng.next() % 400);
+        platform.checkpointCostUs =
+            static_cast<double>(rng.next() % 10);
+        platform.restartCostUs =
+            static_cast<double>(rng.next() % 20);
+        if (rng.next() % 2 == 0) {
+            platform.checkpointGlobalIntervalUs =
+                2.0 * platform.checkpointIntervalUs;
+            platform.checkpointGlobalCostUs =
+                static_cast<double>(rng.next() % 20);
+            platform.restartGlobalCostUs =
+                static_cast<double>(rng.next() % 40);
+        }
+        platform.scenario = res::generateScenario(
+            model, rng.next(), SimTime::fromUs(3000.0));
+
+        const auto a = sim::simulate(bundle.traces, platform);
+        const auto b = sim::simulate(bundle.traces, platform);
+        SCOPED_TRACE("fuzz round " + std::to_string(round));
+        expectIdentical(a, b);
+    }
+}
+
 // ---------------------------------------------------------------
 // Guard rails.
 // ---------------------------------------------------------------
@@ -383,9 +778,10 @@ TEST(CheckpointRestartTest, RestartBudgetExhaustionIsAFailureNotAHang)
 {
     // Failures every microsecond against a 100 us burst: the
     // machine fails faster than it recovers and the replay must
-    // surface the restart budget, not spin forever.
+    // surface the platform's restart_budget, not spin forever.
     auto platform = ckptPlatform(60.0, 5.0, 7.0);
-    for (int i = 0; i <= 10000; ++i)
+    platform.restartBudget = 64;
+    for (int i = 0; i <= 500; ++i)
         platform.scenario.events.push_back(
             nodeFail(1.0 + static_cast<double>(i), 0));
     const auto bundle = singleBurst(100'000);
@@ -393,22 +789,32 @@ TEST(CheckpointRestartTest, RestartBudgetExhaustionIsAFailureNotAHang)
         sim::simulate(bundle.traces, platform);
         FAIL() << "restart budget exhaustion must throw";
     } catch (const scen::FailureError &err) {
-        EXPECT_NE(err.diagnosis().event.find("restart limit"),
+        // The error names the failing knobs: the budget itself, the
+        // observed MTBF and the checkpoint interval.
+        EXPECT_NE(err.diagnosis().event.find("restart_budget (64)"),
+                  std::string::npos)
+            << err.diagnosis().event;
+        EXPECT_NE(err.diagnosis().event.find("checkpoint_interval"),
                   std::string::npos);
     }
 }
 
-TEST(CheckpointRestartTest, UnsupportedModeCombinationsAreFatal)
+TEST(CheckpointRestartTest, LiftedModeRestrictionsReplayToCompletion)
 {
+    // PR 7 fataled on timeline capture, algorithmic collectives and
+    // non-fail-stop scenario events under a positive checkpoint
+    // interval; all three restrictions are lifted.
     const auto bundle = singleBurst(100'000);
 
-    // Timeline capture cannot survive a rollback.
-    auto capture = ckptPlatform(60.0, 5.0, 7.0);
+    // Timeline capture rides along (115 us failure-free pin holds).
+    auto capture = ckptPlatform(30.0, 5.0, 7.0);
     capture.captureTimeline = true;
-    EXPECT_THROW(sim::simulate(bundle.traces, capture), FatalError);
+    const auto captured = sim::simulate(bundle.traces, capture);
+    EXPECT_EQ(captured.totalTime.ns(), SimTime::fromUs(115.0).ns());
+    EXPECT_EQ(captured.checkpoints, 3u);
+    EXPECT_GT(captured.timeline.span().ns(), 0);
 
-    // Algorithmic collectives carry live schedules across events
-    // (the restriction binds only when the trace has collectives).
+    // Algorithmic collectives checkpoint their live schedules.
     const auto coll_bundle =
         testing::traceOf(4, [](vm::VmContext &ctx) {
             ctx.compute(50'000);
@@ -416,21 +822,25 @@ TEST(CheckpointRestartTest, UnsupportedModeCombinationsAreFatal)
         });
     auto algo = ckptPlatform(60.0, 5.0, 7.0);
     algo.collectiveModel = coll::CollectiveModel::algorithmic;
-    EXPECT_THROW(sim::simulate(coll_bundle.traces, algo),
-                 FatalError);
+    const auto a = sim::simulate(coll_bundle.traces, algo);
+    EXPECT_GT(a.totalTime.ns(), 0);
+    expectIdentical(a, sim::simulate(coll_bundle.traces, algo));
 
-    // Non-fail-stop scenario events would need their active effect
-    // snapshotted.
-    auto degrade = ckptPlatform(60.0, 5.0, 7.0);
+    // Non-fail-stop scenario events snapshot their active effect;
+    // with no communication the degrade changes nothing and the
+    // 115 us compute pin survives.
+    auto degrade = ckptPlatform(30.0, 5.0, 7.0);
     ScenarioEvent ev;
     ev.kind = ScenEventKind::degrade;
     ev.target = ScenTarget::all;
     ev.time = SimTime::fromUs(1.0);
     ev.bandwidthFactor = 0.5;
     degrade.scenario.events.push_back(ev);
-    EXPECT_THROW(sim::simulate(bundle.traces, degrade), FatalError);
+    EXPECT_EQ(sim::simulate(bundle.traces, degrade).totalTime.ns(),
+              SimTime::fromUs(115.0).ns());
 
-    // An interval that rounds to zero nanoseconds cannot schedule.
+    // An interval that rounds to zero nanoseconds still cannot
+    // schedule — the one restriction that remains.
     auto tiny = ckptPlatform(1e-6, 5.0, 7.0);
     EXPECT_THROW(sim::simulate(bundle.traces, tiny), FatalError);
 }
@@ -490,10 +900,17 @@ expectSameResilienceResult(const core::ResilienceResult &a,
             EXPECT_EQ(ca.failedFraction, cb.failedFraction)
                 << "point " << p << " cell " << c;
             ASSERT_EQ(ca.seedTimes.size(), cb.seedTimes.size());
-            for (std::size_t s = 0; s < ca.seedTimes.size(); ++s)
+            ASSERT_EQ(ca.seedDiagnoses.size(),
+                      cb.seedDiagnoses.size());
+            for (std::size_t s = 0; s < ca.seedTimes.size(); ++s) {
                 EXPECT_EQ(ca.seedTimes[s].ns(), cb.seedTimes[s].ns())
                     << "point " << p << " cell " << c << " seed "
                     << s;
+                EXPECT_EQ(ca.seedDiagnoses[s].event,
+                          cb.seedDiagnoses[s].event)
+                    << "point " << p << " cell " << c << " seed "
+                    << s;
+            }
         }
     }
 }
@@ -548,6 +965,129 @@ TEST(ResilienceSweepTest, DeadRunsAreReportedAsDataNotThrown)
     EXPECT_EQ(cell.meanTime.ns(), 0);
     for (const SimTime t : cell.seedTimes)
         EXPECT_EQ(t.ns(), SimTime::max().ns());
+
+    // Every dead seed carries the structured why-it-died report:
+    // the fail event that fired and the ranks left unfinished.
+    ASSERT_EQ(cell.seedDiagnoses.size(), cell.seedTimes.size());
+    for (const auto &diag : cell.seedDiagnoses) {
+        EXPECT_NE(diag.event.find("fail"), std::string::npos)
+            << diag.event;
+        EXPECT_FALSE(diag.blockedRanks.empty());
+        EXPECT_GT(diag.time.ns(), 0);
+    }
+}
+
+// ---------------------------------------------------------------
+// The protocol-comparison campaign driver.
+// ---------------------------------------------------------------
+
+TEST(ProtocolSweepTest, SweptOptimumLandsWithinOneGridStepOfDaly)
+{
+    // One rank, one node: a 2000 us burst under exponential
+    // fail-stop faults at MTBF 1000 us with checkpoint cost 20 us.
+    // Daly's optimum is exactly sqrt(2 * 20 * 1000) - 20 = 180 us;
+    // the sweep's argmin over a sqrt(2)-spaced grid must land
+    // within one grid step of it.
+    const auto bundle = singleBurst(2'000'000);
+    const auto base = sim::platforms::defaultCluster();
+    std::vector<double> grid;
+    for (double v = 45.0; v < 800.0; v *= std::sqrt(2.0))
+        grid.push_back(v);
+
+    std::vector<core::CheckpointProtocol> protocols;
+    core::CheckpointProtocol single;
+    single.name = "single-level";
+    single.checkpointCostUs = 20.0;
+    single.restartCostUs = 40.0;
+    protocols.push_back(single);
+    core::CheckpointProtocol two;
+    two.name = "two-level";
+    two.checkpointCostUs = 20.0;
+    two.restartCostUs = 40.0;
+    two.globalIntervalFactor = 4.0;
+    two.checkpointGlobalCostUs = 40.0;
+    two.restartGlobalCostUs = 80.0;
+    protocols.push_back(two);
+
+    const auto result = core::protocolSweep(
+        bundle, base, 1000.0, grid, protocols, 48, 1, 0.0, 4);
+    ASSERT_EQ(result.rows.size(), 2u);
+    EXPECT_EQ(result.intervalGridUs, grid);
+
+    const auto &row = result.rows[0];
+    EXPECT_DOUBLE_EQ(row.dalyIntervalUs, 180.0);
+    ASSERT_EQ(row.cells.size(), grid.size());
+    for (const auto &cell : row.cells) {
+        EXPECT_EQ(cell.cell.failedFraction, 0.0)
+            << "interval " << cell.intervalUs;
+    }
+
+    // Index of the grid point nearest the analytic optimum, and of
+    // the swept argmin: at most one step apart.
+    std::size_t daly_idx = 0, best_idx = 0;
+    for (std::size_t k = 0; k < grid.size(); ++k) {
+        if (std::abs(grid[k] - row.dalyIntervalUs) <
+            std::abs(grid[daly_idx] - row.dalyIntervalUs))
+            daly_idx = k;
+        if (grid[k] == row.bestIntervalUs)
+            best_idx = k;
+    }
+    EXPECT_GT(row.bestIntervalUs, 0.0);
+    EXPECT_LE(best_idx > daly_idx ? best_idx - daly_idx
+                                  : daly_idx - best_idx,
+              1u)
+        << "swept " << row.bestIntervalUs << " us vs Daly "
+        << row.dalyIntervalUs << " us";
+
+    // The two-level row shares the analytic prediction (same local
+    // cost, same failure process) and also survives everywhere.
+    EXPECT_DOUBLE_EQ(result.rows[1].dalyIntervalUs, 180.0);
+    EXPECT_GT(result.rows[1].bestIntervalUs, 0.0);
+}
+
+TEST(ProtocolSweepTest, MachineWideFaultsFavorTheGlobalSlotAndStayDeterministic)
+{
+    // With machine-wide crashes in the mix the two-level protocol
+    // restores them from its global snapshot; the campaign stays
+    // bit-identical across thread counts.
+    const auto bundle = singleBurst(1'000'000);
+    const auto base = sim::platforms::defaultCluster();
+    const std::vector<double> grid = {100.0, 200.0, 400.0};
+    std::vector<core::CheckpointProtocol> protocols;
+    core::CheckpointProtocol two;
+    two.name = "two-level";
+    two.checkpointCostUs = 10.0;
+    two.restartCostUs = 20.0;
+    two.globalIntervalFactor = 2.0;
+    two.checkpointGlobalCostUs = 20.0;
+    two.restartGlobalCostUs = 40.0;
+    protocols.push_back(two);
+
+    const auto serial = core::protocolSweep(
+        bundle, base, 2000.0, grid, protocols, 6, 1, 3000.0, 1);
+    ASSERT_EQ(serial.rows.size(), 1u);
+    EXPECT_EQ(serial.machineMtbfUs, 3000.0);
+    for (const auto &cell : serial.rows[0].cells)
+        EXPECT_EQ(cell.cell.failedFraction, 0.0);
+
+    for (const int threads : {2, 8}) {
+        const auto parallel = core::protocolSweep(
+            bundle, base, 2000.0, grid, protocols, 6, 1, 3000.0,
+            threads);
+        EXPECT_EQ(parallel.horizon.ns(), serial.horizon.ns());
+        ASSERT_EQ(parallel.rows.size(), serial.rows.size());
+        for (std::size_t k = 0; k < grid.size(); ++k) {
+            const auto &ca = serial.rows[0].cells[k].cell;
+            const auto &cb = parallel.rows[0].cells[k].cell;
+            ASSERT_EQ(ca.seedTimes.size(), cb.seedTimes.size());
+            for (std::size_t s = 0; s < ca.seedTimes.size(); ++s)
+                EXPECT_EQ(ca.seedTimes[s].ns(),
+                          cb.seedTimes[s].ns())
+                    << "interval " << grid[k] << " seed " << s;
+        }
+        EXPECT_EQ(parallel.rows[0].bestIntervalUs,
+                  serial.rows[0].bestIntervalUs);
+    }
 }
 
 // ---------------------------------------------------------------
@@ -557,6 +1097,10 @@ TEST(ResilienceSweepTest, DeadRunsAreReportedAsDataNotThrown)
 TEST(ResPlatformFileTest, CheckpointKeysRoundTripAndAreDomainChecked)
 {
     auto platform = ckptPlatform(50000.0, 2000.0, 5000.0);
+    platform.checkpointGlobalIntervalUs = 200000.0;
+    platform.checkpointGlobalCostUs = 8000.0;
+    platform.restartGlobalCostUs = 15000.0;
+    platform.restartBudget = 123;
     std::ostringstream out;
     sim::writePlatformConfig(platform, out);
     std::istringstream in(out.str());
@@ -565,12 +1109,26 @@ TEST(ResPlatformFileTest, CheckpointKeysRoundTripAndAreDomainChecked)
               platform.checkpointIntervalUs);
     EXPECT_EQ(parsed.checkpointCostUs, platform.checkpointCostUs);
     EXPECT_EQ(parsed.restartCostUs, platform.restartCostUs);
+    EXPECT_EQ(parsed.checkpointGlobalIntervalUs,
+              platform.checkpointGlobalIntervalUs);
+    EXPECT_EQ(parsed.checkpointGlobalCostUs,
+              platform.checkpointGlobalCostUs);
+    EXPECT_EQ(parsed.restartGlobalCostUs,
+              platform.restartGlobalCostUs);
+    EXPECT_EQ(parsed.restartBudget, platform.restartBudget);
 
     for (const char *bad :
          {"checkpoint_interval_us = -1",
           "checkpoint_cost_us = nan",
           "restart_cost_us = -inf",
-          "bandwidth_mbps = -5"}) {
+          "bandwidth_mbps = -5",
+          "restart_budget = 0",
+          "restart_budget = -3",
+          "checkpoint_global_cost_us = -1",
+          "restart_global_cost_us = nan",
+          // The global level rides on the local checkpoint chain,
+          // so a global interval without a local one is nonsense.
+          "checkpoint_global_interval_us = 50"}) {
         std::istringstream stream(bad);
         EXPECT_THROW(sim::readPlatformConfig(stream), FatalError)
             << bad;
