@@ -25,20 +25,26 @@
  *  - M8: resilient replay throughput (events per second replaying
  *    sweep3d-x8 on the tapered fat tree under generated fail-stop
  *    faults with checkpoint/restart, so every run pays checkpoint
- *    freezes and at least one rollback, src/res/).
+ *    freezes and at least one rollback, src/res/),
+ *  - M9: generated-workload throughput (events per second through
+ *    the full synthetic path: generating a 1024-rank ML-training
+ *    trace from src/gen/, lowering it, and replaying it on the
+ *    tapered fat tree with recursive-doubling allreduces — the
+ *    scale no recorded trace reaches).
  *
  * Besides the google-benchmark suite, `--json[=PATH]` runs the M1
  * replay-engine configurations standalone plus the M2 compile, M3
- * transform, M4 sweep, M5 topology, M6 collective, M7 scenario and
- * M8 resilience configurations, and appends the largest M1 figure
- * (events/sec, ns/event, peak RSS), the M2 figure (records/sec),
- * the M3 figure (transform records/sec), the M4 figure (sweep
- * points/sec at `--threads` workers, default all cores), the M5
- * figure (topology events/sec), the M6 figure (collective
- * events/sec), the M7 figure (scenario events/sec) and the M8
- * figure (resilience events/sec) to the perf trajectory file
- * (default BENCH_engine.json), giving every PR eight comparable
- * data points. See ROADMAP.md "Performance methodology".
+ * transform, M4 sweep, M5 topology, M6 collective, M7 scenario,
+ * M8 resilience and M9 generator configurations, and appends the
+ * largest M1 figure (events/sec, ns/event, peak RSS), the M2
+ * figure (records/sec), the M3 figure (transform records/sec),
+ * the M4 figure (sweep points/sec at `--threads` workers, default
+ * all cores), the M5 figure (topology events/sec), the M6 figure
+ * (collective events/sec), the M7 figure (scenario events/sec),
+ * the M8 figure (resilience events/sec) and the M9 figure
+ * (generated events/sec) to the perf trajectory file (default
+ * BENCH_engine.json), giving every PR nine comparable data
+ * points. See ROADMAP.md "Performance methodology".
  */
 
 // google-benchmark drives the M1-M3 suite; the --json trajectory
@@ -60,6 +66,7 @@
 
 #include "bench/bench_common.hh"
 #include "core/transform.hh"
+#include "gen/gen.hh"
 #include "res/fault_model.hh"
 #include "trace/trace_io.hh"
 
@@ -864,6 +871,114 @@ resPointToJson(const ResJsonPoint &point)
 }
 
 /**
+ * The M9 configuration: the full synthetic-workload path at a
+ * scale no recorded trace reaches — a 1024-rank ML-training loop
+ * (two steps, four gradient buckets of a 64 MiB gradient) is
+ * generated from src/gen/, lowered by sim::compileTrace, and
+ * replayed on the tapered fat tree with algorithmic collectives.
+ * Every timed run pays generation + lowering + contended replay,
+ * pricing exactly what a scaling campaign pays per grid point.
+ * The allreduce algorithm is pinned to recursive doubling: `auto`
+ * switches to the ring above coll::ringCutoffBytes, which at 1024
+ * ranks turns every allreduce into an O(N)-transfer chain and
+ * would swamp the figure with a pathological schedule.
+ */
+struct GenJsonPoint
+{
+    std::string config;
+    std::size_t records = 0;
+    std::uint64_t eventsPerRun = 0;
+    std::uint64_t runs = 0;
+    double eventsPerSec = 0.0;
+    double nsPerEvent = 0.0;
+    long peakRssKb = 0;
+};
+
+GenJsonPoint
+measureGenConfig(double min_seconds)
+{
+    gen::WorkloadConfig workload;
+    workload.kind = gen::WorkloadKind::mlTraining;
+    workload.name = "gen-ml";
+    workload.ranks = 1024;
+    workload.iterations = 2;
+    workload.gradientBuckets = 4;
+    workload.gradientBytes = Bytes(64) * 1024 * 1024;
+    workload.stepInstr = 50'000'000;
+
+    auto platform = sim::platforms::defaultCluster();
+    platform.bandwidthMBps = 4096.0;
+    platform.topology = net::topologies::taperedFatTree(4, 0.5);
+    platform.collectiveModel =
+        coll::CollectiveModel::algorithmic;
+    platform.collectiveAlgorithms.set(
+        trace::CollOp::allReduce,
+        coll::Algorithm::recursiveDoubling);
+
+    sim::ReplaySession session;
+    // Warm-up run: pages in the fabric's compiled routes and the
+    // session arenas outside the timing.
+    const auto probeTraces = gen::generateTrace(workload, 1);
+    const auto probe =
+        session.run(sim::compileTrace(probeTraces), platform);
+
+    std::uint64_t events = 0;
+    std::uint64_t runs = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        const auto traces = gen::generateTrace(workload, 1);
+        const auto program = sim::compileTrace(traces);
+        events += session.run(program, platform).eventsProcessed;
+        ++runs;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < min_seconds);
+
+    GenJsonPoint point;
+    point.config =
+        "gen-ml-1024/fat-tree-taper2/rd-allreduce/bw4096";
+    point.records = probeTraces.totalRecords();
+    point.eventsPerRun = probe.eventsProcessed;
+    point.runs = runs;
+    point.eventsPerSec = static_cast<double>(events) / elapsed;
+    point.nsPerEvent =
+        elapsed * 1e9 / static_cast<double>(events);
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    point.peakRssKb = usage.ru_maxrss;
+    return point;
+}
+
+std::string
+genPointToJson(const GenJsonPoint &point)
+{
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm_utc{}; gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                      &tm_utc);
+    return strformat(
+        "{\n"
+        "    \"bench\": \"bench_micro.generatedReplay\",\n"
+        "    \"config\": \"%s\",\n"
+        "    \"records\": %zu,\n"
+        "    \"events_per_run\": %llu,\n"
+        "    \"runs\": %llu,\n"
+        "    \"gen_events_per_sec\": %.0f,\n"
+        "    \"ns_per_event\": %.2f,\n"
+        "    \"peak_rss_kb\": %ld,\n"
+        "    \"timestamp\": \"%s\"\n"
+        "  }",
+        point.config.c_str(), point.records,
+        static_cast<unsigned long long>(point.eventsPerRun),
+        static_cast<unsigned long long>(point.runs),
+        point.eventsPerSec, point.nsPerEvent, point.peakRssKb,
+        stamp);
+}
+
+/**
  * The M4 configuration: one R1-style bandwidth sweep of the sweep3d
  * proxy (original + the two standard variants per grid point),
  * repeated until the clock budget runs out. The figure of merit is
@@ -1093,6 +1208,15 @@ runJsonMode(const std::string &path, int threads)
         static_cast<unsigned long long>(res.eventsPerRun),
         static_cast<unsigned long long>(res.restartsPerRun),
         res.peakRssKb);
+    const GenJsonPoint genPoint = measureGenConfig(1.5);
+    std::printf(
+        "%-22s %9.2f M events/s  %6.2f ns/event  "
+        "(%llu runs x %llu events, rss %ld KB)\n",
+        genPoint.config.c_str(), genPoint.eventsPerSec / 1e6,
+        genPoint.nsPerEvent,
+        static_cast<unsigned long long>(genPoint.runs),
+        static_cast<unsigned long long>(genPoint.eventsPerRun),
+        genPoint.peakRssKb);
     appendToTrajectory(path, pointToJson(largest));
     appendToTrajectory(path, compilePointToJson(compile));
     appendToTrajectory(path, transformPointToJson(transform));
@@ -1101,13 +1225,15 @@ runJsonMode(const std::string &path, int threads)
     appendToTrajectory(path, collPointToJson(coll));
     appendToTrajectory(path, scenPointToJson(scen));
     appendToTrajectory(path, resPointToJson(res));
+    appendToTrajectory(path, genPointToJson(genPoint));
     std::printf(
-        "trajectory points (%s, %s, %s, %s, %s, %s, %s, %s) "
+        "trajectory points (%s, %s, %s, %s, %s, %s, %s, %s, %s) "
         "appended to %s\n",
         largest.config.c_str(), compile.config.c_str(),
         transform.config.c_str(), sweep.config.c_str(),
         topo.config.c_str(), coll.config.c_str(),
-        scen.config.c_str(), res.config.c_str(), path.c_str());
+        scen.config.c_str(), res.config.c_str(),
+        genPoint.config.c_str(), path.c_str());
     return 0;
 }
 

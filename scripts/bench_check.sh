@@ -5,8 +5,8 @@
 # throughput measurement on its largest configuration plus the M2
 # trace-lowering, M3 overlap-transformation, M4 sweep-throughput,
 # M5 contended-topology, M6 algorithmic-collective, M7
-# dynamic-scenario and M8 resilience measurements) and fails if any
-# figure regressed
+# dynamic-scenario, M8 resilience and M9 generated-workload
+# measurements) and fails if any figure regressed
 # more than the threshold against the checked-in baseline
 # (bench/BENCH_baseline.json):
 #
@@ -18,6 +18,7 @@
 #   M6  coll_events_per_sec        algorithmic-collective replay throughput
 #   M7  scen_events_per_sec        degraded-scenario replay throughput
 #   M8  res_events_per_sec         checkpoint/restart replay throughput
+#   M9  gen_events_per_sec         generated-workload (gen+lower+replay) throughput
 #
 # A baseline that lacks any gated key is stale: the gate fails fast
 # with a readable diff of the expected vs present keys instead of
@@ -45,7 +46,8 @@ BASELINE="bench/BENCH_baseline.json"
 GATED_KEYS=(events_per_sec compile_records_per_sec
             transform_records_per_sec sweep_points_per_sec
             topo_events_per_sec coll_events_per_sec
-            scen_events_per_sec res_events_per_sec)
+            scen_events_per_sec res_events_per_sec
+            gen_events_per_sec)
 UPDATE=0
 if [[ "${1:-}" == "--update" ]]; then
     UPDATE=1
@@ -102,7 +104,8 @@ if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
          "$(extract_key "$BASELINE" topo_events_per_sec) topo events/sec," \
          "$(extract_key "$BASELINE" coll_events_per_sec) coll events/sec," \
          "$(extract_key "$BASELINE" scen_events_per_sec) scen events/sec," \
-         "$(extract_key "$BASELINE" res_events_per_sec) res events/sec)"
+         "$(extract_key "$BASELINE" res_events_per_sec) res events/sec," \
+         "$(extract_key "$BASELINE" gen_events_per_sec) gen events/sec)"
     exit 0
 fi
 
@@ -150,3 +153,6 @@ gate "M7 scen events/sec" \
 gate "M8 res events/sec" \
      "$(extract_key "$RESULT_JSON" res_events_per_sec)" \
      "$(extract_key "$BASELINE" res_events_per_sec)"
+gate "M9 gen events/sec" \
+     "$(extract_key "$RESULT_JSON" gen_events_per_sec)" \
+     "$(extract_key "$BASELINE" gen_events_per_sec)"

@@ -4,19 +4,24 @@
 # sanitizer toggles never contaminate the normal configuration.
 #
 #   1. tier-1:  default Release-ish build, full ctest suite
-#   2. ASAN:    OVLSIM_ASAN build, full ctest suite, then an
-#               explicit serial `ctest -L res` pass (the rollback
-#               arenas and snapshot splices are where lifetime bugs
-#               would live)
+#   2. ASAN:    OVLSIM_ASAN build, full ctest suite, then
+#               explicit serial `ctest -L res` and `ctest -L gen`
+#               passes (the rollback arenas and snapshot splices
+#               are where lifetime bugs would live; generation
+#               builds large traces from raw loops)
 #   3. UBSAN:   OVLSIM_UBSAN build, full ctest suite (signed
 #               overflow and friends in the event/cost arithmetic),
-#               then the same serial `ctest -L res` pass (rollback
-#               deltas are where time arithmetic would overflow)
+#               then the same serial `ctest -L res` and
+#               `ctest -L gen` passes (rollback deltas and
+#               generator index/byte arithmetic are where integer
+#               bugs would live)
 #   4. TSAN:    OVLSIM_TSAN build, `ctest -L parallel` (the thread
 #               pool, parallel sweeps, scenario determinism),
-#               `ctest -L coll` (the algorithmic collective engine)
-#               and `ctest -L res` (resilience campaigns fanning
-#               seeded fault scenarios over the pool)
+#               `ctest -L coll` (the algorithmic collective
+#               engine), `ctest -L res` (resilience campaigns
+#               fanning seeded fault scenarios over the pool) and
+#               `ctest -L gen` (scaling sweeps fanning whole
+#               generate+lower+replay pipelines over the pool)
 #
 # Usage:
 #   scripts/dev_check.sh            # run all four stages
@@ -53,20 +58,23 @@ if [[ "$FAST" == 1 ]]; then
     exit 0
 fi
 
-echo "== dev_check: stage 2/4 ASAN (full + res label) =="
+echo "== dev_check: stage 2/4 ASAN (full + res/gen labels) =="
 stage asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_ASAN=ON
 (cd "$PREFIX-asan" && ctest --output-on-failure -j "$JOBS")
 (cd "$PREFIX-asan" && ctest --output-on-failure -L res)
+(cd "$PREFIX-asan" && ctest --output-on-failure -L gen)
 
-echo "== dev_check: stage 3/4 UBSAN (full + res label) =="
+echo "== dev_check: stage 3/4 UBSAN (full + res/gen labels) =="
 stage ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_UBSAN=ON
 (cd "$PREFIX-ubsan" && ctest --output-on-failure -j "$JOBS")
 (cd "$PREFIX-ubsan" && ctest --output-on-failure -L res)
+(cd "$PREFIX-ubsan" && ctest --output-on-failure -L gen)
 
-echo "== dev_check: stage 4/4 TSAN (parallel + coll + res labels) =="
+echo "== dev_check: stage 4/4 TSAN (parallel + coll + res + gen labels) =="
 stage tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_TSAN=ON
 (cd "$PREFIX-tsan" && ctest --output-on-failure -L parallel)
 (cd "$PREFIX-tsan" && ctest --output-on-failure -L coll)
 (cd "$PREFIX-tsan" && ctest --output-on-failure -L res)
+(cd "$PREFIX-tsan" && ctest --output-on-failure -L gen)
 
 echo "dev_check: PASS (tier-1 + ASAN + UBSAN + TSAN subsets)"

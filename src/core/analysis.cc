@@ -128,6 +128,72 @@ bandwidthSweep(const tracer::TraceBundle &bundle,
     return result;
 }
 
+double
+ScalingPoint::speedup(std::size_t v) const
+{
+    ovlAssert(v < variantTimes.size(),
+              "ScalingPoint::speedup: bad variant index");
+    const auto t = variantTimes[v].ns();
+    if (t <= 0)
+        return 0.0;
+    return static_cast<double>(originalTime.ns()) /
+        static_cast<double>(t);
+}
+
+ScalingResult
+scalingSweep(const gen::WorkloadConfig &workload,
+             std::uint64_t seed, const sim::PlatformConfig &base,
+             const std::vector<int> &rank_grid,
+             const std::vector<VariantSpec> &variants, int threads)
+{
+    ScalingResult result;
+    result.variants = variants;
+
+    int lanes = ThreadPool::resolveThreads(threads);
+    if (!rank_grid.empty() &&
+        static_cast<std::size_t>(lanes) > rank_grid.size())
+        lanes = static_cast<int>(rank_grid.size());
+    ThreadPool pool(lanes);
+
+    // Unlike the bandwidth sweep there is no shared compiled
+    // program: every point is a different trace (its own rank
+    // count), so the whole pipeline — generate, transform, compile,
+    // replay — fans out per point. Generation is a pure function of
+    // (workload, seed), and point i writes only slot i, so the
+    // sweep is bit-identical to the sequential loop at any thread
+    // count.
+    std::vector<sim::ReplaySession> sessions(
+        static_cast<std::size_t>(pool.size()));
+    result.points.resize(rank_grid.size());
+    pool.parallelFor(
+        rank_grid.size(), [&](std::size_t i, int lane) {
+            auto &session =
+                sessions[static_cast<std::size_t>(lane)];
+            const auto config =
+                gen::withRankCount(workload, rank_grid[i]);
+            const auto bundle =
+                gen::generateWorkload(config, seed);
+
+            ScalingPoint &point = result.points[i];
+            point.ranks = rank_grid[i];
+            point.sentBytes = bundle.traces.totalSentBytes();
+            point.messages = bundle.traces.totalMessages();
+            const auto original =
+                session.run(bundle.traces, base);
+            point.originalTime = original.totalTime;
+            point.originalCommFraction = original.commFraction();
+            point.variantTimes.reserve(variants.size());
+            for (const auto &variant : variants) {
+                const auto built = buildOverlappedTrace(
+                    bundle.traces, bundle.overlap,
+                    variant.config);
+                point.variantTimes.push_back(
+                    session.run(built.traces, base).totalTime);
+            }
+        });
+    return result;
+}
+
 std::vector<TopologySpec>
 standardTopologies()
 {

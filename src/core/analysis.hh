@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/transform.hh"
+#include "gen/gen.hh"
 #include "net/topology.hh"
 #include "scen/scenario.hh"
 #include "sim/engine.hh"
@@ -79,6 +80,53 @@ struct SweepResult
 SweepResult bandwidthSweep(const tracer::TraceBundle &bundle,
                            const sim::PlatformConfig &base,
                            const std::vector<double> &bandwidths,
+                           const std::vector<VariantSpec> &variants,
+                           int threads = 1);
+
+/** One rank-count sample of a scaling sweep. */
+struct ScalingPoint
+{
+    int ranks = 0;
+    /** Point-to-point payload bytes of the generated workload. */
+    Bytes sentBytes = 0;
+    /** Point-to-point message count of the generated workload. */
+    std::size_t messages = 0;
+    SimTime originalTime;
+    double originalCommFraction = 0.0;
+    /** Parallel to ScalingResult::variants. */
+    std::vector<SimTime> variantTimes;
+
+    /** Speedup of variant v over the original (1.0 = equal). */
+    double speedup(std::size_t v) const;
+};
+
+/** Scaling sweep outcome. */
+struct ScalingResult
+{
+    std::vector<VariantSpec> variants;
+    std::vector<ScalingPoint> points;
+};
+
+/**
+ * Run one synthetic workload (src/gen/) across a rank-count grid:
+ * for every grid point the workload is re-targeted at that rank
+ * count (gen::withRankCount), generated, and replayed on `base` as
+ * the original and every overlapped variant. This is the question
+ * recorded traces cannot answer — how the overlap benefit moves as
+ * the machine grows — and the reason the generators exist.
+ *
+ * Each point generates its own trace set, so points fan out over
+ * the thread pool whole (generation + transform + compile +
+ * replay), one ReplaySession per lane, every point writing only
+ * its own slot. Generation is a pure function of (workload, seed)
+ * through the counter-based RNG, so the result is bit-identical to
+ * the sequential path at any thread count (`threads` as in
+ * bandwidthSweep).
+ */
+ScalingResult scalingSweep(const gen::WorkloadConfig &workload,
+                           std::uint64_t seed,
+                           const sim::PlatformConfig &base,
+                           const std::vector<int> &rank_grid,
                            const std::vector<VariantSpec> &variants,
                            int threads = 1);
 

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Synthetic workload generators: parameterized, seeded traces.
+ *
+ * The paper's six applications cap every campaign at recorded trace
+ * sizes; the engine itself (compiled programs, topology contention,
+ * algorithmic collectives, scenarios, resilience) can price fabrics
+ * far larger than any recording. These generators close that gap:
+ * each emits an ordinary trace::TraceSet — structurally valid by
+ * construction, deadlock-free on replay — so every existing driver
+ * works on generated workloads unchanged.
+ *
+ * Four families cover the communication shapes the paper apps cannot
+ * express at scale:
+ *
+ *  - stencil: d-dimensional halo exchange on a near-square process
+ *    grid (the sweep3d shape at arbitrary rank counts). Per axis, the
+ *    exchange runs in two parity phases of disjoint neighbour pairs,
+ *    so every blocking send faces a posted receive and the trace
+ *    replays deadlock-free under eager and rendezvous protocols.
+ *  - ml-training: per-step compute followed by a gradient allreduce,
+ *    optionally split into buckets interleaved with the step's
+ *    compute — the bucketed form is the gradient-overlap variant.
+ *  - fan-in: client/server request-reply with configurable server
+ *    counts and a small/large reply mix. Servers process requests in
+ *    lexicographic (request index, client) order per round — a
+ *    topological order of the message dependency graph, hence
+ *    deadlock-free.
+ *  - dht: churn-driven P2P lookup/store. Each round draws a live-set
+ *    from per-(round, node) Bernoulli churn, routes each operation
+ *    along binary (Chord-style) hop decompositions that skip
+ *    inactive nodes, and projects the globally linearized message
+ *    list onto per-rank streams — a serial schedule, hence
+ *    deadlock-free.
+ *
+ * Generation is lowered through util/counter_rng.hh: every draw is a
+ * pure function of (seed, addressed stream, counter), so traces are
+ * deterministic, order-independent, and bit-identical across hosts
+ * and thread counts. Both endpoints of a message derive its size from
+ * the same addressed stream, so channel byte flows agree by
+ * construction.
+ *
+ * generateWorkload() additionally synthesizes the per-message overlap
+ * metadata (trace/overlap_info.hh) that core/transform.hh consumes:
+ * production is spread linearly across the sender's compute window
+ * and consumption across the receiver's — the "ideal linear" profile
+ * — so generated workloads run through the full overlapped-variant
+ * campaign machinery.
+ */
+
+#ifndef OVLSIM_GEN_GEN_HH
+#define OVLSIM_GEN_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tracer/tracer.hh"
+#include "trace/trace.hh"
+#include "util/types.hh"
+
+namespace ovlsim::gen {
+
+/** The generator families. */
+enum class WorkloadKind : std::uint8_t {
+    stencil,
+    mlTraining,
+    fanIn,
+    dht,
+};
+
+/** Stable name used in workload files ("stencil", "ml-training",
+ * "fan-in", "dht"). */
+const char *workloadKindName(WorkloadKind kind);
+
+/** Inverse of workloadKindName(); throws FatalError on unknown
+ * names. */
+WorkloadKind workloadKindFromName(const std::string &name);
+
+/**
+ * Full description of one synthetic workload.
+ *
+ * All families share kind/name/ranks/iterations/mips; the remaining
+ * parameters belong to the family selected by `kind` (foreign
+ * parameters are carried but ignored, so one struct round-trips
+ * through the file format losslessly). validate() rejects
+ * out-of-domain values with the file-format key in the error.
+ */
+struct WorkloadConfig
+{
+    WorkloadKind kind = WorkloadKind::stencil;
+    /** Application name stored in the trace set. */
+    std::string name = "generated";
+    /** Simulated MPI processes. */
+    int ranks = 16;
+    /** Outer repetitions: stencil iterations, training steps, fan-in
+     * rounds, DHT rounds. */
+    int iterations = 4;
+    /** MIPS rate stored in the trace set (instructions / us). */
+    double mips = 1000.0;
+
+    // -- stencil --
+    /** Grid dimensionality d in [1, 4]; ranks are factored into a
+     * near-square d-dimensional grid. */
+    int stencilDims = 2;
+    /** Halo payload per neighbour exchange. */
+    Bytes haloBytes = 32 * 1024;
+    /** Compute burst per rank per iteration. */
+    Instr computePerIteration = 1'000'000;
+    /** Relative burst jitter in [0, 1): each stencil/ml-training
+     * burst is scaled by a per-(rank, iteration) draw from
+     * [1-j, 1+j]. */
+    double computeJitter = 0.0;
+
+    // -- ml-training --
+    /** Gradient bytes allreduced per training step. */
+    Bytes gradientBytes = 16 * 1024 * 1024;
+    /** Gradient buckets per step; > 1 interleaves bucket allreduces
+     * with the step's compute (the overlap variant). */
+    int gradientBuckets = 1;
+    /** Compute burst per training step. */
+    Instr stepInstr = 8'000'000;
+
+    // -- fan-in --
+    /** Server ranks (ranks 0..servers-1); the rest are clients. */
+    int servers = 4;
+    /** Requests each client issues per round. */
+    int requestsPerClient = 4;
+    /** Request payload. */
+    Bytes requestBytes = 512;
+    /** Base reply payload; one in four replies is 4x (the mix). */
+    Bytes replyBytes = 16 * 1024;
+    /** Client compute before each request. */
+    Instr clientInstr = 200'000;
+    /** Server compute per request handled. */
+    Instr serverInstr = 50'000;
+
+    // -- dht --
+    /** Per-(round, node) probability of being churned out. */
+    double churnProbability = 0.1;
+    /** Lookup/store operations per active node per round. */
+    int opsPerRound = 2;
+    /** Fraction of operations that are stores. */
+    double storeFraction = 0.5;
+    /** Key payload (lookup request / store header). */
+    Bytes keyBytes = 64;
+    /** Value payload (store request / lookup reply). */
+    Bytes valueBytes = 4096;
+    /** Compute burst per routing hop. */
+    Instr hopInstr = 20'000;
+
+    /** Reject out-of-domain parameters with named-key FatalErrors. */
+    void validate() const;
+};
+
+/**
+ * Lower a workload into an ordinary trace set.
+ *
+ * The result passes trace::validateTraceSet by construction, has
+ * message ids linked (trace::linkTraceSet), and replays deadlock-free
+ * on any fabric. Pure function of (config, seed): bit-identical
+ * across hosts, thread counts and call order.
+ */
+trace::TraceSet generateTrace(const WorkloadConfig &config,
+                              std::uint64_t seed);
+
+/**
+ * generateTrace() plus synthesized overlap metadata: every blocking
+ * point-to-point message gets a linear production/consumption profile
+ * spanning the sender's and receiver's compute windows, satisfying
+ * the invariants core/transform.hh expects from tracer output. The
+ * bundle drops into every campaign driver unchanged.
+ */
+tracer::TraceBundle generateWorkload(const WorkloadConfig &config,
+                                     std::uint64_t seed);
+
+/**
+ * Re-target a workload at a different rank count, preserving the
+ * family's shape: the stencil re-factors its grid, fan-in keeps its
+ * client:server ratio (at least one server, at least one client),
+ * and the collective/P2P parameters are untouched. This is the
+ * scaling-sweep knob.
+ */
+WorkloadConfig withRankCount(WorkloadConfig config, int ranks);
+
+/**
+ * Near-square factorization of `ranks` into `dims` grid extents
+ * (non-increasing). Exposed for structural tests.
+ */
+std::vector<int> stencilGridDims(int ranks, int dims);
+
+} // namespace ovlsim::gen
+
+#endif // OVLSIM_GEN_GEN_HH

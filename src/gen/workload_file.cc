@@ -1,0 +1,163 @@
+#include "workload_file.hh"
+
+#include <fstream>
+#include <limits>
+
+#include "util/keyvalue.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace ovlsim::gen {
+
+namespace {
+
+/** Current value as an `int`, rejecting negatives and overflow. */
+int
+intOf(const KeyValueReader &reader)
+{
+    const std::int64_t v = reader.nonNegativeInt();
+    if (v > std::numeric_limits<int>::max()) {
+        reader.fail("key '", reader.key(),
+                    "' is out of range, got '", reader.value(),
+                    "'");
+    }
+    return static_cast<int>(v);
+}
+
+/** Current value as a Bytes/Instr count (non-negative 64-bit). */
+std::uint64_t
+u64Of(const KeyValueReader &reader)
+{
+    return static_cast<std::uint64_t>(reader.nonNegativeInt());
+}
+
+} // namespace
+
+WorkloadConfig
+readWorkloadConfig(std::istream &is, const std::string &source)
+{
+    WorkloadConfig config;
+    KeyValueReader reader(is, source);
+    while (reader.next()) {
+        const std::string &key = reader.key();
+        const std::string &value = reader.value();
+        if (key == "kind") {
+            try {
+                config.kind = workloadKindFromName(value);
+            } catch (const FatalError &err) {
+                reader.fail(err.what());
+            }
+        } else if (key == "name") {
+            config.name = value;
+        } else if (key == "ranks") {
+            config.ranks = intOf(reader);
+        } else if (key == "iterations") {
+            config.iterations = intOf(reader);
+        } else if (key == "mips") {
+            config.mips = reader.positiveDouble();
+        } else if (key == "stencil_dims") {
+            config.stencilDims = intOf(reader);
+        } else if (key == "halo_bytes") {
+            config.haloBytes = u64Of(reader);
+        } else if (key == "compute_per_iteration") {
+            config.computePerIteration = u64Of(reader);
+        } else if (key == "compute_jitter") {
+            config.computeJitter = reader.nonNegativeDouble();
+        } else if (key == "gradient_bytes") {
+            config.gradientBytes = u64Of(reader);
+        } else if (key == "gradient_buckets") {
+            config.gradientBuckets = intOf(reader);
+        } else if (key == "step_instr") {
+            config.stepInstr = u64Of(reader);
+        } else if (key == "servers") {
+            config.servers = intOf(reader);
+        } else if (key == "requests_per_client") {
+            config.requestsPerClient = intOf(reader);
+        } else if (key == "request_bytes") {
+            config.requestBytes = u64Of(reader);
+        } else if (key == "reply_bytes") {
+            config.replyBytes = u64Of(reader);
+        } else if (key == "client_instr") {
+            config.clientInstr = u64Of(reader);
+        } else if (key == "server_instr") {
+            config.serverInstr = u64Of(reader);
+        } else if (key == "churn_probability") {
+            config.churnProbability =
+                reader.nonNegativeDouble();
+        } else if (key == "ops_per_round") {
+            config.opsPerRound = intOf(reader);
+        } else if (key == "store_fraction") {
+            config.storeFraction = reader.nonNegativeDouble();
+        } else if (key == "key_bytes") {
+            config.keyBytes = u64Of(reader);
+        } else if (key == "value_bytes") {
+            config.valueBytes = u64Of(reader);
+        } else if (key == "hop_instr") {
+            config.hopInstr = u64Of(reader);
+        } else {
+            reader.fail("unknown key '", key, "'");
+        }
+    }
+    // Cross-field domain checks; every error names the workload
+    // and the offending key.
+    config.validate();
+    return config;
+}
+
+WorkloadConfig
+readWorkloadConfigFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open workload config file: ", path);
+    return readWorkloadConfig(is, path);
+}
+
+void
+writeWorkloadConfig(const WorkloadConfig &config, std::ostream &os)
+{
+    // Every family's fields are always written so any valid config
+    // survives a write/read round trip bit-exactly.
+    os << "kind = " << workloadKindName(config.kind) << "\n";
+    os << "name = " << config.name << "\n";
+    os << "ranks = " << config.ranks << "\n";
+    os << "iterations = " << config.iterations << "\n";
+    os << "mips = " << strformat("%.17g", config.mips) << "\n";
+    os << "stencil_dims = " << config.stencilDims << "\n";
+    os << "halo_bytes = " << config.haloBytes << "\n";
+    os << "compute_per_iteration = " << config.computePerIteration
+       << "\n";
+    os << "compute_jitter = "
+       << strformat("%.17g", config.computeJitter) << "\n";
+    os << "gradient_bytes = " << config.gradientBytes << "\n";
+    os << "gradient_buckets = " << config.gradientBuckets << "\n";
+    os << "step_instr = " << config.stepInstr << "\n";
+    os << "servers = " << config.servers << "\n";
+    os << "requests_per_client = " << config.requestsPerClient
+       << "\n";
+    os << "request_bytes = " << config.requestBytes << "\n";
+    os << "reply_bytes = " << config.replyBytes << "\n";
+    os << "client_instr = " << config.clientInstr << "\n";
+    os << "server_instr = " << config.serverInstr << "\n";
+    os << "churn_probability = "
+       << strformat("%.17g", config.churnProbability) << "\n";
+    os << "ops_per_round = " << config.opsPerRound << "\n";
+    os << "store_fraction = "
+       << strformat("%.17g", config.storeFraction) << "\n";
+    os << "key_bytes = " << config.keyBytes << "\n";
+    os << "value_bytes = " << config.valueBytes << "\n";
+    os << "hop_instr = " << config.hopInstr << "\n";
+}
+
+void
+writeWorkloadConfigFile(const WorkloadConfig &config,
+                        const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open workload config file for writing: ",
+              path);
+    writeWorkloadConfig(config, os);
+}
+
+} // namespace ovlsim::gen

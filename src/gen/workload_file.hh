@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload configuration files.
+ *
+ * Synthetic workloads version and swap like platforms do: a
+ * line-oriented `key = value` format covering every WorkloadConfig
+ * field, parsed through the shared util/keyvalue.hh reader, so
+ * workload files get the platform-file robustness guarantees
+ * (file+line in every FatalError, duplicate-key rejection,
+ * NaN/inf/out-of-domain numeric rejection naming the key) by
+ * construction.
+ *
+ *   # stencil-2d.wl
+ *   kind = stencil
+ *   name = halo-2d
+ *   ranks = 64
+ *   iterations = 8
+ *   stencil_dims = 2
+ *   halo_bytes = 32768
+ *   compute_per_iteration = 1000000
+ *
+ * Every field of every family is always written and accepted on
+ * read regardless of `kind`, so read(write(c)) == c for any valid
+ * config (the round-trip invariant the fuzz test pins).
+ */
+
+#ifndef OVLSIM_GEN_WORKLOAD_FILE_HH
+#define OVLSIM_GEN_WORKLOAD_FILE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "gen/gen.hh"
+
+namespace ovlsim::gen {
+
+/**
+ * Parse a workload config from a stream. Unknown and duplicate keys
+ * are fatal; `source` names the stream in every parse error. The
+ * parsed config is validated (WorkloadConfig::validate) before it
+ * is returned.
+ */
+WorkloadConfig readWorkloadConfig(
+    std::istream &is, const std::string &source = "workload config");
+
+/** Parse a workload config file. */
+WorkloadConfig readWorkloadConfigFile(const std::string &path);
+
+/** Serialize a workload config in the same format. */
+void writeWorkloadConfig(const WorkloadConfig &config,
+                         std::ostream &os);
+
+/** Serialize a workload config to a file. */
+void writeWorkloadConfigFile(const WorkloadConfig &config,
+                             const std::string &path);
+
+} // namespace ovlsim::gen
+
+#endif // OVLSIM_GEN_WORKLOAD_FILE_HH

@@ -1,78 +1,19 @@
 #include "platform_file.hh"
 
-#include <cmath>
 #include <fstream>
-#include <map>
 #include <sstream>
 
 #include "coll/coll.hh"
 #include "net/topology.hh"
 #include "res/fault_model.hh"
 #include "scen/scenario.hh"
+#include "util/keyvalue.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
 namespace ovlsim::sim {
 
 namespace {
-
-/**
- * Domain-checked numeric parsing: every numeric platform key
- * rejects NaN/inf and out-of-domain signs right here, with the
- * file, line and key in the error — out-of-domain values must
- * never flow into the engine and surface as a confusing cost or
- * assertion later.
- */
-double
-parseFiniteDouble(const std::string &source, std::size_t line_no,
-                  const std::string &key, const std::string &value)
-{
-    const double v = parseDouble(value);
-    if (std::isnan(v) || !std::isfinite(v)) {
-        fatal(source, " line ", line_no, ": key '", key,
-              "' must be a finite number, got '", value, "'");
-    }
-    return v;
-}
-
-double
-parseNonNegativeDouble(const std::string &source,
-                       std::size_t line_no, const std::string &key,
-                       const std::string &value)
-{
-    const double v = parseFiniteDouble(source, line_no, key, value);
-    if (v < 0.0) {
-        fatal(source, " line ", line_no, ": key '", key,
-              "' must be non-negative, got '", value, "'");
-    }
-    return v;
-}
-
-double
-parsePositiveDouble(const std::string &source, std::size_t line_no,
-                    const std::string &key,
-                    const std::string &value)
-{
-    const double v = parseFiniteDouble(source, line_no, key, value);
-    if (v <= 0.0) {
-        fatal(source, " line ", line_no, ": key '", key,
-              "' must be positive, got '", value, "'");
-    }
-    return v;
-}
-
-std::int64_t
-parseNonNegativeInt(const std::string &source, std::size_t line_no,
-                    const std::string &key,
-                    const std::string &value)
-{
-    const std::int64_t v = parseInt(value);
-    if (v < 0) {
-        fatal(source, " line ", line_no, ": key '", key,
-              "' must be non-negative, got '", value, "'");
-    }
-    return v;
-}
 
 /** Key prefix of the per-op collective algorithm pins. */
 const std::string collAlgoPrefix = "collective_algorithm_";
@@ -85,44 +26,39 @@ const std::string collAlgoPrefix = "collective_algorithm_";
  */
 void
 parseCollectiveAlgorithm(PlatformConfig &config,
-                         const std::string &source,
-                         std::size_t line_no,
-                         const std::string &key,
-                         const std::string &value)
+                         const KeyValueReader &reader)
 {
-    const std::string op_name = key.substr(collAlgoPrefix.size());
+    const std::string op_name =
+        reader.key().substr(collAlgoPrefix.size());
     trace::CollOp op;
     try {
         op = trace::collOpFromName(op_name);
     } catch (const FatalError &) {
-        fatal(source, " line ", line_no,
-              ": unknown collective op '", op_name, "' in key '",
-              key,
-              "' (expected one of: barrier broadcast reduce "
-              "allreduce gather allgather scatter alltoall)");
+        reader.fail("unknown collective op '", op_name,
+                    "' in key '", reader.key(),
+                    "' (expected one of: barrier broadcast reduce "
+                    "allreduce gather allgather scatter alltoall)");
     }
     const coll::Algorithm algorithm =
-        coll::algorithmFromName(value);
+        coll::algorithmFromName(reader.value());
     if (!coll::algorithmSupports(op, algorithm)) {
-        fatal(source, " line ", line_no, ": algorithm '",
-              value, "' cannot lower ", trace::collOpName(op),
-              " collectives");
+        reader.fail("algorithm '", reader.value(),
+                    "' cannot lower ", trace::collOpName(op),
+                    " collectives");
     }
     config.collectiveAlgorithms.set(op, algorithm);
 }
 
 /** Parse torus dimensions of the form "4x4x2". */
 std::vector<int>
-parseTorusDims(const std::string &source, std::size_t line_no,
-               const std::string &value)
+parseTorusDims(const KeyValueReader &reader)
 {
     std::vector<int> dims;
-    for (const auto &field : split(value, 'x')) {
+    for (const auto &field : split(reader.value(), 'x')) {
         const auto dim = parseInt(trim(field));
         if (dim < 1) {
-            fatal(source, " line ", line_no,
-                  ": torus dimensions must be positive, got '",
-                  value, "'");
+            reader.fail("torus dimensions must be positive, got '",
+                        reader.value(), "'");
         }
         dims.push_back(static_cast<int>(dim));
     }
@@ -147,99 +83,81 @@ PlatformConfig
 readPlatformConfig(std::istream &is, const std::string &source)
 {
     PlatformConfig config;
-    std::string line;
-    std::size_t line_no = 0;
-    // First-seen line of every key: a platform describes one
-    // machine, so a repeated key is a typo (and silent
-    // last-one-wins made such typos expensive to spot).
-    std::map<std::string, std::size_t> seen;
+    // The shared reader owns the surface robustness: comment/blank
+    // skipping, malformed-line and duplicate-key rejection, and
+    // domain-checked numerics, all with file + line in the error.
+    KeyValueReader reader(is, source);
 
-    while (std::getline(is, line)) {
-        ++line_no;
-        const std::string text = trim(line);
-        if (text.empty() || text[0] == '#')
-            continue;
-        const auto eq = text.find('=');
-        if (eq == std::string::npos) {
-            fatal(source, " line ", line_no,
-                  ": expected 'key = value', got '", text, "'");
-        }
-        const std::string key = trim(text.substr(0, eq));
-        const std::string value = trim(text.substr(eq + 1));
-        const auto [first, fresh] = seen.emplace(key, line_no);
-        if (!fresh) {
-            fatal(source, " line ", line_no, ": duplicate key '",
-                  key, "' (first set on line ", first->second,
-                  ")");
-        }
+    while (reader.next()) {
+        const std::string &key = reader.key();
+        const std::string &value = reader.value();
 
         if (key == "name") {
             config.name = value;
         } else if (key == "mips") {
             // Zero means "use the trace's recorded rate".
             config.mipsOverride =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "cpu_ratio") {
             config.cpuRatio =
-                parsePositiveDouble(source, line_no, key, value);
+                reader.positiveDouble();
         } else if (key == "cpus_per_node") {
             config.cpusPerNode = static_cast<int>(
-                parseNonNegativeInt(source, line_no, key, value));
+                reader.nonNegativeInt());
         } else if (key == "bandwidth_mbps") {
             config.bandwidthMBps =
-                parsePositiveDouble(source, line_no, key, value);
+                reader.positiveDouble();
         } else if (key == "latency_us") {
             config.latencyUs =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "local_bandwidth_mbps") {
             config.localBandwidthMBps =
-                parsePositiveDouble(source, line_no, key, value);
+                reader.positiveDouble();
         } else if (key == "local_latency_us") {
             config.localLatencyUs =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "buses") {
             config.buses = static_cast<int>(
-                parseNonNegativeInt(source, line_no, key, value));
+                reader.nonNegativeInt());
         } else if (key == "out_links_per_node") {
             config.outLinksPerNode = static_cast<int>(
-                parseNonNegativeInt(source, line_no, key, value));
+                reader.nonNegativeInt());
         } else if (key == "in_links_per_node") {
             config.inLinksPerNode = static_cast<int>(
-                parseNonNegativeInt(source, line_no, key, value));
+                reader.nonNegativeInt());
         } else if (key == "eager_threshold") {
             config.eagerThreshold = static_cast<Bytes>(
-                parseNonNegativeInt(source, line_no, key, value));
+                reader.nonNegativeInt());
         } else if (key == "force_eager_isend") {
             config.forceEagerIsend = parseBool(value);
         } else if (key == "rendezvous_overhead_us") {
             config.rendezvousOverheadUs =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "collective_latency_factor") {
             config.collectives.latencyFactor =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "collective_bandwidth_factor") {
             config.collectives.bandwidthFactor =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "collective_model") {
             // Unknown names fail here with the valid models.
             config.collectiveModel =
                 coll::collectiveModelFromName(value);
         } else if (key.rfind(collAlgoPrefix, 0) == 0) {
-            parseCollectiveAlgorithm(config, source, line_no, key,
-                                     value);
+            parseCollectiveAlgorithm(config, reader);
         } else if (key == "topology") {
             // Unknown names fail here with the full list of kinds.
             config.topology.kind =
                 net::topologyKindFromName(value);
         } else if (key == "fat_tree_radix") {
             config.topology.fatTreeRadix = static_cast<int>(
-                parseNonNegativeInt(source, line_no, key, value));
+                reader.nonNegativeInt());
         } else if (key == "fat_tree_taper") {
             config.topology.fatTreeTaper =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "torus_dims") {
             config.topology.torusDims =
-                parseTorusDims(source, line_no, value);
+                parseTorusDims(reader);
         } else if (key == "torus_wrap") {
             config.topology.torusWrap = parseBool(value);
         } else if (key == "dragonfly_groups") {
@@ -256,20 +174,20 @@ readPlatformConfig(std::istream &is, const std::string &source)
             // omitting the key, so an explicit zero is nonsense.
             const double mbps = parseDouble(value);
             if (mbps <= 0.0) {
-                fatal(source, " line ", line_no,
-                      ": link_bandwidth_mbps must be positive "
-                      "(omit the key to inherit bandwidth_mbps)");
+                reader.fail(
+                    "link_bandwidth_mbps must be positive "
+                    "(omit the key to inherit bandwidth_mbps)");
             }
             config.topology.linkBandwidthMBps = mbps;
         } else if (key == "hop_latency_us") {
             config.topology.hopLatencyUs =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "scenario_file") {
-            if (seen.count("fault_model_file")) {
-                fatal(source, " line ", line_no,
-                      ": scenario_file and fault_model_file are "
-                      "mutually exclusive (both define the "
-                      "scenario)");
+            if (reader.seenLine("fault_model_file") != 0) {
+                reader.fail(
+                    "scenario_file and fault_model_file are "
+                    "mutually exclusive (both define the "
+                    "scenario)");
             }
             // The scenario parser names the referenced file in its
             // own errors; point at the referencing line too so a
@@ -277,15 +195,14 @@ readPlatformConfig(std::istream &is, const std::string &source)
             try {
                 config.scenario = scen::readScenarioFile(value);
             } catch (const FatalError &err) {
-                fatal(source, " line ", line_no, ": ",
-                      err.what());
+                reader.fail(err.what());
             }
         } else if (key == "fault_model_file") {
-            if (seen.count("scenario_file")) {
-                fatal(source, " line ", line_no,
-                      ": scenario_file and fault_model_file are "
-                      "mutually exclusive (both define the "
-                      "scenario)");
+            if (reader.seenLine("scenario_file") != 0) {
+                reader.fail(
+                    "scenario_file and fault_model_file are "
+                    "mutually exclusive (both define the "
+                    "scenario)");
             }
             // Expand the stochastic model into a concrete scenario
             // right here, with the model's own seed and horizon:
@@ -294,41 +211,39 @@ readPlatformConfig(std::istream &is, const std::string &source)
                 config.scenario = res::generateScenario(
                     res::readFaultModelFile(value));
             } catch (const FatalError &err) {
-                fatal(source, " line ", line_no, ": ",
-                      err.what());
+                reader.fail(err.what());
             }
             config.faultModelFile = value;
         } else if (key == "checkpoint_interval_us") {
             config.checkpointIntervalUs =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "checkpoint_cost_us") {
             config.checkpointCostUs =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "restart_cost_us") {
             config.restartCostUs =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "checkpoint_global_interval_us") {
             config.checkpointGlobalIntervalUs =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "checkpoint_global_cost_us") {
             config.checkpointGlobalCostUs =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "restart_global_cost_us") {
             config.restartGlobalCostUs =
-                parseNonNegativeDouble(source, line_no, key, value);
+                reader.nonNegativeDouble();
         } else if (key == "restart_budget") {
             const std::int64_t budget =
-                parseNonNegativeInt(source, line_no, key, value);
+                reader.nonNegativeInt();
             if (budget < 1) {
-                fatal(source, " line ", line_no,
-                      ": key 'restart_budget' must be >= 1, got '",
-                      value, "'");
+                reader.fail(
+                    "key 'restart_budget' must be >= 1, got '",
+                    value, "'");
             }
             config.restartBudget =
                 static_cast<std::uint64_t>(budget);
         } else {
-            fatal(source, " line ", line_no,
-                  ": unknown key '", key, "'");
+            reader.fail("unknown key '", key, "'");
         }
     }
     config.validate();

@@ -19,6 +19,37 @@ struct ChannelFlow
     std::vector<Bytes> recvBytes;
 };
 
+/** Record-kind name used in issue messages. */
+const char *
+kindName(const Record &rec)
+{
+    switch (recordKind(rec)) {
+      case RecordKind::burst: return "burst";
+      case RecordKind::send: return "send";
+      case RecordKind::isend: return "isend";
+      case RecordKind::recv: return "recv";
+      case RecordKind::irecv: return "irecv";
+      case RecordKind::wait: return "wait";
+      case RecordKind::waitAll: return "waitall";
+      case RecordKind::collective: return "collective";
+    }
+    return "unknown";
+}
+
+/**
+ * Issue-message prefix carrying everything needed to find the
+ * offending record in one read: the rank, the record index and the
+ * record kind. Generator bugs (and hand-written traces) surface
+ * here first, so "rank 3 record 17" alone made every diagnosis a
+ * dump-and-count exercise.
+ */
+std::string
+where(Rank rank, std::size_t i, const Record &rec)
+{
+    return strformat("rank %d record %zu (%s)", rank, i,
+                     kindName(rec));
+}
+
 } // namespace
 
 std::string
@@ -44,8 +75,12 @@ validateTraceSet(const TraceSet &traces)
 
     for (const auto &rt : traces.all()) {
         const Rank rank = rt.rank();
-        std::set<RequestId> live;
-        std::set<RequestId> used;
+        // Request id -> index of the posting record, for live
+        // (un-waited) and ever-posted requests: naming the posting
+        // record turns "request 7 reused"/"never completed" into a
+        // one-read diagnosis.
+        std::map<RequestId, std::size_t> live;
+        std::map<RequestId, std::size_t> used;
 
         for (std::size_t i = 0; i < rt.records().size(); ++i) {
             const auto &rec = rt.records()[i];
@@ -53,103 +88,95 @@ validateTraceSet(const TraceSet &traces)
             // The replay engine has no wildcard matching; flag the
             // anyRank/anyTag sentinels explicitly (replay would
             // otherwise reject them with a less precise FatalError).
-            const auto flagWildcards = [&](const char *what,
-                                           Rank peer, Tag tag) {
+            const auto flagWildcards = [&](Rank peer, Tag tag) {
                 if (peer == anyRank) {
-                    issue(strformat(
-                        "rank %d record %zu: %s uses the anyRank "
-                        "wildcard; wildcard matching is unsupported",
-                        rank, i, what));
+                    issue(where(rank, i, rec) +
+                          ": uses the anyRank wildcard; wildcard "
+                          "matching is unsupported");
                 }
                 if (tag == anyTag) {
-                    issue(strformat(
-                        "rank %d record %zu: %s uses the anyTag "
-                        "wildcard; wildcard matching is unsupported",
-                        rank, i, what));
+                    issue(where(rank, i, rec) +
+                          ": uses the anyTag wildcard; wildcard "
+                          "matching is unsupported");
+                }
+            };
+
+            const auto trackRequest = [&](RequestId request) {
+                if (request == 0) {
+                    issue(where(rank, i, rec) +
+                          ": posted with request 0");
+                    return;
+                }
+                const auto [first, fresh] =
+                    used.emplace(request, i);
+                if (!fresh) {
+                    issue(where(rank, i, rec) +
+                          strformat(": request %llu reused (first "
+                                    "posted by record %zu)",
+                                    static_cast<unsigned long long>(
+                                        request),
+                                    first->second));
+                } else {
+                    live.emplace(request, i);
                 }
             };
 
             if (const auto *s = std::get_if<SendRec>(&rec)) {
-                flagWildcards("send", s->dst, s->tag);
+                flagWildcards(s->dst, s->tag);
                 if (s->dst == anyRank || s->tag == anyTag)
                     continue;
                 if (s->dst < 0 || s->dst >= traces.ranks()) {
-                    issue(strformat(
-                        "rank %d record %zu: send to invalid rank %d",
-                        rank, i, s->dst));
+                    issue(where(rank, i, rec) +
+                          strformat(": to invalid rank %d",
+                                    s->dst));
                     continue;
                 }
                 channels[{rank, s->dst, s->tag}].sendBytes.push_back(
                     s->bytes);
             } else if (const auto *is_ = std::get_if<ISendRec>(&rec)) {
-                flagWildcards("isend", is_->dst, is_->tag);
+                flagWildcards(is_->dst, is_->tag);
                 if (is_->dst == anyRank || is_->tag == anyTag)
                     continue;
                 if (is_->dst < 0 || is_->dst >= traces.ranks()) {
-                    issue(strformat(
-                        "rank %d record %zu: isend to invalid rank "
-                        "%d", rank, i, is_->dst));
+                    issue(where(rank, i, rec) +
+                          strformat(": to invalid rank %d",
+                                    is_->dst));
                     continue;
                 }
                 channels[{rank, is_->dst, is_->tag}]
                     .sendBytes.push_back(is_->bytes);
-                if (is_->request == 0) {
-                    issue(strformat(
-                        "rank %d record %zu: isend with request 0",
-                        rank, i));
-                } else if (!used.insert(is_->request).second) {
-                    issue(strformat(
-                        "rank %d record %zu: request %llu reused",
-                        rank, i,
-                        static_cast<unsigned long long>(
-                            is_->request)));
-                } else {
-                    live.insert(is_->request);
-                }
+                trackRequest(is_->request);
             } else if (const auto *r = std::get_if<RecvRec>(&rec)) {
-                flagWildcards("recv", r->src, r->tag);
+                flagWildcards(r->src, r->tag);
                 if (r->src == anyRank || r->tag == anyTag)
                     continue;
                 if (r->src < 0 || r->src >= traces.ranks()) {
-                    issue(strformat(
-                        "rank %d record %zu: recv from invalid rank "
-                        "%d", rank, i, r->src));
+                    issue(where(rank, i, rec) +
+                          strformat(": from invalid rank %d",
+                                    r->src));
                     continue;
                 }
                 channels[{r->src, rank, r->tag}].recvBytes.push_back(
                     r->bytes);
             } else if (const auto *ir = std::get_if<IRecvRec>(&rec)) {
-                flagWildcards("irecv", ir->src, ir->tag);
+                flagWildcards(ir->src, ir->tag);
                 if (ir->src == anyRank || ir->tag == anyTag)
                     continue;
                 if (ir->src < 0 || ir->src >= traces.ranks()) {
-                    issue(strformat(
-                        "rank %d record %zu: irecv from invalid rank "
-                        "%d", rank, i, ir->src));
+                    issue(where(rank, i, rec) +
+                          strformat(": from invalid rank %d",
+                                    ir->src));
                     continue;
                 }
                 channels[{ir->src, rank, ir->tag}]
                     .recvBytes.push_back(ir->bytes);
-                if (ir->request == 0) {
-                    issue(strformat(
-                        "rank %d record %zu: irecv with request 0",
-                        rank, i));
-                } else if (!used.insert(ir->request).second) {
-                    issue(strformat(
-                        "rank %d record %zu: request %llu reused",
-                        rank, i,
-                        static_cast<unsigned long long>(
-                            ir->request)));
-                } else {
-                    live.insert(ir->request);
-                }
+                trackRequest(ir->request);
             } else if (const auto *w = std::get_if<WaitRec>(&rec)) {
-                if (!live.erase(w->request)) {
-                    issue(strformat(
-                        "rank %d record %zu: wait on unknown request "
-                        "%llu", rank, i,
-                        static_cast<unsigned long long>(
-                            w->request)));
+                if (live.erase(w->request) == 0) {
+                    issue(where(rank, i, rec) +
+                          strformat(": wait on unknown request %llu",
+                                    static_cast<unsigned long long>(
+                                        w->request)));
                 }
             } else if (std::holds_alternative<WaitAllRec>(rec)) {
                 live.clear();
@@ -169,9 +196,15 @@ validateTraceSet(const TraceSet &traces)
         }
 
         if (!live.empty()) {
+            // Name the first dangling request's posting record so
+            // the leak is findable without a dump.
+            const auto &[request, posted] = *live.begin();
             issue(strformat(
-                "rank %d: %zu non-blocking requests never completed",
-                rank, live.size()));
+                "rank %d: %zu non-blocking requests never completed "
+                "(first: request %llu posted by record %zu (%s))",
+                rank, live.size(),
+                static_cast<unsigned long long>(request), posted,
+                kindName(rt.records()[posted])));
         }
     }
 

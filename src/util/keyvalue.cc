@@ -1,0 +1,113 @@
+#include "keyvalue.hh"
+
+#include <cmath>
+#include <istream>
+
+#include "util/strings.hh"
+
+namespace ovlsim {
+
+KeyValueReader::KeyValueReader(std::istream &is, std::string source)
+    : is_(is), source_(std::move(source))
+{}
+
+bool
+KeyValueReader::next()
+{
+    std::string raw;
+    while (std::getline(is_, raw)) {
+        ++line_;
+        const std::string text = trim(raw);
+        if (text.empty() || text[0] == '#')
+            continue;
+        const auto eq = text.find('=');
+        if (eq == std::string::npos) {
+            fail("expected 'key = value', got '", text, "'");
+        }
+        key_ = trim(text.substr(0, eq));
+        value_ = trim(text.substr(eq + 1));
+        const auto [first, fresh] = seen_.emplace(key_, line_);
+        if (!fresh) {
+            fail("duplicate key '", key_, "' (first set on line ",
+                 first->second, ")");
+        }
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+KeyValueReader::seenLine(const std::string &key) const
+{
+    const auto it = seen_.find(key);
+    return it == seen_.end() ? 0 : it->second;
+}
+
+double
+KeyValueReader::finiteDouble() const
+{
+    const double v = parseDouble(value_);
+    if (std::isnan(v) || !std::isfinite(v)) {
+        fail("key '", key_, "' must be a finite number, got '",
+             value_, "'");
+    }
+    return v;
+}
+
+double
+KeyValueReader::nonNegativeDouble() const
+{
+    const double v = finiteDouble();
+    if (v < 0.0) {
+        fail("key '", key_, "' must be non-negative, got '", value_,
+             "'");
+    }
+    return v;
+}
+
+double
+KeyValueReader::positiveDouble() const
+{
+    const double v = finiteDouble();
+    if (v <= 0.0) {
+        fail("key '", key_, "' must be positive, got '", value_,
+             "'");
+    }
+    return v;
+}
+
+std::int64_t
+KeyValueReader::integer() const
+{
+    return parseInt(value_);
+}
+
+std::int64_t
+KeyValueReader::nonNegativeInt() const
+{
+    const std::int64_t v = parseInt(value_);
+    if (v < 0) {
+        fail("key '", key_, "' must be non-negative, got '", value_,
+             "'");
+    }
+    return v;
+}
+
+std::int64_t
+KeyValueReader::positiveInt() const
+{
+    const std::int64_t v = parseInt(value_);
+    if (v <= 0) {
+        fail("key '", key_, "' must be positive, got '", value_,
+             "'");
+    }
+    return v;
+}
+
+bool
+KeyValueReader::boolean() const
+{
+    return parseBool(value_);
+}
+
+} // namespace ovlsim
