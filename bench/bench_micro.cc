@@ -45,6 +45,13 @@
  * (generated events/sec) to the perf trajectory file (default
  * BENCH_engine.json), giving every PR nine comparable data
  * points. See ROADMAP.md "Performance methodology".
+ *
+ * Trajectory points also carry selected engine counters from
+ * src/obs/ (heap pushes, arena high water, rate recomputes,
+ * collective steps, rollback rework, cache hit rates) next to each
+ * figure; these are informational — the regression gate
+ * (scripts/bench_check.sh) keys on the throughput figures only, so
+ * old baselines stay valid.
  */
 
 // google-benchmark drives the M1-M3 suite; the --json trajectory
@@ -67,6 +74,7 @@
 #include "bench/bench_common.hh"
 #include "core/transform.hh"
 #include "gen/gen.hh"
+#include "obs/stats.hh"
 #include "res/fault_model.hh"
 #include "trace/trace_io.hh"
 
@@ -228,6 +236,8 @@ struct JsonPoint
      * largest config's figure is in practice its own footprint.
      */
     long peakRssKb = 0;
+    /** Per-run engine counters (deterministic across runs). */
+    obs::EngineStats stats;
 };
 
 JsonPoint
@@ -243,8 +253,8 @@ measureConfig(const JsonConfig &config, double min_seconds)
     // run pays trace/page-cache setup outside the timing.
     const auto program = sim::compileShared(bundle.traces);
     sim::ReplaySession session;
-    std::uint64_t events_per_run =
-        session.run(*program, platform).eventsProcessed;
+    const auto warmup = session.run(*program, platform);
+    const std::uint64_t events_per_run = warmup.eventsProcessed;
 
     std::uint64_t events = 0;
     std::uint64_t runs = 0;
@@ -263,6 +273,7 @@ measureConfig(const JsonConfig &config, double min_seconds)
     point.config = config.name;
     point.records = bundle.traces.totalRecords();
     point.eventsPerRun = events_per_run;
+    point.stats = warmup.stats;
     point.runs = runs;
     point.eventsPerSec =
         static_cast<double>(events) / elapsed;
@@ -291,14 +302,19 @@ pointToJson(const JsonPoint &point)
         "    \"runs\": %llu,\n"
         "    \"events_per_sec\": %.0f,\n"
         "    \"ns_per_event\": %.2f,\n"
+        "    \"heap_pushes\": %llu,\n"
+        "    \"arena_high_water\": %llu,\n"
         "    \"peak_rss_kb\": %ld,\n"
         "    \"timestamp\": \"%s\"\n"
         "  }",
         point.config.c_str(), point.records,
         static_cast<unsigned long long>(point.eventsPerRun),
         static_cast<unsigned long long>(point.runs),
-        point.eventsPerSec, point.nsPerEvent, point.peakRssKb,
-        stamp);
+        point.eventsPerSec, point.nsPerEvent,
+        static_cast<unsigned long long>(point.stats.heapPushes),
+        static_cast<unsigned long long>(
+            point.stats.arenaHighWater),
+        point.peakRssKb, stamp);
 }
 
 /**
@@ -489,6 +505,10 @@ struct TopoJsonPoint
     double eventsPerSec = 0.0;
     double nsPerEvent = 0.0;
     long peakRssKb = 0;
+    /** Per-run engine counters (deterministic across runs). */
+    obs::EngineStats stats;
+    /** Process-wide compiled-topology cache hit rate so far. */
+    double topoCacheHitRate = 0.0;
 };
 
 TopoJsonPoint
@@ -501,8 +521,8 @@ measureTopoConfig(double min_seconds)
 
     const auto program = sim::compileShared(bundle.traces);
     sim::ReplaySession session;
-    const std::uint64_t events_per_run =
-        session.run(*program, platform).eventsProcessed;
+    const auto warmup = session.run(*program, platform);
+    const std::uint64_t events_per_run = warmup.eventsProcessed;
 
     std::uint64_t events = 0;
     std::uint64_t runs = 0;
@@ -521,6 +541,8 @@ measureTopoConfig(double min_seconds)
     point.config = "sweep3d-x8/fat-tree-taper2/bw4096";
     point.records = bundle.traces.totalRecords();
     point.eventsPerRun = events_per_run;
+    point.stats = warmup.stats;
+    point.topoCacheHitRate = obs::cacheReport()[1].hitRate();
     point.runs = runs;
     point.eventsPerSec = static_cast<double>(events) / elapsed;
     point.nsPerEvent =
@@ -548,14 +570,21 @@ topoPointToJson(const TopoJsonPoint &point)
         "    \"runs\": %llu,\n"
         "    \"topo_events_per_sec\": %.0f,\n"
         "    \"ns_per_event\": %.2f,\n"
+        "    \"rate_recomputes\": %llu,\n"
+        "    \"recomputes_skipped\": %llu,\n"
+        "    \"topo_cache_hit_rate\": %.4f,\n"
         "    \"peak_rss_kb\": %ld,\n"
         "    \"timestamp\": \"%s\"\n"
         "  }",
         point.config.c_str(), point.records,
         static_cast<unsigned long long>(point.eventsPerRun),
         static_cast<unsigned long long>(point.runs),
-        point.eventsPerSec, point.nsPerEvent, point.peakRssKb,
-        stamp);
+        point.eventsPerSec, point.nsPerEvent,
+        static_cast<unsigned long long>(
+            point.stats.rateRecomputes),
+        static_cast<unsigned long long>(
+            point.stats.recomputesSkipped),
+        point.topoCacheHitRate, point.peakRssKb, stamp);
 }
 
 /**
@@ -579,6 +608,10 @@ struct CollJsonPoint
     double eventsPerSec = 0.0;
     double nsPerEvent = 0.0;
     long peakRssKb = 0;
+    /** Per-run engine counters (deterministic across runs). */
+    obs::EngineStats stats;
+    /** Process-wide collective-schedule cache hit rate so far. */
+    double schedCacheHitRate = 0.0;
 };
 
 CollJsonPoint
@@ -592,8 +625,8 @@ measureCollConfig(double min_seconds)
 
     const auto program = sim::compileShared(bundle.traces);
     sim::ReplaySession session;
-    const std::uint64_t events_per_run =
-        session.run(*program, platform).eventsProcessed;
+    const auto warmup = session.run(*program, platform);
+    const std::uint64_t events_per_run = warmup.eventsProcessed;
 
     std::uint64_t events = 0;
     std::uint64_t runs = 0;
@@ -612,6 +645,8 @@ measureCollConfig(double min_seconds)
     point.config = "nas-cg-x8/fat-tree-taper2/algorithmic/bw4096";
     point.records = bundle.traces.totalRecords();
     point.eventsPerRun = events_per_run;
+    point.stats = warmup.stats;
+    point.schedCacheHitRate = obs::cacheReport()[2].hitRate();
     point.runs = runs;
     point.eventsPerSec = static_cast<double>(events) / elapsed;
     point.nsPerEvent =
@@ -639,14 +674,17 @@ collPointToJson(const CollJsonPoint &point)
         "    \"runs\": %llu,\n"
         "    \"coll_events_per_sec\": %.0f,\n"
         "    \"ns_per_event\": %.2f,\n"
+        "    \"coll_steps\": %llu,\n"
+        "    \"sched_cache_hit_rate\": %.4f,\n"
         "    \"peak_rss_kb\": %ld,\n"
         "    \"timestamp\": \"%s\"\n"
         "  }",
         point.config.c_str(), point.records,
         static_cast<unsigned long long>(point.eventsPerRun),
         static_cast<unsigned long long>(point.runs),
-        point.eventsPerSec, point.nsPerEvent, point.peakRssKb,
-        stamp);
+        point.eventsPerSec, point.nsPerEvent,
+        static_cast<unsigned long long>(point.stats.collSteps),
+        point.schedCacheHitRate, point.peakRssKb, stamp);
 }
 
 /**
@@ -775,6 +813,8 @@ struct ResJsonPoint
     double eventsPerSec = 0.0;
     double nsPerEvent = 0.0;
     long peakRssKb = 0;
+    /** Per-run engine counters (deterministic across runs). */
+    obs::EngineStats stats;
 };
 
 ResJsonPoint
@@ -831,6 +871,7 @@ measureResConfig(double min_seconds)
     point.records = bundle.traces.totalRecords();
     point.eventsPerRun = probe.eventsProcessed;
     point.restartsPerRun = probe.restarts;
+    point.stats = probe.stats;
     point.runs = runs;
     point.eventsPerSec = static_cast<double>(events) / elapsed;
     point.nsPerEvent =
@@ -859,6 +900,8 @@ resPointToJson(const ResJsonPoint &point)
         "    \"runs\": %llu,\n"
         "    \"res_events_per_sec\": %.0f,\n"
         "    \"ns_per_event\": %.2f,\n"
+        "    \"scenario_events\": %llu,\n"
+        "    \"rollback_rework_ns\": %llu,\n"
         "    \"peak_rss_kb\": %ld,\n"
         "    \"timestamp\": \"%s\"\n"
         "  }",
@@ -866,8 +909,12 @@ resPointToJson(const ResJsonPoint &point)
         static_cast<unsigned long long>(point.eventsPerRun),
         static_cast<unsigned long long>(point.restartsPerRun),
         static_cast<unsigned long long>(point.runs),
-        point.eventsPerSec, point.nsPerEvent, point.peakRssKb,
-        stamp);
+        point.eventsPerSec, point.nsPerEvent,
+        static_cast<unsigned long long>(
+            point.stats.scenarioEvents),
+        static_cast<unsigned long long>(
+            point.stats.rollbackReworkNs),
+        point.peakRssKb, stamp);
 }
 
 /**
@@ -892,6 +939,8 @@ struct GenJsonPoint
     double eventsPerSec = 0.0;
     double nsPerEvent = 0.0;
     long peakRssKb = 0;
+    /** Per-run engine counters (deterministic across runs). */
+    obs::EngineStats stats;
 };
 
 GenJsonPoint
@@ -941,6 +990,7 @@ measureGenConfig(double min_seconds)
         "gen-ml-1024/fat-tree-taper2/rd-allreduce/bw4096";
     point.records = probeTraces.totalRecords();
     point.eventsPerRun = probe.eventsProcessed;
+    point.stats = probe.stats;
     point.runs = runs;
     point.eventsPerSec = static_cast<double>(events) / elapsed;
     point.nsPerEvent =
@@ -968,14 +1018,17 @@ genPointToJson(const GenJsonPoint &point)
         "    \"runs\": %llu,\n"
         "    \"gen_events_per_sec\": %.0f,\n"
         "    \"ns_per_event\": %.2f,\n"
+        "    \"arena_high_water\": %llu,\n"
         "    \"peak_rss_kb\": %ld,\n"
         "    \"timestamp\": \"%s\"\n"
         "  }",
         point.config.c_str(), point.records,
         static_cast<unsigned long long>(point.eventsPerRun),
         static_cast<unsigned long long>(point.runs),
-        point.eventsPerSec, point.nsPerEvent, point.peakRssKb,
-        stamp);
+        point.eventsPerSec, point.nsPerEvent,
+        static_cast<unsigned long long>(
+            point.stats.arenaHighWater),
+        point.peakRssKb, stamp);
 }
 
 /**

@@ -16,7 +16,7 @@
  *                     [--workload file.wl] [--seed 1]
  *                     [--ranks 16,32,64,128,256]
  *                     [--chunks 16] [--bandwidth 1024]
- *                     [--threads N] [--csv out.csv]
+ *                     [--threads N] [--csv out.csv] [--progress]
  *
  * With --workload the grid rides on a workload file (see
  * src/gen/workload_file.hh); otherwise --kind picks a default
@@ -25,12 +25,14 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "bench/bench_common.hh"
 #include "core/analysis.hh"
 #include "gen/gen.hh"
 #include "gen/workload_file.hh"
 #include "net/topology.hh"
+#include "obs/progress.hh"
 #include "util/options.hh"
 #include "util/strings.hh"
 
@@ -71,6 +73,8 @@ main(int argc, char **argv)
     options.declare("threads", "0",
                     "worker threads (0 = all hardware cores)");
     options.declare("csv", "", "optional CSV output path");
+    options.declare("progress", "false",
+                    "report campaign progress to stderr");
     options.parse(argc, argv);
 
     gen::WorkloadConfig workload;
@@ -103,8 +107,18 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(seed),
                 platform.bandwidthMBps);
 
+    core::CampaignObs cobs;
+    std::unique_ptr<obs::Progress> progress;
+    if (options.getBool("progress")) {
+        progress = std::make_unique<obs::Progress>(
+            "scaling sweep", grid.size());
+        cobs.progress = progress.get();
+    }
+
     const auto sweep = core::scalingSweep(
-        workload, seed, platform, grid, variants, threads);
+        workload, seed, platform, grid, variants, threads, &cobs);
+    if (progress != nullptr)
+        progress->finish();
 
     TablePrinter table({"ranks", "messages", "MB sent",
                         "original", "comm%", "real speedup",

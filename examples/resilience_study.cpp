@@ -36,7 +36,7 @@
  *                      [--interval 0] [--ckpt-cost 0]
  *                      [--restart-cost 0] [--proto-mtbf 10]
  *                      [--machine-mtbf 40] [--threads N]
- *                      [--csv out.csv]
+ *                      [--csv out.csv] [--progress]
  *
  * Interval/cost/restart are microseconds; 0 auto-scales them to
  * the app's nominal run (interval = nominal/6, cost = interval/50,
@@ -51,11 +51,13 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "apps/app.hh"
 #include "bench/bench_common.hh"
 #include "core/analysis.hh"
+#include "obs/progress.hh"
 #include "util/options.hh"
 
 using namespace ovlsim;
@@ -106,6 +108,8 @@ main(int argc, char **argv)
     options.declare("threads", "0",
                     "worker threads (0 = all hardware cores)");
     options.declare("csv", "", "optional CSV output path");
+    options.declare("progress", "false",
+                    "report campaign progress to stderr");
     options.parse(argc, argv);
 
     const auto &app = apps::findApp(options.getString("app"));
@@ -150,11 +154,24 @@ main(int argc, char **argv)
         static_cast<int>(options.getInt("per-decade")));
     std::reverse(grid.begin(), grid.end());
 
+    core::CampaignObs cobs;
+    std::unique_ptr<obs::Progress> progress;
+    if (options.getBool("progress")) {
+        // One tick per (rate, seed) job of the campaign.
+        progress = std::make_unique<obs::Progress>(
+            "resilience sweep",
+            grid.size() *
+                static_cast<std::size_t>(options.getInt("seeds")));
+        cobs.progress = progress.get();
+    }
+
     const auto campaign = core::resilienceSweep(
         bundle, base, grid, variants,
         static_cast<std::uint32_t>(options.getInt("seeds")),
         static_cast<std::uint64_t>(options.getInt("seed")),
-        threads);
+        threads, &cobs);
+    if (progress != nullptr)
+        progress->finish();
 
     TablePrinter table({"MTBF/node", "xnominal", "mean orig",
                         "p95 orig", "failed%", "real speedup",

@@ -16,14 +16,23 @@
  *   ./topology_study --app sweep3d [--chunks 16] [--lo 1]
  *                    [--hi 65536] [--per-decade 2]
  *                    [--threads N] [--csv out.csv]
+ *                    [--progress] [--trace-out trace.json]
+ *
+ * --progress reports campaign completion to stderr; --trace-out
+ * writes a Chrome trace-event JSON (ui.perfetto.dev) combining a
+ * captured per-rank timeline of the original replay with the
+ * campaign's host-side lane spans.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "apps/app.hh"
 #include "bench/bench_common.hh"
 #include "core/analysis.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/progress.hh"
 #include "util/options.hh"
 
 using namespace ovlsim;
@@ -42,6 +51,10 @@ main(int argc, char **argv)
     options.declare("threads", "0",
                     "worker threads (0 = all hardware cores)");
     options.declare("csv", "", "optional CSV output path");
+    options.declare("progress", "false",
+                    "report campaign progress to stderr");
+    options.declare("trace-out", "",
+                    "optional Chrome trace-event JSON output path");
     options.parse(argc, argv);
 
     const auto &app = apps::findApp(options.getString("app"));
@@ -59,8 +72,19 @@ main(int argc, char **argv)
     const int threads = ThreadPool::resolveThreads(
         static_cast<int>(options.getInt("threads")));
 
+    core::CampaignObs cobs;
+    cobs.recordSpans = !options.getString("trace-out").empty();
+    std::unique_ptr<obs::Progress> progress;
+    if (options.getBool("progress")) {
+        progress = std::make_unique<obs::Progress>(
+            "topology sweep", topologies.size() * grid.size());
+        cobs.progress = progress.get();
+    }
+
     const auto campaign = core::topologySweep(
-        bundle, base, grid, variants, topologies, threads);
+        bundle, base, grid, variants, topologies, threads, &cobs);
+    if (progress != nullptr)
+        progress->finish();
 
     for (std::size_t t = 0; t < campaign.topologies.size(); ++t) {
         const auto &spec = campaign.topologies[t];
@@ -103,6 +127,20 @@ main(int argc, char **argv)
         }
         std::printf("\nCSV written to %s\n",
                     options.getString("csv").c_str());
+    }
+
+    if (!options.getString("trace-out").empty()) {
+        // Simulated tracks come from one extra replay of the
+        // original execution with timeline capture on (the campaign
+        // replays run capture-off to stay cheap); host tracks are
+        // the campaign's recorded lane spans.
+        auto tracked = base;
+        tracked.captureTimeline = true;
+        const auto replay = sim::simulate(bundle.traces, tracked);
+        obs::writeChromeTrace(options.getString("trace-out"),
+                              replay.timeline, cobs.spans);
+        std::printf("\nChrome trace written to %s\n",
+                    options.getString("trace-out").c_str());
     }
     return 0;
 }

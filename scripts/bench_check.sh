@@ -24,6 +24,14 @@
 # with a readable diff of the expected vs present keys instead of
 # silently skipping a metric — refresh with --update.
 #
+# The measurement runs OVLSIM_BENCH_RUNS times (default 3) and each
+# gated figure is the per-key best across runs, on the check side
+# and the --update side alike. Throughput noise on a shared host is
+# one-sided (interference only slows a run down), so the best-of-N
+# figure tracks the machine's real capability with far less
+# variance than any single run — single samples on this container
+# swing +/-15%, which no 10% gate survives.
+#
 # Usage:
 #   scripts/bench_check.sh           # check against the baseline
 #   scripts/bench_check.sh --update  # refresh the baseline instead
@@ -32,6 +40,7 @@
 #   OVLSIM_BENCH_THRESHOLD  allowed fractional regression (default 0.10)
 #   OVLSIM_BENCH_BUILD_DIR  build directory (default build-bench)
 #   OVLSIM_BENCH_THREADS    M4 worker count (default 0 = all cores)
+#   OVLSIM_BENCH_RUNS       measurement repetitions (default 3)
 #
 # The baseline is machine-dependent; refresh it with --update when the
 # benchmark host changes, and say so in the commit message.
@@ -42,6 +51,7 @@ cd "$(dirname "$0")/.."
 THRESHOLD="${OVLSIM_BENCH_THRESHOLD:-0.10}"
 BUILD_DIR="${OVLSIM_BENCH_BUILD_DIR:-build-bench}"
 THREADS="${OVLSIM_BENCH_THREADS:-0}"
+RUNS="${OVLSIM_BENCH_RUNS:-3}"
 BASELINE="bench/BENCH_baseline.json"
 GATED_KEYS=(events_per_sec compile_records_per_sec
             transform_records_per_sec sweep_points_per_sec
@@ -59,15 +69,38 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
 cmake --build "$BUILD_DIR" --target bench_micro -j "$(nproc)" \
       >/dev/null
 
-RESULT_JSON="$(mktemp)"
-trap 'rm -f "$RESULT_JSON"' EXIT
-"$BUILD_DIR/bench_micro" --json="$RESULT_JSON" --threads="$THREADS"
+RESULT_JSONS=()
+for ((run = 0; run < RUNS; ++run)); do
+    RESULT_JSONS+=("$(mktemp)")
+done
+trap 'rm -f "${RESULT_JSONS[@]}"' EXIT
+for ((run = 0; run < RUNS; ++run)); do
+    echo "bench_check: measurement run $((run + 1))/$RUNS"
+    "$BUILD_DIR/bench_micro" --json="${RESULT_JSONS[$run]}" \
+                             --threads="$THREADS"
+done
 
 # Last occurrence of a numeric key in a trajectory file (the most
 # recent entry carrying that key).
 extract_key() { # file key
     grep -o "\"$2\": *[0-9.eE+]*" "$1" |
         tail -n 1 | grep -o '[0-9.eE+]*$'
+}
+
+# Best (max) value of a gated key across all measurement runs.
+best_key() { # key
+    local key="$1" file best=""
+    for file in "${RESULT_JSONS[@]}"; do
+        local v
+        v="$(extract_key "$file" "$key")"
+        if [[ -z "$best" ]]; then
+            best="$v"
+        else
+            best="$(awk -v a="$best" -v b="$v" \
+                        'BEGIN { print (b > a) ? b : a }')"
+        fi
+    done
+    echo "$best"
 }
 
 # Fail fast with a readable key diff when `file` is missing any
@@ -92,11 +125,20 @@ require_keys() { # file what
     fi
 }
 
-require_keys "$RESULT_JSON" "bench output"
+for file in "${RESULT_JSONS[@]}"; do
+    require_keys "$file" "bench output"
+done
 
 if [[ "$UPDATE" == 1 || ! -f "$BASELINE" ]]; then
-    cp "$RESULT_JSON" "$BASELINE"
-    echo "bench_check: baseline updated" \
+    # The baseline file is the last run's output with every gated
+    # key rewritten to its best-of-N figure, so check and update
+    # compare like with like.
+    cp "${RESULT_JSONS[-1]}" "$BASELINE"
+    for key in "${GATED_KEYS[@]}"; do
+        best="$(best_key "$key")"
+        sed -E -i "s/(\"$key\": *)[0-9.eE+]+/\1$best/" "$BASELINE"
+    done
+    echo "bench_check: baseline updated, best of $RUNS runs" \
          "($(extract_key "$BASELINE" events_per_sec) events/sec," \
          "$(extract_key "$BASELINE" compile_records_per_sec) compile records/sec," \
          "$(extract_key "$BASELINE" transform_records_per_sec) transform records/sec," \
@@ -111,48 +153,43 @@ fi
 
 require_keys "$BASELINE" "baseline $BASELINE"
 
-# gate NAME CURRENT BASE — fails the script when CURRENT dropped
-# more than THRESHOLD below BASE.
-gate() {
-    awk -v name="$1" -v cur="$2" -v base="$3" -v thr="$THRESHOLD" \
-    'BEGIN {
-        floor = base * (1.0 - thr);
-        printf "bench_check: %s current %.0f, baseline %.0f, floor %.0f (-%d%%)\n",
-               name, cur, base, floor, thr * 100;
-        if (cur < floor) {
-            printf "bench_check: FAIL - %s regressed %.1f%%\n",
-                   name, (1.0 - cur / base) * 100;
-            exit 1;
-        }
-        printf "bench_check: %s OK (%+.1f%% vs baseline)\n",
-               name, (cur / base - 1.0) * 100;
-    }'
-}
+# Per-key delta table, printed on PASS and FAIL alike so every run
+# leaves a comparable record in the log. A key fails the gate when
+# the current figure dropped more than THRESHOLD below the baseline.
+KEY_LABELS=("M1 events/sec" "M2 compile records/sec"
+            "M3 transform records/sec" "M4 sweep points/sec"
+            "M5 topo events/sec" "M6 coll events/sec"
+            "M7 scen events/sec" "M8 res events/sec"
+            "M9 gen events/sec")
 
-gate "M1 events/sec" \
-     "$(extract_key "$RESULT_JSON" events_per_sec)" \
-     "$(extract_key "$BASELINE" events_per_sec)"
-gate "M2 compile records/sec" \
-     "$(extract_key "$RESULT_JSON" compile_records_per_sec)" \
-     "$(extract_key "$BASELINE" compile_records_per_sec)"
-gate "M3 transform records/sec" \
-     "$(extract_key "$RESULT_JSON" transform_records_per_sec)" \
-     "$(extract_key "$BASELINE" transform_records_per_sec)"
-gate "M4 sweep points/sec" \
-     "$(extract_key "$RESULT_JSON" sweep_points_per_sec)" \
-     "$(extract_key "$BASELINE" sweep_points_per_sec)"
-gate "M5 topo events/sec" \
-     "$(extract_key "$RESULT_JSON" topo_events_per_sec)" \
-     "$(extract_key "$BASELINE" topo_events_per_sec)"
-gate "M6 coll events/sec" \
-     "$(extract_key "$RESULT_JSON" coll_events_per_sec)" \
-     "$(extract_key "$BASELINE" coll_events_per_sec)"
-gate "M7 scen events/sec" \
-     "$(extract_key "$RESULT_JSON" scen_events_per_sec)" \
-     "$(extract_key "$BASELINE" scen_events_per_sec)"
-gate "M8 res events/sec" \
-     "$(extract_key "$RESULT_JSON" res_events_per_sec)" \
-     "$(extract_key "$BASELINE" res_events_per_sec)"
-gate "M9 gen events/sec" \
-     "$(extract_key "$RESULT_JSON" gen_events_per_sec)" \
-     "$(extract_key "$BASELINE" gen_events_per_sec)"
+FAILED=0
+printf 'bench_check: %-26s %14s %14s %8s  %s\n' \
+       metric current baseline delta verdict
+for i in "${!GATED_KEYS[@]}"; do
+    key="${GATED_KEYS[$i]}"
+    cur="$(best_key "$key")"
+    base="$(extract_key "$BASELINE" "$key")"
+    row="$(awk -v label="${KEY_LABELS[$i]}" -v cur="$cur" \
+               -v base="$base" -v thr="$THRESHOLD" \
+    'BEGIN {
+        delta = (cur / base - 1.0) * 100;
+        verdict = (cur < base * (1.0 - thr)) ? "FAIL" : "ok";
+        printf "bench_check: %-26s %14.0f %14.0f %+7.1f%%  %s",
+               label, cur, base, delta, verdict;
+    }')"
+    echo "$row"
+    if [[ "$row" == *FAIL ]]; then
+        FAILED=1
+    fi
+done
+
+if [[ "$FAILED" == 1 ]]; then
+    awk -v thr="$THRESHOLD" 'BEGIN {
+        printf "bench_check: FAIL - a metric regressed more than %d%% vs bench/BENCH_baseline.json\n",
+               thr * 100 }' >&2
+    exit 1
+fi
+awk -v n="${#GATED_KEYS[@]}" -v thr="$THRESHOLD" -v runs="$RUNS" \
+'BEGIN {
+    printf "bench_check: PASS - all %d metrics (best of %d runs) within %d%% of the baseline\n",
+           n, runs, thr * 100 }'

@@ -5,23 +5,27 @@
 #
 #   1. tier-1:  default Release-ish build, full ctest suite
 #   2. ASAN:    OVLSIM_ASAN build, full ctest suite, then
-#               explicit serial `ctest -L res` and `ctest -L gen`
-#               passes (the rollback arenas and snapshot splices
-#               are where lifetime bugs would live; generation
-#               builds large traces from raw loops)
+#               explicit serial `ctest -L res`, `ctest -L gen`
+#               and `ctest -L obs` passes (the rollback arenas and
+#               snapshot splices are where lifetime bugs would
+#               live; generation builds large traces from raw
+#               loops; the trace exporter serializes raw span
+#               buffers)
 #   3. UBSAN:   OVLSIM_UBSAN build, full ctest suite (signed
 #               overflow and friends in the event/cost arithmetic),
-#               then the same serial `ctest -L res` and
-#               `ctest -L gen` passes (rollback deltas and
-#               generator index/byte arithmetic are where integer
-#               bugs would live)
+#               then the same serial `ctest -L res`, `ctest -L gen`
+#               and `ctest -L obs` passes (rollback deltas,
+#               generator index/byte arithmetic and the counter
+#               accumulations are where integer bugs would live)
 #   4. TSAN:    OVLSIM_TSAN build, `ctest -L parallel` (the thread
-#               pool, parallel sweeps, scenario determinism),
-#               `ctest -L coll` (the algorithmic collective
-#               engine), `ctest -L res` (resilience campaigns
-#               fanning seeded fault scenarios over the pool) and
-#               `ctest -L gen` (scaling sweeps fanning whole
-#               generate+lower+replay pipelines over the pool)
+#               pool, parallel sweeps, scenario determinism, and —
+#               via test_obs's parallel label — the span buffers
+#               and campaign stats folds), `ctest -L coll` (the
+#               algorithmic collective engine), `ctest -L res`
+#               (resilience campaigns fanning seeded fault
+#               scenarios over the pool) and `ctest -L gen`
+#               (scaling sweeps fanning whole generate+lower+replay
+#               pipelines over the pool)
 #
 # Usage:
 #   scripts/dev_check.sh            # run all four stages
@@ -58,17 +62,19 @@ if [[ "$FAST" == 1 ]]; then
     exit 0
 fi
 
-echo "== dev_check: stage 2/4 ASAN (full + res/gen labels) =="
+echo "== dev_check: stage 2/4 ASAN (full + res/gen/obs labels) =="
 stage asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_ASAN=ON
 (cd "$PREFIX-asan" && ctest --output-on-failure -j "$JOBS")
 (cd "$PREFIX-asan" && ctest --output-on-failure -L res)
 (cd "$PREFIX-asan" && ctest --output-on-failure -L gen)
+(cd "$PREFIX-asan" && ctest --output-on-failure -L obs)
 
-echo "== dev_check: stage 3/4 UBSAN (full + res/gen labels) =="
+echo "== dev_check: stage 3/4 UBSAN (full + res/gen/obs labels) =="
 stage ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_UBSAN=ON
 (cd "$PREFIX-ubsan" && ctest --output-on-failure -j "$JOBS")
 (cd "$PREFIX-ubsan" && ctest --output-on-failure -L res)
 (cd "$PREFIX-ubsan" && ctest --output-on-failure -L gen)
+(cd "$PREFIX-ubsan" && ctest --output-on-failure -L obs)
 
 echo "== dev_check: stage 4/4 TSAN (parallel + coll + res + gen labels) =="
 stage tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DOVLSIM_TSAN=ON

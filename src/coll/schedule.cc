@@ -4,6 +4,7 @@
 #include <mutex>
 #include <tuple>
 
+#include "obs/stats.hh"
 #include "util/logging.hh"
 #include "util/mathutil.hh"
 
@@ -400,22 +401,31 @@ compileSchedule(trace::CollOp op, int ranks, Rank root, Bytes bytes,
     {
         std::lock_guard<std::mutex> lock(cacheMutex);
         const auto it = cache().find(key);
-        if (it != cache().end())
+        if (it != cache().end()) {
+            obs::scheduleCache().recordHit();
             return it->second;
+        }
     }
+    obs::scheduleCache().recordMiss();
     // Build outside the lock (compilation is pure); first insert
     // wins when two threads race on the same shape.
     auto built = std::make_shared<const Schedule>(
         build(op, ranks, root, bytes, resolved));
     std::lock_guard<std::mutex> lock(cacheMutex);
-    return cache().emplace(key, std::move(built)).first->second;
+    const auto [it, inserted] =
+        cache().emplace(key, std::move(built));
+    if (inserted)
+        obs::scheduleCache().recordInsert(
+            it->second->memoryBytes());
+    return it->second;
 }
 
-std::size_t
-scheduleCacheSize()
+void
+clearScheduleCache()
 {
     std::lock_guard<std::mutex> lock(cacheMutex);
-    return cache().size();
+    cache().clear();
+    obs::scheduleCache().recordClear();
 }
 
 } // namespace ovlsim::coll

@@ -94,6 +94,14 @@ class Schedule
     /** Sum of send-step payloads over all ranks. */
     Bytes totalBytes() const { return totalBytes_; }
 
+    /** Heap footprint of the compiled tables (cache accounting). */
+    std::size_t
+    memoryBytes() const
+    {
+        return steps_.size() * sizeof(Step) +
+            rankBegin_.size() * sizeof(std::uint32_t);
+    }
+
   private:
     friend class ScheduleBuilder;
 
@@ -131,8 +139,15 @@ std::shared_ptr<const Schedule>
 compileSchedule(trace::CollOp op, int ranks, Rank root, Bytes bytes,
                 Algorithm algorithm = Algorithm::automatic);
 
-/** Number of distinct schedules the process-wide cache holds. */
-std::size_t scheduleCacheSize();
+/**
+ * Drop every compiled schedule from the process-wide cache and
+ * reset its obs::scheduleCache() counters' entry/byte gauges (the
+ * hit/miss history stays). Live shared_ptrs remain valid — the
+ * cache only gives up its references. Test seam: lets a test run
+ * against a cold cache; hit/miss/size accounting is read through
+ * obs::cacheReport().
+ */
+void clearScheduleCache();
 
 } // namespace ovlsim::coll
 

@@ -6,9 +6,45 @@
 #include "res/fault_model.hh"
 #include "util/counter_rng.hh"
 #include "util/logging.hh"
+#include "util/strings.hh"
 #include "util/thread_pool.hh"
 
 namespace ovlsim::core {
+
+namespace {
+
+/**
+ * Drain `pool`'s recorded spans into the hook, shifting them past
+ * the latest span already collected: campaigns chaining sweeps
+ * (topologySweep) run their inner pools sequentially, so the shift
+ * keeps the merged host track in wall order even though every pool
+ * restarts its span clock at zero.
+ */
+void
+collectSpans(CampaignObs *cobs, ThreadPool &pool)
+{
+    if (cobs == nullptr || !cobs->recordSpans)
+        return;
+    std::uint64_t base = 0;
+    for (const ThreadPool::LaneSpan &span : cobs->spans) {
+        if (span.endNs > base)
+            base = span.endNs;
+    }
+    for (ThreadPool::LaneSpan &span : pool.takeSpans()) {
+        span.beginNs += base;
+        span.endNs += base;
+        cobs->spans.push_back(std::move(span));
+    }
+}
+
+void
+tickProgress(CampaignObs *cobs)
+{
+    if (cobs != nullptr && cobs->progress != nullptr)
+        cobs->progress->tick();
+}
+
+} // namespace
 
 std::vector<VariantSpec>
 standardVariants(std::size_t chunks)
@@ -61,7 +97,7 @@ bandwidthSweep(const tracer::TraceBundle &bundle,
                const sim::PlatformConfig &base,
                const std::vector<double> &bandwidths,
                const std::vector<VariantSpec> &variants,
-               int threads)
+               int threads, CampaignObs *cobs)
 {
     SweepResult result;
     result.variants = variants;
@@ -76,6 +112,8 @@ bandwidthSweep(const tracer::TraceBundle &bundle,
     if (widest > 0 && static_cast<std::size_t>(lanes) > widest)
         lanes = static_cast<int>(widest);
     ThreadPool pool(lanes);
+    if (cobs != nullptr && cobs->recordSpans)
+        pool.enableSpans();
 
     // Compile the original and every overlapped variant once into
     // shared immutable replay programs; every sweep point replays
@@ -88,15 +126,20 @@ bandwidthSweep(const tracer::TraceBundle &bundle,
     std::vector<std::shared_ptr<const sim::ReplayProgram>> programs(
         variants.size() + 1);
     pool.parallelFor(
-        programs.size(), [&](std::size_t v, int) {
+        programs.size(), [&](std::size_t v, int lane) {
+            pool.spanBegin(
+                lane,
+                v == 0 ? "compile original"
+                       : "compile " + variants[v - 1].name);
             if (v == 0) {
                 programs[0] = sim::compileShared(bundle.traces);
-                return;
+            } else {
+                const auto built = buildOverlappedTrace(
+                    bundle.traces, bundle.overlap,
+                    variants[v - 1].config);
+                programs[v] = sim::compileShared(built.traces);
             }
-            const auto built = buildOverlappedTrace(
-                bundle.traces, bundle.overlap,
-                variants[v - 1].config);
-            programs[v] = sim::compileShared(built.traces);
+            pool.spanEnd(lane);
         });
 
     // One replay session per lane: replays reuse the engine arenas
@@ -107,6 +150,8 @@ bandwidthSweep(const tracer::TraceBundle &bundle,
     result.points.resize(bandwidths.size());
     pool.parallelFor(
         bandwidths.size(), [&](std::size_t i, int lane) {
+            pool.spanBegin(lane, strformat("point bw=%.4g",
+                                           bandwidths[i]));
             auto &session =
                 sessions[static_cast<std::size_t>(lane)];
             sim::PlatformConfig platform = base;
@@ -118,13 +163,22 @@ bandwidthSweep(const tracer::TraceBundle &bundle,
                 session.run(*programs[0], platform);
             point.originalTime = original.totalTime;
             point.originalCommFraction = original.commFraction();
+            point.stats = original.stats;
             point.variantTimes.reserve(variants.size());
             for (std::size_t v = 1; v < programs.size(); ++v) {
-                point.variantTimes.push_back(
-                    session.run(*programs[v], platform)
-                        .totalTime);
+                const auto run =
+                    session.run(*programs[v], platform);
+                point.variantTimes.push_back(run.totalTime);
+                point.stats.merge(run.stats);
             }
+            pool.spanEnd(lane);
+            tickProgress(cobs);
         });
+    // Sequential fold (merge is commutative anyway), so the
+    // aggregate is bit-identical at any thread count.
+    for (const SweepPoint &point : result.points)
+        result.stats.merge(point.stats);
+    collectSpans(cobs, pool);
     return result;
 }
 
@@ -144,7 +198,8 @@ ScalingResult
 scalingSweep(const gen::WorkloadConfig &workload,
              std::uint64_t seed, const sim::PlatformConfig &base,
              const std::vector<int> &rank_grid,
-             const std::vector<VariantSpec> &variants, int threads)
+             const std::vector<VariantSpec> &variants, int threads,
+             CampaignObs *cobs)
 {
     ScalingResult result;
     result.variants = variants;
@@ -154,6 +209,8 @@ scalingSweep(const gen::WorkloadConfig &workload,
         static_cast<std::size_t>(lanes) > rank_grid.size())
         lanes = static_cast<int>(rank_grid.size());
     ThreadPool pool(lanes);
+    if (cobs != nullptr && cobs->recordSpans)
+        pool.enableSpans();
 
     // Unlike the bandwidth sweep there is no shared compiled
     // program: every point is a different trace (its own rank
@@ -167,6 +224,8 @@ scalingSweep(const gen::WorkloadConfig &workload,
     result.points.resize(rank_grid.size());
     pool.parallelFor(
         rank_grid.size(), [&](std::size_t i, int lane) {
+            pool.spanBegin(lane, strformat("point ranks=%d",
+                                           rank_grid[i]));
             auto &session =
                 sessions[static_cast<std::size_t>(lane)];
             const auto config =
@@ -182,15 +241,23 @@ scalingSweep(const gen::WorkloadConfig &workload,
                 session.run(bundle.traces, base);
             point.originalTime = original.totalTime;
             point.originalCommFraction = original.commFraction();
+            point.stats = original.stats;
             point.variantTimes.reserve(variants.size());
             for (const auto &variant : variants) {
                 const auto built = buildOverlappedTrace(
                     bundle.traces, bundle.overlap,
                     variant.config);
-                point.variantTimes.push_back(
-                    session.run(built.traces, base).totalTime);
+                const auto run =
+                    session.run(built.traces, base);
+                point.variantTimes.push_back(run.totalTime);
+                point.stats.merge(run.stats);
             }
+            pool.spanEnd(lane);
+            tickProgress(cobs);
         });
+    for (const ScalingPoint &point : result.points)
+        result.stats.merge(point.stats);
+    collectSpans(cobs, pool);
     return result;
 }
 
@@ -213,7 +280,7 @@ topologySweep(const tracer::TraceBundle &bundle,
               const std::vector<double> &bandwidths,
               const std::vector<VariantSpec> &variants,
               const std::vector<TopologySpec> &topologies,
-              int threads)
+              int threads, CampaignObs *cobs)
 {
     TopologySweepResult result;
     result.topologies = topologies;
@@ -228,7 +295,8 @@ topologySweep(const tracer::TraceBundle &bundle,
         platform.topology = spec.topology;
         platform.name = base.name + "/" + spec.name;
         result.sweeps.push_back(bandwidthSweep(
-            bundle, platform, bandwidths, variants, threads));
+            bundle, platform, bandwidths, variants, threads,
+            cobs));
     }
     return result;
 }
@@ -239,7 +307,7 @@ degradedSweep(const tracer::TraceBundle &bundle,
               const std::vector<double> &bandwidths,
               const std::vector<VariantSpec> &variants,
               const std::vector<ScenarioSpec> &scenarios,
-              int threads)
+              int threads, CampaignObs *cobs)
 {
     DegradedSweepResult result;
     result.scenarios = scenarios;
@@ -253,7 +321,8 @@ degradedSweep(const tracer::TraceBundle &bundle,
         platform.scenario = spec.scenario;
         platform.name = base.name + "/" + spec.name;
         result.sweeps.push_back(bandwidthSweep(
-            bundle, platform, bandwidths, variants, threads));
+            bundle, platform, bandwidths, variants, threads,
+            cobs));
     }
     return result;
 }
@@ -301,7 +370,7 @@ resilienceSweep(const tracer::TraceBundle &bundle,
                 const std::vector<double> &mtbf_grid_us,
                 const std::vector<VariantSpec> &variants,
                 std::uint32_t seed_count, std::uint64_t seed,
-                int threads)
+                int threads, CampaignObs *cobs)
 {
     ovlAssert(seed_count > 0,
               "resilienceSweep: need at least one seed");
@@ -319,6 +388,8 @@ resilienceSweep(const tracer::TraceBundle &bundle,
     if (jobs > 0 && static_cast<std::size_t>(lanes) > jobs)
         lanes = static_cast<int>(jobs);
     ThreadPool pool(lanes);
+    if (cobs != nullptr && cobs->recordSpans)
+        pool.enableSpans();
 
     // Programs compile once into shared immutable replay programs,
     // exactly like bandwidthSweep; every (rate, seed, variant) job
@@ -348,12 +419,14 @@ resilienceSweep(const tracer::TraceBundle &bundle,
     std::vector<sim::ReplaySession> sessions(
         static_cast<std::size_t>(pool.size()));
     std::vector<SimTime> nominalTimes(programs.size());
+    std::vector<obs::EngineStats> nominalStats(programs.size());
     pool.parallelFor(
         programs.size(), [&](std::size_t v, int lane) {
-            nominalTimes[v] =
-                sessions[static_cast<std::size_t>(lane)]
-                    .run(*programs[v], nominal)
-                    .totalTime;
+            const auto run =
+                sessions[static_cast<std::size_t>(lane)].run(
+                    *programs[v], nominal);
+            nominalTimes[v] = run.totalTime;
+            nominalStats[v] = run.stats;
         });
     SimTime slowest;
     for (const SimTime t : nominalTimes) {
@@ -383,9 +456,15 @@ resilienceSweep(const tracer::TraceBundle &bundle,
     // seedTimes slots and the scenario expansion is a pure function
     // of (seed, i, s) through the counter RNG, so the sweep is
     // bit-identical to the sequential loop at any thread count.
+    // Jobs of one grid point race on that point, so per-job stats
+    // land in a private slot and fold sequentially below.
+    std::vector<obs::EngineStats> jobStats(jobs);
     pool.parallelFor(jobs, [&](std::size_t job, int lane) {
         const std::size_t i = job / seed_count;
         const std::size_t s = job % seed_count;
+        pool.spanBegin(lane,
+                       strformat("job mtbf=%.4g seed=%zu",
+                                 mtbf_grid_us[i], s));
 
         res::FaultModel model;
         model.processes.reserve(static_cast<std::size_t>(nodes));
@@ -407,8 +486,10 @@ resilienceSweep(const tracer::TraceBundle &bundle,
         ResiliencePoint &point = result.points[i];
         for (std::size_t v = 0; v < programs.size(); ++v) {
             try {
-                point.cells[v].seedTimes[s] =
-                    session.run(*programs[v], platform).totalTime;
+                const auto run =
+                    session.run(*programs[v], platform);
+                point.cells[v].seedTimes[s] = run.totalTime;
+                jobStats[job].merge(run.stats);
             } catch (const scen::FailureError &err) {
                 // A dead run is campaign data, not an error: the
                 // platform fails faster than this configuration
@@ -419,12 +500,19 @@ resilienceSweep(const tracer::TraceBundle &bundle,
                 point.cells[v].seedDiagnoses[s] = err.diagnosis();
             }
         }
+        pool.spanEnd(lane);
+        tickProgress(cobs);
     });
 
     for (ResiliencePoint &point : result.points) {
         for (ResilienceCell &cell : point.cells)
             aggregateCell(cell);
     }
+    for (const obs::EngineStats &stats : nominalStats)
+        result.stats.merge(stats);
+    for (const obs::EngineStats &stats : jobStats)
+        result.stats.merge(stats);
+    collectSpans(cobs, pool);
     return result;
 }
 

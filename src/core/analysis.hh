@@ -20,11 +20,37 @@
 #include "core/transform.hh"
 #include "gen/gen.hh"
 #include "net/topology.hh"
+#include "obs/progress.hh"
+#include "obs/stats.hh"
 #include "scen/scenario.hh"
 #include "sim/engine.hh"
 #include "tracer/tracer.hh"
+#include "util/thread_pool.hh"
 
 namespace ovlsim::core {
+
+/**
+ * Opt-in campaign observability (src/obs/). Passed by pointer with
+ * a null default, so instrumented sweeps cost nothing to callers
+ * that don't ask: a null hook skips every branch, and the engine
+ * counters are aggregated into the result structs either way.
+ */
+struct CampaignObs
+{
+    /** Ticked once per completed sweep point (or per (rate, seed)
+     * job of a resilience campaign); null = no progress output. */
+    obs::Progress *progress = nullptr;
+    /** Record per-lane host-time spans (compile/point phases) for
+     * Chrome-trace export via obs::writeChromeTrace. */
+    bool recordSpans = false;
+    /**
+     * Filled on return when recordSpans: the drained lane spans.
+     * Campaigns chaining several sweeps (topologySweep) append,
+     * shifting each inner sweep past the previous one's end so the
+     * merged track reads in wall order.
+     */
+    std::vector<ThreadPool::LaneSpan> spans;
+};
 
 /** A named overlapped variant to include in a comparison. */
 struct VariantSpec
@@ -49,6 +75,9 @@ struct SweepPoint
     double originalCommFraction = 0.0;
     /** Parallel to SweepResult::variants. */
     std::vector<SimTime> variantTimes;
+    /** Engine counters of this point's replays (original and every
+     * variant), merged. */
+    obs::EngineStats stats;
 
     /** Speedup of variant v over the original (1.0 = equal). */
     double speedup(std::size_t v) const;
@@ -59,6 +88,8 @@ struct SweepResult
 {
     std::vector<VariantSpec> variants;
     std::vector<SweepPoint> points;
+    /** Point stats folded over the whole sweep. */
+    obs::EngineStats stats;
 };
 
 /**
@@ -81,7 +112,8 @@ SweepResult bandwidthSweep(const tracer::TraceBundle &bundle,
                            const sim::PlatformConfig &base,
                            const std::vector<double> &bandwidths,
                            const std::vector<VariantSpec> &variants,
-                           int threads = 1);
+                           int threads = 1,
+                           CampaignObs *cobs = nullptr);
 
 /** One rank-count sample of a scaling sweep. */
 struct ScalingPoint
@@ -95,6 +127,8 @@ struct ScalingPoint
     double originalCommFraction = 0.0;
     /** Parallel to ScalingResult::variants. */
     std::vector<SimTime> variantTimes;
+    /** Engine counters of this point's replays, merged. */
+    obs::EngineStats stats;
 
     /** Speedup of variant v over the original (1.0 = equal). */
     double speedup(std::size_t v) const;
@@ -105,6 +139,8 @@ struct ScalingResult
 {
     std::vector<VariantSpec> variants;
     std::vector<ScalingPoint> points;
+    /** Point stats folded over the whole sweep. */
+    obs::EngineStats stats;
 };
 
 /**
@@ -128,7 +164,8 @@ ScalingResult scalingSweep(const gen::WorkloadConfig &workload,
                            const sim::PlatformConfig &base,
                            const std::vector<int> &rank_grid,
                            const std::vector<VariantSpec> &variants,
-                           int threads = 1);
+                           int threads = 1,
+                           CampaignObs *cobs = nullptr);
 
 /** A named interconnect to include in a topology campaign. */
 struct TopologySpec
@@ -168,7 +205,7 @@ topologySweep(const tracer::TraceBundle &bundle,
               const std::vector<double> &bandwidths,
               const std::vector<VariantSpec> &variants,
               const std::vector<TopologySpec> &topologies,
-              int threads = 1);
+              int threads = 1, CampaignObs *cobs = nullptr);
 
 /** A named dynamic scenario to include in a degradation campaign. */
 struct ScenarioSpec
@@ -205,7 +242,7 @@ degradedSweep(const tracer::TraceBundle &bundle,
               const std::vector<double> &bandwidths,
               const std::vector<VariantSpec> &variants,
               const std::vector<ScenarioSpec> &scenarios,
-              int threads = 1);
+              int threads = 1, CampaignObs *cobs = nullptr);
 
 /** Aggregates of one (failure rate x variant) campaign cell. */
 struct ResilienceCell
@@ -251,6 +288,9 @@ struct ResilienceResult
     /** Fault horizon applied to every generated scenario. */
     SimTime horizon;
     std::vector<ResiliencePoint> points;
+    /** Engine counters of every replay the campaign ran, merged
+     * (nominal pre-pass included). */
+    obs::EngineStats stats;
 };
 
 /**
@@ -280,7 +320,7 @@ resilienceSweep(const tracer::TraceBundle &bundle,
                 const std::vector<double> &mtbf_grid_us,
                 const std::vector<VariantSpec> &variants,
                 std::uint32_t seed_count, std::uint64_t seed = 1,
-                int threads = 1);
+                int threads = 1, CampaignObs *cobs = nullptr);
 
 /**
  * One checkpointing protocol to compare in protocolSweep(): a named

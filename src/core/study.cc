@@ -1,5 +1,6 @@
 #include "study.hh"
 
+#include "obs/stats.hh"
 #include "util/logging.hh"
 
 namespace ovlsim::core {
@@ -23,9 +24,12 @@ OverlapStudy::variantFor(const TransformConfig &config)
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         const auto it = cache_.find(key);
-        if (it != cache_.end())
+        if (it != cache_.end()) {
+            obs::studyCache().recordHit();
             return it->second;
+        }
     }
+    obs::studyCache().recordMiss();
     // Build and lower outside the lock so concurrent callers
     // constructing *different* variants don't serialize; a
     // same-variant race costs one redundant build (emplace keeps
@@ -38,7 +42,12 @@ OverlapStudy::variantFor(const TransformConfig &config)
     variant.program = sim::compileShared(result.traces);
     variant.traces = std::move(result.traces);
     std::lock_guard<std::mutex> lock(cacheMutex_);
-    return cache_.emplace(key, std::move(variant)).first->second;
+    const auto [it, inserted] =
+        cache_.emplace(key, std::move(variant));
+    if (inserted)
+        obs::studyCache().recordInsert(
+            it->second.program->memoryBytes());
+    return it->second;
 }
 
 const trace::TraceSet &
@@ -52,13 +61,19 @@ OverlapStudy::originalProgram() const
 {
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
-        if (originalProgram_ != nullptr)
+        if (originalProgram_ != nullptr) {
+            obs::studyCache().recordHit();
             return originalProgram_;
+        }
     }
+    obs::studyCache().recordMiss();
     auto program = sim::compileShared(bundle_.traces);
     std::lock_guard<std::mutex> lock(cacheMutex_);
-    if (originalProgram_ == nullptr)
+    if (originalProgram_ == nullptr) {
         originalProgram_ = std::move(program);
+        obs::studyCache().recordInsert(
+            originalProgram_->memoryBytes());
+    }
     return originalProgram_;
 }
 

@@ -101,6 +101,38 @@ LinkNetwork::advanceAll(SimTime now)
     }
 }
 
+void
+LinkNetwork::rebalanceTouched(SimTime now)
+{
+    for (Flow &flow : flows_) {
+        if (!touches(flow)) {
+            if (stats_) {
+                ++stats_->recomputesSkipped;
+                ++stats_->rearmsSkipped;
+            }
+            continue;
+        }
+        if (stats_)
+            ++stats_->rateRecomputes;
+        const double rate = bottleneckRate(flow);
+        if (rate == flow.rate) {
+            if (stats_)
+                ++stats_->rearmsSkipped;
+            continue;
+        }
+        flow.rate = rate;
+        const SimTime finish = finishTime(flow, now);
+        if (finish < flow.armed) {
+            flow.armed = finish;
+            reschedules_.emplace_back(flow.id, finish);
+            if (stats_)
+                ++stats_->rearmsTaken;
+        } else if (stats_) {
+            ++stats_->rearmsSkipped;
+        }
+    }
+}
+
 SimTime
 LinkNetwork::finishTime(const Flow &flow, SimTime now)
 {
@@ -142,8 +174,13 @@ LinkNetwork::start(std::uint32_t id, int src, int dst, Bytes bytes,
     // their bottleneck share unchanged, so their rate is not even
     // recomputed.
     for (Flow &f : flows_) {
-        if (touches(f))
+        if (touches(f)) {
             f.rate = bottleneckRate(f);
+            if (stats_)
+                ++stats_->rateRecomputes;
+        } else if (stats_) {
+            ++stats_->recomputesSkipped;
+        }
     }
     Flow &admitted = flows_.back();
     admitted.armed = finishTime(admitted, now);
@@ -209,19 +246,7 @@ LinkNetwork::onFinishEvent(std::uint32_t id, SimTime now)
         --linkLoad_[link];
     }
     markTouched(done.src, done.dst);
-    for (Flow &flow : flows_) {
-        if (!touches(flow))
-            continue;
-        const double rate = bottleneckRate(flow);
-        if (rate == flow.rate)
-            continue;
-        flow.rate = rate;
-        const SimTime finish = finishTime(flow, now);
-        if (finish < flow.armed) {
-            flow.armed = finish;
-            reschedules_.emplace_back(flow.id, finish);
-        }
-    }
+    rebalanceTouched(now);
     FinishCheck check;
     check.done = true;
     check.retry = now;
@@ -262,19 +287,7 @@ LinkNetwork::cancel(std::uint32_t id, SimTime now)
         --linkLoad_[link];
     }
     markTouched(dead.src, dead.dst);
-    for (Flow &flow : flows_) {
-        if (!touches(flow))
-            continue;
-        const double rate = bottleneckRate(flow);
-        if (rate == flow.rate)
-            continue;
-        flow.rate = rate;
-        const SimTime finish = finishTime(flow, now);
-        if (finish < flow.armed) {
-            flow.armed = finish;
-            reschedules_.emplace_back(flow.id, finish);
-        }
-    }
+    rebalanceTouched(now);
 }
 
 void
@@ -326,21 +339,9 @@ LinkNetwork::applyScales(SimTime now)
     for (const std::uint32_t link : scaleDirty_)
         linkTouch_[link] = touchEpoch_;
     scaleDirty_.clear();
-    for (Flow &flow : flows_) {
-        if (!touches(flow))
-            continue;
-        const double rate = bottleneckRate(flow);
-        if (rate == flow.rate)
-            continue;
-        flow.rate = rate;
-        const SimTime finish = finishTime(flow, now);
-        // Speedups (including unfreezes, whose armed is "never")
-        // re-arm eagerly; slowdowns wait for their stale event.
-        if (finish < flow.armed) {
-            flow.armed = finish;
-            reschedules_.emplace_back(flow.id, finish);
-        }
-    }
+    // Speedups (including unfreezes, whose armed is "never")
+    // re-arm eagerly; slowdowns wait for their stale event.
+    rebalanceTouched(now);
 }
 
 LinkNetwork::RerouteReport
@@ -453,14 +454,25 @@ LinkNetwork::rerouteDeadLinks(SimTime now)
             ++linkLoad_[l];
     }
     for (Flow &flow : flows_) {
+        // Occupancies may have moved anywhere: every rate is
+        // recomputed, nothing can be proven untouched.
+        if (stats_)
+            ++stats_->rateRecomputes;
         const double rate = bottleneckRate(flow);
-        if (rate == flow.rate)
+        if (rate == flow.rate) {
+            if (stats_)
+                ++stats_->rearmsSkipped;
             continue;
+        }
         flow.rate = rate;
         const SimTime finish = finishTime(flow, now);
         if (finish < flow.armed) {
             flow.armed = finish;
             reschedules_.emplace_back(flow.id, finish);
+            if (stats_)
+                ++stats_->rearmsTaken;
+        } else if (stats_) {
+            ++stats_->rearmsSkipped;
         }
     }
     return RerouteReport{};

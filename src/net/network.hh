@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "net/topology.hh"
+#include "obs/stats.hh"
 #include "util/types.hh"
 
 namespace ovlsim::net {
@@ -50,6 +51,17 @@ class LinkNetwork
      * allocations, so sessions reconfigure per replay for free.
      */
     void configure(const CompiledTopology *topo, double base_mbps);
+
+    /**
+     * Aim the network's observability counters (rate recomputes
+     * taken vs skipped, finish re-arms) at the owner's stats block.
+     * Non-owning; null (the default) disables counting. The driver
+     * re-installs the pointer after every snapshot restore — this
+     * object is copied whole into checkpoint images, and the
+     * counters must stay monotone across rollbacks rather than
+     * follow the machine state back.
+     */
+    void setStats(obs::EngineStats *stats) { stats_ = stats; }
 
     /**
      * Admit flow `id` from `src` to `dst` nodes at `now` and return
@@ -229,6 +241,16 @@ class LinkNetwork
     /** Bottleneck share of one flow under current occupancies. */
     double bottleneckRate(const Flow &flow) const;
 
+    /**
+     * Recompute the rate of every flow crossing a link of the
+     * current touch epoch and re-arm eagerly the ones that sped up
+     * (emitting reschedules); untouched flows are provably
+     * unaffected and skipped. Shared tail of completion, cancel
+     * and applyScales — the decision counts feed the skip/take
+     * observability counters.
+     */
+    void rebalanceTouched(SimTime now);
+
     /** Progress every flow to `now` at its current rate. */
     void advanceAll(SimTime now);
 
@@ -278,6 +300,8 @@ class LinkNetwork
     /** In-flight flows, admission-ordered. */
     std::vector<Flow> flows_;
     std::vector<std::pair<std::uint32_t, SimTime>> reschedules_;
+    /** Observability sink (see setStats); null = disabled. */
+    obs::EngineStats *stats_ = nullptr;
 };
 
 } // namespace ovlsim::net

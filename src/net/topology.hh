@@ -199,6 +199,16 @@ class CompiledTopology
                 linkIds_.data() + routeBegin_[row + 1]};
     }
 
+    /** Heap footprint of the compiled tables (cache accounting). */
+    std::size_t
+    memoryBytes() const
+    {
+        return linkFactor_.size() * sizeof(double) +
+            (linkFrom_.size() + linkTo_.size() +
+             routeBegin_.size() + linkIds_.size()) *
+            sizeof(std::uint32_t);
+    }
+
   private:
     friend CompiledTopology compileTopology(
         const TopologyConfig &config, int nodes);

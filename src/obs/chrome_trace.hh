@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-loadable) JSON export.
+ *
+ * Two worlds share one trace file:
+ *
+ *  - Simulated time (pid 0): one track per rank from the replay's
+ *    sim::Timeline. Compute/comm/stall/restart intervals become
+ *    B/E duration-event pairs (one matched pair per interval, ts
+ *    monotone per track), coordinated checkpoints become global
+ *    instant events on a "machine" track, and each rollback's
+ *    restart window additionally emits a "rollback" instant at its
+ *    cut.
+ *
+ *  - Host time (pid 1): one track per sweep lane from the thread
+ *    pool's opt-in span buffers (ThreadPool::enableSpans), e.g.
+ *    compile vs. replay phases and per-point spans of a campaign.
+ *    Host spans are emitted as X (complete) events — begin + dur —
+ *    so arbitrary nesting needs no pairing discipline.
+ *
+ * All timestamps are microseconds (the trace-event convention):
+ * simulated nanoseconds divided by 1e3, host nanoseconds since the
+ * span epoch divided by 1e3. Load the file at ui.perfetto.dev or
+ * chrome://tracing.
+ */
+
+#ifndef OVLSIM_OBS_CHROME_TRACE_HH
+#define OVLSIM_OBS_CHROME_TRACE_HH
+
+#include <span>
+#include <string>
+
+#include "sim/timeline.hh"
+#include "util/thread_pool.hh"
+
+namespace ovlsim::obs {
+
+/** Render the trace-event JSON document (see file comment). */
+std::string
+chromeTraceJson(const sim::Timeline &timeline,
+                std::span<const ThreadPool::LaneSpan> host_spans = {});
+
+/** Write chromeTraceJson() to `path`; FatalError when the file
+ * cannot be written. */
+void
+writeChromeTrace(const std::string &path,
+                 const sim::Timeline &timeline,
+                 std::span<const ThreadPool::LaneSpan> host_spans = {});
+
+} // namespace ovlsim::obs
+
+#endif // OVLSIM_OBS_CHROME_TRACE_HH

@@ -1,0 +1,85 @@
+#include "obs/progress.hh"
+
+#include <cstdio>
+
+namespace ovlsim::obs {
+
+namespace {
+
+/** Minimum gap between two non-final status lines. */
+constexpr std::int64_t reportIntervalMs = 500;
+
+} // namespace
+
+Progress::Progress(std::string label, std::size_t total)
+    : label_(std::move(label)), total_(total),
+      start_(std::chrono::steady_clock::now())
+{}
+
+Progress::~Progress()
+{
+    finish();
+}
+
+void
+Progress::tick(std::size_t n)
+{
+    const std::size_t now =
+        done_.fetch_add(n, std::memory_order_relaxed) + n;
+    const bool last = now >= total_;
+    if (!last) {
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        // One thread wins the gate per interval; losers skip the
+        // line. Relaxed is fine: a lost or duplicated status line
+        // is cosmetic.
+        std::int64_t gate =
+            nextReportMs_.load(std::memory_order_relaxed);
+        if (elapsed < gate ||
+            !nextReportMs_.compare_exchange_strong(
+                gate, elapsed + reportIntervalMs,
+                std::memory_order_relaxed))
+            return;
+    }
+    report(now, last);
+    if (last)
+        finished_.store(true, std::memory_order_relaxed);
+}
+
+void
+Progress::finish()
+{
+    if (finished_.exchange(true, std::memory_order_relaxed))
+        return;
+    report(done_.load(std::memory_order_relaxed), true);
+}
+
+void
+Progress::report(std::size_t done_now, bool final_line)
+{
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const double pct = total_ == 0
+        ? 100.0
+        : 100.0 * static_cast<double>(done_now) /
+            static_cast<double>(total_);
+    if (final_line || done_now == 0) {
+        std::fprintf(stderr,
+                     "progress: %s %zu/%zu (%.0f%%) in %.1fs\n",
+                     label_.c_str(), done_now, total_, pct,
+                     elapsed);
+        return;
+    }
+    const double eta = elapsed *
+        static_cast<double>(total_ - done_now) /
+        static_cast<double>(done_now);
+    std::fprintf(stderr,
+                 "progress: %s %zu/%zu (%.0f%%) eta %.1fs\n",
+                 label_.c_str(), done_now, total_, pct, eta);
+}
+
+} // namespace ovlsim::obs

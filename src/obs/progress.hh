@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Opt-in campaign progress reporter.
+ *
+ * A Progress instance tracks done/total over one campaign and
+ * prints throttled status lines (points done, percentage, ETA) to
+ * stderr. Sweep drivers tick it once per completed point from
+ * whatever lane finished the point, so it is thread-safe and cheap:
+ * one relaxed atomic increment per tick, and the line is printed by
+ * at most one thread at a time via a time-gate exchange.
+ *
+ * Nothing is printed unless the caller constructs one and hands it
+ * to a sweep (examples expose this as --progress), keeping default
+ * campaign output byte-identical to the pre-observability builds.
+ */
+
+#ifndef OVLSIM_OBS_PROGRESS_HH
+#define OVLSIM_OBS_PROGRESS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace ovlsim::obs {
+
+class Progress
+{
+  public:
+    /**
+     * Track `total` points under `label`. The clock starts here;
+     * ETA extrapolates the mean per-point rate observed so far.
+     */
+    Progress(std::string label, std::size_t total);
+
+    Progress(const Progress &) = delete;
+    Progress &operator=(const Progress &) = delete;
+
+    /** Prints the final line if finish() was never called. */
+    ~Progress();
+
+    /**
+     * Record `n` completed points. Thread-safe; prints at most one
+     * status line per reporting interval (and always at 100%).
+     */
+    void tick(std::size_t n = 1);
+
+    /** Points completed so far. */
+    std::size_t
+    done() const
+    {
+        return done_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t total() const { return total_; }
+
+    /** Print the final summary line (idempotent). */
+    void finish();
+
+  private:
+    void report(std::size_t done_now, bool final_line);
+
+    std::string label_;
+    std::size_t total_;
+    std::chrono::steady_clock::time_point start_;
+    std::atomic<std::size_t> done_{0};
+    /** Milliseconds-since-start gate of the next allowed report. */
+    std::atomic<std::int64_t> nextReportMs_{0};
+    std::atomic<bool> finished_{false};
+};
+
+} // namespace ovlsim::obs
+
+#endif // OVLSIM_OBS_PROGRESS_HH

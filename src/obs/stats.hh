@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Always-cheap engine and cache observability counters.
+ *
+ * EngineStats is a fixed slab of plain integers filled by single
+ * increments on paths the replay engine already executes — no
+ * atomics, no branches beyond what a compare for a high-water mark
+ * costs — so counters stay on in every build, including the
+ * benchmarked Release configuration. One replay fills one instance
+ * (the engine is single-threaded per session); the result is copied
+ * into sim::SimResult::stats at the end of run() and merged per
+ * campaign row by the study runtime. Like eventsProcessed, the
+ * counters are monotone across checkpoint rollbacks: rolled-back
+ * events were still simulated work, so a restarted replay reports
+ * the work it actually performed, not the work that survived.
+ *
+ * Cache counters cover the three process-wide compile caches
+ * (core/study.cc ReplayProgram sharing, the per-session
+ * net::compileTopology cache, the coll::compileSchedule cache).
+ * They are shared across sweep lanes, hence atomic; cacheReport()
+ * snapshots all three for reports and tests.
+ */
+
+#ifndef OVLSIM_OBS_STATS_HH
+#define OVLSIM_OBS_STATS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ovlsim::obs {
+
+/** Fixed-slot per-replay counters (see file comment). */
+struct EngineStats
+{
+    /** Events pushed onto the engine's event heap (includes the
+     * heap rebuild of a checkpoint restore). */
+    std::uint64_t heapPushes = 0;
+    /** Events popped off the heap. Equal to heapPushes once a
+     * replay drains; the pair pins the invariant cheaply. */
+    std::uint64_t heapPops = 0;
+    /** Channel-table accesses (postSend/postRecv FlatMap lookups). */
+    std::uint64_t channelProbes = 0;
+    /** Peak size of the transfer arena (exact-reserve check). */
+    std::uint64_t arenaHighWater = 0;
+    /** LinkNetwork bottleneck-rate recomputations performed. */
+    std::uint64_t rateRecomputes = 0;
+    /** Rate recomputations skipped by the touched-links filter. */
+    std::uint64_t recomputesSkipped = 0;
+    /** Finish re-arms actually scheduled after a rate change. */
+    std::uint64_t rearmsTaken = 0;
+    /** Flows examined on a completion/cancel/rescale that needed
+     * no earlier finish event (unchanged or later finish). */
+    std::uint64_t rearmsSkipped = 0;
+    /** Scenario events applied (degrades, stalls, failures, ...). */
+    std::uint64_t scenarioEvents = 0;
+    /** Collective schedule steps retired (algorithmic model). */
+    std::uint64_t collSteps = 0;
+    /** Simulated time re-executed or paid as restart cost across
+     * all rollbacks (sum of restore deltas), in nanoseconds. */
+    std::uint64_t rollbackReworkNs = 0;
+
+    bool operator==(const EngineStats &) const = default;
+
+    /**
+     * Fold another replay's stats into this one (campaign-row
+     * aggregation): counters add, the high-water mark takes the
+     * max. Commutative and associative, so campaign aggregates are
+     * independent of point order and thread count.
+     */
+    EngineStats &
+    merge(const EngineStats &o)
+    {
+        heapPushes += o.heapPushes;
+        heapPops += o.heapPops;
+        channelProbes += o.channelProbes;
+        if (o.arenaHighWater > arenaHighWater)
+            arenaHighWater = o.arenaHighWater;
+        rateRecomputes += o.rateRecomputes;
+        recomputesSkipped += o.recomputesSkipped;
+        rearmsTaken += o.rearmsTaken;
+        rearmsSkipped += o.rearmsSkipped;
+        scenarioEvents += o.scenarioEvents;
+        collSteps += o.collSteps;
+        rollbackReworkNs += o.rollbackReworkNs;
+        return *this;
+    }
+
+    /** One-line "key=value ..." rendering for logs and reports. */
+    std::string toString() const;
+};
+
+/**
+ * Shared hit/miss/size/bytes counters of one process-wide compile
+ * cache. Entries and bytes track the live cache content; hits and
+ * misses are monotone totals. All atomics are relaxed: the values
+ * are statistics, not synchronization.
+ */
+struct CacheCounters
+{
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> entries{0};
+    std::atomic<std::uint64_t> bytes{0};
+
+    void
+    recordHit()
+    {
+        hits.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    recordMiss()
+    {
+        misses.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** A new entry of `entry_bytes` went live in the cache. */
+    void
+    recordInsert(std::uint64_t entry_bytes)
+    {
+        entries.fetch_add(1, std::memory_order_relaxed);
+        bytes.fetch_add(entry_bytes, std::memory_order_relaxed);
+    }
+
+    /** The cache was emptied (clear hook); totals stay. */
+    void
+    recordClear()
+    {
+        entries.store(0, std::memory_order_relaxed);
+        bytes.store(0, std::memory_order_relaxed);
+    }
+};
+
+/** core/study.cc variant + original ReplayProgram cache. */
+CacheCounters &studyCache();
+
+/** net::compileTopology per-session route-table cache. */
+CacheCounters &topologyCache();
+
+/** coll::compileSchedule process-wide schedule cache. */
+CacheCounters &scheduleCache();
+
+/** Plain snapshot of one cache's counters. */
+struct CacheReportRow
+{
+    std::string name;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+
+    /** Hit fraction in [0, 1]; 0 when the cache was never asked. */
+    double
+    hitRate() const
+    {
+        const std::uint64_t asked = hits + misses;
+        return asked == 0
+            ? 0.0
+            : static_cast<double>(hits) /
+                static_cast<double>(asked);
+    }
+};
+
+/** Snapshot all three compile caches ("study", "topology",
+ * "schedule", in that order). */
+std::vector<CacheReportRow> cacheReport();
+
+/** Multi-line rendering of cacheReport() for reports. */
+std::string cacheReportString();
+
+/** Zero every cache counter (tests; not thread-safe vs. sweeps). */
+void resetCacheStats();
+
+} // namespace ovlsim::obs
+
+#endif // OVLSIM_OBS_STATS_HH

@@ -9,6 +9,7 @@
 #include "coll/coll.hh"
 #include "coll/schedule.hh"
 #include "net/network.hh"
+#include "obs/stats.hh"
 #include "net/topology.hh"
 #include "scen/scenario.hh"
 #include "sim/program.hh"
@@ -626,6 +627,15 @@ class Engine
 
     int doneRanks_ = 0;
     Timeline timeline_;
+
+    /**
+     * Always-on observability counters (src/obs/): plain
+     * increments on the paths they watch, zeroed per run, copied
+     * into SimResult::stats at the end. Monotone across rollbacks
+     * — rework is precisely what they exist to expose — so they
+     * are NOT part of Snapshot.
+     */
+    obs::EngineStats stats_;
 };
 
 void
@@ -633,6 +643,7 @@ Engine::schedule(SimTime t, EventKind kind, std::uint32_t target)
 {
     ovlAssert(target <= Event::targetMask,
               "event target overflows the packed representation");
+    ++stats_.heapPushes;
     events_.push(Event{
         t, nextSeq_++,
         (static_cast<std::uint32_t>(kind) << Event::kindShift) |
@@ -710,6 +721,7 @@ Engine::reset()
     lastSerBytes_[0] = lastSerBytes_[1] = 0;
     lastSerDelay_[0] = lastSerDelay_[1] = SimTime::zero();
     timeline_ = Timeline();
+    stats_ = obs::EngineStats{};
 }
 
 SimResult
@@ -742,15 +754,20 @@ Engine::run(const ReplayProgram &program,
         // replays (bandwidth sweeps, bisections) reuse it.
         if (topoNodes_ != nodes ||
             !(topoKey_ == platform_.topology)) {
+            obs::topologyCache().recordMiss();
             topo_ = net::compileTopology(platform_.topology, nodes);
+            obs::topologyCache().recordInsert(topo_.memoryBytes());
             topoKey_ = platform_.topology;
             topoNodes_ = nodes;
+        } else {
+            obs::topologyCache().recordHit();
         }
         const double base_mbps =
             platform_.topology.linkBandwidthMBps > 0.0
                 ? platform_.topology.linkBandwidthMBps
                 : platform_.bandwidthMBps;
         network_.configure(&topo_, base_mbps);
+        network_.setStats(&stats_);
         hopLatency_ =
             SimTime::fromUs(platform_.topology.hopLatencyUs);
     }
@@ -882,6 +899,7 @@ Engine::run(const ReplayProgram &program,
     while (!events_.empty()) {
         const Event ev = events_.top();
         events_.pop();
+        ++stats_.heapPops;
         countEvent();
 
         switch (ev.kind()) {
@@ -925,6 +943,7 @@ Engine::run(const ReplayProgram &program,
     result.checkpoints = checkpointsTaken_;
     result.restarts = restarts_;
     result.timeline = std::move(timeline_);
+    result.stats = stats_;
     return result;
 }
 
@@ -1204,6 +1223,8 @@ Engine::postSend(RankCtx &ctx, const PackedOp &op,
     const auto idx =
         static_cast<std::uint32_t>(transfers_.size());
     Transfer &t = transfers_.emplace_back();
+    if (transfers_.size() > stats_.arenaHighWater)
+        stats_.arenaHighWater = transfers_.size();
     t.bytes = bytes;
     t.src = ctx.rank;
     t.dst = dst;
@@ -1226,6 +1247,7 @@ Engine::postSend(RankCtx &ctx, const PackedOp &op,
     ctx.result.bytesSent += bytes;
 
     // Match against an already-posted receive, FIFO per channel.
+    ++stats_.channelProbes;
     ChannelQueue &q = channels_[key];
     if (q.recvHead != npos32) {
         const std::uint32_t post_idx = q.recvHead;
@@ -1256,6 +1278,7 @@ Engine::postRecv(RankCtx &ctx, const PackedOp &op,
 {
     const ChannelKey key = op.a;
     const Bytes bytes = op.b;
+    ++stats_.channelProbes;
     ChannelQueue &q = channels_[key];
     if (q.sendHead != npos32) {
         const std::uint32_t idx = q.sendHead;
@@ -1776,6 +1799,7 @@ Engine::advanceCollRank(std::uint32_t c, Rank r)
         if (ex.slotTime[step.slot] > ex.rankTime[ri])
             ex.rankTime[ri] = ex.slotTime[step.slot];
         ++ex.cursor[ri];
+        ++stats_.collSteps;
     }
     finishCollRank(c, r);
 }
@@ -1787,6 +1811,8 @@ Engine::postCollTransfer(std::uint32_t c, Rank r,
     const Rank dst = step.peer;
     const auto idx = static_cast<std::uint32_t>(transfers_.size());
     Transfer &transfer = transfers_.emplace_back();
+    if (transfers_.size() > stats_.arenaHighWater)
+        stats_.arenaHighWater = transfers_.size();
     transfer.bytes = step.bytes;
     transfer.src = r;
     transfer.dst = dst;
@@ -1830,6 +1856,7 @@ Engine::onCollSendInjected(std::uint32_t idx, SimTime t)
     if (t > ex.rankTime[ri])
         ex.rankTime[ri] = t;
     ++ex.cursor[ri];
+    ++stats_.collSteps;
     ex.rankState[ri] = collRunning;
     advanceCollRank(c, r);
 }
@@ -1864,6 +1891,7 @@ Engine::onCollArrived(std::uint32_t idx, SimTime t)
     if (t > ex.rankTime[di])
         ex.rankTime[di] = t;
     ++ex.cursor[di];
+    ++stats_.collSteps;
     ex.rankState[di] = collRunning;
     advanceCollRank(c, dst);
 }
@@ -1935,6 +1963,7 @@ Engine::handleScenarioEvent(std::uint32_t i, SimTime t)
                  EventKind::scenario, i + 1);
     }
     scenNextIdx_ = i + 1;
+    ++stats_.scenarioEvents;
     const scen::ScenarioEvent &ev = scenario_.event(i);
     switch (ev.kind) {
       case scen::ScenEventKind::degrade:
@@ -2200,6 +2229,8 @@ Engine::handleCheckpoint(std::uint32_t level, SimTime t)
                  (global ? ckptGlobalInterval_ : ckptInterval_),
              EventKind::checkpoint, level);
     takeSnapshot(t + cost);
+    if (capture_)
+        timeline_.addCheckpoint(t + cost, global);
     // A global checkpoint also refreshes the local image: the
     // newest restartable image is always at least as recent at the
     // cheap level as at the expensive one.
@@ -2366,6 +2397,10 @@ Engine::restartFromCheckpoint(std::uint32_t i, SimTime t)
                   "behind");
         network_.clearPendingReschedules();
         network_ = s.network;
+        // The snapshot was imaged with the stats pointer embedded;
+        // re-aim it at this run's live counters (monotone across
+        // rollbacks, never restored).
+        network_.setStats(&stats_);
         network_.shiftFlowClocks(delta);
         ovlAssert(network_.totalLoad() == s.network.totalLoad(),
                   "restore changed link occupancy");
@@ -2378,6 +2413,7 @@ Engine::restartFromCheckpoint(std::uint32_t i, SimTime t)
     for (std::size_t k = 0; k < s.events.size(); ++k) {
         Event ev = s.events[k];
         ev.time += delta;
+        ++stats_.heapPushes;
         events_.push(ev);
     }
     nextSeq_ = s.nextSeq;
@@ -2418,6 +2454,11 @@ Engine::restartFromCheckpoint(std::uint32_t i, SimTime t)
     ovlAssert(bytes_after <= bytes_before &&
                   msgs_after <= msgs_before,
               "rollback increased sent traffic");
+
+    // Simulated time spent redoing rolled-back work plus the
+    // restart cost itself — the rework this rollback added.
+    stats_.rollbackReworkNs +=
+        static_cast<std::uint64_t>(delta.ns());
 
     // The machine pays the restart: every rank alive in the
     // restored image spends [t, restore_at] rolling back.

@@ -191,6 +191,19 @@ class ReplayProgram
         return p2p_[index];
     }
 
+    /** Heap footprint of the compiled streams (cache accounting). */
+    std::size_t
+    memoryBytes() const
+    {
+        return kinds_.size() * sizeof(std::uint8_t) +
+            ops_.size() * sizeof(PackedOp) +
+            (rankBegin_.size() + rankRegs_.size()) *
+                sizeof(std::uint32_t) +
+            collectives_.size() * sizeof(CollectiveSpec) +
+            p2p_.size() * sizeof(P2pMeta) +
+            waitReqs_.size() * sizeof(trace::RequestId);
+    }
+
     /** Decode op `i` of rank `r` back into the source record. */
     trace::Record decodeOp(Rank r, std::size_t i) const;
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats.hh"
 #include "sim/timeline.hh"
 #include "util/types.hh"
 
@@ -56,6 +57,8 @@ struct SimResult
     std::uint64_t restarts = 0;
     /** Populated only when the platform enables timeline capture. */
     Timeline timeline;
+    /** Always-on engine counters for this run (src/obs/). */
+    obs::EngineStats stats;
 
     /** Mean fraction of rank time spent computing, in [0, 1]. */
     double computeFraction() const;

@@ -60,6 +60,19 @@ struct StateInterval
     RankState state = RankState::idle;
 };
 
+/**
+ * Machine-wide instant marker: a coordinated checkpoint committed
+ * at `at` (the instant the written image is consistent). Rollbacks
+ * need no marker of their own — they appear as RankState::restart
+ * intervals on every surviving rank.
+ */
+struct CheckpointMark
+{
+    SimTime at;
+    /** True for the global level of two-level checkpointing. */
+    bool global = false;
+};
+
 /** Lifetime of one simulated message transfer. */
 struct CommEvent
 {
@@ -189,10 +202,25 @@ class Timeline
 
     void addComm(CommEvent event) { comms_.push_back(event); }
 
+    /** Record a committed coordinated checkpoint. Marks are
+     * machine-wide (the freeze stops every rank) and survive
+     * rollbacks: a checkpoint that was taken stays history. */
+    void
+    addCheckpoint(SimTime at, bool global)
+    {
+        checkpoints_.push_back(CheckpointMark{at, global});
+    }
+
     /** Rank r's intervals in append order. */
     IntervalRange intervals(Rank r) const;
 
     const std::vector<CommEvent> &comms() const { return comms_; }
+
+    const std::vector<CheckpointMark> &
+    checkpoints() const
+    {
+        return checkpoints_;
+    }
 
     /** Latest interval end across all ranks. */
     SimTime span() const;
@@ -236,6 +264,7 @@ class Timeline
     std::uint32_t nodeCount_ = 0;
     std::vector<RankList> perRank_;
     std::vector<CommEvent> comms_;
+    std::vector<CheckpointMark> checkpoints_;
 };
 
 } // namespace ovlsim::sim

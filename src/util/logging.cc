@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ovlsim {
 
@@ -21,6 +22,46 @@ LogLevel
 logLevel()
 {
     return globalLevel.load(std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "quiet")
+        return LogLevel::quiet;
+    if (name == "warn")
+        return LogLevel::warn;
+    if (name == "inform")
+        return LogLevel::inform;
+    if (name == "debug")
+        return LogLevel::debug;
+    fatal("unknown log level `", name,
+          "` (expected quiet, warn, inform or debug)");
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::quiet:
+        return "quiet";
+      case LogLevel::warn:
+        return "warn";
+      case LogLevel::inform:
+        return "inform";
+      case LogLevel::debug:
+        return "debug";
+    }
+    panic("logLevelName: bad level");
+}
+
+void
+initLogLevelFromEnv()
+{
+    const char *env = std::getenv("OVLSIM_LOG");
+    if (env == nullptr || *env == '\0')
+        return;
+    setLogLevel(parseLogLevel(env));
 }
 
 namespace detail {

@@ -45,6 +45,21 @@ void setLogLevel(LogLevel level);
 /** Current global verbosity threshold. */
 LogLevel logLevel();
 
+/** Parse a level name ("quiet", "warn", "inform", "debug");
+ * FatalError on anything else. */
+LogLevel parseLogLevel(const std::string &name);
+
+/** Canonical name of a level ("quiet", "warn", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Apply the OVLSIM_LOG environment variable (a level name) to the
+ * global threshold; a missing/empty variable leaves it untouched.
+ * Called by Options::parse so every CLI tool honors it without
+ * per-tool wiring; library users may call it directly.
+ */
+void initLogLevelFromEnv();
+
 namespace detail {
 
 /** Emit a formatted message line to stderr if level passes the filter. */

@@ -21,6 +21,10 @@ Options::declare(const std::string &name,
 void
 Options::parse(int argc, const char *const *argv)
 {
+    // Every CLI tool passes through here exactly once, so the
+    // OVLSIM_LOG environment hook rides along without per-tool
+    // wiring.
+    initLogLevelFromEnv();
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (!startsWith(arg, "--")) {

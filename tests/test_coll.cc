@@ -33,6 +33,7 @@
 #include "coll/schedule.hh"
 #include "core/analysis.hh"
 #include "helpers.hh"
+#include "obs/stats.hh"
 #include "sim/engine.hh"
 #include "sim/platform_file.hh"
 #include "sim/program.hh"
@@ -361,7 +362,9 @@ TEST(ScheduleTest, CacheSharesOneScheduleAcrossCallers)
     const auto r3 = coll::compileSchedule(CollOp::broadcast, 8, 3,
                                           4096);
     EXPECT_NE(r0.get(), r3.get());
-    EXPECT_GT(coll::scheduleCacheSize(), 0u);
+    const obs::CacheReportRow sched_cache = obs::cacheReport()[2];
+    EXPECT_EQ(sched_cache.name, "schedule");
+    EXPECT_GT(sched_cache.entries, 0u);
 }
 
 TEST(CollPlatformFileTest, ModelAndPinsRoundTrip)

@@ -1,0 +1,723 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs/): always-on engine
+ * counters pinned on closed-form replays, cache introspection,
+ * campaign aggregation that stays bit-identical across sessions and
+ * thread counts, host-span recording under parallel load, and a
+ * round-trip of the Chrome trace-event export through a real JSON
+ * parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "coll/schedule.hh"
+#include "core/analysis.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/progress.hh"
+#include "obs/stats.hh"
+#include "sim/engine.hh"
+#include "sim/platform.hh"
+#include "util/thread_pool.hh"
+
+#include "helpers.hh"
+
+namespace ovlsim {
+namespace {
+
+using scen::FailSemantics;
+using scen::ScenarioEvent;
+using scen::ScenEventKind;
+using scen::ScenTarget;
+using trace::RecvRec;
+using trace::SendRec;
+using trace::TraceSet;
+
+/** Default cluster with the checkpoint/restart cost model set. */
+sim::PlatformConfig
+ckptPlatform(double interval_us, double cost_us, double restart_us)
+{
+    auto platform = sim::platforms::defaultCluster();
+    platform.checkpointIntervalUs = interval_us;
+    platform.checkpointCostUs = cost_us;
+    platform.restartCostUs = restart_us;
+    return platform;
+}
+
+ScenarioEvent
+nodeFail(double us, int node)
+{
+    ScenarioEvent ev;
+    ev.time = SimTime::fromUs(us);
+    ev.kind = ScenEventKind::fail;
+    ev.target = ScenTarget::node;
+    ev.nodeA = node;
+    ev.semantics = FailSemantics::failStop;
+    return ev;
+}
+
+// ---------------------------------------------------------------
+// EngineStats: the merge algebra and the closed-form counter pins.
+// ---------------------------------------------------------------
+
+TEST(EngineStatsTest, MergeAddsCountersAndMaxesTheHighWater)
+{
+    obs::EngineStats a;
+    a.heapPushes = 10;
+    a.heapPops = 10;
+    a.channelProbes = 4;
+    a.arenaHighWater = 3;
+    a.rollbackReworkNs = 100;
+    obs::EngineStats b;
+    b.heapPushes = 5;
+    b.heapPops = 5;
+    b.arenaHighWater = 7;
+    b.collSteps = 2;
+
+    obs::EngineStats ab = a;
+    ab.merge(b);
+    EXPECT_EQ(ab.heapPushes, 15u);
+    EXPECT_EQ(ab.heapPops, 15u);
+    EXPECT_EQ(ab.channelProbes, 4u);
+    EXPECT_EQ(ab.arenaHighWater, 7u);
+    EXPECT_EQ(ab.collSteps, 2u);
+    EXPECT_EQ(ab.rollbackReworkNs, 100u);
+
+    // Commutative: fold order cannot matter for campaign rows.
+    obs::EngineStats ba = b;
+    ba.merge(a);
+    EXPECT_TRUE(ab == ba);
+}
+
+TEST(EngineStatsTest, ClosedFormPingPinsTheCounters)
+{
+    // One eager send/recv pair: exactly one transfer in the arena
+    // and one channel probe per endpoint. No scenario, no
+    // collectives, no rollbacks.
+    TraceSet traces("t", 2);
+    traces.rankTrace(0).append(SendRec{1, 1, 256'000, 1});
+    traces.rankTrace(1).append(RecvRec{0, 1, 256'000, 1});
+    const auto result =
+        sim::simulate(traces, sim::platforms::defaultCluster());
+
+    const obs::EngineStats &stats = result.stats;
+    EXPECT_EQ(stats.channelProbes, 2u);
+    EXPECT_EQ(stats.arenaHighWater, 1u);
+    EXPECT_EQ(stats.heapPops, stats.heapPushes);
+    EXPECT_GT(stats.heapPushes, 0u);
+    EXPECT_EQ(stats.scenarioEvents, 0u);
+    EXPECT_EQ(stats.collSteps, 0u);
+    EXPECT_EQ(stats.rollbackReworkNs, 0u);
+
+    // A replay is deterministic, so its counters are too.
+    const auto again =
+        sim::simulate(traces, sim::platforms::defaultCluster());
+    EXPECT_TRUE(again.stats == stats);
+}
+
+TEST(EngineStatsTest, HeapBalancesOnRollbackFreeContendedReplays)
+{
+    // Every event pushed drains through the single pop site when no
+    // rollback ever clears the heap; the link network's
+    // touched-links filter splits recompute work into performed +
+    // skipped on a contended fabric.
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 500'000, 4));
+    auto platform = sim::platforms::defaultCluster();
+    platform.topology = net::topologies::taperedFatTree(4, 0.5);
+
+    const auto result = sim::simulate(bundle.traces, platform);
+    EXPECT_EQ(result.stats.heapPops, result.stats.heapPushes);
+    EXPECT_GT(result.stats.rateRecomputes, 0u);
+    EXPECT_GT(result.stats.channelProbes, 0u);
+
+    // A reusable session reports the same counters as the one-shot
+    // entry point.
+    sim::ReplaySession session;
+    const auto viaSession = session.run(bundle.traces, platform);
+    EXPECT_TRUE(viaSession.stats == result.stats);
+}
+
+TEST(EngineStatsTest, RollbackChargesReworkAndKeepsPushesAhead)
+{
+    // The closed-form restart pin of test_res: I = 60, C = 5,
+    // R = 7 over a single 100 us burst, fail-stop at machine
+    // progress 80 (wall 85). The rollback restores the checkpoint
+    // imaged at wall 65 and re-enters at 85 + 7, so the rework
+    // delta is exactly 27 us.
+    auto platform = ckptPlatform(60.0, 5.0, 7.0);
+    platform.scenario.events.push_back(nodeFail(80.0, 0));
+    const auto bundle = testing::traceOf(
+        1, [](vm::VmContext &ctx) { ctx.compute(100'000); });
+
+    const auto result = sim::simulate(bundle.traces, platform);
+    EXPECT_EQ(result.restarts, 1u);
+    EXPECT_EQ(result.stats.rollbackReworkNs,
+              static_cast<std::uint64_t>(
+                  SimTime::fromUs(27.0).ns()));
+    // The restart discards counted pushes with the cleared heap,
+    // so pushes can only run ahead of pops, never behind.
+    EXPECT_GE(result.stats.heapPushes, result.stats.heapPops);
+    EXPECT_GT(result.stats.scenarioEvents, 0u);
+}
+
+// ---------------------------------------------------------------
+// Cache introspection.
+// ---------------------------------------------------------------
+
+TEST(CacheStatsTest, ScheduleCacheCountsHitsMissesAndClears)
+{
+    coll::clearScheduleCache();
+    obs::resetCacheStats();
+
+    const auto first = coll::compileSchedule(
+        trace::CollOp::allReduce, 4, 0, 4096,
+        coll::Algorithm::recursiveDoubling);
+    auto row = obs::cacheReport()[2];
+    EXPECT_EQ(row.name, "schedule");
+    EXPECT_EQ(row.misses, 1u);
+    EXPECT_EQ(row.hits, 0u);
+    EXPECT_EQ(row.entries, 1u);
+    EXPECT_GT(row.bytes, 0u);
+    EXPECT_DOUBLE_EQ(row.hitRate(), 0.0);
+
+    const auto second = coll::compileSchedule(
+        trace::CollOp::allReduce, 4, 0, 4096,
+        coll::Algorithm::recursiveDoubling);
+    EXPECT_EQ(first.get(), second.get());
+    row = obs::cacheReport()[2];
+    EXPECT_EQ(row.hits, 1u);
+    EXPECT_EQ(row.misses, 1u);
+    EXPECT_EQ(row.entries, 1u);
+    EXPECT_DOUBLE_EQ(row.hitRate(), 0.5);
+
+    // Clearing empties the gauges but keeps the hit/miss history,
+    // and live schedules stay valid.
+    coll::clearScheduleCache();
+    row = obs::cacheReport()[2];
+    EXPECT_EQ(row.entries, 0u);
+    EXPECT_EQ(row.bytes, 0u);
+    EXPECT_EQ(row.hits, 1u);
+    EXPECT_EQ(row.misses, 1u);
+    EXPECT_GT(first->totalSteps(), 0u);
+
+    // A recompile is a fresh miss into the emptied cache.
+    const auto third = coll::compileSchedule(
+        trace::CollOp::allReduce, 4, 0, 4096,
+        coll::Algorithm::recursiveDoubling);
+    row = obs::cacheReport()[2];
+    EXPECT_EQ(row.misses, 2u);
+    EXPECT_EQ(row.entries, 1u);
+    EXPECT_NE(third.get(), first.get());
+}
+
+TEST(CacheStatsTest, ReportCoversAllThreeCachesInOrder)
+{
+    const auto rows = obs::cacheReport();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].name, "study");
+    EXPECT_EQ(rows[1].name, "topology");
+    EXPECT_EQ(rows[2].name, "schedule");
+    // The rendered report names every cache.
+    const std::string text = obs::cacheReportString();
+    EXPECT_NE(text.find("study"), std::string::npos);
+    EXPECT_NE(text.find("topology"), std::string::npos);
+    EXPECT_NE(text.find("schedule"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Campaign aggregation: bit-identical stats across sessions and
+// thread counts, spans and progress hooks.
+// ---------------------------------------------------------------
+
+TEST(ObsCampaignTest, SweepStatsBitIdenticalAcrossThreadCounts)
+{
+    const auto bundle = testing::traceOf(
+        4, testing::ringExchange(64 * 1024, 500'000, 4));
+    const auto base = sim::platforms::defaultCluster();
+    const auto grid = core::logBandwidthGrid(1.0, 4096.0, 2);
+    const auto variants = core::standardVariants(8);
+
+    const auto reference =
+        core::bandwidthSweep(bundle, base, grid, variants, 1);
+    EXPECT_GT(reference.stats.heapPushes, 0u);
+    ASSERT_EQ(reference.points.size(), grid.size());
+
+    for (const int threads : {2, 8}) {
+        const auto sweep = core::bandwidthSweep(
+            bundle, base, grid, variants, threads);
+        EXPECT_TRUE(sweep.stats == reference.stats)
+            << "threads " << threads;
+        ASSERT_EQ(sweep.points.size(), reference.points.size());
+        for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+            EXPECT_TRUE(sweep.points[i].stats ==
+                        reference.points[i].stats)
+                << "threads " << threads << " point " << i;
+        }
+    }
+
+    // A second independent campaign (fresh sessions throughout)
+    // reproduces the aggregate bit for bit.
+    const auto again =
+        core::bandwidthSweep(bundle, base, grid, variants, 1);
+    EXPECT_TRUE(again.stats == reference.stats);
+}
+
+TEST(ObsCampaignTest, ProgressAndSpansHookIntoTheSweep)
+{
+    const auto bundle = testing::traceOf(
+        2, testing::packedExchange(64 * 1024, 200'000));
+    const auto base = sim::platforms::defaultCluster();
+    const auto grid = core::logBandwidthGrid(16.0, 1024.0, 1);
+    const auto variants = core::standardVariants(4);
+
+    obs::Progress progress("test sweep", grid.size());
+    core::CampaignObs cobs;
+    cobs.progress = &progress;
+    cobs.recordSpans = true;
+
+    const auto sweep = core::bandwidthSweep(
+        bundle, base, grid, variants, 2, &cobs);
+    ASSERT_EQ(sweep.points.size(), grid.size());
+    EXPECT_EQ(progress.done(), grid.size());
+    progress.finish();
+
+    // Compile spans plus one span per sweep point, all closed and
+    // well-formed.
+    EXPECT_GE(cobs.spans.size(), grid.size());
+    for (const ThreadPool::LaneSpan &span : cobs.spans) {
+        EXPECT_GE(span.endNs, span.beginNs);
+        EXPECT_GE(span.lane, 0);
+        EXPECT_LT(span.lane, 2);
+        EXPECT_FALSE(span.name.empty());
+    }
+}
+
+TEST(ObsCampaignTest, ObservedSweepMatchesTheUnobservedOne)
+{
+    // The observability hooks must not perturb results: a sweep
+    // with progress + spans on returns the same points and stats
+    // as the plain call.
+    const auto bundle = testing::traceOf(
+        2, testing::packedExchange(64 * 1024, 200'000));
+    const auto base = sim::platforms::defaultCluster();
+    const auto grid = core::logBandwidthGrid(16.0, 1024.0, 1);
+    const auto variants = core::standardVariants(4);
+
+    const auto plain =
+        core::bandwidthSweep(bundle, base, grid, variants, 2);
+    obs::Progress progress("test sweep", grid.size());
+    core::CampaignObs cobs;
+    cobs.progress = &progress;
+    cobs.recordSpans = true;
+    const auto observed = core::bandwidthSweep(
+        bundle, base, grid, variants, 2, &cobs);
+
+    ASSERT_EQ(observed.points.size(), plain.points.size());
+    for (std::size_t i = 0; i < plain.points.size(); ++i) {
+        EXPECT_EQ(observed.points[i].originalTime.ns(),
+                  plain.points[i].originalTime.ns());
+        EXPECT_TRUE(observed.points[i].stats ==
+                    plain.points[i].stats);
+    }
+    EXPECT_TRUE(observed.stats == plain.stats);
+}
+
+TEST(ProgressTest, TicksAccumulateAndFinishIsIdempotent)
+{
+    obs::Progress progress("unit", 3);
+    EXPECT_EQ(progress.total(), 3u);
+    EXPECT_EQ(progress.done(), 0u);
+    progress.tick();
+    progress.tick(2);
+    EXPECT_EQ(progress.done(), 3u);
+    progress.finish();
+    progress.finish();
+}
+
+// ---------------------------------------------------------------
+// ThreadPool span buffers under parallel load (TSAN target via the
+// parallel label).
+// ---------------------------------------------------------------
+
+TEST(ObsSpanTest, SpanBuffersStayConsistentUnderParallelLoad)
+{
+    ThreadPool pool(4);
+    pool.enableSpans();
+    std::atomic<int> ran{0};
+    pool.parallelFor(64, [&](std::size_t task, int lane) {
+        pool.spanBegin(lane, "task " + std::to_string(task));
+        ran.fetch_add(1, std::memory_order_relaxed);
+        pool.spanEnd(lane);
+    });
+    EXPECT_EQ(ran.load(), 64);
+
+    const auto spans = pool.takeSpans();
+    ASSERT_EQ(spans.size(), 64u);
+    std::uint64_t previous = 0;
+    for (const ThreadPool::LaneSpan &span : spans) {
+        EXPECT_GE(span.endNs, span.beginNs);
+        EXPECT_GE(span.lane, 0);
+        EXPECT_LT(span.lane, pool.size());
+        EXPECT_GE(span.beginNs, previous); // sorted by begin
+        previous = span.beginNs;
+    }
+
+    // Buffers were drained; a second take is empty, and a fresh
+    // epoch restarts cleanly.
+    EXPECT_TRUE(pool.takeSpans().empty());
+    pool.enableSpans();
+    pool.parallelFor(4, [&](std::size_t, int lane) {
+        pool.spanBegin(lane, "again");
+        pool.spanEnd(lane);
+    });
+    EXPECT_EQ(pool.takeSpans().size(), 4u);
+}
+
+// ---------------------------------------------------------------
+// Chrome trace export: validated through a real (if small) JSON
+// parser — structure, matched B/E pairs, monotone per-track time.
+// ---------------------------------------------------------------
+
+/** Minimal recursive-descent JSON document model. */
+struct Json
+{
+    enum class Kind { null, boolean, number, string, array, object };
+    Kind kind = Kind::null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<Json> items;
+    std::map<std::string, Json> members;
+
+    const Json &
+    at(const std::string &key) const
+    {
+        const auto it = members.find(key);
+        if (it == members.end())
+            throw std::runtime_error("missing key " + key);
+        return it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json
+    parseDocument()
+    {
+        const Json value = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            throw std::runtime_error("trailing garbage");
+        return value;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c) {
+            throw std::runtime_error(
+                std::string("expected '") + c + "' got '" +
+                peek() + "'");
+        }
+        ++pos_;
+    }
+
+    Json
+    parseValue()
+    {
+        skipSpace();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            parseLiteral("null");
+            return Json{};
+          default:
+            return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json out;
+        out.kind = Json::Kind::object;
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return out;
+        }
+        while (true) {
+            skipSpace();
+            Json key = parseString();
+            skipSpace();
+            expect(':');
+            out.members.emplace(key.text, parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return out;
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json out;
+        out.kind = Json::Kind::array;
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        while (true) {
+            out.items.push_back(parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return out;
+        }
+    }
+
+    Json
+    parseString()
+    {
+        expect('"');
+        Json out;
+        out.kind = Json::Kind::string;
+        while (true) {
+            if (pos_ >= text_.size())
+                throw std::runtime_error("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"':
+                    out.text += '"';
+                    break;
+                  case '\\':
+                    out.text += '\\';
+                    break;
+                  case 'n':
+                    out.text += '\n';
+                    break;
+                  case '/':
+                    out.text += '/';
+                    break;
+                  default:
+                    throw std::runtime_error(
+                        "unsupported escape");
+                }
+                continue;
+            }
+            out.text += c;
+        }
+    }
+
+    Json
+    parseBool()
+    {
+        Json out;
+        out.kind = Json::Kind::boolean;
+        if (peek() == 't') {
+            parseLiteral("true");
+            out.boolean = true;
+        } else {
+            parseLiteral("false");
+        }
+        return out;
+    }
+
+    void
+    parseLiteral(const char *lit)
+    {
+        for (const char *c = lit; *c != '\0'; ++c) {
+            if (pos_ >= text_.size() || text_[pos_] != *c)
+                throw std::runtime_error("bad literal");
+            ++pos_;
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            throw std::runtime_error("bad number");
+        Json out;
+        out.kind = Json::Kind::number;
+        out.number =
+            std::stod(text_.substr(start, pos_ - start));
+        return out;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+TEST(ChromeTraceTest, ExportRoundTripsThroughTheJsonParser)
+{
+    // A two-rank exchange under checkpoint/restart with a mid-run
+    // fail-stop: the timeline carries compute/comm/restart
+    // intervals, checkpoint marks and a rollback cut. Host spans
+    // come from an instrumented pool.
+    auto platform = ckptPlatform(60.0, 5.0, 7.0);
+    platform.captureTimeline = true;
+    platform.scenario.events.push_back(nodeFail(80.0, 0));
+    const auto bundle = testing::traceOf(
+        2, testing::packedExchange(64 * 1024, 200'000));
+    const auto result = sim::simulate(bundle.traces, platform);
+    ASSERT_GE(result.restarts, 1u);
+    ASSERT_GE(result.checkpoints, 1u);
+
+    ThreadPool pool(2);
+    pool.enableSpans();
+    pool.parallelFor(8, [&](std::size_t task, int lane) {
+        pool.spanBegin(lane,
+                       "point bw=" + std::to_string(task));
+        pool.spanEnd(lane);
+    });
+    const auto spans = pool.takeSpans();
+    ASSERT_FALSE(spans.empty());
+
+    const std::string json =
+        obs::chromeTraceJson(result.timeline, spans);
+    Json doc;
+    ASSERT_NO_THROW(doc = JsonParser(json).parseDocument());
+    ASSERT_EQ(doc.kind, Json::Kind::object);
+    EXPECT_EQ(doc.at("displayTimeUnit").text, "ms");
+    const Json &events = doc.at("traceEvents");
+    ASSERT_EQ(events.kind, Json::Kind::array);
+    ASSERT_FALSE(events.items.empty());
+
+    // Walk the events: matched B/E pairs per (pid, tid) with
+    // non-decreasing timestamps, named instants on the machine
+    // track, host X spans on pid 1.
+    std::map<std::pair<int, int>, std::vector<std::string>> open;
+    std::map<std::pair<int, int>, double> lastTs;
+    bool sawCheckpoint = false;
+    bool sawRollback = false;
+    bool sawHostSpan = false;
+    for (const Json &ev : events.items) {
+        ASSERT_EQ(ev.kind, Json::Kind::object);
+        const std::string &ph = ev.at("ph").text;
+        if (ph == "M")
+            continue;
+        const std::pair<int, int> track{
+            static_cast<int>(ev.at("pid").number),
+            static_cast<int>(ev.at("tid").number)};
+        const double ts = ev.at("ts").number;
+        const std::string &name = ev.at("name").text;
+        if (ph == "B" || ph == "E") {
+            const auto it = lastTs.find(track);
+            if (it != lastTs.end()) {
+                EXPECT_GE(ts, it->second) << "track tid "
+                                          << track.second;
+            }
+            lastTs[track] = ts;
+            if (ph == "B") {
+                open[track].push_back(name);
+            } else {
+                ASSERT_FALSE(open[track].empty());
+                EXPECT_EQ(open[track].back(), name);
+                open[track].pop_back();
+            }
+        } else if (ph == "i") {
+            EXPECT_EQ(ev.at("s").text, "p");
+            if (name.rfind("checkpoint", 0) == 0)
+                sawCheckpoint = true;
+            if (name == "rollback")
+                sawRollback = true;
+        } else if (ph == "X") {
+            EXPECT_EQ(track.first, 1);
+            EXPECT_GE(ev.at("dur").number, 0.0);
+            sawHostSpan = true;
+        } else {
+            FAIL() << "unexpected phase " << ph;
+        }
+    }
+    for (const auto &[track, stack] : open)
+        EXPECT_TRUE(stack.empty())
+            << "unbalanced B/E on tid " << track.second;
+    EXPECT_TRUE(sawCheckpoint);
+    EXPECT_TRUE(sawRollback);
+    EXPECT_TRUE(sawHostSpan);
+
+    // writeChromeTrace writes exactly the rendered document.
+    const std::string path =
+        ::testing::TempDir() + "/ovlsim_trace_test.json";
+    obs::writeChromeTrace(path, result.timeline, spans);
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_EQ(os.str(), json);
+}
+
+TEST(ChromeTraceTest, EmptyTimelineStillRendersValidJson)
+{
+    const std::string json =
+        obs::chromeTraceJson(sim::Timeline{});
+    Json doc;
+    ASSERT_NO_THROW(doc = JsonParser(json).parseDocument());
+    EXPECT_EQ(doc.at("traceEvents").kind, Json::Kind::array);
+}
+
+} // namespace
+} // namespace ovlsim
